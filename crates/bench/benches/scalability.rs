@@ -1,0 +1,91 @@
+//! Criterion benchmark backing the paper's scalability goal (§1, goal 2):
+//! the scheduler's *efficiency* must not degrade with the number of QoS
+//! parameters. Measures full enqueue+dequeue cycles of the Cascaded-SFC
+//! scheduler at dimensionalities 1–12, and each SFC1 curve's cost at 12
+//! dimensions.
+
+use cascade::{CascadeConfig, CascadedSfc};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched::{DiskScheduler, HeadState, QosVector, Request, MAX_QOS_DIMS};
+use sfc::CurveKind;
+
+fn burst(n: u64, dims: usize) -> Vec<Request> {
+    let mut state = 0xdeadbeefcafef00du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|id| {
+            let mut levels = [0u8; MAX_QOS_DIMS];
+            for l in levels.iter_mut().take(dims) {
+                *l = (next() % 16) as u8;
+            }
+            Request::read(
+                id,
+                0,
+                100_000 + next() % 500_000,
+                (next() % 3832) as u32,
+                64 * 1024,
+                QosVector::new(&levels[..dims]),
+            )
+        })
+        .collect()
+}
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let head = HeadState::new(1000, 0, 3832);
+    let mut group = c.benchmark_group("cascade_cycle_by_dims");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dims in [1u32, 2, 4, 8, 12] {
+        let reqs = burst(512, dims as usize);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, &dims| {
+            b.iter(|| {
+                let mut s = CascadedSfc::new(CascadeConfig::paper_default(dims, 3832)).unwrap();
+                for r in &reqs {
+                    s.enqueue(r.clone(), &head);
+                }
+                let mut acc = 0u64;
+                while let Some(r) = s.dequeue(&head) {
+                    acc ^= r.id;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_choice_at_12d(c: &mut Criterion) {
+    let head = HeadState::new(1000, 0, 3832);
+    let reqs = burst(512, 12);
+    let mut group = c.benchmark_group("cascade_cycle_12d_by_curve");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in CurveKind::FIGURE1 {
+        let mut cfg = CascadeConfig::paper_default(12, 3832);
+        if let Some(s1) = cfg.stage1.as_mut() {
+            s1.curve = kind;
+        }
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut s = CascadedSfc::new(cfg.clone()).unwrap();
+                for r in &reqs {
+                    s.enqueue(r.clone(), &head);
+                }
+                let mut acc = 0u64;
+                while let Some(r) = s.dequeue(&head) {
+                    acc ^= r.id;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimensionality, bench_curve_choice_at_12d);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benchmarks of scheduler queue operations: the cost of
+//! pushing a burst of requests through `enqueue`/`dequeue` for every
+//! policy in the workspace, including the full Cascaded-SFC pipeline.
+
+use cascade::{CascadeConfig, CascadedSfc};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched::{
+    Bucket, CScan, CostModel, DeadlineDriven, DiskScheduler, Edf, Fcfs, FdScan, HeadState,
+    MultiQueue, QosVector, Request, Scan, ScanEdf, ScanRt, Sstf,
+};
+
+fn burst(n: u64) -> Vec<Request> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|id| {
+            Request::read(
+                id,
+                0,
+                100_000 + next() % 500_000,
+                (next() % 3832) as u32,
+                64 * 1024,
+                QosVector::new(&[(next() % 8) as u8, (next() % 8) as u8, (next() % 8) as u8]),
+            )
+        })
+        .collect()
+}
+
+fn drain(s: &mut dyn DiskScheduler, reqs: &[Request]) -> u64 {
+    let head = HeadState::new(1000, 0, 3832);
+    for r in reqs {
+        s.enqueue(r.clone(), &head);
+    }
+    let mut acc = 0;
+    while let Some(r) = s.dequeue(&head) {
+        acc ^= r.id;
+    }
+    acc
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let reqs = burst(512);
+    let mut group = c.benchmark_group("queue_ops_512");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    macro_rules! case {
+        ($name:literal, $make:expr) => {
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut s = $make;
+                    drain(black_box(&mut s), &reqs)
+                })
+            });
+        };
+    }
+
+    case!("fcfs", Fcfs::new());
+    case!("sstf", Sstf::new());
+    case!("scan", Scan::new());
+    case!("c-scan", CScan::new());
+    case!("edf", Edf::new());
+    case!("scan-edf", ScanEdf::new(50_000));
+    case!("fd-scan", FdScan::new(CostModel::table1()));
+    case!("scan-rt", ScanRt::new(CostModel::table1()));
+    case!("multi-queue", MultiQueue::new(0));
+    case!("bucket", Bucket::new(1.0, 0.01, 8));
+    case!("deadline-driven", DeadlineDriven::new(CostModel::table1()));
+    case!(
+        "cascaded-sfc",
+        CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap()
+    );
+    group.finish();
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    // The encapsulator alone: request -> v_c.
+    let reqs = burst(512);
+    let head = HeadState::new(1000, 0, 3832);
+    let mut group = c.benchmark_group("characterize_512");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dims in [1u32, 3, 8, 12] {
+        let s = CascadedSfc::new(CascadeConfig::paper_default(dims, 3832)).unwrap();
+        group.bench_with_input(BenchmarkId::new("paper_default", dims), &dims, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for r in &reqs {
+                    acc ^= s.encapsulator().characterize(black_box(r), &head);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_ops, bench_characterize);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the space-filling-curve mappings: the
+//! per-request cost of each curve's `index()` (the encapsulator's inner
+//! loop) across dimensionalities, plus inverse mappings and curve
+//! construction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc::{CurveKind, InvertibleCurve, SpaceFillingCurve};
+
+fn points(dims: usize, side: u64, n: usize) -> Vec<Vec<u64>> {
+    // Deterministic pseudo-random points.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| (0..dims).map(|_| next() % side).collect())
+        .collect()
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfc_index");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in CurveKind::FIGURE1 {
+        for dims in [2u32, 4, 8, 12] {
+            let curve = kind.build(dims, 4).unwrap();
+            let pts = points(dims as usize, curve.side(), 256);
+            group.bench_with_input(BenchmarkId::new(kind.name(), dims), &dims, |b, _| {
+                b.iter(|| {
+                    let mut acc = 0u128;
+                    for p in &pts {
+                        acc ^= curve.index(black_box(p));
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfc_point");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let hilbert = sfc::Hilbert::new(3, 8).unwrap();
+    let gray = sfc::Gray::new(3, 8).unwrap();
+    let diagonal = sfc::Diagonal::new(3, 8).unwrap();
+    let cells = hilbert.cells();
+    group.bench_function("hilbert_3d", |b| {
+        let mut p = vec![0u64; 3];
+        b.iter(|| {
+            for i in (0..1024u128).map(|i| i * 131 % cells) {
+                hilbert.point(black_box(i), &mut p);
+            }
+            p[0]
+        })
+    });
+    group.bench_function("gray_3d", |b| {
+        let mut p = vec![0u64; 3];
+        b.iter(|| {
+            for i in (0..1024u128).map(|i| i * 131 % cells) {
+                gray.point(black_box(i), &mut p);
+            }
+            p[0]
+        })
+    });
+    group.bench_function("diagonal_3d", |b| {
+        let mut p = vec![0u64; 3];
+        b.iter(|| {
+            for i in (0..64u128).map(|i| i * 131 % cells) {
+                diagonal.point(black_box(i), &mut p);
+            }
+            p[0]
+        })
+    });
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfc_build");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // Diagonal construction runs a DP; others are trivial. The contrast
+    // is the point of this bench.
+    group.bench_function("diagonal_12d_16lv", |b| {
+        b.iter(|| sfc::Diagonal::new(black_box(12), 4).unwrap())
+    });
+    group.bench_function("hilbert_12d_16lv", |b| {
+        b.iter(|| sfc::Hilbert::new(black_box(12), 4).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_inverse, bench_construction);
+criterion_main!(benches);

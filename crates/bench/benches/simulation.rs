@@ -1,0 +1,100 @@
+//! Criterion benchmarks of end-to-end simulation throughput, plus
+//! ablations of the two simulator-level design choices DESIGN.md calls
+//! out: inversion accounting (O(queue·dims) per service) and swap-time
+//! re-characterization.
+
+use cascade::{CascadeConfig, CascadedSfc, DispatchConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sched::Fcfs;
+use sim::{simulate, DiskService, SimOptions};
+use workload::PoissonConfig;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let trace = {
+        let mut wl = PoissonConfig::figure8(5_000);
+        wl.mean_interarrival_us = 12_000;
+        wl.generate(1)
+    };
+    let mut group = c.benchmark_group("simulate_5k_requests");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+
+    group.bench_function("fcfs", |b| {
+        b.iter(|| {
+            let mut s = Fcfs::new();
+            let mut service = DiskService::table1();
+            simulate(
+                black_box(&mut s),
+                &trace,
+                &mut service,
+                SimOptions::with_shape(3, 8),
+            )
+            .served
+        })
+    });
+    group.bench_function("cascaded-sfc", |b| {
+        b.iter(|| {
+            let mut s = CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap();
+            let mut service = DiskService::table1();
+            simulate(
+                black_box(&mut s),
+                &trace,
+                &mut service,
+                SimOptions::with_shape(3, 8),
+            )
+            .served
+        })
+    });
+    group.bench_function("cascaded-sfc_no_inversion_accounting", |b| {
+        b.iter(|| {
+            let mut s = CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap();
+            let mut service = DiskService::table1();
+            simulate(
+                black_box(&mut s),
+                &trace,
+                &mut service,
+                SimOptions::with_shape(3, 8).without_inversions(),
+            )
+            .served
+        })
+    });
+    group.finish();
+}
+
+fn bench_refresh_ablation(c: &mut Criterion) {
+    let trace = {
+        let mut wl = PoissonConfig::figure8(5_000);
+        wl.mean_interarrival_us = 12_000;
+        wl.generate(2)
+    };
+    let mut group = c.benchmark_group("refresh_on_swap");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for (label, dispatch) in [
+        ("on", DispatchConfig::non_preemptive()),
+        ("off", DispatchConfig::non_preemptive().without_refresh()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = CascadedSfc::new(
+                    CascadeConfig::paper_default(3, 3832).with_dispatch(dispatch),
+                )
+                .unwrap();
+                let mut service = DiskService::table1();
+                simulate(
+                    black_box(&mut s),
+                    &trace,
+                    &mut service,
+                    SimOptions::with_shape(3, 8).without_inversions(),
+                )
+                .served
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_refresh_ablation);
+criterion_main!(benches);

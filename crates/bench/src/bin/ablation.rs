@@ -1,0 +1,18 @@
+//! Run the dispatcher-policy ablation (§3 of the paper): preemption
+//! regimes and the SP/ER refinements, under a mixed load and under the
+//! adversarial starvation stream.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ablation [--seed N] [--requests N]
+//! ```
+
+use bench::ablation;
+use bench::args::Args;
+
+fn main() {
+    let args = Args::parse(&["seed", "requests"]);
+    let seed: u64 = args.get("seed", bench::DEFAULT_SEED);
+    let requests: usize = args.get("requests", 10_000);
+    eprintln!("# dispatcher ablation (seed {seed}, {requests} requests)");
+    ablation::print_report(seed, requests);
+}

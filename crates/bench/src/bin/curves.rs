@@ -1,0 +1,68 @@
+//! Print the curve-quality analysis table for the whole catalogue — the
+//! geometric numbers behind the paper's scheduler rankings (and the
+//! subject of its companion papers [18, 19]).
+//!
+//! ```text
+//! cargo run -p bench --release --bin curves [--dims D] [--order K]
+//! ```
+
+use bench::args::Args;
+use sfc::{quality, CurveKind};
+
+fn main() {
+    let args = Args::parse(&["dims", "order"]);
+    let dims: u32 = args.get("dims", 2);
+    let order: u32 = args.get("order", 4);
+
+    println!(
+        "curve,continuous,max_jump,mean_jump,mean_clusters_4,irregularity_per_dim,bias_per_dim"
+    );
+    for kind in CurveKind::ALL {
+        // Peano's radix-3 grid: pick the order that keeps sizes comparable.
+        let order = if kind == CurveKind::Peano {
+            (order * 2).div_ceil(3).max(1)
+        } else {
+            order
+        };
+        let curve = match kind.build(dims, order) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{kind}: skipped ({e})");
+                continue;
+            }
+        };
+        let cont = match quality::continuity(curve.as_ref()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{kind}: grid too large ({e})");
+                continue;
+            }
+        };
+        let clusters = quality::mean_clusters(curve.as_ref(), 4).unwrap();
+        let irr = quality::irregularity(curve.as_ref()).unwrap();
+        let bias = quality::dimension_bias(curve.as_ref(), 20_000);
+        let irr_s: Vec<String> = irr.iter().map(|x| x.to_string()).collect();
+        let bias_s: Vec<String> = bias
+            .inversion_rate
+            .iter()
+            .map(|x| format!("{x:.3}"))
+            .collect();
+        println!(
+            "{},{},{},{:.2},{:.2},{},{}",
+            kind,
+            cont.is_continuous(),
+            cont.max_jump,
+            cont.mean_jump,
+            clusters,
+            irr_s.join("|"),
+            bias_s.join("|"),
+        );
+    }
+    eprintln!();
+    eprintln!("# reading guide:");
+    eprintln!("#  - continuous/max_jump: seek behaviour when the curve orders cylinders (SFC3)");
+    eprintln!("#  - mean_clusters (4-wide boxes): locality, Hilbert's specialty");
+    eprintln!("#  - irregularity: backward steps per dimension (CIKM'01)");
+    eprintln!("#  - bias: pairwise inversion rate per dimension; 0.0 = dimension fully respected,");
+    eprintln!("#    equal values = fair (the Diagonal), skewed = favoring (Sweep/C-Scan)");
+}

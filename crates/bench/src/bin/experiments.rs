@@ -1,0 +1,212 @@
+//! Run every table/figure reproduction end-to-end and write the series
+//! to `results/` (CSV, one file per artifact). This is the harness behind
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments [--seed N] [--out DIR]
+//!     [--quick true]
+//! ```
+//!
+//! `--quick true` shrinks every run (~10× faster) for smoke-testing.
+
+use bench::args::Args;
+use bench::{fig10, fig11, fig5, fig6, fig7, fig8, fig9, table1};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn write(out_dir: &Path, name: &str, contents: String) {
+    let path = out_dir.join(name);
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args = Args::parse(&["seed", "out", "quick"]);
+    let seed: u64 = args.get("seed", bench::DEFAULT_SEED);
+    let out: String = args.get("out", "results".to_string());
+    let quick: bool = args.get("quick", false);
+    let out_dir = Path::new(&out);
+    std::fs::create_dir_all(out_dir).expect("create output directory");
+
+    let scale = |n: usize| if quick { n / 10 } else { n };
+
+    // Table 1.
+    {
+        let mut s = String::from("parameter,paper,model\n");
+        for r in table1::run() {
+            writeln!(s, "{},{},{}", r.parameter, r.paper, r.model).unwrap();
+        }
+        write(out_dir, "table1.csv", s);
+    }
+
+    // Figure 5.
+    {
+        let cfg = fig5::Config {
+            seed,
+            requests: scale(20_000),
+            ..Default::default()
+        };
+        let rows = fig5::run(&cfg);
+        let mut s = String::from("window_pct,curve,inversion_pct_of_fifo\n");
+        for r in &rows {
+            writeln!(s, "{},{},{:.2}", r.window_pct, r.curve, r.inversion_pct_of_fifo).unwrap();
+        }
+        write(out_dir, "fig5.csv", s);
+    }
+
+    // Figure 5 at high load ("normal and high system load", §5.1).
+    {
+        let cfg = fig5::Config {
+            seed,
+            requests: scale(20_000),
+            service_us: 24_000,
+            ..Default::default()
+        };
+        let rows = fig5::run(&cfg);
+        let mut s = String::from("window_pct,curve,inversion_pct_of_fifo\n");
+        for r in &rows {
+            writeln!(s, "{},{},{:.2}", r.window_pct, r.curve, r.inversion_pct_of_fifo).unwrap();
+        }
+        write(out_dir, "fig5_high_load.csv", s);
+    }
+
+    // Figure 6.
+    {
+        let cfg = fig6::Config {
+            seed,
+            requests: scale(20_000),
+            ..Default::default()
+        };
+        let rows = fig6::run(&cfg);
+        let mut s = String::from("dims,curve,inversion_pct_of_fifo\n");
+        for r in &rows {
+            writeln!(s, "{},{},{:.2}", r.dims, r.curve, r.inversion_pct_of_fifo).unwrap();
+        }
+        write(out_dir, "fig6.csv", s);
+    }
+
+    // Figure 7.
+    {
+        let cfg = fig7::Config {
+            seed,
+            requests: scale(20_000),
+            ..Default::default()
+        };
+        let rows = fig7::run(&cfg);
+        let mut s = String::from("window_pct,curve,stddev,favored_pct\n");
+        for r in &rows {
+            writeln!(
+                s,
+                "{},{},{:.2},{:.2}",
+                r.window_pct, r.curve, r.stddev, r.favored_pct
+            )
+            .unwrap();
+        }
+        write(out_dir, "fig7.csv", s);
+    }
+
+    // Figure 8.
+    {
+        let cfg = fig8::Config {
+            seed,
+            requests: scale(20_000),
+            ..Default::default()
+        };
+        let rows = fig8::run(&cfg);
+        let mut s = String::from("series,f,inversion_pct_of_edf,losses_pct_of_edf\n");
+        for r in &rows {
+            writeln!(
+                s,
+                "{},{},{:.2},{:.2}",
+                r.series,
+                r.f.map(|f| f.to_string()).unwrap_or_default(),
+                r.inversion_pct_of_edf,
+                r.losses_pct_of_edf
+            )
+            .unwrap();
+        }
+        write(out_dir, "fig8.csv", s);
+    }
+
+    // Figure 9.
+    {
+        let cfg = fig9::Config {
+            base: fig8::Config {
+                seed,
+                requests: scale(20_000),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let rows = fig9::run(&cfg);
+        let mut s = String::from("scheduler,dimension,level,losses\n");
+        for r in &rows {
+            for (dim, levels) in r.losses.iter().enumerate() {
+                for (level, &n) in levels.iter().enumerate() {
+                    writeln!(s, "{},{dim},{level},{n}", r.scheduler).unwrap();
+                }
+            }
+        }
+        let mut c = String::from("scheduler,centroid_dim0,centroid_dim1,centroid_dim2\n");
+        for r in &rows {
+            writeln!(
+                c,
+                "{},{:.2},{:.2},{:.2}",
+                r.scheduler,
+                fig9::loss_centroid(r, 0),
+                fig9::loss_centroid(r, 1),
+                fig9::loss_centroid(r, 2)
+            )
+            .unwrap();
+        }
+        write(out_dir, "fig9.csv", s);
+        write(out_dir, "fig9_centroids.csv", c);
+    }
+
+    // Figure 10.
+    {
+        let cfg = fig10::Config {
+            seed,
+            bursts: scale(400),
+            ..Default::default()
+        };
+        let rows = fig10::run(&cfg);
+        let mut s =
+            String::from("series,r,inversion_pct_of_cscan,losses_pct_of_cscan,mean_seek_ms\n");
+        for r in &rows {
+            writeln!(
+                s,
+                "{},{},{:.2},{:.2},{:.3}",
+                r.series,
+                r.r.map(|v| v.to_string()).unwrap_or_default(),
+                r.inversion_pct_of_cscan,
+                r.losses_pct_of_cscan,
+                r.mean_seek_ms
+            )
+            .unwrap();
+        }
+        write(out_dir, "fig10.csv", s);
+    }
+
+    // Figure 11.
+    {
+        let cfg = fig11::Config {
+            seed,
+            duration_us: if quick { 15_000_000 } else { 60_000_000 },
+            ..Default::default()
+        };
+        let rows = fig11::run(&cfg);
+        let mut s = String::from("users,scheduler,aggregate_loss,loss_ratio\n");
+        for r in &rows {
+            writeln!(
+                s,
+                "{},{},{:.3},{:.4}",
+                r.users, r.scheduler, r.aggregate_loss, r.loss_ratio
+            )
+            .unwrap();
+        }
+        write(out_dir, "fig11.csv", s);
+    }
+
+    eprintln!("all experiments complete");
+}

@@ -1,0 +1,30 @@
+//! Regenerate Figure 10: the effect of the scan-partition count `R` in
+//! SFC3 on priority inversion, deadline losses (both vs. batch C-SCAN)
+//! and seek time.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig10 [--seed N] [--bursts N]
+//!     [--burst-size B] [--max-r R]
+//! ```
+
+use bench::args::Args;
+use bench::fig10;
+
+fn main() {
+    let args = Args::parse(&["seed", "bursts", "burst-size", "max-r"]);
+    let max_r: u32 = args.get("max-r", 10);
+    let cfg = fig10::Config {
+        seed: args.get("seed", bench::DEFAULT_SEED),
+        bursts: args.get("bursts", 400),
+        burst_size: args.get("burst-size", 45),
+        rs: (1..=max_r).collect(),
+        ..Default::default()
+    };
+    eprintln!(
+        "# Figure 10 — the R factor in SFC3 ({} bursts of {}, seed {})",
+        cfg.bursts, cfg.burst_size, cfg.seed
+    );
+    eprintln!("# paper: losses dip at R≈4, below C-SCAN and far below EDF; inversion below C-SCAN for R < 7; seek grows with R; EDF's seeks are the worst");
+    let rows = fig10::run(&cfg);
+    fig10::print_csv(&rows);
+}

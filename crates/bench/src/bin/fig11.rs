@@ -1,0 +1,26 @@
+//! Regenerate Figure 11: weighted aggregate losses of the NewsByte5
+//! editing server vs. the number of users, for five schedulers.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig11 [--seed N] [--duration-s S]
+//! ```
+
+use bench::args::Args;
+use bench::fig11;
+
+fn main() {
+    let args = Args::parse(&["seed", "duration-s"]);
+    let cfg = fig11::Config {
+        seed: args.get("seed", bench::DEFAULT_SEED),
+        duration_us: args.get("duration-s", 60u64) * 1_000_000,
+        ..Default::default()
+    };
+    eprintln!(
+        "# Figure 11 — NewsByte5 aggregate weighted losses ({} s per point, seed {})",
+        cfg.duration_us / 1_000_000,
+        cfg.seed
+    );
+    eprintln!("# paper: sweep-y (multi-queue) best; hilbert/gray a trade-off between sweep-x (EDF) and sweep-y, hilbert ≈ gray; hilbert beats sweep-x with a growing gap as users increase");
+    let rows = fig11::run(&cfg);
+    fig11::print_csv(&cfg, &rows);
+}

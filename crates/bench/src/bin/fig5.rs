@@ -1,0 +1,28 @@
+//! Regenerate Figure 5: priority inversion (% of FIFO) vs. blocking
+//! window, for the seven SFC1 curves.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig5 [--seed N] [--requests N]
+//!     [--dims D] [--service-us U]
+//! ```
+
+use bench::args::Args;
+use bench::fig5;
+
+fn main() {
+    let args = Args::parse(&["seed", "requests", "dims", "service-us"]);
+    let cfg = fig5::Config {
+        seed: args.get("seed", bench::DEFAULT_SEED),
+        requests: args.get("requests", 20_000),
+        dims: args.get("dims", 4),
+        service_us: args.get("service-us", 20_000),
+        ..Default::default()
+    };
+    eprintln!(
+        "# Figure 5 — priority inversion vs window size ({} requests, {} dims, seed {})",
+        cfg.requests, cfg.dims, cfg.seed
+    );
+    eprintln!("# paper: Diagonal lowest for w < 60% (~10% under the runner-up); Gray/Hilbert very high; Sweep/C-Scan best suited to large windows");
+    let rows = fig5::run(&cfg);
+    fig5::print_csv(&cfg, &rows);
+}

@@ -1,0 +1,29 @@
+//! Regenerate Figure 6: scalability — priority inversion vs. the number
+//! of QoS dimensions (1–12, 16 levels each).
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig6 [--seed N] [--requests N]
+//!     [--max-dims D] [--window-pct W]
+//! ```
+
+use bench::args::Args;
+use bench::fig6;
+
+fn main() {
+    let args = Args::parse(&["seed", "requests", "max-dims", "window-pct"]);
+    let max_dims: u32 = args.get("max-dims", 12);
+    let cfg = fig6::Config {
+        seed: args.get("seed", bench::DEFAULT_SEED),
+        requests: args.get("requests", 20_000),
+        dims: (1..=max_dims).collect(),
+        window_pct: args.get("window-pct", 10),
+        ..Default::default()
+    };
+    eprintln!(
+        "# Figure 6 — scalability in QoS dimensionality (window {}%, seed {})",
+        cfg.window_pct, cfg.seed
+    );
+    eprintln!("# paper: the Diagonal keeps the lead as dimensions grow");
+    let rows = fig6::run(&cfg);
+    fig6::print_csv(&cfg, &rows);
+}

@@ -1,0 +1,22 @@
+//! Regenerate Figure 7: fairness — the spread of priority inversion
+//! across dimensions (panel a) and the most-favored dimension (panel b).
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig7 [--seed N] [--requests N]
+//! ```
+
+use bench::args::Args;
+use bench::fig7;
+
+fn main() {
+    let args = Args::parse(&["seed", "requests"]);
+    let cfg = fig7::Config {
+        seed: args.get("seed", bench::DEFAULT_SEED),
+        requests: args.get("requests", 20_000),
+        ..Default::default()
+    };
+    eprintln!("# Figure 7 — fairness across 4 QoS dimensions (seed {})", cfg.seed);
+    eprintln!("# paper: Diagonal most fair (stddev < 1%); Sweep/C-Scan least fair but own a zero-inversion favored dimension");
+    let rows = fig7::run(&cfg);
+    fig7::print_csv(&cfg, &rows);
+}

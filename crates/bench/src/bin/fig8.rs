@@ -1,0 +1,42 @@
+//! Regenerate Figure 8: the effect of the deadline balance factor `f`
+//! in SFC2 on priority inversion (panel a) and deadline misses (panel b),
+//! both normalized to EDF.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig8 [--seed N] [--requests N]
+//!     [--interarrival-us U] [--deadline-lo-us L] [--deadline-hi-us H]
+//! ```
+//!
+//! `--deadline-lo-us/--deadline-hi-us` expose the sensitivity sweep for
+//! DESIGN.md reconstruction 4 (the OCR-damaged "5-7 msec" range, read as
+//! 500–700 ms).
+
+use bench::args::Args;
+use bench::fig8;
+
+fn main() {
+    let args = Args::parse(&[
+        "seed",
+        "requests",
+        "burst-size",
+        "deadline-lo-us",
+        "deadline-hi-us",
+    ]);
+    let cfg = fig8::Config {
+        seed: args.get("seed", bench::DEFAULT_SEED),
+        requests: args.get("requests", 20_000),
+        burst_size: args.get("burst-size", 42),
+        deadline_lo_us: args.get("deadline-lo-us", 300_000),
+        deadline_hi_us: args.get("deadline-hi-us", 700_000),
+        ..Default::default()
+    };
+    eprintln!(
+        "# Figure 8 — the f factor in SFC2 (deadlines {}-{} ms, seed {})",
+        cfg.deadline_lo_us / 1000,
+        cfg.deadline_hi_us / 1000,
+        cfg.seed
+    );
+    eprintln!("# paper: f=0 ~6-7x EDF misses with low inversion; misses fall toward EDF as f grows while inversion rises toward ~90-100%");
+    let rows = fig8::run(&cfg);
+    fig8::print_csv(&rows);
+}

@@ -1,0 +1,14 @@
+//! Print Table 1 — the disk model next to the paper's parameters, with
+//! the measured seek calibration and sample service breakdowns.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table1
+//! ```
+
+use bench::args::Args;
+use bench::table1;
+
+fn main() {
+    let _ = Args::parse(&[]);
+    table1::print_table();
+}

@@ -1,0 +1,44 @@
+//! # bench — experiment harnesses for every table and figure
+//!
+//! Each module regenerates one table or figure of the paper; the
+//! binaries in `src/bin/` print the series as CSV, and the Criterion
+//! benches in `benches/` measure the implementation itself.
+//!
+//! | Module | Paper artifact | What it shows |
+//! |---|---|---|
+//! | [`fig5`]  | Figure 5  | priority inversion vs. blocking window, 7 SFC1 curves |
+//! | [`fig6`]  | Figure 6  | scalability: inversion vs. QoS dimensionality |
+//! | [`fig7`]  | Figure 7  | fairness: per-dimension inversion spread |
+//! | [`fig8`]  | Figure 8  | the deadline balance factor `f` in SFC2 |
+//! | [`fig9`]  | Figure 9  | selectivity: which priority levels miss deadlines |
+//! | [`fig10`] | Figure 10 | the scan-partition count `R` in SFC3 |
+//! | [`fig11`] | Figure 11 | NewsByte5 editing server: weighted aggregate losses |
+//! | [`table1`]| Table 1   | the disk model and its calibration |
+//! | [`ablation`] | §3 | dispatcher regimes, SP, ER, starvation bounds |
+//!
+//! Extra binaries: `curves` (the geometric quality table of the whole
+//! curve catalogue) and `experiments` (runs everything into `results/`).
+//!
+//! All experiments are deterministic given a seed; run any binary with
+//! `--seed N` to change it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod args;
+pub mod fig10;
+pub mod fig11;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+/// The seven SFC1 curves of the paper's Figure 1 (see DESIGN.md §4 for
+/// the reconstruction of the OCR-dropped labels).
+pub use sfc::CurveKind;
+
+/// Default RNG seed used by every experiment.
+pub const DEFAULT_SEED: u64 = 20040330; // ICDE 2004 ran March 30, 2004

@@ -1,0 +1,370 @@
+//! Part 2 of the Cascaded-SFC scheduler: the dispatcher.
+//!
+//! Serves requests in characterization-value order under one of the three
+//! regimes of §3.1, with the SP (§3.2) and ER (§3.3) refinements:
+//!
+//! * **Fully-preemptive** — one priority queue; every arrival competes at
+//!   once. Low priorities can starve.
+//! * **Non-preemptive** — arrivals collect in a waiting queue `q'` while
+//!   the active queue `q` drains; when `q` empties the queues swap.
+//!   Starvation-free, but high-priority arrivals wait a whole batch.
+//! * **Conditionally-preemptive** — an arrival enters `q` directly (a
+//!   *preemption*) only when its value beats the in-service request's
+//!   value by more than the blocking window `w`; otherwise it waits in
+//!   `q'`.
+//!   * **SP** (Serve-and-Promote): before each dispatch, any waiting
+//!     request that beats the next candidate by more than `w` is promoted
+//!     into `q`, bounding the priority inversion the window causes.
+//!   * **ER** (Expand-and-Reset): each preemption multiplies `w` by the
+//!     expansion factor `e`; when `q` drains and the queues swap, `w`
+//!     resets. A sustained burst of high-priority arrivals therefore
+//!     drives the scheduler toward non-preemptive behaviour, which is
+//!     starvation-free.
+
+use crate::config::{DispatchConfig, PreemptionMode};
+use sched::Request;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Queue entry: a request tagged with its characterization value.
+struct Entry {
+    v: u128,
+    req: Request,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.v == other.v && self.req.id == other.req.id
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    /// Max-heap order inverted: the *smallest* (v, id) is the maximum, so
+    /// `BinaryHeap::pop` yields the highest-priority request.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.v, other.req.id).cmp(&(self.v, self.req.id))
+    }
+}
+
+/// The dispatcher. Generic over nothing: values are `u128`
+/// characterization values produced by the encapsulator.
+pub struct Dispatcher {
+    config: DispatchConfig,
+    /// Active queue `q`.
+    q: BinaryHeap<Entry>,
+    /// Waiting queue `q'`.
+    q_wait: BinaryHeap<Entry>,
+    /// Base window in absolute value units.
+    base_window: u128,
+    /// Current (possibly ER-expanded) window.
+    window: u128,
+    /// Characterization value of the most recently dispatched request.
+    current: Option<u128>,
+    /// Counters for analysis.
+    preemptions: u64,
+    promotions: u64,
+    swaps: u64,
+}
+
+impl Dispatcher {
+    /// Build a dispatcher; `max_value` is the size of the scheduling space
+    /// (used to resolve the fractional window of
+    /// [`PreemptionMode::Conditional`]).
+    pub fn new(config: DispatchConfig, max_value: u128) -> Self {
+        let base_window = match config.mode {
+            PreemptionMode::Conditional { window } => {
+                let w = window.clamp(0.0, 1.0);
+                // max_value can exceed f64 precision; scale via integer
+                // arithmetic on a per-mille basis.
+                let permille = (w * 1000.0).round() as u128;
+                max_value / 1000 * permille + (max_value % 1000) * permille / 1000
+            }
+            _ => 0,
+        };
+        Dispatcher {
+            config,
+            q: BinaryHeap::new(),
+            q_wait: BinaryHeap::new(),
+            base_window,
+            window: base_window,
+            current: None,
+            preemptions: 0,
+            promotions: 0,
+            swaps: 0,
+        }
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.q.len() + self.q_wait.len()
+    }
+
+    /// `true` when no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (preemptions, SP promotions, queue swaps) since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.preemptions, self.promotions, self.swaps)
+    }
+
+    /// The current (possibly ER-expanded) blocking window.
+    pub fn current_window(&self) -> u128 {
+        self.window
+    }
+
+    /// Insert an arriving request with characterization value `v`.
+    pub fn insert(&mut self, req: Request, v: u128) {
+        let entry = Entry { v, req };
+        match self.config.mode {
+            PreemptionMode::Fully => self.q.push(entry),
+            PreemptionMode::NonPreemptive => self.q_wait.push(entry),
+            PreemptionMode::Conditional { .. } => {
+                let significantly_higher = match self.current {
+                    // Idle disk: nothing to preempt, join the active queue.
+                    None => true,
+                    Some(cur) => v < cur.saturating_sub(self.window),
+                };
+                if significantly_higher {
+                    if self.current.is_some() {
+                        self.preemptions += 1;
+                        self.expand_window();
+                    }
+                    self.q.push(entry);
+                } else {
+                    self.q_wait.push(entry);
+                }
+            }
+        }
+    }
+
+    /// Dispatch the next request (the disk became idle).
+    ///
+    /// `refresh` (when configured via
+    /// [`DispatchConfig::refresh_on_swap`]) recomputes characterization
+    /// values for the whole waiting queue at the swap boundary,
+    /// re-anchoring time-dependent coordinates.
+    pub fn pop(
+        &mut self,
+        mut refresh: Option<&mut dyn FnMut(&Request) -> u128>,
+    ) -> Option<Request> {
+        // Swap empty active queue with the waiting queue.
+        if self.q.is_empty() {
+            if self.q_wait.is_empty() {
+                self.current = None;
+                return None;
+            }
+            std::mem::swap(&mut self.q, &mut self.q_wait);
+            self.swaps += 1;
+            // ER: the active queue turned over — reset the window.
+            self.window = self.base_window;
+            if self.config.refresh_on_swap {
+                if let Some(f) = refresh.as_mut() {
+                    let entries = std::mem::take(&mut self.q).into_vec();
+                    self.q = entries
+                        .into_iter()
+                        .map(|mut e| {
+                            e.v = f(&e.req);
+                            e
+                        })
+                        .collect();
+                }
+            }
+        }
+
+        // SP: promote waiting requests that now significantly beat the
+        // next candidate.
+        if self.config.serve_promote {
+            loop {
+                let next_v = self.q.peek().expect("q non-empty").v;
+                let Some(wait_top) = self.q_wait.peek() else {
+                    break;
+                };
+                if wait_top.v < next_v.saturating_sub(self.window) {
+                    let e = self.q_wait.pop().expect("peeked");
+                    self.promotions += 1;
+                    self.expand_window();
+                    self.q.push(e);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let entry = self.q.pop().expect("q non-empty");
+        self.current = Some(entry.v);
+        Some(entry.req)
+    }
+
+    /// Visit every pending request.
+    pub fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        for e in self.q.iter().chain(self.q_wait.iter()) {
+            f(&e.req);
+        }
+    }
+
+    fn expand_window(&mut self) {
+        if let Some(e) = self.config.expand_factor {
+            let expanded = (self.window as f64 * e).min(u64::MAX as f64) as u128;
+            self.window = expanded.max(self.window.saturating_add(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::{QosVector, Request};
+
+    fn req(id: u64) -> Request {
+        Request::read(id, 0, u64::MAX, 0, 512, QosVector::none())
+    }
+
+    fn fully() -> Dispatcher {
+        Dispatcher::new(DispatchConfig::fully_preemptive(), 1000)
+    }
+
+    #[test]
+    fn fully_preemptive_is_a_priority_queue() {
+        let mut d = fully();
+        d.insert(req(1), 50);
+        d.insert(req(2), 10);
+        d.insert(req(3), 99);
+        assert_eq!(d.pop(None).unwrap().id, 2);
+        d.insert(req(4), 5); // arrives mid-service, still competes
+        assert_eq!(d.pop(None).unwrap().id, 4);
+        assert_eq!(d.pop(None).unwrap().id, 1);
+        assert_eq!(d.pop(None).unwrap().id, 3);
+        assert!(d.pop(None).is_none());
+    }
+
+    #[test]
+    fn non_preemptive_batches_by_swap() {
+        let mut d = Dispatcher::new(DispatchConfig::non_preemptive(), 1000);
+        d.insert(req(1), 50);
+        d.insert(req(2), 80);
+        assert_eq!(d.pop(None).unwrap().id, 1); // swap happened
+        d.insert(req(3), 1); // much higher priority, but must wait
+        assert_eq!(d.pop(None).unwrap().id, 2);
+        assert_eq!(d.pop(None).unwrap().id, 3);
+    }
+
+    fn conditional(window: f64, sp: bool, er: Option<f64>) -> Dispatcher {
+        Dispatcher::new(
+            DispatchConfig {
+                mode: PreemptionMode::Conditional { window },
+                serve_promote: sp,
+                expand_factor: er,
+                refresh_on_swap: false,
+            },
+            1000,
+        )
+    }
+
+    #[test]
+    fn conditional_window_blocks_marginal_arrivals() {
+        let mut d = conditional(0.1, false, None); // window = 100
+        d.insert(req(1), 500);
+        assert_eq!(d.pop(None).unwrap().id, 1); // current = 500
+        d.insert(req(2), 450); // higher, but within the window
+        d.insert(req(3), 350); // significantly higher: preempts
+        assert_eq!(d.pop(None).unwrap().id, 3);
+        assert_eq!(d.pop(None).unwrap().id, 2);
+        assert_eq!(d.counters().0, 1); // one preemption
+    }
+
+    #[test]
+    fn paper_example_figure4() {
+        // Requests T1..T7 with priorities as in Figure 4; the published
+        // service order is T1, T2, T5, T6, T3, T7, T4.
+        // Priority line (lower = higher priority): T5 < T6 < T2 < T3 < T7
+        // < T1 < T4, with T2, T3 within the window of T1, and T6 outside
+        // the window of T3, T7 outside the window of T4.
+        let w = 0.2; // window = 200 of 1000
+        let mut d = conditional(w, true, None);
+        let v = |id: u64| match id {
+            1 => 600u128,
+            2 => 450,
+            3 => 500,
+            4 => 800,
+            5 => 100,
+            6 => 250,
+            7 => 400,
+            _ => unreachable!(),
+        };
+        // T1 arrives on an idle disk and is served immediately.
+        d.insert(req(1), v(1));
+        assert_eq!(d.pop(None).unwrap().id, 1);
+        // T2, T3, T4 arrive during T1's service; none beats 600-200.
+        for id in [2, 3, 4] {
+            d.insert(req(id), v(id));
+        }
+        // T1 done: swap, serve T2 (highest in the batch).
+        assert_eq!(d.pop(None).unwrap().id, 2);
+        // T5, T6, T7 arrive during T2; only T5 < 450-200 preempts.
+        for id in [5, 6, 7] {
+            d.insert(req(id), v(id));
+        }
+        assert_eq!(d.pop(None).unwrap().id, 5);
+        // Before serving T3, SP promotes T6 (250 < 500-200).
+        assert_eq!(d.pop(None).unwrap().id, 6);
+        assert_eq!(d.pop(None).unwrap().id, 3);
+        // Before serving T4, SP promotes T7 (400 < 800-200).
+        assert_eq!(d.pop(None).unwrap().id, 7);
+        assert_eq!(d.pop(None).unwrap().id, 4);
+        assert!(d.pop(None).is_none());
+    }
+
+    #[test]
+    fn er_expands_until_non_preemptive() {
+        let mut d = conditional(0.05, false, Some(4.0)); // window 50, e=4
+        d.insert(req(1), 900);
+        assert_eq!(d.pop(None).unwrap().id, 1);
+        // A stream of ever-higher priorities: each preemption expands w.
+        d.insert(req(2), 700); // 700 < 900-50: preempts, w -> 200
+        assert_eq!(d.pop(None).unwrap().id, 2); // current = 700
+        d.insert(req(3), 480); // 480 < 700-200: preempts, w -> 800
+        assert_eq!(d.pop(None).unwrap().id, 3); // current = 480
+        d.insert(req(4), 1); // 1 > 480-800 (saturates to 0): blocked!
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.counters().0, 2);
+        // Queue drains, swap resets the window.
+        assert_eq!(d.pop(None).unwrap().id, 4);
+        assert_eq!(d.current_window(), d.base_window);
+    }
+
+    #[test]
+    fn window_fraction_resolution() {
+        let d = Dispatcher::new(
+            DispatchConfig {
+                mode: PreemptionMode::Conditional { window: 0.25 },
+                serve_promote: false,
+                expand_factor: None,
+                refresh_on_swap: false,
+            },
+            4000,
+        );
+        assert_eq!(d.current_window(), 1000);
+    }
+
+    #[test]
+    fn pending_iteration_covers_both_queues() {
+        let mut d = conditional(0.0, false, None);
+        d.insert(req(1), 10);
+        assert_eq!(d.pop(None).unwrap().id, 1);
+        d.insert(req(2), 5); // preempts into q (0 window, strictly higher)
+        d.insert(req(3), 50); // waits
+        let mut ids = Vec::new();
+        d.for_each_pending(&mut |r| ids.push(r.id));
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! Part 1 of the Cascaded-SFC scheduler: the encapsulator.
+//!
+//! Folds a request's QoS vector, deadline slack, and cylinder distance
+//! into one characterization value `v_c` through the configured cascade of
+//! space-filling-curve stages. `v_c` is computed once, at insertion time,
+//! exactly as in the paper (the deadline slack and head distance are
+//! sampled when the request joins the queue).
+
+use crate::config::{CascadeConfig, DistanceMode, Stage2Combiner};
+use sched::{HeadState, Micros, Request};
+use sfc::{SfcError, SpaceFillingCurve, WeightedDiagonal};
+
+/// The encapsulator: request → characterization value `v_c`.
+pub struct Encapsulator {
+    config: CascadeConfig,
+    /// SFC1 instance (when stage 1 is configured).
+    curve1: Option<Box<dyn SpaceFillingCurve>>,
+    /// SFC2 catalogue-curve instance (when stage 2 uses `Curve`).
+    curve2: Option<Box<dyn SpaceFillingCurve>>,
+    /// Maximum possible output of each stage, used for quantization and
+    /// for expressing the blocking window as a fraction of the space.
+    max_v1: u128,
+    max_v2: u128,
+    max_vc: u128,
+}
+
+impl Encapsulator {
+    /// Build the encapsulator, instantiating the configured curves.
+    pub fn new(config: CascadeConfig) -> Result<Self, SfcError> {
+        let mut curve1 = None;
+        let max_v1: u128 = if let Some(s1) = &config.stage1 {
+            let c = s1.curve.build(s1.dims, s1.level_bits)?;
+            let max = c.cells() - 1;
+            curve1 = Some(c);
+            max
+        } else {
+            // Without SFC1 the first priority level is used directly.
+            u8::MAX as u128
+        };
+
+        let mut curve2 = None;
+        let mut max_v2 = max_v1;
+        if let Some(s2) = &config.stage2 {
+            let grid_max = (1u128 << s2.resolution_bits) - 1;
+            max_v2 = match s2.combiner {
+                Stage2Combiner::Weighted { f } => {
+                    WeightedDiagonal::new(f).value(grid_max as u64, grid_max as u64)
+                }
+                Stage2Combiner::Curve(kind) => {
+                    let c = kind.build(2, s2.resolution_bits)?;
+                    let cells = c.cells();
+                    curve2 = Some(c);
+                    cells - 1
+                }
+            };
+        }
+
+        let max_vc = if let Some(s3) = &config.stage3 {
+            let max_x = (1u128 << s3.resolution_bits) - 1;
+            let max_y = (s3.cylinders.max(2) - 1) as u128;
+            stage3_value(max_x, max_y, max_x + 1, max_y + 1, s3.partitions)
+        } else {
+            max_v2
+        };
+
+        Ok(Encapsulator {
+            config,
+            curve1,
+            curve2,
+            max_v1,
+            max_v2,
+            max_vc,
+        })
+    }
+
+    /// The largest characterization value this configuration can emit.
+    pub fn max_value(&self) -> u128 {
+        self.max_vc
+    }
+
+    /// The configuration this encapsulator was built from.
+    pub fn config(&self) -> &CascadeConfig {
+        &self.config
+    }
+
+    /// Characterize a request at insertion time: lower `v_c` = served
+    /// sooner.
+    pub fn characterize(&self, req: &Request, head: &HeadState) -> u128 {
+        let v1 = self.stage1_value(req);
+        let v2 = self.stage2_value(v1, req, head.now_us);
+        self.stage3_value_of(v2, req, head)
+    }
+
+    /// Stage 1: priority vector → scalar.
+    fn stage1_value(&self, req: &Request) -> u128 {
+        match (&self.config.stage1, &self.curve1) {
+            (Some(s1), Some(curve)) => {
+                let side = curve.side();
+                let mut point = [0u64; sched::MAX_QOS_DIMS];
+                let dims = s1.dims as usize;
+                for (j, slot) in point.iter_mut().enumerate().take(dims) {
+                    // Missing dimensions default to the lowest priority;
+                    // levels beyond the grid are clamped.
+                    let level = if j < req.qos.dims() {
+                        req.qos.level(j) as u64
+                    } else {
+                        side - 1
+                    };
+                    *slot = level.min(side - 1);
+                }
+                curve.index(&point[..dims])
+            }
+            _ => {
+                if req.qos.dims() > 0 {
+                    req.qos.level(0) as u128
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Stage 2: fold the deadline slack in.
+    fn stage2_value(&self, v1: u128, req: &Request, now: Micros) -> u128 {
+        let Some(s2) = &self.config.stage2 else {
+            return v1;
+        };
+        let grid_max = (1u128 << s2.resolution_bits) - 1;
+        let x = quantize(v1, self.max_v1, grid_max) as u64;
+        let slack = req.slack_us(now).min(s2.horizon_us);
+        let y = quantize(slack as u128, s2.horizon_us.max(1) as u128, grid_max) as u64;
+        match s2.combiner {
+            Stage2Combiner::Weighted { f } => WeightedDiagonal::new(f).value(x, y),
+            Stage2Combiner::Curve(_) => self
+                .curve2
+                .as_ref()
+                .expect("curve2 built for Curve combiner")
+                .index(&[x, y]),
+        }
+    }
+
+    /// Stage 3: fold the cylinder distance in (the paper's partitioned
+    /// sweep, tuned by `R`).
+    fn stage3_value_of(&self, v2: u128, req: &Request, head: &HeadState) -> u128 {
+        let Some(s3) = &self.config.stage3 else {
+            return v2;
+        };
+        let max_x = (1u128 << s3.resolution_bits) - 1;
+        let x = quantize(v2, self.max_v2, max_x);
+        let y = match s3.distance {
+            DistanceMode::Absolute => head.distance_to(req.cylinder) as u128,
+            DistanceMode::Circular => {
+                let n = s3.cylinders as i64;
+                (((req.cylinder as i64 - head.cylinder as i64) % n + n) % n) as u128
+            }
+        };
+        stage3_value(x, y, max_x + 1, s3.cylinders.max(2) as u128, s3.partitions)
+    }
+}
+
+/// The paper's SFC3 formula (§5.3): partition the X (priority-deadline)
+/// axis into `r` vertical strips of width `p_s = max_x / r`; strips are
+/// visited left to right, and within a strip cells are swept by Y
+/// (cylinder distance) first:
+///
+/// ```text
+/// v_c = max_y·p_s·p_n + y·p_s + (x − p_s·p_n)
+/// ```
+///
+/// `r = 1` reduces to the plain sweep `v_c = y·max_x + x`.
+fn stage3_value(x: u128, y: u128, width_x: u128, height_y: u128, r: u32) -> u128 {
+    let r = r.max(1) as u128;
+    let p_s = (width_x / r).max(1);
+    let p_n = (x / p_s).min(r - 1);
+    height_y * p_s * p_n + y * p_s + (x - p_s * p_n)
+}
+
+/// Scale `v ∈ [0, max_in]` to `[0, max_out]`, preserving order.
+#[inline]
+fn quantize(v: u128, max_in: u128, max_out: u128) -> u128 {
+    if max_in == 0 {
+        return 0;
+    }
+    let v = v.min(max_in);
+    // (v * max_out) may exceed u128 for extreme configs; split the scale.
+    if let Some(prod) = v.checked_mul(max_out) {
+        prod / max_in
+    } else {
+        // Fall back to f64: only reachable with >64-bit stage outputs,
+        // where the 52-bit mantissa still preserves the quantized order.
+        ((v as f64 / max_in as f64) * max_out as f64) as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Stage3;
+    use sched::QosVector;
+    use sfc::CurveKind;
+
+    fn head() -> HeadState {
+        HeadState::new(1000, 0, 3832)
+    }
+
+    fn req(qos: &[u8], deadline: Micros, cyl: u32) -> Request {
+        Request::read(1, 0, deadline, cyl, 65536, QosVector::new(qos))
+    }
+
+    #[test]
+    fn stage1_only_orders_by_curve() {
+        let e = Encapsulator::new(CascadeConfig::priority_only(CurveKind::Diagonal, 3, 4))
+            .unwrap();
+        let high = e.characterize(&req(&[0, 0, 0], u64::MAX, 0), &head());
+        let low = e.characterize(&req(&[15, 15, 15], u64::MAX, 0), &head());
+        assert!(high < low);
+        assert_eq!(high, 0);
+        assert_eq!(low, e.max_value());
+    }
+
+    #[test]
+    fn no_stage1_uses_first_level() {
+        let cfg = CascadeConfig {
+            stage1: None,
+            stage2: None,
+            stage3: None,
+            dispatch: crate::DispatchConfig::fully_preemptive(),
+        };
+        let e = Encapsulator::new(cfg).unwrap();
+        assert_eq!(e.characterize(&req(&[7], u64::MAX, 0), &head()), 7);
+        assert_eq!(e.characterize(&req(&[], u64::MAX, 0), &head()), 0);
+    }
+
+    #[test]
+    fn stage2_weighted_orders_by_priority_plus_deadline() {
+        let cfg = CascadeConfig::priority_deadline(
+            CurveKind::Diagonal,
+            1,
+            4,
+            Stage2Combiner::Weighted { f: 1.0 },
+            1_000_000,
+        );
+        let e = Encapsulator::new(cfg).unwrap();
+        // Same priority: tighter deadline wins.
+        let urgent = e.characterize(&req(&[3], 100_000, 0), &head());
+        let lax = e.characterize(&req(&[3], 900_000, 0), &head());
+        assert!(urgent < lax);
+        // Same deadline: higher priority wins.
+        let hi = e.characterize(&req(&[0], 500_000, 0), &head());
+        let lo = e.characterize(&req(&[9], 500_000, 0), &head());
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn stage2_f_zero_ignores_deadline() {
+        let cfg = CascadeConfig::priority_deadline(
+            CurveKind::Diagonal,
+            1,
+            4,
+            Stage2Combiner::Weighted { f: 0.0 },
+            1_000_000,
+        );
+        let e = Encapsulator::new(cfg).unwrap();
+        let hi_late = e.characterize(&req(&[0], 999_000, 0), &head());
+        let lo_urgent = e.characterize(&req(&[1], 1_000, 0), &head());
+        assert!(hi_late < lo_urgent, "f = 0 must order on priority alone");
+    }
+
+    #[test]
+    fn stage2_huge_f_orders_by_deadline() {
+        let cfg = CascadeConfig::priority_deadline(
+            CurveKind::Diagonal,
+            1,
+            4,
+            Stage2Combiner::Weighted { f: 1e6 },
+            1_000_000,
+        );
+        let e = Encapsulator::new(cfg).unwrap();
+        let lo_urgent = e.characterize(&req(&[15], 1_000, 0), &head());
+        let hi_late = e.characterize(&req(&[0], 999_000, 0), &head());
+        assert!(lo_urgent < hi_late, "huge f must order on deadline alone");
+    }
+
+    #[test]
+    fn stage2_curve_combiner_works() {
+        let cfg = CascadeConfig::priority_deadline(
+            CurveKind::Diagonal,
+            2,
+            4,
+            Stage2Combiner::Curve(CurveKind::Hilbert),
+            1_000_000,
+        );
+        let e = Encapsulator::new(cfg).unwrap();
+        let a = e.characterize(&req(&[0, 0], 1_000, 0), &head());
+        let b = e.characterize(&req(&[15, 15], 999_000, 0), &head());
+        assert!(a < b);
+        assert!(b <= e.max_value());
+    }
+
+    #[test]
+    fn stage3_r1_orders_by_distance_first() {
+        let mut cfg = CascadeConfig::paper_default(1, 3832);
+        cfg.stage3 = Some(Stage3 {
+            partitions: 1,
+            resolution_bits: 10,
+            cylinders: 3832,
+            distance: DistanceMode::Absolute,
+        });
+        let e = Encapsulator::new(cfg).unwrap();
+        // Near low-priority beats far high-priority when R = 1.
+        let near_lo = e.characterize(&req(&[15], 900_000, 1010), &head());
+        let far_hi = e.characterize(&req(&[0], 100_000, 3000), &head());
+        assert!(near_lo < far_hi, "R = 1 sorts on seek distance only");
+    }
+
+    #[test]
+    fn stage3_large_r_orders_by_priority_first() {
+        let mut cfg = CascadeConfig::paper_default(1, 3832);
+        cfg.stage3 = Some(Stage3 {
+            partitions: 1024,
+            resolution_bits: 10,
+            cylinders: 3832,
+            distance: DistanceMode::Absolute,
+        });
+        let e = Encapsulator::new(cfg).unwrap();
+        let near_lo = e.characterize(&req(&[15], 900_000, 1010), &head());
+        let far_hi = e.characterize(&req(&[0], 100_000, 3000), &head());
+        assert!(far_hi < near_lo, "large R sorts on priority first");
+    }
+
+    #[test]
+    fn stage3_formula_reduces_at_r1() {
+        // r = 1: v = y*max_x + x (the plain sweep).
+        assert_eq!(stage3_value(5, 7, 16, 100, 1), 7 * 16 + 5);
+        // r = 4 partitions of width 4: x = 5 is in partition 1.
+        // v = 100*4*1 + 7*4 + (5-4) = 429.
+        assert_eq!(stage3_value(5, 7, 16, 100, 4), 429);
+    }
+
+    #[test]
+    fn circular_distance_mode() {
+        let mut cfg = CascadeConfig::paper_default(1, 3832);
+        cfg.stage3 = Some(Stage3 {
+            partitions: 1,
+            resolution_bits: 10,
+            cylinders: 3832,
+            distance: DistanceMode::Circular,
+        });
+        let e = Encapsulator::new(cfg).unwrap();
+        // Head at 1000: cylinder 900 is "behind" (wraps: distance 3732),
+        // cylinder 1100 is ahead (distance 100).
+        let behind = e.characterize(&req(&[0], 500_000, 900), &head());
+        let ahead = e.characterize(&req(&[0], 500_000, 1100), &head());
+        assert!(ahead < behind);
+    }
+
+    #[test]
+    fn characterization_bounded_by_max_value() {
+        let e = Encapsulator::new(CascadeConfig::paper_default(3, 3832)).unwrap();
+        for qos in [[0u8, 0, 0], [15, 15, 15], [7, 3, 12]] {
+            for deadline in [1_000u64, 500_000, u64::MAX] {
+                for cyl in [0u32, 1000, 3831] {
+                    let v = e.characterize(&req(&qos, deadline, cyl), &head());
+                    assert!(v <= e.max_value());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_preserves_order_and_bounds() {
+        assert_eq!(quantize(0, 100, 15), 0);
+        assert_eq!(quantize(100, 100, 15), 15);
+        assert_eq!(quantize(200, 100, 15), 15); // clamped
+        let a = quantize(30, 100, 1000);
+        let b = quantize(60, 100, 1000);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,182 @@
+//! The Cascaded-SFC scheduler: encapsulator + dispatcher behind the
+//! workspace-wide [`DiskScheduler`] trait.
+
+use crate::config::CascadeConfig;
+use crate::dispatcher::Dispatcher;
+use crate::encapsulator::Encapsulator;
+use sched::{DiskScheduler, HeadState, Request};
+use sfc::SfcError;
+
+/// The Cascaded-SFC multimedia disk scheduler (see the crate docs for the
+/// architecture).
+pub struct CascadedSfc {
+    encapsulator: Encapsulator,
+    dispatcher: Dispatcher,
+}
+
+impl CascadedSfc {
+    /// Build the scheduler from a configuration.
+    pub fn new(config: CascadeConfig) -> Result<Self, SfcError> {
+        let encapsulator = Encapsulator::new(config)?;
+        let dispatcher = Dispatcher::new(
+            encapsulator.config().dispatch,
+            encapsulator.max_value().max(1),
+        );
+        Ok(CascadedSfc {
+            encapsulator,
+            dispatcher,
+        })
+    }
+
+    /// The encapsulator (e.g. to characterize hypothetical requests).
+    pub fn encapsulator(&self) -> &Encapsulator {
+        &self.encapsulator
+    }
+
+    /// Dispatcher counters: (preemptions, SP promotions, queue swaps).
+    pub fn dispatch_counters(&self) -> (u64, u64, u64) {
+        self.dispatcher.counters()
+    }
+}
+
+impl DiskScheduler for CascadedSfc {
+    fn name(&self) -> &'static str {
+        "cascaded-sfc"
+    }
+
+    fn enqueue(&mut self, req: Request, head: &HeadState) {
+        let v = self.encapsulator.characterize(&req, head);
+        self.dispatcher.insert(req, v);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        let enc = &self.encapsulator;
+        if enc.config().dispatch.refresh_on_swap {
+            let mut refresh = |r: &Request| enc.characterize(r, head);
+            self.dispatcher.pop(Some(&mut refresh))
+        } else {
+            self.dispatcher.pop(None)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.dispatcher.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.dispatcher.for_each_pending(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DispatchConfig, Stage2Combiner};
+    use sched::{Edf, Micros, MultiQueue, QosVector};
+    use sfc::CurveKind;
+
+    fn head() -> HeadState {
+        HeadState::new(0, 0, 3832)
+    }
+
+    fn req(id: u64, qos: &[u8], deadline: Micros, cyl: u32) -> Request {
+        Request::read(id, 0, deadline, cyl, 65536, QosVector::new(qos))
+    }
+
+    /// §4.2 generalization: stage 2 only, f → ∞, fully-preemptive — the
+    /// cascade orders a batch exactly like EDF.
+    #[test]
+    fn generalizes_edf() {
+        let cfg = CascadeConfig::priority_deadline(
+            CurveKind::Diagonal,
+            1,
+            4,
+            Stage2Combiner::Weighted { f: 1e9 },
+            1_000_000,
+        )
+        .with_dispatch(DispatchConfig::fully_preemptive());
+        let mut cascade = CascadedSfc::new(cfg).unwrap();
+        let mut edf = Edf::new();
+        // All requests arrive at t = 0 so slack order = deadline order.
+        let batch = [
+            req(1, &[3], 700_000, 100),
+            req(2, &[0], 200_000, 3000),
+            req(3, &[9], 450_000, 50),
+            req(4, &[1], 90_000, 2000),
+        ];
+        for r in &batch {
+            cascade.enqueue(r.clone(), &head());
+            edf.enqueue(r.clone(), &head());
+        }
+        for _ in 0..batch.len() {
+            assert_eq!(
+                cascade.dequeue(&head()).unwrap().id,
+                edf.dequeue(&head()).unwrap().id
+            );
+        }
+    }
+
+    /// §4.2 generalization: stage 1 only on one dimension — the cascade
+    /// orders a batch like the multi-queue priority scheduler (ignoring
+    /// the intra-level SCAN refinement, which needs SFC3).
+    #[test]
+    fn generalizes_priority_order() {
+        let cfg = CascadeConfig::priority_only(CurveKind::Diagonal, 1, 4);
+        let mut cascade = CascadedSfc::new(cfg).unwrap();
+        let mut mq = MultiQueue::new(0);
+        let batch = [
+            req(1, &[5], u64::MAX, 0),
+            req(2, &[0], u64::MAX, 0),
+            req(3, &[15], u64::MAX, 0),
+            req(4, &[2], u64::MAX, 0),
+        ];
+        for r in &batch {
+            cascade.enqueue(r.clone(), &head());
+            mq.enqueue(r.clone(), &head());
+        }
+        for _ in 0..batch.len() {
+            assert_eq!(
+                cascade.dequeue(&head()).unwrap().id,
+                mq.dequeue(&head()).unwrap().id
+            );
+        }
+    }
+
+    #[test]
+    fn full_cascade_round_trips_requests() {
+        let mut s = CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap();
+        for i in 0..50u64 {
+            s.enqueue(
+                req(i, &[(i % 16) as u8, ((i * 7) % 16) as u8, 3], 500_000, (i * 71 % 3832) as u32),
+                &head(),
+            );
+        }
+        assert_eq!(s.len(), 50);
+        let mut seen = Vec::new();
+        while let Some(r) = s.dequeue(&head()) {
+            seen.push(r.id);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn name_and_counters() {
+        let s = CascadedSfc::new(CascadeConfig::paper_default(2, 100)).unwrap();
+        assert_eq!(s.name(), "cascaded-sfc");
+        assert_eq!(s.dispatch_counters(), (0, 0, 0));
+    }
+
+    #[test]
+    fn higher_priority_served_first_within_batch() {
+        let mut s = CascadedSfc::new(
+            CascadeConfig::paper_default(2, 3832)
+                .with_dispatch(DispatchConfig::fully_preemptive()),
+        )
+        .unwrap();
+        // Identical deadline and cylinder: QoS decides.
+        s.enqueue(req(1, &[12, 12], 500_000, 100), &head());
+        s.enqueue(req(2, &[1, 1], 500_000, 100), &head());
+        assert_eq!(s.dequeue(&head()).unwrap().id, 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! # diskmodel — the simulated disk of the Cascaded-SFC paper
+//!
+//! A service-time model of the magnetic disk used by the PanaViss video
+//! server (Table 1 of Mokbel et al., ICDE 2004): a Quantum XP-series
+//! 2.1 GB drive with 3832 cylinders, 16 recording zones, 512-byte sectors
+//! and 7200 RPM, accessed in 64-KB file blocks, optionally arranged as a
+//! RAID-5 group of 4 data + 1 parity disks.
+//!
+//! The model computes per-request *service-time breakdowns*:
+//!
+//! * **seek** — a concave seek-cost curve `a + b·√d + c·d` calibrated to
+//!   the table's anchors (average 8.5 ms over random request pairs,
+//!   maximum 18 ms full stroke);
+//! * **rotation** — the head's angular position is tracked across
+//!   operations, so rotational latency emerges deterministically instead
+//!   of being drawn at random;
+//! * **transfer** — zoned: outer cylinders hold more sectors per track and
+//!   therefore stream faster.
+//!
+//! ```
+//! use diskmodel::Disk;
+//!
+//! let mut disk = Disk::table1();
+//! let b = disk.service(1200, 64 * 1024);
+//! assert!(b.total_us() > 0);
+//! assert_eq!(disk.head(), 1200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disk;
+mod geometry;
+mod raid;
+mod seek;
+
+pub use disk::{Disk, ServiceBreakdown};
+pub use geometry::DiskGeometry;
+pub use raid::Raid5;
+pub use seek::SeekModel;
+
+/// Microseconds — the integer time unit shared with the simulator.
+pub type Micros = u64;
+
+/// Convert (non-negative, finite) milliseconds to microseconds, rounding.
+#[inline]
+pub fn ms_to_us(ms: f64) -> Micros {
+    debug_assert!(ms.is_finite() && ms >= 0.0);
+    (ms * 1000.0).round() as Micros
+}

@@ -1,0 +1,173 @@
+//! RAID-5 striping, as deployed in the PanaViss server (Table 1: five
+//! disks per group, four data + one rotating parity).
+//!
+//! The model is block-level: logical 64-KB file blocks are striped across
+//! the data disks of each stripe, with the parity block rotating
+//! left-symmetrically. Reads touch one member disk; writes use the
+//! read-modify-write small-write path (read old data + old parity, write
+//! new data + new parity), which on the data-plus-parity pair costs two
+//! extra rotations on each of the two disks involved.
+
+use crate::disk::{Disk, ServiceBreakdown};
+use crate::Micros;
+
+/// A RAID-5 group of identical member disks.
+#[derive(Debug, Clone)]
+pub struct Raid5 {
+    disks: Vec<Disk>,
+}
+
+/// Where a logical block lives inside the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLocation {
+    /// Member disk holding the data block.
+    pub data_disk: usize,
+    /// Member disk holding the stripe's parity block.
+    pub parity_disk: usize,
+    /// Stripe number, used as the per-disk block offset.
+    pub stripe: u64,
+}
+
+impl Raid5 {
+    /// Build a group of `members` identical disks (`members >= 3`:
+    /// at least two data disks plus parity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members < 3`.
+    pub fn new(prototype: Disk, members: usize) -> Self {
+        assert!(members >= 3, "RAID-5 needs at least 3 member disks");
+        Raid5 {
+            disks: vec![prototype; members],
+        }
+    }
+
+    /// The paper's 4 data + 1 parity group of Table-1 disks.
+    pub fn table1() -> Self {
+        Raid5::new(Disk::table1(), 5)
+    }
+
+    /// Number of member disks.
+    pub fn members(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Number of data blocks per stripe.
+    pub fn data_per_stripe(&self) -> usize {
+        self.disks.len() - 1
+    }
+
+    /// Locate logical block `lba` (left-symmetric layout).
+    pub fn locate(&self, lba: u64) -> BlockLocation {
+        let n = self.disks.len() as u64;
+        let d = n - 1;
+        let stripe = lba / d;
+        let within = lba % d;
+        // Parity rotates one disk left each stripe.
+        let parity_disk = ((n - 1) - (stripe % n)) as usize;
+        // Data blocks fill the non-parity slots in order.
+        let mut slot = within as usize;
+        if slot >= parity_disk {
+            slot += 1;
+        }
+        BlockLocation {
+            data_disk: slot,
+            parity_disk,
+            stripe,
+        }
+    }
+
+    /// Map a stripe number to a member-disk cylinder, spreading stripes
+    /// sequentially across the disk.
+    fn cylinder_of_stripe(&self, stripe: u64, block_bytes: u64) -> u32 {
+        let g = self.disks[0].geometry();
+        let cyls = g.cylinders() as u64;
+        // Blocks per cylinder varies by zone; use the average for layout.
+        let total_blocks = g.capacity_bytes() / block_bytes;
+        let per_cyl = (total_blocks / cyls).max(1);
+        ((stripe / per_cyl) % cyls) as u32
+    }
+
+    /// Read logical block `lba` of `block_bytes`. Returns the member-disk
+    /// service breakdown.
+    pub fn read(&mut self, lba: u64, block_bytes: u64) -> ServiceBreakdown {
+        let loc = self.locate(lba);
+        let cyl = self.cylinder_of_stripe(loc.stripe, block_bytes);
+        self.disks[loc.data_disk].service(cyl, block_bytes)
+    }
+
+    /// Write logical block `lba` via the small-write path
+    /// (read-modify-write on the data and parity disks). Returns the
+    /// completion time assuming the two member disks work in parallel.
+    pub fn write(&mut self, lba: u64, block_bytes: u64) -> Micros {
+        let loc = self.locate(lba);
+        let cyl = self.cylinder_of_stripe(loc.stripe, block_bytes);
+        // Read old + write new on each of the two disks.
+        let d1 = {
+            let d = &mut self.disks[loc.data_disk];
+            d.service(cyl, block_bytes).total_us() + d.service(cyl, block_bytes).total_us()
+        };
+        let d2 = {
+            let d = &mut self.disks[loc.parity_disk];
+            d.service(cyl, block_bytes).total_us() + d.service(cyl, block_bytes).total_us()
+        };
+        d1.max(d2)
+    }
+
+    /// Access a member disk (e.g. for per-disk statistics).
+    pub fn disk(&self, member: usize) -> &Disk {
+        &self.disks[member]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_4_plus_1() {
+        let r = Raid5::table1();
+        assert_eq!(r.members(), 5);
+        assert_eq!(r.data_per_stripe(), 4);
+    }
+
+    #[test]
+    fn parity_rotates_and_data_avoids_it() {
+        let r = Raid5::table1();
+        let mut parities = Vec::new();
+        for stripe in 0..5 {
+            let loc = r.locate(stripe * 4); // first block of each stripe
+            assert_ne!(loc.data_disk, loc.parity_disk);
+            parities.push(loc.parity_disk);
+        }
+        // All five members take a parity turn.
+        let mut sorted = parities.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn blocks_of_one_stripe_hit_distinct_disks() {
+        let r = Raid5::table1();
+        let disks: Vec<usize> = (0..4).map(|i| r.locate(i).data_disk).collect();
+        let mut sorted = disks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn write_costs_more_than_read() {
+        let mut r = Raid5::table1();
+        let read = r.read(123, 65536).total_us();
+        let mut r2 = Raid5::table1();
+        let write = r2.write(123, 65536);
+        assert!(write > read, "write {write} <= read {read}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn rejects_tiny_groups() {
+        Raid5::new(Disk::table1(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! The seek-cost function.
+//!
+//! Table 1 of the paper lists a seek-cost function of the cylinder
+//! distance `d` whose formula the OCR drops, together with two anchors:
+//! average seek 8.5 ms and maximum seek 18 ms. We use the standard concave
+//! two-term model of drives of that generation,
+//!
+//! ```text
+//! seek(d) = a + b·√d + c·d      (d ≥ 1),   seek(0) = 0
+//! ```
+//!
+//! with `a = 0.8 ms`, `b = 0.165 ms/√cyl`, `c = 0.0018 ms/cyl`, which
+//! reproduces both anchors on the 3832-cylinder geometry (verified by the
+//! tests below): the √ term dominates short seeks (head acceleration) and
+//! the linear term long coasting seeks.
+
+/// Concave seek-cost model `a + b·√d + c·d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekModel {
+    /// Fixed settle overhead (ms), charged for any non-zero seek.
+    pub a: f64,
+    /// Acceleration term coefficient (ms per √cylinder).
+    pub b: f64,
+    /// Coast term coefficient (ms per cylinder).
+    pub c: f64,
+}
+
+impl SeekModel {
+    /// The model calibrated to the paper's Table 1 (see module docs).
+    pub fn table1() -> Self {
+        SeekModel {
+            a: 0.8,
+            b: 0.165,
+            c: 0.0018,
+        }
+    }
+
+    /// A modern-era drive: ~0.8 ms single-track, ~8.5 ms average and
+    /// ~16 ms full stroke over the 150 k cylinders of
+    /// [`crate::DiskGeometry::modern`].
+    pub fn modern() -> Self {
+        SeekModel {
+            a: 0.6,
+            b: 0.037,
+            c: 0.0000085,
+        }
+    }
+
+    /// Build a custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is negative or non-finite.
+    pub fn new(a: f64, b: f64, c: f64) -> Self {
+        assert!(
+            a.is_finite() && b.is_finite() && c.is_finite() && a >= 0.0 && b >= 0.0 && c >= 0.0,
+            "seek coefficients must be finite and non-negative"
+        );
+        SeekModel { a, b, c }
+    }
+
+    /// Seek time in milliseconds for a move of `distance` cylinders.
+    #[inline]
+    pub fn seek_ms(&self, distance: u32) -> f64 {
+        if distance == 0 {
+            return 0.0;
+        }
+        let d = distance as f64;
+        self.a + self.b * d.sqrt() + self.c * d
+    }
+
+    /// Analytic expected seek time over uniformly random request pairs on a
+    /// disk with `cylinders` cylinders.
+    ///
+    /// With both endpoints uniform on `[0, N)`, the distance density is
+    /// `f(d) = 2(N-d)/N²`, so `E[d] = N/3` and `E[√d] = (8/15)·√N`.
+    pub fn average_random_ms(&self, cylinders: u32) -> f64 {
+        let n = cylinders as f64;
+        self.a + self.b * (8.0 / 15.0) * n.sqrt() + self.c * n / 3.0
+    }
+
+    /// Full-stroke seek time in milliseconds.
+    pub fn max_ms(&self, cylinders: u32) -> f64 {
+        self.seek_ms(cylinders.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_is_free() {
+        assert_eq!(SeekModel::table1().seek_ms(0), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_distance() {
+        let m = SeekModel::table1();
+        let mut prev = 0.0;
+        for d in 1..3832 {
+            let s = m.seek_ms(d);
+            assert!(s > prev, "seek not monotone at {d}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn calibration_matches_table1_anchors() {
+        let m = SeekModel::table1();
+        // Maximum seek ≈ 18 ms.
+        let max = m.max_ms(3832);
+        assert!((max - 18.0).abs() < 0.5, "max seek {max} ms");
+        // Average random seek ≈ 8.5 ms (analytic).
+        let avg = m.average_random_ms(3832);
+        assert!((avg - 8.5).abs() < 0.5, "avg seek {avg} ms");
+    }
+
+    #[test]
+    fn empirical_average_matches_analytic() {
+        // Monte-Carlo check of the analytic expectation with a simple LCG.
+        let m = SeekModel::table1();
+        let n = 3832u64;
+        let mut state = 88172645463325252u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut total = 0.0;
+        let samples = 200_000;
+        for _ in 0..samples {
+            let a = next() % n;
+            let b = next() % n;
+            total += m.seek_ms(a.abs_diff(b) as u32);
+        }
+        let emp = total / samples as f64;
+        let ana = m.average_random_ms(n as u32);
+        assert!((emp - ana).abs() < 0.1, "empirical {emp} vs analytic {ana}");
+    }
+
+    #[test]
+    fn single_track_seek_is_fast() {
+        // Short seeks should be around a millisecond on this drive class.
+        let s = SeekModel::table1().seek_ms(1);
+        assert!(s < 1.5, "single-track seek {s} ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative_coefficients() {
+        SeekModel::new(-1.0, 0.0, 0.0);
+    }
+}

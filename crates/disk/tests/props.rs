@@ -1,0 +1,89 @@
+//! Property-based tests of the disk model: seek monotonicity and
+//! symmetry, service-time decomposition, geometric consistency, and
+//! RAID-5 layout invariants.
+
+use diskmodel::{Disk, DiskGeometry, Raid5, SeekModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn seek_is_monotone_and_concaveish(d1 in 0u32..3831, d2 in 0u32..3831) {
+        let m = SeekModel::table1();
+        let (lo, hi) = (d1.min(d2), d1.max(d2));
+        prop_assert!(m.seek_ms(lo) <= m.seek_ms(hi));
+        // Sub-additivity of the settle+accelerate phase: one long seek is
+        // cheaper than two half seeks (for non-zero halves).
+        if lo >= 1 {
+            prop_assert!(m.seek_ms(lo + hi) <= m.seek_ms(lo) + m.seek_ms(hi));
+        }
+    }
+
+    #[test]
+    fn service_breakdown_adds_up(cyl in 0u32..3832, kb in 1u64..256) {
+        let mut disk = Disk::table1();
+        let b = disk.service(cyl, kb * 1024);
+        prop_assert_eq!(b.total_us(), b.seek_us + b.rotation_us + b.transfer_us);
+        prop_assert_eq!(disk.head(), cyl);
+        // One block transfer takes at least bytes/max_rate.
+        let min_us = (kb * 1024) as f64 / disk.geometry().transfer_rate(0) * 1e6;
+        prop_assert!(b.transfer_us as f64 >= min_us - 1.0);
+    }
+
+    #[test]
+    fn rotation_under_one_revolution(cyls in prop::collection::vec(0u32..3832, 1..20)) {
+        let mut disk = Disk::table1();
+        let rev_us = (disk.geometry().revolution_ms() * 1000.0).ceil() as u64;
+        for c in cyls {
+            let b = disk.service(c, 512);
+            prop_assert!(b.rotation_us <= rev_us + 1);
+        }
+    }
+
+    #[test]
+    fn zone_mapping_is_total_and_monotone(c1 in 0u32..3832, c2 in 0u32..3832) {
+        let g = DiskGeometry::table1();
+        let (lo, hi) = (c1.min(c2), c1.max(c2));
+        // Outer cylinders (lower numbers) never have fewer sectors.
+        prop_assert!(g.sectors_per_track(lo) >= g.sectors_per_track(hi));
+        prop_assert!(g.zone_of(lo) <= g.zone_of(hi));
+    }
+
+    #[test]
+    fn transfer_scales_linearly(cyl in 0u32..3832, kb in 1u64..512) {
+        let g = DiskGeometry::table1();
+        let one = g.transfer_ms(cyl, 1024);
+        let many = g.transfer_ms(cyl, kb * 1024);
+        prop_assert!((many - one * kb as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn raid5_block_location_is_consistent(lba in 0u64..1_000_000) {
+        let r = Raid5::table1();
+        let loc = r.locate(lba);
+        prop_assert!(loc.data_disk < 5);
+        prop_assert!(loc.parity_disk < 5);
+        prop_assert_ne!(loc.data_disk, loc.parity_disk);
+        prop_assert_eq!(loc.stripe, lba / 4);
+        // The four data blocks of one stripe land on four distinct disks.
+        let stripe_start = lba - lba % 4;
+        let mut disks: Vec<usize> =
+            (0..4).map(|i| r.locate(stripe_start + i).data_disk).collect();
+        disks.sort_unstable();
+        disks.dedup();
+        prop_assert_eq!(disks.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_replay(trace in prop::collection::vec((0u32..3832, 1u64..64), 1..30)) {
+        let run = || {
+            let mut d = Disk::table1();
+            trace
+                .iter()
+                .map(|&(c, kb)| d.service(c, kb * 1024).total_us())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

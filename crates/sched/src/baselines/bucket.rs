@@ -1,0 +1,129 @@
+//! The BUCKET policy (Haritsa, Carey & Livny, VLDB Journal 1993),
+//! transplanted from transaction scheduling to disk requests.
+//!
+//! Each request carries a *value* (here: its first QoS dimension, inverted
+//! so that level 0 is the most valuable) and a deadline. A mapping
+//! function folds both into a single bucket number; buckets are served
+//! highest-value first, FCFS inside a bucket. The mapping used here is the
+//! published linear form `bucket = value_weight·value − urgency_weight·
+//! slack`, quantized. BUCKET deliberately ignores disk utilization — the
+//! paper's §4.3 shows how feeding its output through SFC3 fixes exactly
+//! that.
+
+use crate::{DiskScheduler, HeadState, Micros, Request};
+
+/// BUCKET value/deadline scheduler. See module docs.
+#[derive(Debug)]
+pub struct Bucket {
+    queue: Vec<Request>,
+    /// Weight on the request value.
+    value_weight: f64,
+    /// Weight on deadline urgency.
+    urgency_weight: f64,
+    /// Levels available in the value dimension (to invert level → value).
+    value_levels: u8,
+}
+
+impl Bucket {
+    /// BUCKET with the given weights over `value_levels` value levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weights are negative/non-finite or `value_levels == 0`.
+    pub fn new(value_weight: f64, urgency_weight: f64, value_levels: u8) -> Self {
+        assert!(value_weight.is_finite() && value_weight >= 0.0);
+        assert!(urgency_weight.is_finite() && urgency_weight >= 0.0);
+        assert!(value_levels > 0);
+        Bucket {
+            queue: Vec::new(),
+            value_weight,
+            urgency_weight,
+            value_levels,
+        }
+    }
+
+    /// The bucket (smaller = served sooner) of a request at time `now`.
+    fn bucket_of(&self, r: &Request, now: Micros) -> i64 {
+        // Value: invert the level so higher value = smaller bucket.
+        let value = (self.value_levels - 1 - r.qos.level(0).min(self.value_levels - 1)) as f64;
+        let slack_ms = (r.slack_us(now).min(3_600_000_000) / 1000) as f64;
+        (-(self.value_weight * value) + self.urgency_weight * slack_ms).round() as i64
+    }
+}
+
+impl DiskScheduler for Bucket {
+    fn name(&self) -> &'static str {
+        "bucket"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        assert!(
+            req.qos.dims() >= 1,
+            "BUCKET needs a value dimension (QoS dimension 0)"
+        );
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let now = head.now_us;
+        // Bucket first, arrival order inside the bucket.
+        let best = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| (self.bucket_of(r, now), r.arrival_us, r.id))
+            .map(|(i, _)| i)
+            .expect("non-empty queue");
+        Some(self.queue.swap_remove(best))
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn req(id: u64, value_level: u8, deadline: u64) -> Request {
+        Request::read(id, id, deadline, 100, 512, QosVector::single(value_level))
+    }
+
+    #[test]
+    fn higher_value_wins_with_equal_deadlines() {
+        let mut s = Bucket::new(10.0, 0.001, 8);
+        let head = HeadState::new(0, 0, 3832);
+        s.enqueue(req(1, 5, 50_000), &head);
+        s.enqueue(req(2, 0, 50_000), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 2);
+    }
+
+    #[test]
+    fn urgent_deadline_can_beat_value() {
+        let mut s = Bucket::new(1.0, 1.0, 8);
+        let head = HeadState::new(0, 0, 3832);
+        s.enqueue(req(1, 0, 10_000_000), &head); // valuable, far deadline
+        s.enqueue(req(2, 7, 1_000), &head); // cheap, due now
+        assert_eq!(s.dequeue(&head).unwrap().id, 2);
+    }
+
+    #[test]
+    fn fcfs_within_bucket() {
+        let mut s = Bucket::new(1.0, 0.0, 8);
+        let head = HeadState::new(0, 0, 3832);
+        s.enqueue(req(5, 3, 1_000), &head);
+        s.enqueue(req(2, 3, 9_000), &head);
+        // Same bucket (urgency weight 0): earlier arrival (smaller id here)
+        // wins.
+        assert_eq!(s.dequeue(&head).unwrap().id, 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! Cello (Shenoy & Vin, SIGMETRICS 1998): a two-level disk scheduling
+//! framework — reference [21] of the Cascaded-SFC paper's related work.
+//!
+//! The *class-independent* top level divides disk time among application
+//! classes in proportion to configured weights (implemented here as a
+//! deficit-credit scheme over estimated service costs); within each
+//! class, a *class-specific* scheduler orders the requests (EDF for
+//! real-time classes, SCAN for throughput classes, FCFS for interactive
+//! ones — any [`DiskScheduler`] plugs in).
+//!
+//! Cello and Cascaded-SFC answer the same multi-requirement problem in
+//! opposite styles: Cello composes schedulers vertically per class, the
+//! cascade folds all requirements into one value. Having both in the
+//! workspace lets the examples compare the two philosophies directly.
+
+use crate::{CostModel, DiskScheduler, HeadState, Request};
+
+/// One application class inside Cello.
+struct Class {
+    name: &'static str,
+    weight: u32,
+    inner: Box<dyn DiskScheduler>,
+    /// Disk-time credit in µs; may go negative after an expensive request.
+    credit: i64,
+}
+
+/// The Cello two-level scheduler. See module docs.
+pub struct Cello {
+    classes: Vec<Class>,
+    /// Maps a request to its class index.
+    assign: Box<dyn Fn(&Request) -> usize + Send>,
+    /// Credit replenished per round, split by weight.
+    quantum_us: i64,
+    cost: CostModel,
+}
+
+impl Cello {
+    /// Build a Cello scheduler.
+    ///
+    /// `classes` pairs a weight with the class-specific scheduler;
+    /// `assign` maps each request to a class index; `quantum_us` is the
+    /// disk time distributed per replenishment round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or all weights are zero.
+    pub fn new(
+        classes: Vec<(&'static str, u32, Box<dyn DiskScheduler>)>,
+        assign: Box<dyn Fn(&Request) -> usize + Send>,
+        quantum_us: i64,
+        cost: CostModel,
+    ) -> Self {
+        assert!(!classes.is_empty(), "Cello needs at least one class");
+        assert!(
+            classes.iter().any(|(_, w, _)| *w > 0),
+            "Cello needs a non-zero weight"
+        );
+        Cello {
+            classes: classes
+                .into_iter()
+                .map(|(name, weight, inner)| Class {
+                    name,
+                    weight,
+                    inner,
+                    credit: 0,
+                })
+                .collect(),
+            assign,
+            quantum_us,
+            cost,
+        }
+    }
+
+    /// The paper-era default: a real-time EDF class (weight 3), a
+    /// throughput SCAN class (weight 1), requests with deadlines going
+    /// real-time.
+    pub fn realtime_throughput(cost: CostModel) -> Self {
+        Cello::new(
+            vec![
+                ("real-time", 3, Box::new(super::edf::Edf::new())),
+                ("throughput", 1, Box::new(super::scan::Scan::new())),
+            ],
+            Box::new(|r: &Request| usize::from(!r.has_deadline())),
+            100_000,
+            cost,
+        )
+    }
+
+    /// Served-request counts per class (for proportioning analysis).
+    pub fn class_names(&self) -> Vec<&'static str> {
+        self.classes.iter().map(|c| c.name).collect()
+    }
+
+    fn replenish(&mut self) {
+        let total_weight: u32 = self.classes.iter().map(|c| c.weight).sum();
+        for c in &mut self.classes {
+            c.credit += self.quantum_us * c.weight as i64 / total_weight as i64;
+            // Cap hoarded credit at one quantum to keep the scheme
+            // responsive (idle classes must not bank unbounded time).
+            c.credit = c.credit.min(self.quantum_us);
+        }
+    }
+}
+
+impl DiskScheduler for Cello {
+    fn name(&self) -> &'static str {
+        "cello"
+    }
+
+    fn enqueue(&mut self, req: Request, head: &HeadState) {
+        let class = (self.assign)(&req).min(self.classes.len() - 1);
+        self.classes[class].inner.enqueue(req, head);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        if self.classes.iter().all(|c| c.inner.is_empty()) {
+            return None;
+        }
+        // Pick the backlogged class with the largest credit; replenish
+        // until one of them is positive.
+        loop {
+            let best = self
+                .classes
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.inner.is_empty())
+                .max_by_key(|(_, c)| c.credit)
+                .map(|(i, _)| i)
+                .expect("some class is backlogged");
+            if self.classes[best].credit > 0 {
+                let req = self.classes[best]
+                    .inner
+                    .dequeue(head)
+                    .expect("class was non-empty");
+                let charge =
+                    self.cost
+                        .estimate_us(head.cylinder, req.cylinder, req.bytes) as i64;
+                self.classes[best].credit -= charge;
+                return Some(req);
+            }
+            self.replenish();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.classes.iter().map(|c| c.inner.len()).sum()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        for c in &self.classes {
+            c.inner.for_each_pending(&mut *f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fcfs, QosVector};
+
+    fn head() -> HeadState {
+        HeadState::new(0, 0, 3832)
+    }
+
+    fn rt_req(id: u64, deadline: u64) -> Request {
+        Request::read(id, 0, deadline, 100, 64 * 1024, QosVector::none())
+    }
+
+    fn bulk_req(id: u64) -> Request {
+        // Same cylinder and size as the real-time requests, so both
+        // classes cost the same per request and the *time* shares Cello
+        // guarantees show up directly as request-count shares.
+        Request::read(id, 0, u64::MAX, 100, 64 * 1024, QosVector::none())
+    }
+
+    #[test]
+    fn routes_by_deadline_presence() {
+        let mut c = Cello::realtime_throughput(CostModel::table1());
+        c.enqueue(rt_req(1, 50_000), &head());
+        c.enqueue(bulk_req(2), &head());
+        assert_eq!(c.len(), 2);
+        let mut n = 0;
+        c.for_each_pending(&mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn weights_proportion_the_service() {
+        // Saturated backlog in both classes: served counts should track
+        // the 3:1 weights.
+        let mut c = Cello::realtime_throughput(CostModel::table1());
+        for i in 0..400u64 {
+            c.enqueue(rt_req(i, 10_000_000), &head());
+            c.enqueue(bulk_req(1000 + i), &head());
+        }
+        let mut rt = 0u32;
+        let mut bulk = 0u32;
+        // Take the first 200 dispatches of the mixed backlog.
+        for _ in 0..200 {
+            let r = c.dequeue(&head()).unwrap();
+            if r.has_deadline() {
+                rt += 1;
+            } else {
+                bulk += 1;
+            }
+        }
+        let ratio = rt as f64 / bulk.max(1) as f64;
+        assert!(
+            (2.4..3.6).contains(&ratio),
+            "rt:bulk = {rt}:{bulk} (ratio {ratio:.2}), expected ≈3:1"
+        );
+    }
+
+    #[test]
+    fn empty_class_cedes_its_share() {
+        // Only bulk traffic: it gets the whole disk despite weight 1.
+        let mut c = Cello::realtime_throughput(CostModel::table1());
+        for i in 0..50u64 {
+            c.enqueue(bulk_req(i), &head());
+        }
+        for _ in 0..50 {
+            assert!(c.dequeue(&head()).is_some());
+        }
+        assert!(c.dequeue(&head()).is_none());
+    }
+
+    #[test]
+    fn inner_scheduler_orders_within_class() {
+        // The real-time class uses EDF internally.
+        let mut c = Cello::realtime_throughput(CostModel::table1());
+        c.enqueue(rt_req(1, 900_000), &head());
+        c.enqueue(rt_req(2, 100_000), &head());
+        assert_eq!(c.dequeue(&head()).unwrap().id, 2);
+    }
+
+    #[test]
+    fn custom_classes() {
+        let mut c = Cello::new(
+            vec![
+                ("gold", 2, Box::new(Fcfs::new())),
+                ("silver", 1, Box::new(Fcfs::new())),
+                ("bronze", 1, Box::new(Fcfs::new())),
+            ],
+            Box::new(|r: &Request| (r.qos.level(0) / 3) as usize),
+            50_000,
+            CostModel::table1(),
+        );
+        assert_eq!(c.class_names(), vec!["gold", "silver", "bronze"]);
+        for (id, lvl) in [(1u64, 0u8), (2, 4), (3, 7)] {
+            c.enqueue(
+                Request::read(id, 0, u64::MAX, 10, 512, QosVector::single(lvl)),
+                &head(),
+            );
+        }
+        let mut ids: Vec<u64> = (0..3).map(|_| c.dequeue(&head()).unwrap().id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn rejects_empty_class_list() {
+        Cello::new(vec![], Box::new(|_| 0), 1000, CostModel::table1());
+    }
+}

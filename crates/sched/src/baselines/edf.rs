@@ -1,0 +1,86 @@
+//! Earliest-Deadline-First: the real-time baseline.
+//!
+//! EDF serves the pending request with the closest deadline. It minimizes
+//! deadline misses while the system is underloaded, but ignores cylinder
+//! positions (degrading utilization, which *causes* misses under load —
+//! Figure 10 of the paper) and is priority-blind: when misses are
+//! unavoidable the victims are random across priority levels (Figure 9).
+
+use crate::baselines::take_min_by_key;
+use crate::{DiskScheduler, HeadState, Request};
+
+/// Earliest-Deadline-First queue.
+#[derive(Debug, Default)]
+pub struct Edf {
+    queue: Vec<Request>,
+}
+
+impl Edf {
+    /// An empty EDF scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DiskScheduler for Edf {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, _head: &HeadState) -> Option<Request> {
+        take_min_by_key(&mut self.queue, |r| r.deadline_us)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn head() -> HeadState {
+        HeadState::new(0, 0, 3832)
+    }
+
+    fn req(id: u64, deadline: u64) -> Request {
+        Request::read(id, 0, deadline, 100, 512, QosVector::none())
+    }
+
+    #[test]
+    fn serves_earliest_deadline() {
+        let mut s = Edf::new();
+        s.enqueue(req(1, 9_000), &head());
+        s.enqueue(req(2, 3_000), &head());
+        s.enqueue(req(3, 6_000), &head());
+        assert_eq!(s.dequeue(&head()).unwrap().id, 2);
+        assert_eq!(s.dequeue(&head()).unwrap().id, 3);
+        assert_eq!(s.dequeue(&head()).unwrap().id, 1);
+    }
+
+    #[test]
+    fn relaxed_deadlines_served_last() {
+        let mut s = Edf::new();
+        s.enqueue(req(1, u64::MAX), &head());
+        s.enqueue(req(2, 100), &head());
+        assert_eq!(s.dequeue(&head()).unwrap().id, 2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut s = Edf::new();
+        s.enqueue(req(7, 100), &head());
+        s.enqueue(req(3, 100), &head());
+        assert_eq!(s.dequeue(&head()).unwrap().id, 3);
+    }
+}

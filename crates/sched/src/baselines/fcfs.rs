@@ -1,0 +1,82 @@
+//! First-Come First-Served: the fairness baseline.
+//!
+//! FCFS serves requests strictly in arrival order. It is perfectly fair to
+//! arrival times, has zero arrival-order priority inversion by definition
+//! (the paper normalizes inversion counts to FCFS/FIFO), and ignores seek
+//! time, deadlines and priorities entirely.
+
+use crate::{DiskScheduler, HeadState, Request};
+use std::collections::VecDeque;
+
+/// First-Come First-Served queue.
+#[derive(Debug, Default)]
+pub struct Fcfs {
+    queue: VecDeque<Request>,
+}
+
+impl Fcfs {
+    /// An empty FCFS scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DiskScheduler for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push_back(req);
+    }
+
+    fn dequeue(&mut self, _head: &HeadState) -> Option<Request> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn head() -> HeadState {
+        HeadState::new(0, 0, 3832)
+    }
+
+    fn req(id: u64, cyl: u32) -> Request {
+        Request::read(id, id, u64::MAX, cyl, 512, QosVector::none())
+    }
+
+    #[test]
+    fn serves_in_arrival_order() {
+        let mut s = Fcfs::new();
+        for (id, cyl) in [(1, 500), (2, 10), (3, 900)] {
+            s.enqueue(req(id, cyl), &head());
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dequeue(&head()).unwrap().id, 1);
+        assert_eq!(s.dequeue(&head()).unwrap().id, 2);
+        assert_eq!(s.dequeue(&head()).unwrap().id, 3);
+        assert!(s.dequeue(&head()).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pending_iteration_sees_all() {
+        let mut s = Fcfs::new();
+        s.enqueue(req(1, 1), &head());
+        s.enqueue(req(2, 2), &head());
+        let mut ids = Vec::new();
+        s.for_each_pending(&mut |r| ids.push(r.id));
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

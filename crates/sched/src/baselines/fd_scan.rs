@@ -1,0 +1,124 @@
+//! FD-SCAN (Abbott & Garcia-Molina, 1990): scan toward the earliest
+//! *feasible* deadline.
+//!
+//! At each scheduling point the request with the earliest deadline that
+//! can still be met (per the [`CostModel`] estimate) becomes the *target*;
+//! the head sweeps toward it, serving every request on the way. Requests
+//! whose deadlines are already infeasible are treated as best-effort
+//! traffic (served when passed, never targeted).
+
+use crate::baselines::take_min_by_key;
+use crate::{CostModel, DiskScheduler, HeadState, Request};
+
+/// FD-SCAN queue.
+#[derive(Debug)]
+pub struct FdScan {
+    queue: Vec<Request>,
+    cost: CostModel,
+}
+
+impl FdScan {
+    /// FD-SCAN using `cost` for feasibility estimates.
+    pub fn new(cost: CostModel) -> Self {
+        FdScan {
+            queue: Vec::new(),
+            cost,
+        }
+    }
+
+    /// Cylinder of the earliest feasible deadline, if any.
+    fn target(&self, head: &HeadState) -> Option<u32> {
+        self.queue
+            .iter()
+            .filter(|r| {
+                r.has_deadline()
+                    && head.now_us + self.cost.estimate_us(head.cylinder, r.cylinder, r.bytes)
+                        <= r.deadline_us
+            })
+            .min_by_key(|r| (r.deadline_us, r.id))
+            .map(|r| r.cylinder)
+    }
+}
+
+impl DiskScheduler for FdScan {
+    fn name(&self) -> &'static str {
+        "fd-scan"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let cyl = head.cylinder;
+        match self.target(head) {
+            Some(target) => {
+                // Serve the nearest request lying between head and target
+                // (inclusive); the target itself bounds the sweep.
+                let (lo, hi) = if target >= cyl { (cyl, target) } else { (target, cyl) };
+                take_min_by_key(&mut self.queue, |r| {
+                    if r.cylinder >= lo && r.cylinder <= hi {
+                        (0u8, head.distance_to(r.cylinder))
+                    } else {
+                        (1u8, head.distance_to(r.cylinder))
+                    }
+                })
+            }
+            // No feasible deadline anywhere: fall back to nearest-first to
+            // drain the backlog with maximum throughput.
+            None => take_min_by_key(&mut self.queue, |r| head.distance_to(r.cylinder)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn req(id: u64, deadline: u64, cyl: u32) -> Request {
+        Request::read(id, 0, deadline, cyl, 512, QosVector::none())
+    }
+
+    #[test]
+    fn sweeps_toward_earliest_feasible() {
+        let mut s = FdScan::new(CostModel::table1());
+        let head = HeadState::new(1000, 0, 3832);
+        // Earliest deadline is feasible at cylinder 2000; another request
+        // at 1500 lies on the way, one at 500 is behind.
+        s.enqueue(req(1, 500_000, 2000), &head);
+        s.enqueue(req(2, 900_000, 1500), &head);
+        s.enqueue(req(3, 950_000, 500), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 2); // on the way, nearest
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_not_targets() {
+        let mut s = FdScan::new(CostModel::table1());
+        let head = HeadState::new(0, 1_000_000, 3832);
+        // Deadline already passed at cylinder 3000; feasible one at 100.
+        s.enqueue(req(1, 500, 3000), &head);
+        s.enqueue(req(2, 2_000_000, 100), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 2);
+    }
+
+    #[test]
+    fn falls_back_to_sstf_without_feasible_targets() {
+        let mut s = FdScan::new(CostModel::table1());
+        let head = HeadState::new(100, 10_000_000, 3832);
+        s.enqueue(req(1, 1, 3000), &head);
+        s.enqueue(req(2, 1, 150), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Baseline disk schedulers the paper compares against or generalizes.
+
+pub mod batched;
+pub mod bucket;
+pub mod cello;
+pub mod deadline_driven;
+pub mod edf;
+pub mod fcfs;
+pub mod fd_scan;
+pub mod multi_queue;
+pub mod scan;
+pub mod scan_edf;
+pub mod scan_rt;
+pub mod ssedo;
+pub mod sstf;
+
+use crate::Request;
+
+/// Remove and return the queue element minimizing `key` (ties broken by
+/// lowest request id, so every policy is deterministic).
+pub(crate) fn take_min_by_key<K: Ord>(
+    queue: &mut Vec<Request>,
+    mut key: impl FnMut(&Request) -> K,
+) -> Option<Request> {
+    if queue.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut best_key = key(&queue[0]);
+    for (i, r) in queue.iter().enumerate().skip(1) {
+        let k = key(r);
+        if k < best_key || (k == best_key && r.id < queue[best].id) {
+            best = i;
+            best_key = k;
+        }
+    }
+    Some(queue.swap_remove(best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn req(id: u64, cyl: u32) -> Request {
+        Request::read(id, 0, u64::MAX, cyl, 512, QosVector::none())
+    }
+
+    #[test]
+    fn take_min_selects_and_removes() {
+        let mut q = vec![req(1, 50), req(2, 10), req(3, 70)];
+        let r = take_min_by_key(&mut q, |r| r.cylinder).unwrap();
+        assert_eq!(r.id, 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn take_min_breaks_ties_by_id() {
+        let mut q = vec![req(9, 10), req(2, 10), req(5, 10)];
+        let r = take_min_by_key(&mut q, |r| r.cylinder).unwrap();
+        assert_eq!(r.id, 2);
+    }
+
+    #[test]
+    fn take_min_on_empty() {
+        let mut q: Vec<Request> = Vec::new();
+        assert!(take_min_by_key(&mut q, |r| r.cylinder).is_none());
+    }
+}

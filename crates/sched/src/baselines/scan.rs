@@ -1,0 +1,207 @@
+//! The elevator policies: SCAN and C-SCAN.
+//!
+//! **SCAN** sweeps the head across the platter serving every pending
+//! request it passes, reversing direction when no requests remain ahead
+//! (the LOOK refinement — the literature's SCAN implementations almost
+//! always "look").
+//!
+//! **C-SCAN** sweeps in one direction only; when no requests remain ahead
+//! it flies back to the lowest pending cylinder and sweeps up again,
+//! giving edge cylinders the same worst-case wait as central ones.
+
+use crate::baselines::take_min_by_key;
+use crate::{DiskScheduler, HeadState, Request, SweepDirection};
+
+/// SCAN (elevator, with LOOK reversal).
+#[derive(Debug)]
+pub struct Scan {
+    queue: Vec<Request>,
+    direction: SweepDirection,
+}
+
+impl Scan {
+    /// An empty SCAN scheduler, initially sweeping up.
+    pub fn new() -> Self {
+        Scan {
+            queue: Vec::new(),
+            direction: SweepDirection::Up,
+        }
+    }
+
+    /// Current sweep direction.
+    pub fn direction(&self) -> SweepDirection {
+        self.direction
+    }
+
+    fn take_ahead(&mut self, head: &HeadState) -> Option<Request> {
+        let cyl = head.cylinder;
+        match self.direction {
+            SweepDirection::Up => take_min_by_key(&mut self.queue, |r| {
+                if r.cylinder >= cyl {
+                    (0u8, r.cylinder - cyl)
+                } else {
+                    (1u8, u32::MAX) // behind the head: never chosen if any ahead
+                }
+            })
+            .and_then(|r| {
+                if r.cylinder >= cyl {
+                    Some(r)
+                } else {
+                    self.queue.push(r);
+                    None
+                }
+            }),
+            SweepDirection::Down => take_min_by_key(&mut self.queue, |r| {
+                if r.cylinder <= cyl {
+                    (0u8, cyl - r.cylinder)
+                } else {
+                    (1u8, u32::MAX)
+                }
+            })
+            .and_then(|r| {
+                if r.cylinder <= cyl {
+                    Some(r)
+                } else {
+                    self.queue.push(r);
+                    None
+                }
+            }),
+        }
+    }
+}
+
+impl Default for Scan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DiskScheduler for Scan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        if let Some(r) = self.take_ahead(head) {
+            return Some(r);
+        }
+        // Nothing ahead: reverse (LOOK) and try again.
+        self.direction = self.direction.flip();
+        self.take_ahead(head)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+/// C-SCAN (circular scan: one-directional sweep with fly-back).
+#[derive(Debug, Default)]
+pub struct CScan {
+    queue: Vec<Request>,
+}
+
+impl CScan {
+    /// An empty C-SCAN scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DiskScheduler for CScan {
+    fn name(&self) -> &'static str {
+        "c-scan"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        let cyl = head.cylinder;
+        // Nearest at-or-above the head; if none, wrap to the lowest.
+        take_min_by_key(&mut self.queue, |r| {
+            if r.cylinder >= cyl {
+                (0u8, r.cylinder - cyl)
+            } else {
+                (1u8, r.cylinder)
+            }
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn req(id: u64, cyl: u32) -> Request {
+        Request::read(id, 0, u64::MAX, cyl, 512, QosVector::none())
+    }
+
+    #[test]
+    fn scan_sweeps_up_then_down() {
+        let mut s = Scan::new();
+        let mut head = HeadState::new(100, 0, 3832);
+        for (id, cyl) in [(1, 150), (2, 50), (3, 300), (4, 80)] {
+            s.enqueue(req(id, cyl), &head);
+        }
+        let mut order = Vec::new();
+        while let Some(r) = s.dequeue(&head) {
+            head.cylinder = r.cylinder;
+            order.push(r.id);
+        }
+        // Up: 150, 300; reverse; down: 80, 50.
+        assert_eq!(order, vec![1, 3, 4, 2]);
+    }
+
+    #[test]
+    fn cscan_wraps_to_lowest() {
+        let mut s = CScan::new();
+        let mut head = HeadState::new(100, 0, 3832);
+        for (id, cyl) in [(1, 150), (2, 50), (3, 300), (4, 80)] {
+            s.enqueue(req(id, cyl), &head);
+        }
+        let mut order = Vec::new();
+        while let Some(r) = s.dequeue(&head) {
+            head.cylinder = r.cylinder;
+            order.push(r.id);
+        }
+        // Up: 150, 300; fly back; up again: 50, 80.
+        assert_eq!(order, vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn scan_serves_current_cylinder() {
+        let mut s = Scan::new();
+        let head = HeadState::new(200, 0, 3832);
+        s.enqueue(req(1, 200), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 1);
+    }
+
+    #[test]
+    fn empty_queues_return_none() {
+        let head = HeadState::new(0, 0, 3832);
+        assert!(Scan::new().dequeue(&head).is_none());
+        assert!(CScan::new().dequeue(&head).is_none());
+    }
+}

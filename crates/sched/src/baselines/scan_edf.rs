@@ -1,0 +1,142 @@
+//! SCAN-EDF (Reddy & Wyllie, 1993): deadlines first, SCAN within ties.
+//!
+//! Requests are served in deadline order; requests whose deadlines fall in
+//! the same *batch* (deadlines rounded to a configurable granularity) are
+//! served in SCAN order. With granularity 0 SCAN-EDF degenerates to EDF;
+//! the coarser the granularity the more seek optimization it recovers —
+//! the original paper assigns streams deadlines at period boundaries so
+//! that batches are large.
+
+use crate::baselines::take_min_by_key;
+use crate::{DiskScheduler, HeadState, Micros, Request, SweepDirection};
+
+/// SCAN-EDF queue.
+#[derive(Debug)]
+pub struct ScanEdf {
+    queue: Vec<Request>,
+    granularity_us: Micros,
+    direction: SweepDirection,
+}
+
+impl ScanEdf {
+    /// SCAN-EDF whose deadline batches are `granularity_us` wide.
+    pub fn new(granularity_us: Micros) -> Self {
+        ScanEdf {
+            queue: Vec::new(),
+            granularity_us,
+            direction: SweepDirection::Up,
+        }
+    }
+
+    fn batch_of(&self, r: &Request) -> Micros {
+        if self.granularity_us == 0 || r.deadline_us == Micros::MAX {
+            r.deadline_us
+        } else {
+            r.deadline_us / self.granularity_us
+        }
+    }
+}
+
+impl DiskScheduler for ScanEdf {
+    fn name(&self) -> &'static str {
+        "scan-edf"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        // Earliest batch wins; inside the batch, requests ahead of the head
+        // in the current sweep direction come first, nearest first.
+        let earliest = self.queue.iter().map(|r| self.batch_of(r)).min().unwrap();
+        let cyl = head.cylinder;
+        let dir = self.direction;
+        let gran = self.granularity_us;
+        let batch_of = |r: &Request| {
+            if gran == 0 || r.deadline_us == Micros::MAX {
+                r.deadline_us
+            } else {
+                r.deadline_us / gran
+            }
+        };
+        let picked = take_min_by_key(&mut self.queue, |r| {
+            if batch_of(r) != earliest {
+                return (2u8, u32::MAX);
+            }
+            let ahead = match dir {
+                SweepDirection::Up => r.cylinder >= cyl,
+                SweepDirection::Down => r.cylinder <= cyl,
+            };
+            if ahead {
+                (0u8, head.distance_to(r.cylinder))
+            } else {
+                (1u8, head.distance_to(r.cylinder))
+            }
+        });
+        // If the pick was behind the head, the sweep reverses there.
+        if let Some(r) = &picked {
+            match self.direction {
+                SweepDirection::Up if r.cylinder < cyl => self.direction = SweepDirection::Down,
+                SweepDirection::Down if r.cylinder > cyl => self.direction = SweepDirection::Up,
+                _ => {}
+            }
+        }
+        picked
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn req(id: u64, deadline: u64, cyl: u32) -> Request {
+        Request::read(id, 0, deadline, cyl, 512, QosVector::none())
+    }
+
+    #[test]
+    fn zero_granularity_behaves_like_edf() {
+        let mut s = ScanEdf::new(0);
+        let head = HeadState::new(0, 0, 3832);
+        s.enqueue(req(1, 9_000, 10), &head);
+        s.enqueue(req(2, 3_000, 999), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 2);
+    }
+
+    #[test]
+    fn same_batch_served_in_scan_order() {
+        let mut s = ScanEdf::new(10_000);
+        let mut head = HeadState::new(100, 0, 3832);
+        // All three in batch 0 (deadlines < 10 ms).
+        s.enqueue(req(1, 9_000, 500), &head);
+        s.enqueue(req(2, 8_000, 150), &head);
+        s.enqueue(req(3, 7_000, 300), &head);
+        let mut order = Vec::new();
+        while let Some(r) = s.dequeue(&head) {
+            head.cylinder = r.cylinder;
+            order.push(r.id);
+        }
+        assert_eq!(order, vec![2, 3, 1]); // sweep up: 150, 300, 500
+    }
+
+    #[test]
+    fn earlier_batch_preempts_scan_position() {
+        let mut s = ScanEdf::new(10_000);
+        let head = HeadState::new(100, 0, 3832);
+        s.enqueue(req(1, 95_000, 101), &head); // batch 9, adjacent cylinder
+        s.enqueue(req(2, 15_000, 3000), &head); // batch 1, far away
+        assert_eq!(s.dequeue(&head).unwrap().id, 2);
+    }
+}

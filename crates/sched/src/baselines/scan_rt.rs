@@ -1,0 +1,142 @@
+//! SCAN-RT (Kamel & Ito, 1995): SCAN insertion unless deadlines break.
+//!
+//! The queue *is* the service order. An arriving request is inserted at
+//! its SCAN position if doing so would not push any already-queued request
+//! past its deadline (checked with cumulative [`CostModel`] estimates);
+//! otherwise it is appended to the tail.
+
+use crate::{CostModel, DiskScheduler, HeadState, Micros, Request};
+use std::collections::VecDeque;
+
+/// SCAN-RT ordered queue.
+#[derive(Debug)]
+pub struct ScanRt {
+    /// Service order, front = next to serve.
+    order: VecDeque<Request>,
+    cost: CostModel,
+}
+
+impl ScanRt {
+    /// SCAN-RT using `cost` for deadline-impact estimates.
+    pub fn new(cost: CostModel) -> Self {
+        ScanRt {
+            order: VecDeque::new(),
+            cost,
+        }
+    }
+
+    /// Find the SCAN position for `cylinder`: the first gap in the current
+    /// service order where the cylinder lies between its neighbours (the
+    /// order, being SCAN-built, is piecewise monotone).
+    fn scan_position(&self, head_cyl: u32, cylinder: u32) -> usize {
+        let mut prev = head_cyl;
+        for (i, r) in self.order.iter().enumerate() {
+            let (lo, hi) = if prev <= r.cylinder {
+                (prev, r.cylinder)
+            } else {
+                (r.cylinder, prev)
+            };
+            if cylinder >= lo && cylinder <= hi {
+                return i;
+            }
+            prev = r.cylinder;
+        }
+        self.order.len()
+    }
+
+    /// Completion-time check: with `candidate` inserted at `pos`, would
+    /// any queued request (or the candidate) miss its deadline?
+    fn violates(&self, head: &HeadState, candidate: &Request, pos: usize) -> bool {
+        let mut now: Micros = head.now_us;
+        let mut cyl = head.cylinder;
+        let check = |r: &Request, now: &mut Micros, cyl: &mut u32| {
+            *now += self.cost.estimate_us(*cyl, r.cylinder, r.bytes);
+            *cyl = r.cylinder;
+            r.has_deadline() && *now > r.deadline_us
+        };
+        for (i, r) in self.order.iter().enumerate() {
+            if i == pos && check(candidate, &mut now, &mut cyl) {
+                return true;
+            }
+            if check(r, &mut now, &mut cyl) {
+                return true;
+            }
+        }
+        if pos == self.order.len() && check(candidate, &mut now, &mut cyl) {
+            return true;
+        }
+        false
+    }
+}
+
+impl DiskScheduler for ScanRt {
+    fn name(&self) -> &'static str {
+        "scan-rt"
+    }
+
+    fn enqueue(&mut self, req: Request, head: &HeadState) {
+        let pos = self.scan_position(head.cylinder, req.cylinder);
+        if self.violates(head, &req, pos) {
+            self.order.push_back(req);
+        } else {
+            self.order.insert(pos, req);
+        }
+    }
+
+    fn dequeue(&mut self, _head: &HeadState) -> Option<Request> {
+        self.order.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.order.iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn req(id: u64, deadline: u64, cyl: u32) -> Request {
+        Request::read(id, 0, deadline, cyl, 64 * 1024, QosVector::none())
+    }
+
+    #[test]
+    fn inserts_in_scan_order_when_safe() {
+        let mut s = ScanRt::new(CostModel::table1());
+        let head = HeadState::new(100, 0, 3832);
+        s.enqueue(req(1, u64::MAX, 500), &head);
+        s.enqueue(req(2, u64::MAX, 900), &head);
+        s.enqueue(req(3, u64::MAX, 700), &head); // between 500 and 900
+        let ids: Vec<u64> = (0..3).map(|_| s.dequeue(&head).unwrap().id).collect();
+        assert_eq!(ids, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn appends_when_insertion_would_break_deadline() {
+        let mut s = ScanRt::new(CostModel::table1());
+        let head = HeadState::new(100, 0, 3832);
+        // Tight deadline at the far end: anything inserted before it breaks it.
+        s.enqueue(req(1, 40_000, 3000), &head);
+        s.enqueue(req(2, u64::MAX, 1500), &head); // SCAN position would be first
+        let first = s.dequeue(&head).unwrap();
+        assert_eq!(first.id, 1, "tight-deadline request must stay first");
+    }
+
+    #[test]
+    fn candidate_own_deadline_checked() {
+        let mut s = ScanRt::new(CostModel::table1());
+        let head = HeadState::new(0, 0, 3832);
+        s.enqueue(req(1, u64::MAX, 1000), &head);
+        s.enqueue(req(2, u64::MAX, 2000), &head);
+        // This request's own deadline is impossible at its SCAN position
+        // (tail) — it is appended either way; just ensure no panic and FIFO
+        // integrity.
+        s.enqueue(req(3, 1, 3000), &head);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! SSEDO and SSEDV (Chen, Kurose, Stankovic & Towsley, 1991):
+//! "Shortest Seek and Earliest Deadline by Ordering / by Value".
+//!
+//! Both blend deadline urgency with seek proximity so that a request with
+//! a slightly later deadline that sits under the head can overtake the
+//! strict EDF choice.
+//!
+//! * **SSEDO** works on deadline *ordering*: among the queue sorted by
+//!   deadline, request `i` (0-based rank) gets weight
+//!   `w_i = α·rank_i + dist_i / max_dist`, and the minimum weight is
+//!   served.
+//! * **SSEDV** works on deadline *values*: weight
+//!   `w_i = α·slack_i + (1-α)·seek_time_i` (both in milliseconds), minimum
+//!   served.
+//!
+//! `α` trades urgency (large α ⇒ EDF-like) against proximity (small α ⇒
+//! SSTF-like). The exact constants of the original paper are tied to its
+//! disk; the formulas above preserve the published structure.
+
+use crate::baselines::take_min_by_key;
+use crate::{CostModel, DiskScheduler, HeadState, Request};
+use diskmodel::ms_to_us;
+
+/// SSEDO queue. See module docs.
+#[derive(Debug)]
+pub struct Ssedo {
+    queue: Vec<Request>,
+    alpha: f64,
+}
+
+impl Ssedo {
+    /// SSEDO with urgency weight `alpha >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0);
+        Ssedo {
+            queue: Vec::new(),
+            alpha,
+        }
+    }
+}
+
+impl DiskScheduler for Ssedo {
+    fn name(&self) -> &'static str {
+        "ssedo"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        // Deadline ranks.
+        let mut by_deadline: Vec<(u64, u64)> = self
+            .queue
+            .iter()
+            .map(|r| (r.deadline_us, r.id))
+            .collect();
+        by_deadline.sort_unstable();
+        let rank_of = |r: &Request| {
+            by_deadline
+                .binary_search(&(r.deadline_us, r.id))
+                .expect("request present in rank table") as f64
+        };
+        let max_dist = self
+            .queue
+            .iter()
+            .map(|r| head.distance_to(r.cylinder))
+            .max()
+            .unwrap()
+            .max(1) as f64;
+        let alpha = self.alpha;
+        take_min_by_key(&mut self.queue, |r| {
+            let w = alpha * rank_of(r) + head.distance_to(r.cylinder) as f64 / max_dist;
+            // Total order for floats: weights are finite by construction.
+            (w * 1e9) as u64
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+/// SSEDV queue. See module docs.
+#[derive(Debug)]
+pub struct Ssedv {
+    queue: Vec<Request>,
+    alpha: f64,
+    cost: CostModel,
+}
+
+impl Ssedv {
+    /// SSEDV with blend factor `alpha ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is outside `[0, 1]`.
+    pub fn new(alpha: f64, cost: CostModel) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Ssedv {
+            queue: Vec::new(),
+            alpha,
+            cost,
+        }
+    }
+}
+
+impl DiskScheduler for Ssedv {
+    fn name(&self) -> &'static str {
+        "ssedv"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        let alpha = self.alpha;
+        let cost = self.cost.clone();
+        let now = head.now_us;
+        let cyl = head.cylinder;
+        take_min_by_key(&mut self.queue, |r| {
+            let slack_ms = (r.slack_us(now).min(10_000_000)) as f64 / 1000.0;
+            let seek_ms =
+                ms_to_us(cost.seek_model().seek_ms(cyl.abs_diff(r.cylinder))) as f64 / 1000.0;
+            let w = alpha * slack_ms + (1.0 - alpha) * seek_ms;
+            (w * 1e6) as u64
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn req(id: u64, deadline: u64, cyl: u32) -> Request {
+        Request::read(id, 0, deadline, cyl, 512, QosVector::none())
+    }
+
+    #[test]
+    fn ssedo_large_alpha_is_edf() {
+        let mut s = Ssedo::new(1000.0);
+        let head = HeadState::new(0, 0, 3832);
+        s.enqueue(req(1, 9_000, 0), &head);
+        s.enqueue(req(2, 3_000, 3800), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 2);
+    }
+
+    #[test]
+    fn ssedo_zero_alpha_is_sstf() {
+        let mut s = Ssedo::new(0.0);
+        let head = HeadState::new(0, 0, 3832);
+        s.enqueue(req(1, 9_000, 10), &head);
+        s.enqueue(req(2, 3_000, 3800), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 1);
+    }
+
+    #[test]
+    fn ssedo_blends() {
+        // A near request with slightly later deadline overtakes EDF choice
+        // at moderate alpha.
+        let mut s = Ssedo::new(0.5);
+        let head = HeadState::new(100, 0, 3832);
+        s.enqueue(req(1, 51_000, 110), &head);
+        s.enqueue(req(2, 50_000, 3700), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 1);
+    }
+
+    #[test]
+    fn ssedv_extremes() {
+        let head = HeadState::new(0, 0, 3832);
+        let mut edf_like = Ssedv::new(1.0, CostModel::table1());
+        edf_like.enqueue(req(1, 9_000, 0), &head);
+        edf_like.enqueue(req(2, 3_000, 3800), &head);
+        assert_eq!(edf_like.dequeue(&head).unwrap().id, 2);
+
+        let mut sstf_like = Ssedv::new(0.0, CostModel::table1());
+        sstf_like.enqueue(req(1, 9_000, 10), &head);
+        sstf_like.enqueue(req(2, 3_000, 3800), &head);
+        assert_eq!(sstf_like.dequeue(&head).unwrap().id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ssedv_validates_alpha() {
+        Ssedv::new(1.5, CostModel::table1());
+    }
+}

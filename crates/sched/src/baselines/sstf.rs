@@ -1,0 +1,69 @@
+//! Shortest-Seek-Time-First: the throughput baseline.
+//!
+//! SSTF always serves the pending request closest to the head. It
+//! maximizes disk utilization among greedy policies but starves requests
+//! at the platter edges under load and ignores deadlines and priorities.
+
+use crate::baselines::take_min_by_key;
+use crate::{DiskScheduler, HeadState, Request};
+
+/// Shortest-Seek-Time-First queue.
+#[derive(Debug, Default)]
+pub struct Sstf {
+    queue: Vec<Request>,
+}
+
+impl Sstf {
+    /// An empty SSTF scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DiskScheduler for Sstf {
+    fn name(&self) -> &'static str {
+        "sstf"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        take_min_by_key(&mut self.queue, |r| head.distance_to(r.cylinder))
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosVector;
+
+    fn req(id: u64, cyl: u32) -> Request {
+        Request::read(id, 0, u64::MAX, cyl, 512, QosVector::none())
+    }
+
+    #[test]
+    fn picks_nearest() {
+        let mut s = Sstf::new();
+        let head = HeadState::new(100, 0, 3832);
+        s.enqueue(req(1, 500), &head);
+        s.enqueue(req(2, 120), &head);
+        s.enqueue(req(3, 60), &head);
+        assert_eq!(s.dequeue(&head).unwrap().id, 2); // |120-100| = 20
+        // Head has conceptually moved; caller passes updated state.
+        let head = HeadState::new(120, 0, 3832);
+        assert_eq!(s.dequeue(&head).unwrap().id, 3); // |60-120| = 60 < 380
+        let head = HeadState::new(60, 0, 3832);
+        assert_eq!(s.dequeue(&head).unwrap().id, 1);
+        assert!(s.dequeue(&head).is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! The object-safe scheduler interface driven by the simulator.
+
+use crate::{Micros, Request};
+
+/// Direction the head is sweeping (for elevator-style policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepDirection {
+    /// Toward higher cylinder numbers.
+    Up,
+    /// Toward lower cylinder numbers.
+    Down,
+}
+
+impl SweepDirection {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            SweepDirection::Up => SweepDirection::Down,
+            SweepDirection::Down => SweepDirection::Up,
+        }
+    }
+}
+
+/// Snapshot of the disk/servo state handed to the scheduler on every call.
+#[derive(Debug, Clone, Copy)]
+pub struct HeadState {
+    /// Current head cylinder.
+    pub cylinder: u32,
+    /// Current simulation time (µs).
+    pub now_us: Micros,
+    /// Total number of cylinders on the disk.
+    pub cylinders: u32,
+}
+
+impl HeadState {
+    /// Construct a head state.
+    pub fn new(cylinder: u32, now_us: Micros, cylinders: u32) -> Self {
+        HeadState {
+            cylinder,
+            now_us,
+            cylinders,
+        }
+    }
+
+    /// Seek distance from the head to `cylinder`.
+    pub fn distance_to(&self, cylinder: u32) -> u32 {
+        self.cylinder.abs_diff(cylinder)
+    }
+}
+
+/// A disk scheduler: accepts arriving requests, and when the disk becomes
+/// idle hands back the next request to serve.
+///
+/// Implementations own their queue(s). The trait is object-safe so the
+/// simulator, examples and benchmarks can switch policies at runtime.
+pub trait DiskScheduler {
+    /// Policy name for reports (e.g. `"scan-edf"`).
+    fn name(&self) -> &'static str;
+
+    /// A request arrived.
+    fn enqueue(&mut self, req: Request, head: &HeadState);
+
+    /// The disk is idle: pick the next request to serve, removing it from
+    /// the queue. `None` when no request is pending.
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request>;
+
+    /// Number of pending requests.
+    fn len(&self) -> usize;
+
+    /// `true` when no requests are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit every pending request (order unspecified). Metric code uses
+    /// this to count priority inversions against the waiting set.
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_flips() {
+        assert_eq!(SweepDirection::Up.flip(), SweepDirection::Down);
+        assert_eq!(SweepDirection::Down.flip(), SweepDirection::Up);
+    }
+
+    #[test]
+    fn head_distance() {
+        let h = HeadState::new(100, 0, 3832);
+        assert_eq!(h.distance_to(130), 30);
+        assert_eq!(h.distance_to(70), 30);
+    }
+}

@@ -1,0 +1,152 @@
+//! The reflected Gray-code curve.
+//!
+//! Coordinates are bit-interleaved into a single word `w` (dimension 0
+//! contributes the most significant bit of each group, as in a Z-order /
+//! Morton code), and the curve index is the *rank* of `w` in the binary
+//! reflected Gray code: `index = gray⁻¹(w)`.
+//!
+//! Stepping along the curve flips exactly one bit of the interleaved word,
+//! so consecutive cells differ in exactly one coordinate by a power of two
+//! — strong clustering, but not unit-step continuity (paper [18,19]).
+
+use crate::curve::{check_point, check_radix2, InvertibleCurve, SfcError, SpaceFillingCurve};
+
+/// The reflected Gray-code curve. See module docs.
+#[derive(Debug, Clone)]
+pub struct Gray {
+    dims: u32,
+    bits: u32,
+    side: u64,
+}
+
+impl Gray {
+    /// Build a Gray curve over `dims` dimensions with side `2^bits`.
+    pub fn new(dims: u32, bits: u32) -> Result<Self, SfcError> {
+        let side = check_radix2(dims, bits)?;
+        Ok(Gray { dims, bits, side })
+    }
+
+    /// Interleave coordinate bits, dimension 0 most significant within each
+    /// bit level, the highest bit level first.
+    fn interleave(&self, point: &[u64]) -> u128 {
+        let mut w: u128 = 0;
+        for level in (0..self.bits).rev() {
+            for &c in point {
+                w = (w << 1) | ((c >> level) & 1) as u128;
+            }
+        }
+        w
+    }
+
+    fn deinterleave(&self, w: u128, out: &mut [u64]) {
+        out.iter_mut().for_each(|c| *c = 0);
+        let total = self.bits * self.dims;
+        let mut pos = total;
+        for level in (0..self.bits).rev() {
+            for c in out.iter_mut() {
+                pos -= 1;
+                *c |= (((w >> pos) & 1) as u64) << level;
+            }
+        }
+    }
+}
+
+/// Binary reflected Gray code of `b`.
+#[inline]
+pub(crate) fn gray(b: u128) -> u128 {
+    b ^ (b >> 1)
+}
+
+/// Inverse of the binary reflected Gray code.
+#[inline]
+pub(crate) fn gray_inverse(mut g: u128) -> u128 {
+    let mut shift = 1u32;
+    while shift < 128 {
+        g ^= g >> shift;
+        shift <<= 1;
+    }
+    g
+}
+
+impl SpaceFillingCurve for Gray {
+    fn name(&self) -> &'static str {
+        "gray"
+    }
+
+    fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    fn side(&self) -> u64 {
+        self.side
+    }
+
+    fn index(&self, point: &[u64]) -> u128 {
+        check_point("gray", self.dims, self.side, point);
+        gray_inverse(self.interleave(point))
+    }
+}
+
+impl InvertibleCurve for Gray {
+    fn point(&self, index: u128, out: &mut [u64]) {
+        assert!(index < self.cells(), "gray: index out of range");
+        assert_eq!(out.len(), self.dims as usize);
+        self.deinterleave(gray(index), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_code_basics() {
+        let seq: Vec<u128> = (0..8).map(gray).collect();
+        assert_eq!(seq, vec![0, 1, 3, 2, 6, 7, 5, 4]);
+        for b in 0..1024u128 {
+            assert_eq!(gray_inverse(gray(b)), b);
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_differ_in_one_coordinate() {
+        let c = Gray::new(3, 2).unwrap();
+        let mut prev = vec![0u64; 3];
+        let mut cur = vec![0u64; 3];
+        for i in 1..c.cells() {
+            c.point(i - 1, &mut prev);
+            c.point(i, &mut cur);
+            let changed = prev.iter().zip(&cur).filter(|(a, b)| a != b).count();
+            assert_eq!(changed, 1, "step {i}: {prev:?} -> {cur:?}");
+            // ... and the change is a power of two.
+            let delta = prev
+                .iter()
+                .zip(&cur)
+                .map(|(&a, &b)| a.abs_diff(b))
+                .max()
+                .unwrap();
+            assert!(delta.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let c = Gray::new(2, 4).unwrap();
+        let mut p = vec![0u64; 2];
+        for i in 0..c.cells() {
+            c.point(i, &mut p);
+            assert_eq!(c.index(&p), i);
+        }
+    }
+
+    #[test]
+    fn order_one_gray_equals_two_cell_walk() {
+        // With one bit per dimension the Gray curve walks the hypercube's
+        // Gray-code Hamiltonian cycle.
+        let c = Gray::new(2, 1).unwrap();
+        assert_eq!(c.index(&[0, 0]), 0);
+        assert_eq!(c.index(&[0, 1]), 1);
+        assert_eq!(c.index(&[1, 1]), 2);
+        assert_eq!(c.index(&[1, 0]), 3);
+    }
+}

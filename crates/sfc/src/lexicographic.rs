@@ -1,0 +1,294 @@
+//! The three "linear" curves of the catalogue: Sweep, C-Scan and Scan.
+//!
+//! All three visit the grid stripe by stripe. They differ in which
+//! dimension drives the stripes and whether the inner traversal reverses
+//! direction (serpentine) or flies back:
+//!
+//! * [`Sweep`] — lexicographic order with **dimension 0 most significant**.
+//!   In 2-D this draws vertical strokes, always bottom-to-top.
+//! * [`CScan`] — lexicographic order with the **last dimension most
+//!   significant**, every stripe traversed in the same direction with a
+//!   fly-back jump: the shape of the circular-SCAN disk policy.
+//! * [`Scan`] — like C-Scan but serpentine (boustrophedon): each stripe
+//!   reverses direction so consecutive cells are always grid neighbours.
+//!
+//! Scheduling consequence (paper §5.1): a lexicographic curve *never*
+//! inverts the priority of its most-significant dimension, at the price of
+//! high inversion in all other dimensions — the worst fairness of the
+//! catalogue, but ideal when one QoS parameter must dominate.
+
+use crate::curve::{check_point, check_radix2, InvertibleCurve, SfcError, SpaceFillingCurve};
+
+/// Lexicographic curve, dimension 0 most significant. See module docs.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    dims: u32,
+    bits: u32,
+    side: u64,
+}
+
+impl Sweep {
+    /// Build a Sweep curve over `dims` dimensions with side `2^bits`.
+    pub fn new(dims: u32, bits: u32) -> Result<Self, SfcError> {
+        let side = check_radix2(dims, bits)?;
+        Ok(Sweep { dims, bits, side })
+    }
+
+    /// Bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl SpaceFillingCurve for Sweep {
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+
+    fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    fn side(&self) -> u64 {
+        self.side
+    }
+
+    fn index(&self, point: &[u64]) -> u128 {
+        check_point("sweep", self.dims, self.side, point);
+        let mut idx: u128 = 0;
+        for &c in point {
+            idx = (idx << self.bits) | c as u128;
+        }
+        idx
+    }
+}
+
+impl InvertibleCurve for Sweep {
+    fn point(&self, index: u128, out: &mut [u64]) {
+        assert!(index < self.cells(), "sweep: index out of range");
+        assert_eq!(out.len(), self.dims as usize);
+        let mask = (self.side - 1) as u128;
+        let mut rest = index;
+        for c in out.iter_mut().rev() {
+            *c = (rest & mask) as u64;
+            rest >>= self.bits;
+        }
+    }
+}
+
+/// Lexicographic curve, **last** dimension most significant, with fly-back.
+/// See module docs.
+#[derive(Debug, Clone)]
+pub struct CScan {
+    dims: u32,
+    bits: u32,
+    side: u64,
+}
+
+impl CScan {
+    /// Build a C-Scan curve over `dims` dimensions with side `2^bits`.
+    pub fn new(dims: u32, bits: u32) -> Result<Self, SfcError> {
+        let side = check_radix2(dims, bits)?;
+        Ok(CScan { dims, bits, side })
+    }
+}
+
+impl SpaceFillingCurve for CScan {
+    fn name(&self) -> &'static str {
+        "c-scan"
+    }
+
+    fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    fn side(&self) -> u64 {
+        self.side
+    }
+
+    fn index(&self, point: &[u64]) -> u128 {
+        check_point("c-scan", self.dims, self.side, point);
+        let mut idx: u128 = 0;
+        for &c in point.iter().rev() {
+            idx = (idx << self.bits) | c as u128;
+        }
+        idx
+    }
+}
+
+impl InvertibleCurve for CScan {
+    fn point(&self, index: u128, out: &mut [u64]) {
+        assert!(index < self.cells(), "c-scan: index out of range");
+        assert_eq!(out.len(), self.dims as usize);
+        let mask = (self.side - 1) as u128;
+        let mut rest = index;
+        for c in out.iter_mut() {
+            *c = (rest & mask) as u64;
+            rest >>= self.bits;
+        }
+    }
+}
+
+/// Boustrophedon curve: C-Scan with serpentine stripes. See module docs.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    dims: u32,
+    bits: u32,
+    side: u64,
+}
+
+impl Scan {
+    /// Build a Scan curve over `dims` dimensions with side `2^bits`.
+    pub fn new(dims: u32, bits: u32) -> Result<Self, SfcError> {
+        let side = check_radix2(dims, bits)?;
+        Ok(Scan { dims, bits, side })
+    }
+}
+
+impl SpaceFillingCurve for Scan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    fn side(&self) -> u64 {
+        self.side
+    }
+
+    fn index(&self, point: &[u64]) -> u128 {
+        check_point("scan", self.dims, self.side, point);
+        // Most significant digit is the last dimension. Each lower digit is
+        // reflected when the sum of the more-significant *original* digits
+        // is odd, which makes consecutive cells grid neighbours.
+        let mut idx: u128 = 0;
+        let mut higher_sum: u64 = 0;
+        for &c in point.iter().rev() {
+            let digit = if higher_sum & 1 == 1 {
+                self.side - 1 - c
+            } else {
+                c
+            };
+            idx = (idx << self.bits) | digit as u128;
+            higher_sum = higher_sum.wrapping_add(c);
+        }
+        idx
+    }
+}
+
+impl InvertibleCurve for Scan {
+    fn point(&self, index: u128, out: &mut [u64]) {
+        assert!(index < self.cells(), "scan: index out of range");
+        assert_eq!(out.len(), self.dims as usize);
+        let mask = (self.side - 1) as u128;
+        let mut higher_sum: u64 = 0;
+        let d = self.dims as usize;
+        for j in (0..d).rev() {
+            // Digit for dimension j sits at bit offset j*bits (dimension
+            // d-1 is most significant).
+            let digit = ((index >> (self.bits * j as u32)) & mask) as u64;
+            let orig = if higher_sum & 1 == 1 {
+                self.side - 1 - digit
+            } else {
+                digit
+            };
+            out[j] = orig;
+            higher_sum = higher_sum.wrapping_add(orig);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_2d_order() {
+        let c = Sweep::new(2, 2).unwrap();
+        // index = x*4 + y: vertical strokes.
+        assert_eq!(c.index(&[0, 0]), 0);
+        assert_eq!(c.index(&[0, 3]), 3);
+        assert_eq!(c.index(&[1, 0]), 4);
+        assert_eq!(c.index(&[3, 3]), 15);
+    }
+
+    #[test]
+    fn cscan_2d_order() {
+        let c = CScan::new(2, 2).unwrap();
+        // index = y*4 + x: horizontal rows, always left-to-right.
+        assert_eq!(c.index(&[0, 0]), 0);
+        assert_eq!(c.index(&[3, 0]), 3);
+        assert_eq!(c.index(&[0, 1]), 4);
+        assert_eq!(c.index(&[3, 3]), 15);
+    }
+
+    #[test]
+    fn scan_2d_serpentine() {
+        let c = Scan::new(2, 2).unwrap();
+        // Row 0 left-to-right, row 1 right-to-left, ...
+        assert_eq!(c.index(&[0, 0]), 0);
+        assert_eq!(c.index(&[3, 0]), 3);
+        assert_eq!(c.index(&[3, 1]), 4);
+        assert_eq!(c.index(&[0, 1]), 7);
+        assert_eq!(c.index(&[0, 2]), 8);
+    }
+
+    #[test]
+    fn scan_consecutive_cells_are_neighbours() {
+        let c = Scan::new(3, 2).unwrap();
+        let mut prev = vec![0u64; 3];
+        let mut cur = vec![0u64; 3];
+        for i in 1..c.cells() {
+            c.point(i - 1, &mut prev);
+            c.point(i, &mut cur);
+            let dist: u64 = prev
+                .iter()
+                .zip(&cur)
+                .map(|(&a, &b)| a.abs_diff(b))
+                .sum();
+            assert_eq!(dist, 1, "step {i} jumps from {prev:?} to {cur:?}");
+        }
+    }
+
+    #[test]
+    fn inverses_roundtrip() {
+        let sweep = Sweep::new(3, 3).unwrap();
+        let cscan = CScan::new(3, 3).unwrap();
+        let scan = Scan::new(3, 3).unwrap();
+        let mut p = vec![0u64; 3];
+        for i in 0..sweep.cells() {
+            sweep.point(i, &mut p);
+            assert_eq!(sweep.index(&p), i);
+            cscan.point(i, &mut p);
+            assert_eq!(cscan.index(&p), i);
+            scan.point(i, &mut p);
+            assert_eq!(scan.index(&p), i);
+        }
+    }
+
+    #[test]
+    fn one_dimensional_all_identical() {
+        // In 1-D all three degenerate to the identity.
+        for i in 0..8u64 {
+            assert_eq!(Sweep::new(1, 3).unwrap().index(&[i]), i as u128);
+            assert_eq!(CScan::new(1, 3).unwrap().index(&[i]), i as u128);
+            assert_eq!(Scan::new(1, 3).unwrap().index(&[i]), i as u128);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sweep_rejects_out_of_range() {
+        let c = Sweep::new(2, 2).unwrap();
+        c.index(&[4, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinates")]
+    fn sweep_rejects_wrong_arity() {
+        let c = Sweep::new(2, 2).unwrap();
+        c.index(&[1, 2, 3]);
+    }
+}

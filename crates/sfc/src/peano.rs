@@ -1,0 +1,225 @@
+//! The Peano curve: the original 1890 space-filling curve, radix 3.
+//!
+//! The grid side is `3^order`. At every recursion level the `3^d` sub-cells
+//! are visited in serpentine (reflected lexicographic) order, and each
+//! sub-cell hosts a copy of the curve reflected in dimension `j` exactly
+//! when the sum of the level's digits of the *other* dimensions is odd.
+//! That reflection rule — unlike Hilbert's rotations — uses mirror images
+//! only, and it makes consecutive cells grid neighbours at every order
+//! (verified exhaustively by the tests).
+//!
+//! Because the scheduling grids of the Cascaded-SFC paper are powers of
+//! two, Peano is part of the library catalogue but not of the scheduler's
+//! Figure-1 set; see `DESIGN.md`.
+
+use crate::curve::{check_point, InvertibleCurve, SfcError, SpaceFillingCurve};
+
+/// The Peano curve (side `3^order`). See module docs.
+#[derive(Debug, Clone)]
+pub struct Peano {
+    dims: u32,
+    order: u32,
+    side: u64,
+}
+
+impl Peano {
+    /// Build a Peano curve over `dims` dimensions with side `3^order`.
+    pub fn new(dims: u32, order: u32) -> Result<Self, SfcError> {
+        if dims == 0 {
+            return Err(SfcError::ZeroDims);
+        }
+        if order == 0 {
+            return Err(SfcError::ZeroOrder);
+        }
+        // side = 3^order must fit u64 and side^dims must fit u128.
+        let side = 3u64
+            .checked_pow(order)
+            .ok_or(SfcError::TooLarge { dims, order })?;
+        let mut cells: u128 = 1;
+        for _ in 0..dims {
+            cells = cells
+                .checked_mul(side as u128)
+                .ok_or(SfcError::TooLarge { dims, order })?;
+        }
+        Ok(Peano { dims, order, side })
+    }
+
+    /// Base-3 digit of `v` at `level` (0 = least significant).
+    #[inline]
+    fn digit(v: u64, level: u32) -> u64 {
+        (v / 3u64.pow(level)) % 3
+    }
+}
+
+impl SpaceFillingCurve for Peano {
+    fn name(&self) -> &'static str {
+        "peano"
+    }
+
+    fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    fn side(&self) -> u64 {
+        self.side
+    }
+
+    fn index(&self, point: &[u64]) -> u128 {
+        check_point("peano", self.dims, self.side, point);
+        let d = self.dims as usize;
+        let mut flip = vec![false; d];
+        let mut idx: u128 = 0;
+        for level in (0..self.order).rev() {
+            // Undo the accumulated reflections to get the sub-cell
+            // coordinates in the local frame, then undo the serpentine to
+            // get the raw index digits.
+            let mut qsum: u64 = 0; // sum of raw digits q_0..q_{j-1}
+            let mut q = vec![0u64; d];
+            for j in 0..d {
+                let c = Self::digit(point[j], level);
+                let t = if flip[j] { 2 - c } else { c };
+                let qj = if qsum & 1 == 1 { 2 - t } else { t };
+                q[j] = qj;
+                qsum += qj;
+            }
+            // Accumulate the index digits (dimension 0 most significant).
+            for &qj in &q {
+                idx = idx * 3 + qj as u128;
+            }
+            // Update reflections: dimension j toggles when the sum of the
+            // *other* dimensions' raw digits at this level is odd.
+            let total: u64 = q.iter().sum();
+            for j in 0..d {
+                if (total - q[j]) & 1 == 1 {
+                    flip[j] = !flip[j];
+                }
+            }
+        }
+        idx
+    }
+}
+
+impl InvertibleCurve for Peano {
+    fn point(&self, index: u128, out: &mut [u64]) {
+        assert!(index < self.cells(), "peano: index out of range");
+        assert_eq!(out.len(), self.dims as usize);
+        let d = self.dims as usize;
+        out.iter_mut().for_each(|c| *c = 0);
+        let mut flip = vec![false; d];
+        // Extract digit groups, most significant first.
+        let digits_total = self.order * self.dims;
+        let mut q = vec![0u64; d];
+        for level in (0..self.order).rev() {
+            // The group for this level sits at base-3 positions
+            // [level*d, (level+1)*d) counted from the least significant.
+            let group_pos = level * self.dims;
+            let mut rest = index / pow3_u128(group_pos);
+            // rest's lowest d digits are q_{d-1} .. q_0 (dimension 0 most
+            // significant within the group).
+            for j in (0..d).rev() {
+                q[j] = (rest % 3) as u64;
+                rest /= 3;
+            }
+            let _ = digits_total;
+            // Serpentine + reflections: derive the coordinate digits.
+            let mut qsum: u64 = 0;
+            for j in 0..d {
+                let t = if qsum & 1 == 1 { 2 - q[j] } else { q[j] };
+                let c = if flip[j] { 2 - t } else { t };
+                out[j] += c * 3u64.pow(level);
+                qsum += q[j];
+            }
+            let total: u64 = q.iter().sum();
+            for j in 0..d {
+                if (total - q[j]) & 1 == 1 {
+                    flip[j] = !flip[j];
+                }
+            }
+        }
+    }
+}
+
+fn pow3_u128(exp: u32) -> u128 {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc *= 3;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order1_2d_serpentine() {
+        let c = Peano::new(2, 1).unwrap();
+        let expected = [
+            [0u64, 0],
+            [0, 1],
+            [0, 2],
+            [1, 2],
+            [1, 1],
+            [1, 0],
+            [2, 0],
+            [2, 1],
+            [2, 2],
+        ];
+        for (i, pt) in expected.iter().enumerate() {
+            assert_eq!(c.index(pt), i as u128, "point {pt:?}");
+        }
+    }
+
+    #[test]
+    fn unit_steps() {
+        for (dims, order) in [(2u32, 1u32), (2, 2), (2, 3), (3, 1), (3, 2), (4, 1)] {
+            let c = Peano::new(dims, order).unwrap();
+            let mut prev = vec![0u64; dims as usize];
+            let mut cur = vec![0u64; dims as usize];
+            c.point(0, &mut prev);
+            for i in 1..c.cells() {
+                c.point(i, &mut cur);
+                let d: u64 = prev
+                    .iter()
+                    .zip(&cur)
+                    .map(|(&a, &b)| a.abs_diff(b))
+                    .sum();
+                assert_eq!(
+                    d, 1,
+                    "dims={dims} order={order} step {i}: {prev:?} -> {cur:?}"
+                );
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for (dims, order) in [(2u32, 3u32), (3, 2), (5, 1)] {
+            let c = Peano::new(dims, order).unwrap();
+            let mut p = vec![0u64; dims as usize];
+            for i in 0..c.cells() {
+                c.point(i, &mut p);
+                assert_eq!(c.index(&p), i, "dims={dims} order={order}");
+            }
+        }
+    }
+
+    #[test]
+    fn starts_at_origin_ends_at_far_corner() {
+        let c = Peano::new(2, 2).unwrap();
+        let mut p = vec![0u64; 2];
+        c.point(0, &mut p);
+        assert_eq!(p, vec![0, 0]);
+        c.point(c.cells() - 1, &mut p);
+        assert_eq!(p, vec![8, 8]);
+    }
+
+    #[test]
+    fn rejects_huge() {
+        assert!(matches!(
+            Peano::new(4, 25),
+            Err(SfcError::TooLarge { .. })
+        ));
+    }
+}

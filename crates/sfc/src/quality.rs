@@ -1,0 +1,445 @@
+//! Curve-quality analysis.
+//!
+//! One of the paper's arguments for SFC-based scheduling is that the
+//! quality of the generated schedules can be *analyzed* instead of
+//! guessed: the curve's geometric properties (continuity, jump sizes,
+//! dimension bias) translate directly into scheduling properties
+//! (seek behaviour, priority-inversion bias). This module provides those
+//! measurements for any [`SpaceFillingCurve`], by exhaustive enumeration of
+//! small grids.
+
+use crate::curve::SpaceFillingCurve;
+
+/// Hard cap on the number of cells `walk`-based analyses will enumerate.
+pub const MAX_ANALYZED_CELLS: u128 = 1 << 22;
+
+/// Error returned when a grid is too large to analyze exhaustively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridTooLarge {
+    /// Number of cells in the offending grid.
+    pub cells: u128,
+}
+
+impl std::fmt::Display for GridTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "grid with {} cells exceeds the exhaustive-analysis cap of {}",
+            self.cells, MAX_ANALYZED_CELLS
+        )
+    }
+}
+
+impl std::error::Error for GridTooLarge {}
+
+/// Walk every cell of the curve's grid in curve order.
+///
+/// Works for *any* curve (no inverse needed): enumerates all grid points,
+/// computes their indices, and sorts. `O(N log N)` in the number of cells.
+pub fn walk(curve: &dyn SpaceFillingCurve) -> Result<Vec<Vec<u64>>, GridTooLarge> {
+    let cells = curve.cells();
+    if cells > MAX_ANALYZED_CELLS {
+        return Err(GridTooLarge { cells });
+    }
+    let d = curve.dims() as usize;
+    let side = curve.side();
+    let mut order: Vec<(u128, Vec<u64>)> = Vec::with_capacity(cells as usize);
+    let mut p = vec![0u64; d];
+    loop {
+        order.push((curve.index(&p), p.clone()));
+        // Odometer increment.
+        let mut j = d;
+        loop {
+            if j == 0 {
+                return finish(order, cells);
+            }
+            j -= 1;
+            p[j] += 1;
+            if p[j] < side {
+                break;
+            }
+            p[j] = 0;
+        }
+    }
+
+    fn finish(
+        mut order: Vec<(u128, Vec<u64>)>,
+        cells: u128,
+    ) -> Result<Vec<Vec<u64>>, GridTooLarge> {
+        order.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(order.len() as u128, cells);
+        Ok(order.into_iter().map(|(_, p)| p).collect())
+    }
+}
+
+/// Check that the curve assigns every cell of its grid a distinct index in
+/// `0..cells()` — i.e. that it really is a space-filling bijection.
+pub fn is_bijective(curve: &dyn SpaceFillingCurve) -> Result<bool, GridTooLarge> {
+    let cells = curve.cells();
+    if cells > MAX_ANALYZED_CELLS {
+        return Err(GridTooLarge { cells });
+    }
+    let d = curve.dims() as usize;
+    let side = curve.side();
+    let mut seen = vec![false; cells as usize];
+    let mut p = vec![0u64; d];
+    loop {
+        let i = curve.index(&p);
+        if i >= cells || seen[i as usize] {
+            return Ok(false);
+        }
+        seen[i as usize] = true;
+        let mut j = d;
+        loop {
+            if j == 0 {
+                return Ok(true);
+            }
+            j -= 1;
+            p[j] += 1;
+            if p[j] < side {
+                break;
+            }
+            p[j] = 0;
+        }
+    }
+}
+
+/// Geometric statistics of one full traversal of the curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuityReport {
+    /// Number of steps taken (`cells - 1`).
+    pub steps: u128,
+    /// Steps that move to a Manhattan-distance-1 grid neighbour.
+    pub unit_steps: u128,
+    /// Largest Manhattan jump along the traversal.
+    pub max_jump: u64,
+    /// Mean Manhattan jump.
+    pub mean_jump: f64,
+}
+
+impl ContinuityReport {
+    /// A curve is *continuous* when every step is a unit step.
+    pub fn is_continuous(&self) -> bool {
+        self.steps == self.unit_steps
+    }
+}
+
+/// Measure the traversal continuity of a curve (exhaustive).
+pub fn continuity(curve: &dyn SpaceFillingCurve) -> Result<ContinuityReport, GridTooLarge> {
+    let cells = walk(curve)?;
+    let mut unit_steps: u128 = 0;
+    let mut max_jump: u64 = 0;
+    let mut total_jump: u128 = 0;
+    for w in cells.windows(2) {
+        let d: u64 = w[0]
+            .iter()
+            .zip(&w[1])
+            .map(|(&a, &b)| a.abs_diff(b))
+            .sum();
+        if d == 1 {
+            unit_steps += 1;
+        }
+        max_jump = max_jump.max(d);
+        total_jump += d as u128;
+    }
+    let steps = (cells.len() - 1) as u128;
+    Ok(ContinuityReport {
+        steps,
+        unit_steps,
+        max_jump,
+        mean_jump: if steps == 0 {
+            0.0
+        } else {
+            total_jump as f64 / steps as f64
+        },
+    })
+}
+
+/// Per-dimension order bias of a curve.
+///
+/// For each dimension `k`, counts over all *ordered pairs* of cells `(a,
+/// b)` with `index(a) < index(b)` how often `a` beats `b` in dimension `k`
+/// (`a_k < b_k`) versus loses (`a_k > b_k`). A curve that never loses in a
+/// dimension schedules that dimension with zero priority inversion — the
+/// property the paper exploits when one QoS parameter must dominate.
+///
+/// Sampling keeps this tractable: `pairs` random pairs are drawn from a
+/// deterministic LCG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasReport {
+    /// For each dimension: fraction of sampled ordered pairs where the
+    /// earlier-on-curve cell has the *larger* coordinate ("inversions").
+    pub inversion_rate: Vec<f64>,
+}
+
+/// Estimate per-dimension inversion rates by sampling `pairs` cell pairs.
+pub fn dimension_bias(curve: &dyn SpaceFillingCurve, pairs: u32) -> BiasReport {
+    let d = curve.dims() as usize;
+    let side = curve.side();
+    let mut inv = vec![0u64; d];
+    let mut tot = vec![0u64; d];
+    // SplitMix64 for deterministic sampling without external dependencies.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut a = vec![0u64; d];
+    let mut b = vec![0u64; d];
+    for _ in 0..pairs {
+        for j in 0..d {
+            a[j] = next() % side;
+            b[j] = next() % side;
+        }
+        let (first, second) = if curve.index(&a) <= curve.index(&b) {
+            (&a, &b)
+        } else {
+            (&b, &a)
+        };
+        for j in 0..d {
+            if first[j] != second[j] {
+                tot[j] += 1;
+                if first[j] > second[j] {
+                    inv[j] += 1;
+                }
+            }
+        }
+    }
+    BiasReport {
+        inversion_rate: inv
+            .iter()
+            .zip(&tot)
+            .map(|(&i, &t)| if t == 0 { 0.0 } else { i as f64 / t as f64 })
+            .collect(),
+    }
+}
+
+/// Per-dimension irregularity (Mokbel & Aref, CIKM 2001): the number of
+/// curve steps that move *backward* in each dimension.
+///
+/// A curve with zero irregularity in dimension `k` sweeps that dimension
+/// monotonically; the companion paper shows irregularity predicts how a
+/// curve behaves as a scheduler — a dimension with low irregularity is
+/// "respected" (few priority inversions), one with high irregularity is
+/// traded away for locality.
+pub fn irregularity(curve: &dyn SpaceFillingCurve) -> Result<Vec<u64>, GridTooLarge> {
+    let cells = walk(curve)?;
+    let d = curve.dims() as usize;
+    let mut backward = vec![0u64; d];
+    for w in cells.windows(2) {
+        for k in 0..d {
+            if w[1][k] < w[0][k] {
+                backward[k] += 1;
+            }
+        }
+    }
+    Ok(backward)
+}
+
+/// Clustering quality: the mean number of contiguous curve runs ("curve
+/// segments", Moon et al.) needed to cover an axis-aligned query box.
+///
+/// One run means the box's cells are consecutive on the curve — ideal for
+/// a scheduler, because requests that are close in QoS space are then
+/// close in service order. The authors' companion papers (CIKM 2001,
+/// GeoInformatica 2003) analyze exactly this measure; Hilbert is the
+/// known champion.
+///
+/// `box_side` is the query box edge length; boxes are slid over every
+/// position (exhaustive), so keep the grid small.
+pub fn mean_clusters(
+    curve: &dyn SpaceFillingCurve,
+    box_side: u64,
+) -> Result<f64, GridTooLarge> {
+    let cells = curve.cells();
+    if cells > MAX_ANALYZED_CELLS {
+        return Err(GridTooLarge { cells });
+    }
+    let d = curve.dims() as usize;
+    let side = curve.side();
+    let box_side = box_side.min(side);
+    let positions = side - box_side + 1;
+
+    // Odometer increment; returns false on wrap-around (enumeration done).
+    fn advance(digits: &mut [u64], limit: u64) -> bool {
+        for d in digits.iter_mut().rev() {
+            *d += 1;
+            if *d < limit {
+                return true;
+            }
+            *d = 0;
+        }
+        false
+    }
+
+    let mut total_clusters: u64 = 0;
+    let mut boxes: u64 = 0;
+    let mut origin = vec![0u64; d];
+    let mut indices = Vec::with_capacity((box_side as usize).pow(d as u32));
+    let mut p = vec![0u64; d];
+    loop {
+        // Collect the curve indices of every cell in the box at `origin`
+        // and count the contiguous runs among them.
+        indices.clear();
+        let mut off = vec![0u64; d];
+        loop {
+            for j in 0..d {
+                p[j] = origin[j] + off[j];
+            }
+            indices.push(curve.index(&p));
+            if !advance(&mut off, box_side) {
+                break;
+            }
+        }
+        indices.sort_unstable();
+        let runs = 1 + indices.windows(2).filter(|w| w[1] != w[0] + 1).count() as u64;
+        total_clusters += runs;
+        boxes += 1;
+        if !advance(&mut origin, positions) {
+            return Ok(total_clusters as f64 / boxes as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CurveKind;
+
+    #[test]
+    fn all_catalogue_curves_are_bijective() {
+        for k in CurveKind::ALL {
+            for dims in [1u32, 2, 3] {
+                let c = k.build(dims, 2).unwrap();
+                assert!(
+                    is_bijective(c.as_ref()).unwrap(),
+                    "{k} dims={dims} is not bijective"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_curves() {
+        for k in [CurveKind::Scan, CurveKind::Hilbert, CurveKind::Peano] {
+            let c = k.build(2, 2).unwrap();
+            let rep = continuity(c.as_ref()).unwrap();
+            assert!(rep.is_continuous(), "{k} should be continuous: {rep:?}");
+        }
+        let spiral = CurveKind::Spiral.build(2, 3).unwrap();
+        assert!(continuity(spiral.as_ref()).unwrap().is_continuous());
+    }
+
+    #[test]
+    fn discontinuous_curves_have_jumps() {
+        for k in [CurveKind::Sweep, CurveKind::CScan, CurveKind::Gray] {
+            let c = k.build(2, 3).unwrap();
+            let rep = continuity(c.as_ref()).unwrap();
+            assert!(!rep.is_continuous(), "{k} is unexpectedly continuous");
+            assert!(rep.max_jump > 1);
+        }
+    }
+
+    #[test]
+    fn sweep_never_inverts_dimension_zero() {
+        let c = CurveKind::Sweep.build(3, 3).unwrap();
+        let bias = dimension_bias(c.as_ref(), 2000);
+        assert_eq!(bias.inversion_rate[0], 0.0);
+        assert!(bias.inversion_rate[1] > 0.1);
+    }
+
+    #[test]
+    fn cscan_never_inverts_last_dimension() {
+        let c = CurveKind::CScan.build(3, 3).unwrap();
+        let bias = dimension_bias(c.as_ref(), 2000);
+        assert_eq!(bias.inversion_rate[2], 0.0);
+        assert!(bias.inversion_rate[0] > 0.1);
+    }
+
+    #[test]
+    fn diagonal_is_symmetric() {
+        let c = CurveKind::Diagonal.build(3, 3).unwrap();
+        let bias = dimension_bias(c.as_ref(), 4000);
+        let mean: f64 = bias.inversion_rate.iter().sum::<f64>() / 3.0;
+        for r in &bias.inversion_rate {
+            assert!(
+                (r - mean).abs() < 0.05,
+                "diagonal bias uneven: {:?}",
+                bias.inversion_rate
+            );
+        }
+    }
+
+    #[test]
+    fn too_large_grid_is_rejected() {
+        let c = CurveKind::Hilbert.build(2, 20).unwrap();
+        assert!(walk(c.as_ref()).is_err());
+        assert!(is_bijective(c.as_ref()).is_err());
+        assert!(mean_clusters(c.as_ref(), 4).is_err());
+    }
+
+    #[test]
+    fn sweep_has_zero_irregularity_in_its_major_dimension() {
+        let sweep = CurveKind::Sweep.build(2, 3).unwrap();
+        let irr = irregularity(sweep.as_ref()).unwrap();
+        // Dimension 0 is the major axis: never a backward step.
+        assert_eq!(irr[0], 0);
+        assert!(irr[1] > 0);
+        let cscan = CurveKind::CScan.build(2, 3).unwrap();
+        let irr = irregularity(cscan.as_ref()).unwrap();
+        assert!(irr[0] > 0);
+        assert_eq!(irr[1], 0);
+    }
+
+    #[test]
+    fn diagonal_is_irregular_in_every_dimension() {
+        // Step-level irregularity is *not* symmetric for the Diagonal (the
+        // within-anti-diagonal tie-break is lexicographic) — its fairness
+        // shows up in the pairwise bias, not the step statistics. What
+        // must hold: no dimension is swept monotonically.
+        let c = CurveKind::Diagonal.build(3, 2).unwrap();
+        let irr = irregularity(c.as_ref()).unwrap();
+        assert!(irr.iter().all(|&x| x > 0), "{irr:?}");
+        // ...while the pairwise bias stays balanced (checked in
+        // `diagonal_is_symmetric` above).
+    }
+
+    #[test]
+    fn recursive_curves_are_irregular_everywhere() {
+        for k in [CurveKind::Gray, CurveKind::Hilbert, CurveKind::ZOrder] {
+            let c = k.build(2, 3).unwrap();
+            let irr = irregularity(c.as_ref()).unwrap();
+            assert!(irr.iter().all(|&x| x > 0), "{k}: {irr:?}");
+        }
+    }
+
+    #[test]
+    fn hilbert_clusters_better_than_sweep() {
+        // The classic clustering result: Hilbert needs fewer contiguous
+        // curve runs per query box than row-major orders.
+        let hilbert = CurveKind::Hilbert.build(2, 4).unwrap();
+        let sweep = CurveKind::Sweep.build(2, 4).unwrap();
+        let h = mean_clusters(hilbert.as_ref(), 4).unwrap();
+        let s = mean_clusters(sweep.as_ref(), 4).unwrap();
+        assert!(h < s, "hilbert {h:.2} vs sweep {s:.2}");
+    }
+
+    #[test]
+    fn full_grid_box_is_one_cluster() {
+        // A box covering the whole grid is a single run for any
+        // bijective curve.
+        for k in CurveKind::FIGURE1 {
+            let c = k.build(2, 2).unwrap();
+            assert_eq!(mean_clusters(c.as_ref(), 4).unwrap(), 1.0, "{k}");
+        }
+    }
+
+    #[test]
+    fn unit_boxes_are_single_clusters() {
+        let c = CurveKind::Gray.build(3, 2).unwrap();
+        assert_eq!(mean_clusters(c.as_ref(), 1).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The Z-order (Morton) curve.
+//!
+//! Coordinates are bit-interleaved into the index directly — no Gray
+//! re-coding, no Hilbert rotations. The curve draws the familiar
+//! recursive "Z" / "N" shapes: excellent for index construction (the
+//! mapping is a couple of shifts per bit) but with long diagonal jumps at
+//! block boundaries, which is why the scheduling paper's catalogue favors
+//! Gray and Hilbert for locality and the Diagonal for fairness. Included
+//! here as the baseline the database-indexing literature always compares
+//! against.
+
+use crate::curve::{check_point, check_radix2, InvertibleCurve, SfcError, SpaceFillingCurve};
+
+/// The Z-order (Morton) curve. See module docs.
+#[derive(Debug, Clone)]
+pub struct ZOrder {
+    dims: u32,
+    bits: u32,
+    side: u64,
+}
+
+impl ZOrder {
+    /// Build a Z-order curve over `dims` dimensions with side `2^bits`.
+    pub fn new(dims: u32, bits: u32) -> Result<Self, SfcError> {
+        let side = check_radix2(dims, bits)?;
+        Ok(ZOrder { dims, bits, side })
+    }
+}
+
+impl SpaceFillingCurve for ZOrder {
+    fn name(&self) -> &'static str {
+        "z-order"
+    }
+
+    fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    fn side(&self) -> u64 {
+        self.side
+    }
+
+    fn index(&self, point: &[u64]) -> u128 {
+        check_point("z-order", self.dims, self.side, point);
+        let mut w: u128 = 0;
+        for level in (0..self.bits).rev() {
+            for &c in point {
+                w = (w << 1) | ((c >> level) & 1) as u128;
+            }
+        }
+        w
+    }
+}
+
+impl InvertibleCurve for ZOrder {
+    fn point(&self, index: u128, out: &mut [u64]) {
+        assert!(index < self.cells(), "z-order: index out of range");
+        assert_eq!(out.len(), self.dims as usize);
+        out.iter_mut().for_each(|c| *c = 0);
+        let mut pos = self.bits * self.dims;
+        for level in (0..self.bits).rev() {
+            for c in out.iter_mut() {
+                pos -= 1;
+                *c |= (((index >> pos) & 1) as u64) << level;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_shape_2d() {
+        // The canonical 2x2 Z: (0,0), (0,1), (1,0), (1,1) with dim 0 as
+        // the most significant bit of each level.
+        let z = ZOrder::new(2, 1).unwrap();
+        assert_eq!(z.index(&[0, 0]), 0);
+        assert_eq!(z.index(&[0, 1]), 1);
+        assert_eq!(z.index(&[1, 0]), 2);
+        assert_eq!(z.index(&[1, 1]), 3);
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let z = ZOrder::new(3, 3).unwrap();
+        let mut p = vec![0u64; 3];
+        for i in 0..z.cells() {
+            z.point(i, &mut p);
+            assert_eq!(z.index(&p), i);
+        }
+    }
+
+    #[test]
+    fn bijective_4d() {
+        let z = ZOrder::new(4, 2).unwrap();
+        assert!(crate::quality::is_bijective(&z).unwrap());
+    }
+
+    #[test]
+    fn has_the_famous_jumps() {
+        // Z-order is not continuous: block boundaries jump diagonally.
+        let z = ZOrder::new(2, 3).unwrap();
+        let rep = crate::quality::continuity(&z).unwrap();
+        assert!(!rep.is_continuous());
+        assert!(rep.max_jump >= 4, "max jump {}", rep.max_jump);
+    }
+
+    #[test]
+    fn relates_to_gray_curve() {
+        // Gray = inverse-gray-code of the Morton word: same interleave,
+        // different rank.
+        let z = ZOrder::new(2, 2).unwrap();
+        let g = crate::Gray::new(2, 2).unwrap();
+        for x in 0..4u64 {
+            for y in 0..4 {
+                let zi = z.index(&[x, y]);
+                let gi = g.index(&[x, y]);
+                // gray(gi) == zi by construction.
+                assert_eq!(crate::gray::gray(gi), zi, "at ({x},{y})");
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Post-run analysis over per-request logs (see
+//! [`crate::simulate_logged`]): response-time distributions and
+//! per-quantile summaries, the standard complement to the paper's
+//! aggregate metrics.
+
+use crate::engine::RequestRecord;
+use sched::Micros;
+
+/// Response-time distribution summary of one logged run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseSummary {
+    /// Served requests contributing to the distribution.
+    pub served: u64,
+    /// Requests dropped unserved.
+    pub dropped: u64,
+    /// Median response (µs).
+    pub p50_us: Micros,
+    /// 95th percentile response (µs).
+    pub p95_us: Micros,
+    /// 99th percentile response (µs).
+    pub p99_us: Micros,
+    /// Maximum response (µs).
+    pub max_us: Micros,
+    /// Mean response (µs).
+    pub mean_us: f64,
+}
+
+/// Response time of a served record.
+fn response(r: &RequestRecord) -> Option<Micros> {
+    r.completion_us.map(|c| c - r.arrival_us)
+}
+
+/// The response at quantile `q ∈ [0, 1]` (nearest-rank), or `None` when
+/// nothing was served.
+pub fn response_percentile(log: &[RequestRecord], q: f64) -> Option<Micros> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut responses: Vec<Micros> = log.iter().filter_map(response).collect();
+    if responses.is_empty() {
+        return None;
+    }
+    responses.sort_unstable();
+    let rank = ((q * responses.len() as f64).ceil() as usize)
+        .clamp(1, responses.len());
+    Some(responses[rank - 1])
+}
+
+/// Summarize a logged run; `None` when nothing was served.
+pub fn summarize(log: &[RequestRecord]) -> Option<ResponseSummary> {
+    let responses: Vec<Micros> = log.iter().filter_map(response).collect();
+    if responses.is_empty() {
+        return None;
+    }
+    let dropped = log.iter().filter(|r| r.completion_us.is_none()).count() as u64;
+    let total: u128 = responses.iter().map(|&r| r as u128).sum();
+    Some(ResponseSummary {
+        served: responses.len() as u64,
+        dropped,
+        p50_us: response_percentile(log, 0.50).unwrap(),
+        p95_us: response_percentile(log, 0.95).unwrap(),
+        p99_us: response_percentile(log, 0.99).unwrap(),
+        max_us: *responses.iter().max().unwrap(),
+        mean_us: total as f64 / responses.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, arrival: Micros, completion: Option<Micros>) -> RequestRecord {
+        RequestRecord {
+            id,
+            arrival_us: arrival,
+            completion_us: completion,
+            lost: completion.is_none(),
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        // Responses 10, 20, ..., 100.
+        let log: Vec<RequestRecord> = (1..=10)
+            .map(|i| rec(i, 0, Some(i * 10)))
+            .collect();
+        assert_eq!(response_percentile(&log, 0.50), Some(50));
+        assert_eq!(response_percentile(&log, 0.95), Some(100));
+        assert_eq!(response_percentile(&log, 0.0), Some(10));
+        assert_eq!(response_percentile(&log, 1.0), Some(100));
+    }
+
+    #[test]
+    fn summary_ignores_drops_but_counts_them() {
+        let mut log: Vec<RequestRecord> = (1..=4).map(|i| rec(i, 0, Some(i * 100))).collect();
+        log.push(rec(5, 0, None));
+        let s = summarize(&log).unwrap();
+        assert_eq!(s.served, 4);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.max_us, 400);
+        assert!((s.mean_us - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_yields_none() {
+        assert!(summarize(&[]).is_none());
+        assert_eq!(response_percentile(&[], 0.5), None);
+        let only_drops = vec![rec(1, 0, None)];
+        assert!(summarize(&only_drops).is_none());
+    }
+
+    #[test]
+    fn end_to_end_with_logged_simulation() {
+        use crate::{simulate_logged, SimOptions, TransferDominated};
+        use sched::{Fcfs, QosVector, Request};
+        let trace: Vec<Request> = (0..10)
+            .map(|i| Request::read(i, 0, u64::MAX, 0, 512, QosVector::none()))
+            .collect();
+        let mut service = TransferDominated::uniform(1_000, 100);
+        let (_, log) = simulate_logged(
+            &mut Fcfs::new(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 2),
+        );
+        let s = summarize(&log).unwrap();
+        // FCFS on a batch: responses 1, 2, ..., 10 ms.
+        assert_eq!(s.p50_us, 5_000);
+        assert_eq!(s.max_us, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_range_checked() {
+        response_percentile(&[], 1.5);
+    }
+}

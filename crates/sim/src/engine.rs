@@ -1,0 +1,399 @@
+//! The discrete-event simulation loop.
+//!
+//! One disk, one scheduler, one pre-generated arrival trace. The loop
+//! alternates between delivering arrivals to the scheduler (at their
+//! arrival times, with the head state of that moment) and letting the
+//! disk serve the scheduler's next pick. Priority inversions are counted
+//! at each service start against the requests still waiting, per the
+//! paper's definition.
+
+use crate::metrics::Metrics;
+use crate::service::ServiceProvider;
+use sched::{DiskScheduler, HeadState, Micros, Request};
+
+/// Simulation policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Drop requests whose deadline has already passed when they are
+    /// dispatched, without serving them (§6: "a request not serviced
+    /// prior to this deadline is considered lost"). When `false`, late
+    /// requests are still served and counted as late.
+    pub drop_past_due: bool,
+    /// Count priority inversions (the dominant per-service cost; disable
+    /// for throughput benchmarks).
+    pub count_inversions: bool,
+    /// QoS dimensions to track in the metrics.
+    pub dims: usize,
+    /// Priority levels per dimension to track in the metrics.
+    pub levels: usize,
+    /// Warm-up window (µs): requests *arriving* before this instant are
+    /// simulated normally but excluded from every metric, so steady-state
+    /// measurements are not polluted by the empty-queue start-up
+    /// transient.
+    pub warmup_us: Micros,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            drop_past_due: false,
+            count_inversions: true,
+            dims: sched::MAX_QOS_DIMS,
+            levels: 16,
+            warmup_us: 0,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Track `dims` dimensions of `levels` levels.
+    pub fn with_shape(dims: usize, levels: usize) -> Self {
+        SimOptions {
+            dims,
+            levels,
+            ..Default::default()
+        }
+    }
+
+    /// Enable §6-style dropping of past-due requests.
+    pub fn dropping(mut self) -> Self {
+        self.drop_past_due = true;
+        self
+    }
+
+    /// Disable inversion accounting (for throughput benchmarks).
+    pub fn without_inversions(mut self) -> Self {
+        self.count_inversions = false;
+        self
+    }
+
+    /// Exclude requests arriving before `warmup_us` from the metrics.
+    pub fn with_warmup(mut self, warmup_us: Micros) -> Self {
+        self.warmup_us = warmup_us;
+        self
+    }
+}
+
+/// The fate of one request, produced by [`simulate_logged`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Request id from the trace.
+    pub id: u64,
+    /// Arrival time (µs).
+    pub arrival_us: Micros,
+    /// Completion time (µs); `None` when the request was dropped unserved.
+    pub completion_us: Option<Micros>,
+    /// Whether the deadline was lost (dropped, or completed late).
+    pub lost: bool,
+}
+
+/// Run `scheduler` over `trace` against `service`; returns the metrics.
+///
+/// The trace must be sorted by arrival time (see
+/// [`workload::validate_trace`]); ids need not be dense.
+pub fn simulate(
+    scheduler: &mut dyn DiskScheduler,
+    trace: &[Request],
+    service: &mut dyn ServiceProvider,
+    options: SimOptions,
+) -> Metrics {
+    simulate_inner(scheduler, trace, service, options, None)
+}
+
+/// Like [`simulate`], additionally returning one [`RequestRecord`] per
+/// request in service order (dropped requests included) — the raw
+/// material for response-time distributions and per-request analysis.
+pub fn simulate_logged(
+    scheduler: &mut dyn DiskScheduler,
+    trace: &[Request],
+    service: &mut dyn ServiceProvider,
+    options: SimOptions,
+) -> (Metrics, Vec<RequestRecord>) {
+    let mut log = Vec::with_capacity(trace.len());
+    let m = simulate_inner(scheduler, trace, service, options, Some(&mut log));
+    (m, log)
+}
+
+fn simulate_inner(
+    scheduler: &mut dyn DiskScheduler,
+    trace: &[Request],
+    service: &mut dyn ServiceProvider,
+    options: SimOptions,
+    mut log: Option<&mut Vec<RequestRecord>>,
+) -> Metrics {
+    let mut metrics = Metrics::new(options.dims, options.levels);
+    let cylinders = service.cylinders();
+    let mut now: Micros = 0;
+    let mut next_arrival = 0usize;
+
+    let measured = |r: &Request| r.arrival_us >= options.warmup_us;
+    for r in trace.iter().filter(|r| measured(r)) {
+        metrics.record_request(r);
+    }
+
+    loop {
+        // Deliver every arrival up to `now`.
+        while next_arrival < trace.len() && trace[next_arrival].arrival_us <= now {
+            let r = trace[next_arrival].clone();
+            let head = HeadState::new(service.head(), r.arrival_us, cylinders);
+            scheduler.enqueue(r, &head);
+            next_arrival += 1;
+        }
+
+        let head = HeadState::new(service.head(), now, cylinders);
+        match scheduler.dequeue(&head) {
+            Some(req) => {
+                let in_window = measured(&req);
+                if options.drop_past_due && req.is_late(now) {
+                    if in_window {
+                        metrics.dropped += 1;
+                        metrics.record_loss(&req);
+                    }
+                    if let Some(log) = log.as_mut() {
+                        log.push(RequestRecord {
+                            id: req.id,
+                            arrival_us: req.arrival_us,
+                            completion_us: None,
+                            lost: true,
+                        });
+                    }
+                    continue;
+                }
+                if options.count_inversions && in_window {
+                    count_inversions(scheduler, &req, &mut metrics);
+                }
+                let breakdown = service.service(&req);
+                now += breakdown.total_us();
+                let late = req.is_late(now);
+                if in_window {
+                    metrics.seek_us += breakdown.seek_us;
+                    metrics.rotation_us += breakdown.rotation_us;
+                    metrics.transfer_us += breakdown.transfer_us;
+                    metrics.served += 1;
+                    let response = now - req.arrival_us;
+                    metrics.response_total_us += response as u128;
+                    metrics.max_response_us = metrics.max_response_us.max(response);
+                    metrics.makespan_us = now;
+                    if late {
+                        metrics.late += 1;
+                        metrics.record_loss(&req);
+                    }
+                }
+                if let Some(log) = log.as_mut() {
+                    log.push(RequestRecord {
+                        id: req.id,
+                        arrival_us: req.arrival_us,
+                        completion_us: Some(now),
+                        lost: late,
+                    });
+                }
+            }
+            None => {
+                // Idle: jump to the next arrival, or finish.
+                if next_arrival < trace.len() {
+                    now = now.max(trace[next_arrival].arrival_us);
+                } else if scheduler.is_empty() {
+                    break;
+                } else {
+                    unreachable!("scheduler returned None while non-empty");
+                }
+            }
+        }
+    }
+    metrics
+}
+
+/// §5.1: serving `served` adds, per dimension, the number of waiting
+/// requests with strictly higher priority in that dimension.
+fn count_inversions(scheduler: &dyn DiskScheduler, served: &Request, metrics: &mut Metrics) {
+    let dims = served.qos.dims().min(metrics.inversions_per_dim.len());
+    if dims == 0 {
+        return;
+    }
+    let mut per_dim = vec![0u64; dims];
+    scheduler.for_each_pending(&mut |waiting: &Request| {
+        for (k, slot) in per_dim.iter_mut().enumerate() {
+            if waiting.qos.dims() > k && waiting.qos.beats_in_dim(&served.qos, k) {
+                *slot += 1;
+            }
+        }
+    });
+    for (k, v) in per_dim.into_iter().enumerate() {
+        metrics.inversions_per_dim[k] += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::TransferDominated;
+    use sched::{Edf, Fcfs, QosVector, Sstf};
+
+    fn req(id: u64, arrival: Micros, deadline: Micros, cyl: u32, qos: &[u8]) -> Request {
+        Request::read(id, arrival, deadline, cyl, 512, QosVector::new(qos))
+    }
+
+    #[test]
+    fn serves_everything_once() {
+        let trace: Vec<Request> = (0..20)
+            .map(|i| req(i, i * 1_000, u64::MAX, (i * 100 % 3832) as u32, &[0]))
+            .collect();
+        let mut service = TransferDominated::uniform(5_000, 3832);
+        let m = simulate(
+            &mut Fcfs::new(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 16),
+        );
+        assert_eq!(m.served, 20);
+        assert_eq!(m.dropped, 0);
+        assert!(m.makespan_us >= 20 * 5_000);
+    }
+
+    #[test]
+    fn fcfs_has_no_arrival_inversion_but_priority_inversion_exists() {
+        // Alternating priorities: FCFS serves in arrival order, so the
+        // later high-priority requests wait behind low-priority ones.
+        let trace: Vec<Request> = (0..10)
+            .map(|i| req(i, 0, u64::MAX, 0, &[(i % 2) as u8]))
+            .collect();
+        let mut service = TransferDominated::uniform(1_000, 3832);
+        let m = simulate(
+            &mut Fcfs::new(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 2),
+        );
+        assert!(m.inversions_per_dim[0] > 0);
+    }
+
+    #[test]
+    fn edf_misses_fewer_deadlines_than_fcfs_under_pressure() {
+        // Deadlines force reordering: the i-th request has deadline
+        // inversely related to arrival.
+        let n = 40u64;
+        let trace: Vec<Request> = (0..n)
+            .map(|i| {
+                let deadline = 1_000 + (n - i) * 2_000;
+                req(i, i * 10, deadline, 0, &[0])
+            })
+            .collect();
+        let run = |s: &mut dyn DiskScheduler| {
+            let mut service = TransferDominated::uniform(1_500, 3832);
+            simulate(s, &trace, &mut service, SimOptions::with_shape(1, 2))
+        };
+        let fcfs = run(&mut Fcfs::new());
+        let edf = run(&mut Edf::new());
+        assert!(
+            edf.losses_total() <= fcfs.losses_total(),
+            "edf {} vs fcfs {}",
+            edf.losses_total(),
+            fcfs.losses_total()
+        );
+    }
+
+    #[test]
+    fn sstf_beats_fcfs_on_seek_time() {
+        let trace: Vec<Request> = (0..60)
+            .map(|i| req(i, 0, u64::MAX, ((i * 2711) % 3832) as u32, &[0]))
+            .collect();
+        let run = |s: &mut dyn DiskScheduler| {
+            let mut service = crate::DiskService::table1();
+            simulate(s, &trace, &mut service, SimOptions::with_shape(1, 2))
+        };
+        let fcfs = run(&mut Fcfs::new());
+        let sstf = run(&mut Sstf::new());
+        assert!(
+            sstf.seek_us < fcfs.seek_us / 2,
+            "sstf {} vs fcfs {}",
+            sstf.seek_us,
+            fcfs.seek_us
+        );
+    }
+
+    #[test]
+    fn drop_past_due_counts_losses() {
+        // Hopeless deadlines: everything arrives at once with 1 µs slack.
+        let trace: Vec<Request> = (0..10).map(|i| req(i, 0, 1, 0, &[0])).collect();
+        let mut service = TransferDominated::uniform(1_000, 3832);
+        let m = simulate(
+            &mut Fcfs::new(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 2).dropping(),
+        );
+        // The first is dispatched at t=0 (not yet late), the rest drop.
+        assert_eq!(m.served, 1);
+        assert_eq!(m.dropped, 9);
+        assert_eq!(m.losses_total(), 10); // the served one completed late
+    }
+
+    #[test]
+    fn warmup_excludes_early_arrivals() {
+        // 10 requests at t=0..9ms, warmup at 5ms: only the last 5 count.
+        let trace: Vec<Request> = (0..10)
+            .map(|i| req(i, i * 1_000, u64::MAX, 0, &[0]))
+            .collect();
+        let mut service = TransferDominated::uniform(500, 3832);
+        let m = simulate(
+            &mut Fcfs::new(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 2).with_warmup(5_000),
+        );
+        assert_eq!(m.served, 5);
+        assert_eq!(m.requests_by_dim_level[0][0], 5);
+    }
+
+    #[test]
+    fn logged_records_every_request_in_service_order() {
+        let trace: Vec<Request> = (0..8)
+            .map(|i| req(i, 0, u64::MAX, (i * 400) as u32, &[0]))
+            .collect();
+        let mut service = TransferDominated::uniform(1_000, 3832);
+        let mut s = Sstf::new();
+        let (m, log) = simulate_logged(
+            &mut s,
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 2),
+        );
+        assert_eq!(m.served, 8);
+        assert_eq!(log.len(), 8);
+        // Completion times are strictly increasing in service order.
+        let times: Vec<_> = log.iter().map(|r| r.completion_us.unwrap()).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        // SSTF from cylinder 0 serves in cylinder order here.
+        let ids: Vec<u64> = log.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+        assert!(log.iter().all(|r| !r.lost));
+    }
+
+    #[test]
+    fn logged_marks_drops() {
+        let trace: Vec<Request> = (0..5).map(|i| req(i, 0, 1, 0, &[0])).collect();
+        let mut service = TransferDominated::uniform(1_000, 3832);
+        let (m, log) = simulate_logged(
+            &mut Fcfs::new(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 2).dropping(),
+        );
+        assert_eq!(m.dropped, 4);
+        assert_eq!(log.iter().filter(|r| r.completion_us.is_none()).count(), 4);
+        assert!(log.iter().all(|r| r.lost));
+    }
+
+    #[test]
+    fn response_time_accumulates() {
+        let trace = vec![req(0, 0, u64::MAX, 0, &[0])];
+        let mut service = TransferDominated::uniform(7_000, 3832);
+        let m = simulate(
+            &mut Fcfs::new(),
+            &trace,
+            &mut service,
+            SimOptions::default(),
+        );
+        assert_eq!(m.mean_response_us(), 7_000.0);
+    }
+}

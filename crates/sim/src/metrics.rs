@@ -1,0 +1,259 @@
+//! The paper's evaluation metrics, accumulated per simulation run.
+
+use sched::{Micros, Request};
+
+/// Everything the paper measures, in one accumulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Requests actually serviced by the disk.
+    pub served: u64,
+    /// Requests dropped unserved because their deadline had already
+    /// passed at dispatch time (the §6 "lost" notion).
+    pub dropped: u64,
+    /// Requests whose service *completed* after their deadline.
+    pub late: u64,
+    /// Priority inversions per QoS dimension: serving `T` counts, for
+    /// each dimension `k`, the waiting requests with higher priority in
+    /// `k` (§5.1's definition).
+    pub inversions_per_dim: Vec<u64>,
+    /// Deadline losses (dropped + late) per `[dimension][priority level]`.
+    pub losses_by_dim_level: Vec<Vec<u64>>,
+    /// Requests per `[dimension][priority level]` (denominators for miss
+    /// ratios).
+    pub requests_by_dim_level: Vec<Vec<u64>>,
+    /// Total seek time (µs).
+    pub seek_us: Micros,
+    /// Total rotational latency (µs).
+    pub rotation_us: Micros,
+    /// Total transfer time (µs).
+    pub transfer_us: Micros,
+    /// Sum of response times (completion − arrival) over served requests.
+    pub response_total_us: u128,
+    /// Largest response time of any served request — the starvation
+    /// indicator the ER policy (§3.3) is designed to bound.
+    pub max_response_us: Micros,
+    /// Simulated time at which the last request completed.
+    pub makespan_us: Micros,
+}
+
+impl Metrics {
+    /// Accumulator sized for `dims` QoS dimensions of `levels` levels.
+    pub fn new(dims: usize, levels: usize) -> Self {
+        Metrics {
+            inversions_per_dim: vec![0; dims],
+            losses_by_dim_level: vec![vec![0; levels]; dims],
+            requests_by_dim_level: vec![vec![0; levels]; dims],
+            ..Default::default()
+        }
+    }
+
+    /// Record that `request` exists (fills the per-level denominators).
+    pub fn record_request(&mut self, request: &Request) {
+        for k in 0..self
+            .requests_by_dim_level
+            .len()
+            .min(request.qos.dims())
+        {
+            let level = request.qos.level(k) as usize;
+            if let Some(slot) = self.requests_by_dim_level[k].get_mut(level) {
+                *slot += 1;
+            }
+        }
+    }
+
+    /// Record a deadline loss (drop or late completion) for `request`.
+    pub fn record_loss(&mut self, request: &Request) {
+        for k in 0..self.losses_by_dim_level.len().min(request.qos.dims()) {
+            let level = request.qos.level(k) as usize;
+            if let Some(slot) = self.losses_by_dim_level[k].get_mut(level) {
+                *slot += 1;
+            }
+        }
+    }
+
+    /// Total priority inversions over all dimensions.
+    pub fn inversions_total(&self) -> u64 {
+        self.inversions_per_dim.iter().sum()
+    }
+
+    /// Total deadline losses (dropped + late completions).
+    pub fn losses_total(&self) -> u64 {
+        self.dropped + self.late
+    }
+
+    /// Total requests seen.
+    pub fn requests_total(&self) -> u64 {
+        self.served + self.dropped
+    }
+
+    /// Fraction of requests that lost their deadline.
+    pub fn loss_ratio(&self) -> f64 {
+        let n = self.requests_total();
+        if n == 0 {
+            0.0
+        } else {
+            self.losses_total() as f64 / n as f64
+        }
+    }
+
+    /// Mean response time over served requests, µs.
+    pub fn mean_response_us(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.response_total_us as f64 / self.served as f64
+        }
+    }
+
+    /// Standard deviation of per-dimension inversion counts — the paper's
+    /// fairness measure (Figure 7a): lower is fairer.
+    pub fn inversion_stddev(&self) -> f64 {
+        let d = self.inversions_per_dim.len();
+        if d == 0 {
+            return 0.0;
+        }
+        let mean = self.inversions_total() as f64 / d as f64;
+        let var = self
+            .inversions_per_dim
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / d as f64;
+        var.sqrt()
+    }
+
+    /// The most-favored dimension: index and inversion count of the
+    /// dimension with the fewest inversions (Figure 7b).
+    pub fn favored_dimension(&self) -> Option<(usize, u64)> {
+        self.inversions_per_dim
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(_, v)| v)
+    }
+
+    /// §6's aggregate cost: the weighted sum of per-level miss ratios on
+    /// QoS dimension `dim`, with weights decreasing linearly so that the
+    /// highest level costs `top_to_bottom` times the lowest (the paper
+    /// uses 11).
+    pub fn weighted_loss(&self, dim: usize, top_to_bottom: f64) -> f64 {
+        let levels = self.requests_by_dim_level[dim].len();
+        if levels == 0 {
+            return 0.0;
+        }
+        let mut cost = 0.0;
+        for level in 0..levels {
+            let r = self.requests_by_dim_level[dim][level];
+            if r == 0 {
+                continue;
+            }
+            let m = self.losses_by_dim_level[dim][level];
+            // Level 0 (highest priority) weight = top_to_bottom, lowest = 1.
+            let w = if levels == 1 {
+                top_to_bottom
+            } else {
+                top_to_bottom
+                    - (top_to_bottom - 1.0) * level as f64 / (levels as f64 - 1.0)
+            };
+            cost += w * m as f64 / r as f64;
+        }
+        cost
+    }
+
+    /// Total disk busy time, µs.
+    pub fn busy_us(&self) -> Micros {
+        self.seek_us + self.rotation_us + self.transfer_us
+    }
+
+    /// Disk utilization over the makespan.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_us == 0 {
+            0.0
+        } else {
+            self.busy_us() as f64 / self.makespan_us as f64
+        }
+    }
+}
+
+/// Convenience: run FCFS over a trace with the same service model factory
+/// and return its total inversions — the normalization denominator the
+/// paper uses everywhere ("as a percentage of the number of priority
+/// inversions that occurs in the FIFO policy").
+pub fn fifo_inversion_baseline(
+    trace: &[Request],
+    make_service: impl FnOnce() -> Box<dyn crate::ServiceProvider>,
+    options: crate::SimOptions,
+) -> u64 {
+    let mut fifo = sched::Fcfs::new();
+    let mut service = make_service();
+    let m = crate::simulate(&mut fifo, trace, service.as_mut(), options);
+    m.inversions_total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::QosVector;
+
+    fn req(levels: &[u8]) -> Request {
+        Request::read(0, 0, u64::MAX, 0, 512, QosVector::new(levels))
+    }
+
+    #[test]
+    fn record_and_totals() {
+        let mut m = Metrics::new(2, 8);
+        m.record_request(&req(&[0, 7]));
+        m.record_request(&req(&[3, 3]));
+        m.record_loss(&req(&[0, 7]));
+        assert_eq!(m.requests_by_dim_level[0][0], 1);
+        assert_eq!(m.requests_by_dim_level[1][7], 1);
+        assert_eq!(m.losses_by_dim_level[0][0], 1);
+        assert_eq!(m.losses_by_dim_level[1][7], 1);
+    }
+
+    #[test]
+    fn stddev_zero_when_balanced() {
+        let mut m = Metrics::new(3, 4);
+        m.inversions_per_dim = vec![10, 10, 10];
+        assert_eq!(m.inversion_stddev(), 0.0);
+        m.inversions_per_dim = vec![0, 10, 20];
+        assert!(m.inversion_stddev() > 0.0);
+        assert_eq!(m.favored_dimension(), Some((0, 0)));
+    }
+
+    #[test]
+    fn weighted_loss_prefers_low_priority_losses() {
+        // Two schedulers, same total losses; one loses high-priority
+        // requests, the other low-priority ones.
+        let mut loses_high = Metrics::new(1, 8);
+        let mut loses_low = Metrics::new(1, 8);
+        for level in 0..8u8 {
+            for _ in 0..10 {
+                loses_high.record_request(&req(&[level]));
+                loses_low.record_request(&req(&[level]));
+            }
+        }
+        for _ in 0..5 {
+            loses_high.record_loss(&req(&[0]));
+            loses_low.record_loss(&req(&[7]));
+        }
+        assert!(loses_high.weighted_loss(0, 11.0) > loses_low.weighted_loss(0, 11.0));
+        // Ratio should be about 11:1.
+        let ratio = loses_high.weighted_loss(0, 11.0) / loses_low.weighted_loss(0, 11.0);
+        assert!((10.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn loss_ratio_and_utilization() {
+        let mut m = Metrics::new(1, 2);
+        m.served = 8;
+        m.dropped = 2;
+        m.late = 1;
+        assert_eq!(m.requests_total(), 10);
+        assert!((m.loss_ratio() - 0.3).abs() < 1e-12);
+        m.seek_us = 100;
+        m.transfer_us = 400;
+        m.makespan_us = 1000;
+        assert!((m.utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Service-time models the simulator can drive schedulers against.
+
+use diskmodel::{Disk, ServiceBreakdown};
+use sched::{Micros, Request};
+
+/// Something that can serve a request and report where its head is.
+pub trait ServiceProvider {
+    /// Current head cylinder.
+    fn head(&self) -> u32;
+    /// Number of cylinders (for [`sched::HeadState`]).
+    fn cylinders(&self) -> u32;
+    /// Serve `req`, advancing internal state; returns the time breakdown.
+    fn service(&mut self, req: &Request) -> ServiceBreakdown;
+}
+
+/// The full Table-1 disk model (seek + tracked rotation + zoned transfer).
+pub struct DiskService {
+    disk: Disk,
+}
+
+impl DiskService {
+    /// Wrap a disk.
+    pub fn new(disk: Disk) -> Self {
+        DiskService { disk }
+    }
+
+    /// The paper's Table-1 disk.
+    pub fn table1() -> Self {
+        DiskService::new(Disk::table1())
+    }
+
+    /// Access the underlying disk (e.g. for statistics).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+}
+
+impl ServiceProvider for DiskService {
+    fn head(&self) -> u32 {
+        self.disk.head()
+    }
+
+    fn cylinders(&self) -> u32 {
+        self.disk.geometry().cylinders()
+    }
+
+    fn service(&mut self, req: &Request) -> ServiceBreakdown {
+        self.disk.service(req.cylinder, req.bytes)
+    }
+}
+
+/// The transfer-dominated model of Figures 5–9: seek and rotation are
+/// negligible, service time is `fixed_us + bytes · ns_per_byte`. The head
+/// still tracks the served cylinder so SFC3/SCAN decisions remain
+/// meaningful when mixed configurations are tested.
+pub struct TransferDominated {
+    head: u32,
+    cylinders: u32,
+    fixed_us: Micros,
+    ns_per_byte: u64,
+}
+
+impl TransferDominated {
+    /// Every request takes exactly `per_request_us`.
+    pub fn uniform(per_request_us: Micros, cylinders: u32) -> Self {
+        TransferDominated {
+            head: 0,
+            cylinders,
+            fixed_us: per_request_us,
+            ns_per_byte: 0,
+        }
+    }
+
+    /// Service proportional to the transfer size (the §5.2 setting where
+    /// high-priority requests are smaller and therefore faster):
+    /// `fixed_us + bytes·ns_per_byte/1000` µs.
+    pub fn scaled(fixed_us: Micros, ns_per_byte: u64, cylinders: u32) -> Self {
+        TransferDominated {
+            head: 0,
+            cylinders,
+            fixed_us,
+            ns_per_byte,
+        }
+    }
+}
+
+impl ServiceProvider for TransferDominated {
+    fn head(&self) -> u32 {
+        self.head
+    }
+
+    fn cylinders(&self) -> u32 {
+        self.cylinders
+    }
+
+    fn service(&mut self, req: &Request) -> ServiceBreakdown {
+        self.head = req.cylinder;
+        ServiceBreakdown {
+            seek_us: 0,
+            rotation_us: 0,
+            transfer_us: self.fixed_us + req.bytes * self.ns_per_byte / 1000,
+        }
+    }
+}
+
+/// A RAID-5 group behind the scheduler, as in the PanaViss server.
+///
+/// The request's cylinder is reinterpreted as a logical stripe position:
+/// reads touch the data disk owning that block, writes take the
+/// read-modify-write path on the data and parity members. Head state
+/// reported to the scheduler is the *data-path member average* — a
+/// deliberate simplification (per-member scheduling is outside the
+/// paper's scope; its experiments schedule a single disk and size the
+/// workload to one member's share, see `workload::NewsByteConfig`).
+pub struct Raid5Service {
+    raid: diskmodel::Raid5,
+    block_bytes: u64,
+    last_cylinder: u32,
+}
+
+impl Raid5Service {
+    /// The paper's 4+1 group of Table-1 disks with 64-KB blocks.
+    pub fn table1() -> Self {
+        Raid5Service {
+            raid: diskmodel::Raid5::table1(),
+            block_bytes: 64 * 1024,
+            last_cylinder: 0,
+        }
+    }
+
+    /// Access the underlying array.
+    pub fn raid(&self) -> &diskmodel::Raid5 {
+        &self.raid
+    }
+}
+
+impl ServiceProvider for Raid5Service {
+    fn head(&self) -> u32 {
+        self.last_cylinder
+    }
+
+    fn cylinders(&self) -> u32 {
+        self.raid.disk(0).geometry().cylinders()
+    }
+
+    fn service(&mut self, req: &Request) -> ServiceBreakdown {
+        self.last_cylinder = req.cylinder;
+        let lba = req.cylinder as u64;
+        match req.kind {
+            sched::OpKind::Read => {
+                let blocks = req.bytes.div_ceil(self.block_bytes).max(1);
+                let mut total = ServiceBreakdown::default();
+                for i in 0..blocks {
+                    let b = self.raid.read(lba + i, self.block_bytes.min(req.bytes));
+                    total.seek_us += b.seek_us;
+                    total.rotation_us += b.rotation_us;
+                    total.transfer_us += b.transfer_us;
+                }
+                total
+            }
+            sched::OpKind::Write => {
+                let us = self.raid.write(lba, self.block_bytes.min(req.bytes.max(1)));
+                // The RMW path has no clean per-phase split; report it as
+                // transfer time.
+                ServiceBreakdown {
+                    seek_us: 0,
+                    rotation_us: 0,
+                    transfer_us: us,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::QosVector;
+
+    fn req(cyl: u32, bytes: u64) -> Request {
+        Request::read(0, 0, u64::MAX, cyl, bytes, QosVector::none())
+    }
+
+    #[test]
+    fn transfer_dominated_uniform() {
+        let mut s = TransferDominated::uniform(20_000, 3832);
+        let b = s.service(&req(100, 64 * 1024));
+        assert_eq!(b.total_us(), 20_000);
+        assert_eq!(s.head(), 100);
+    }
+
+    #[test]
+    fn transfer_dominated_scales_with_bytes() {
+        // 150 ns/byte ≈ 6.7 MB/s.
+        let mut s = TransferDominated::scaled(1_000, 150, 3832);
+        let small = s.service(&req(0, 16 * 1024)).total_us();
+        let large = s.service(&req(0, 128 * 1024)).total_us();
+        assert!(large > 7 * small / 2, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn raid_service_reads_and_writes() {
+        let mut s = Raid5Service::table1();
+        let read = s.service(&req(100, 64 * 1024));
+        assert!(read.total_us() > 0);
+        assert_eq!(s.head(), 100);
+        let mut w = Request::read(1, 0, u64::MAX, 200, 64 * 1024, QosVector::none());
+        w.kind = sched::OpKind::Write;
+        let write = s.service(&w);
+        assert!(
+            write.total_us() > read.total_us(),
+            "RMW write {} should cost more than a read {}",
+            write.total_us(),
+            read.total_us()
+        );
+    }
+
+    #[test]
+    fn raid_large_read_spans_blocks() {
+        let mut s = Raid5Service::table1();
+        let one = s.service(&req(0, 64 * 1024)).total_us();
+        let four = s.service(&req(0, 256 * 1024)).total_us();
+        assert!(four > 2 * one, "4-block read {four} vs 1-block {one}");
+    }
+
+    #[test]
+    fn disk_service_moves_head() {
+        let mut s = DiskService::table1();
+        s.service(&req(1234, 512));
+        assert_eq!(s.head(), 1234);
+        assert_eq!(s.cylinders(), 3832);
+        assert_eq!(s.disk().stats().requests, 1);
+    }
+}

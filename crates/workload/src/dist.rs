@@ -1,0 +1,120 @@
+//! Distribution primitives derived from a uniform source.
+//!
+//! Exponential (inverse transform), normal (Box–Muller), and truncated
+//! discrete-normal level assignment — everything the paper's workloads
+//! need, without pulling a distributions crate.
+
+use rand::Rng;
+
+/// Exponentially distributed duration with the given mean, in µs
+/// (inverse-transform sampling). Used for Poisson interarrival gaps.
+pub fn exp_us<R: Rng>(rng: &mut R, mean_us: u64) -> u64 {
+    // Avoid ln(0); 1 - U is in (0, 1].
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    let x = -(mean_us as f64) * u.ln();
+    // Clamp at 100× the mean: the tail beyond is astronomically unlikely
+    // and would distort integer time arithmetic.
+    x.min(mean_us as f64 * 100.0).round() as u64
+}
+
+/// Standard-normal sample via the Box–Muller transform.
+pub fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with mean `mu` and standard deviation `sigma`.
+pub fn normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * std_normal(rng)
+}
+
+/// A priority level in `0..levels` following a (truncated, rounded) normal
+/// distribution centred on the middle level — the paper's §6 setting
+/// ("a normal distribution of requests across the different levels").
+pub fn normal_level<R: Rng>(rng: &mut R, levels: u8) -> u8 {
+    assert!(levels > 0);
+    let mu = (levels as f64 - 1.0) / 2.0;
+    // ±3σ spans the level range.
+    let sigma = (levels as f64 / 6.0).max(0.5);
+    let x = normal(rng, mu, sigma).round();
+    x.clamp(0.0, levels as f64 - 1.0) as u8
+}
+
+/// A uniform priority level in `0..levels`.
+pub fn uniform_level<R: Rng>(rng: &mut R, levels: u8) -> u8 {
+    assert!(levels > 0);
+    rng.gen_range(0..levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = 25_000u64;
+        let total: u64 = (0..n).map(|_| exp_us(&mut r, mean)).sum();
+        let emp = total as f64 / n as f64;
+        assert!(
+            (emp - mean as f64).abs() < mean as f64 * 0.03,
+            "empirical mean {emp}"
+        );
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_levels_centred_and_bounded() {
+        let mut r = rng();
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[normal_level(&mut r, 8) as usize] += 1;
+        }
+        // Middle levels dominate, edges are rare but present.
+        assert!(counts[3] + counts[4] > counts[0] + counts[7]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn uniform_levels_flat() {
+        let mut r = rng();
+        let mut counts = [0u32; 16];
+        for _ in 0..160_000 {
+            counts[uniform_level(&mut r, 16) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = {
+            let mut r = rng();
+            (0..10).map(|_| exp_us(&mut r, 1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng();
+            (0..10).map(|_| exp_us(&mut r, 1000)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

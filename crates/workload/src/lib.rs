@@ -1,0 +1,95 @@
+//! # workload — multimedia request-stream generators
+//!
+//! Synthetic workloads matching the paper's experimental setups:
+//!
+//! * [`PoissonConfig`] — the §5 micro-benchmarks: Poisson arrivals with a
+//!   configurable mean interarrival time, `D` priority dimensions with
+//!   uniform or normal level assignment, uniform deadline windows, uniform
+//!   cylinders, and priority-dependent request sizes ("high priority
+//!   requests are smaller", §5.2).
+//! * [`VodConfig`] — classic video-on-demand: free-running periodic
+//!   streams with sequential layout and one-period deadlines.
+//! * [`NewsByteConfig`] — the §6 non-linear-editing server: 68–91 users
+//!   each streaming MPEG-1 at 1.5 Mb/s in periodic bursts of 64-KB block
+//!   requests (striped over a 4-data-disk RAID-5, so one simulated disk
+//!   sees a quarter of the blocks), 8 priority levels with a normal
+//!   distribution, deadlines uniform in 75–150 ms, and a read/write mix.
+//!
+//! All generators are fully deterministic given a seed. The distribution
+//! primitives in [`dist`] are derived from `rand`'s uniform source, so no
+//! extra distribution crates are needed.
+//!
+//! ```
+//! use workload::{PoissonConfig, validate_trace};
+//!
+//! let trace = PoissonConfig::figure5(4, 100).generate(42);
+//! assert_eq!(trace.len(), 100);
+//! assert!(validate_trace(&trace));
+//! assert_eq!(trace, PoissonConfig::figure5(4, 100).generate(42)); // deterministic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod io;
+mod newsbyte;
+mod poisson;
+mod vod;
+
+pub use newsbyte::NewsByteConfig;
+pub use poisson::{DeadlineDist, LevelDist, PoissonConfig, Sizing};
+pub use vod::VodConfig;
+
+use sched::Request;
+
+/// A generated trace: requests sorted by arrival time.
+pub type Trace = Vec<Request>;
+
+/// Check a trace invariant used across the test-suite: arrivals sorted,
+/// ids unique and dense.
+pub fn validate_trace(trace: &Trace) -> bool {
+    trace.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us)
+        && trace
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.id == i as u64)
+}
+
+/// Merge several traces into one (mixed workloads, e.g. VoD streams plus
+/// best-effort FTP): arrivals interleave by time and ids are re-assigned
+/// densely in the merged order. Stable: equal arrival times keep the
+/// input-trace order.
+pub fn merge_traces(traces: Vec<Trace>) -> Trace {
+    let mut merged: Vec<Request> = traces.into_iter().flatten().collect();
+    merged.sort_by_key(|r| r.arrival_us);
+    for (i, r) in merged.iter_mut().enumerate() {
+        r.id = i as u64;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_interleaves_and_renumbers() {
+        let vod = VodConfig::mpeg1(4).generate(1);
+        let pois = {
+            let mut cfg = PoissonConfig::figure5(2, 200);
+            cfg.mean_interarrival_us = 100_000;
+            cfg.generate(2)
+        };
+        let total = vod.len() + pois.len();
+        let merged = merge_traces(vec![vod, pois]);
+        assert_eq!(merged.len(), total);
+        assert!(validate_trace(&merged));
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        assert!(merge_traces(vec![]).is_empty());
+        assert!(merge_traces(vec![vec![], vec![]]).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! The §5 micro-benchmark workload: Poisson arrivals over a QoS grid.
+
+use crate::dist;
+use crate::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sched::{Micros, QosVector, Request};
+
+/// How priority levels are assigned per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelDist {
+    /// Uniform over `0..levels` (the §5 experiments).
+    Uniform,
+    /// Truncated normal centred on the middle level (the §6 experiment).
+    Normal,
+}
+
+/// How deadlines are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineDist {
+    /// No real-time constraint (`deadline = ∞`) — the Figure 5–7 setting.
+    Relaxed,
+    /// Uniform offset from the arrival time, in µs — e.g. the paper's
+    /// 500–700 ms (§5.2) or 75–150 ms (§6).
+    Uniform {
+        /// Smallest offset.
+        lo_us: Micros,
+        /// Largest offset (inclusive).
+        hi_us: Micros,
+    },
+}
+
+/// How request sizes are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sizing {
+    /// Every request transfers the same number of bytes.
+    Fixed(u64),
+    /// §5.2's assumption: high-priority requests (audio/video chunks) are
+    /// small, low-priority ones (FTP transfers) are large. The size is
+    /// `base_bytes + level(dim 0) · per_level_bytes`.
+    PriorityScaled {
+        /// Size at the highest priority (level 0).
+        base_bytes: u64,
+        /// Extra bytes per priority level.
+        per_level_bytes: u64,
+    },
+}
+
+/// Configuration of the Poisson workload generator.
+#[derive(Debug, Clone)]
+pub struct PoissonConfig {
+    /// Mean interarrival time (the paper uses 25 ms for "normal load").
+    pub mean_interarrival_us: Micros,
+    /// Number of requests to generate.
+    pub count: usize,
+    /// Number of priority-like QoS dimensions.
+    pub dims: u32,
+    /// Priority levels per dimension (the paper uses 16, or 8 in §5.2/§6).
+    pub levels: u8,
+    /// Level assignment distribution.
+    pub level_dist: LevelDist,
+    /// Deadline assignment.
+    pub deadline: DeadlineDist,
+    /// Number of disk cylinders (targets are uniform over them).
+    pub cylinders: u32,
+    /// Request sizing.
+    pub sizing: Sizing,
+}
+
+impl PoissonConfig {
+    /// The Figure 5–7 setting: relaxed deadlines, transfer-dominated
+    /// blocks, 16 levels per dimension, 25 ms mean interarrival.
+    pub fn figure5(dims: u32, count: usize) -> Self {
+        PoissonConfig {
+            mean_interarrival_us: 25_000,
+            count,
+            dims,
+            levels: 16,
+            level_dist: LevelDist::Uniform,
+            deadline: DeadlineDist::Relaxed,
+            cylinders: 3832,
+            sizing: Sizing::Fixed(64 * 1024),
+        }
+    }
+
+    /// The Figure 8–9 setting: three priority dimensions of 8 levels,
+    /// deadlines 500–700 ms, priority-scaled request sizes.
+    pub fn figure8(count: usize) -> Self {
+        PoissonConfig {
+            mean_interarrival_us: 25_000,
+            count,
+            dims: 3,
+            levels: 8,
+            level_dist: LevelDist::Uniform,
+            deadline: DeadlineDist::Uniform {
+                lo_us: 500_000,
+                hi_us: 700_000,
+            },
+            cylinders: 3832,
+            sizing: Sizing::PriorityScaled {
+                base_bytes: 16 * 1024,
+                per_level_bytes: 24 * 1024,
+            },
+        }
+    }
+
+    /// Generate the trace deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!(self.dims as usize <= sched::MAX_QOS_DIMS);
+        assert!(self.levels > 0 && self.cylinders > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now: Micros = 0;
+        let mut trace = Vec::with_capacity(self.count);
+        for id in 0..self.count as u64 {
+            now += dist::exp_us(&mut rng, self.mean_interarrival_us);
+            let mut levels = [0u8; sched::MAX_QOS_DIMS];
+            for slot in levels.iter_mut().take(self.dims as usize) {
+                *slot = match self.level_dist {
+                    LevelDist::Uniform => dist::uniform_level(&mut rng, self.levels),
+                    LevelDist::Normal => dist::normal_level(&mut rng, self.levels),
+                };
+            }
+            let qos = QosVector::new(&levels[..self.dims as usize]);
+            let deadline = match self.deadline {
+                DeadlineDist::Relaxed => Micros::MAX,
+                DeadlineDist::Uniform { lo_us, hi_us } => {
+                    now + rng.gen_range(lo_us..=hi_us.max(lo_us))
+                }
+            };
+            let bytes = match self.sizing {
+                Sizing::Fixed(b) => b,
+                Sizing::PriorityScaled {
+                    base_bytes,
+                    per_level_bytes,
+                } => base_bytes + qos.level(0) as u64 * per_level_bytes,
+            };
+            let cylinder = rng.gen_range(0..self.cylinders);
+            trace.push(Request::read(id, now, deadline, cylinder, bytes, qos));
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_trace;
+
+    #[test]
+    fn figure5_trace_shape() {
+        let cfg = PoissonConfig::figure5(4, 2_000);
+        let t = cfg.generate(7);
+        assert_eq!(t.len(), 2_000);
+        assert!(validate_trace(&t));
+        assert!(t.iter().all(|r| r.qos.dims() == 4));
+        assert!(t.iter().all(|r| !r.has_deadline()));
+        assert!(t.iter().all(|r| r.cylinder < 3832));
+        assert!(t.iter().all(|r| r.qos.levels().iter().all(|&l| l < 16)));
+        // Mean interarrival ≈ 25 ms.
+        let span = t.last().unwrap().arrival_us as f64;
+        let mean = span / t.len() as f64;
+        assert!((20_000.0..30_000.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn figure8_deadlines_and_sizes() {
+        let cfg = PoissonConfig::figure8(1_000);
+        let t = cfg.generate(11);
+        for r in &t {
+            let offset = r.deadline_us - r.arrival_us;
+            assert!((500_000..=700_000).contains(&offset));
+            let expected = 16 * 1024 + r.qos.level(0) as u64 * 24 * 1024;
+            assert_eq!(r.bytes, expected);
+        }
+        // High priority (level 0) really is smaller than low (level 7).
+        let small = t.iter().find(|r| r.qos.level(0) == 0).unwrap();
+        let large = t.iter().find(|r| r.qos.level(0) == 7).unwrap();
+        assert!(small.bytes < large.bytes);
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_seeds() {
+        let cfg = PoissonConfig::figure5(2, 100);
+        assert_eq!(cfg.generate(1), cfg.generate(1));
+        assert_ne!(cfg.generate(1), cfg.generate(2));
+    }
+}

@@ -1,0 +1,60 @@
+//! Gallery of the paper's Figure-1 space-filling curves: draws each 2-D
+//! curve on an 8x8 grid as ASCII art (cell labels are curve positions in
+//! hex) and prints the geometric quality measures that explain their
+//! scheduling behaviour.
+//!
+//! ```text
+//! cargo run --release --example curve_gallery
+//! ```
+
+use cascaded_sfc::sfc::{quality, CurveKind, SpaceFillingCurve};
+
+fn draw(curve: &dyn SpaceFillingCurve) {
+    let side = curve.side();
+    // Print y from top (side-1) to bottom (0) so the origin is bottom-left.
+    for y in (0..side).rev() {
+        let mut line = String::new();
+        for x in 0..side {
+            let i = curve.index(&[x, y]);
+            line.push_str(&format!("{i:3x}"));
+        }
+        println!("  {line}");
+    }
+}
+
+fn main() {
+    for kind in CurveKind::ALL {
+        // Peano needs a radix-3 grid: order 2 gives 9x9; everything else
+        // gets 8x8 (order 3).
+        let order = if kind == CurveKind::Peano { 2 } else { 3 };
+        let curve = kind.build(2, order).expect("2-D curves always build");
+        println!(
+            "== {} ({}x{} grid) ==",
+            kind,
+            curve.side(),
+            curve.side()
+        );
+        draw(curve.as_ref());
+
+        let cont = quality::continuity(curve.as_ref()).expect("small grid");
+        let bias = quality::dimension_bias(curve.as_ref(), 4000);
+        println!(
+            "  continuous: {}   max jump: {}   mean jump: {:.2}",
+            cont.is_continuous(),
+            cont.max_jump,
+            cont.mean_jump
+        );
+        println!(
+            "  pairwise inversion rate per dimension: x {:.2}, y {:.2}",
+            bias.inversion_rate[0], bias.inversion_rate[1]
+        );
+        println!();
+    }
+    println!(
+        "Reading the numbers: a curve that never inverts a dimension (rate \
+         0.00) schedules it with absolute priority; the diagonal's equal \
+         rates are why it is the paper's fairest priority curve; and the \
+         continuous curves (scan, hilbert, spiral, peano) cluster nearby \
+         values — the property SFC3 uses to cluster nearby cylinders."
+    );
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration: every scheduler in the workspace driven by
+//! the simulator over every workload family, checking conservation,
+//! determinism and basic sanity — the contract the figure harnesses rely
+//! on.
+
+use cascaded_sfc::cascade::{CascadeConfig, CascadedSfc};
+use cascaded_sfc::sched::{
+    Batched, Bucket, CScan, Cello, CostModel, DeadlineDriven, DiskScheduler, Edf, Fcfs, FdScan,
+    MultiQueue, Scan, ScanEdf, ScanRt, Ssedo, Ssedv, Sstf,
+};
+use cascaded_sfc::sim::{simulate, DiskService, Metrics, SimOptions, TransferDominated};
+use cascaded_sfc::workload::{NewsByteConfig, PoissonConfig};
+
+/// Every scheduler in the workspace, freshly built.
+fn all_schedulers() -> Vec<Box<dyn DiskScheduler>> {
+    let cost = CostModel::table1;
+    vec![
+        Box::new(Fcfs::new()),
+        Box::new(Sstf::new()),
+        Box::new(Scan::new()),
+        Box::new(CScan::new()),
+        Box::new(Edf::new()),
+        Box::new(ScanEdf::new(20_000)),
+        Box::new(FdScan::new(cost())),
+        Box::new(ScanRt::new(cost())),
+        Box::new(Ssedo::new(0.5)),
+        Box::new(Ssedv::new(0.5, cost())),
+        Box::new(MultiQueue::new(0)),
+        Box::new(Bucket::new(1.0, 0.01, 8)),
+        Box::new(DeadlineDriven::new(cost())),
+        Box::new(Cello::realtime_throughput(cost())),
+        Box::new(Batched::new(CScan::new(), "batched-c-scan")),
+        Box::new(CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap()),
+    ]
+}
+
+fn poisson_trace(n: usize) -> Vec<cascaded_sfc::sched::Request> {
+    let mut wl = PoissonConfig::figure8(n);
+    wl.mean_interarrival_us = 15_000;
+    wl.generate(99)
+}
+
+#[test]
+fn every_scheduler_conserves_requests() {
+    let trace = poisson_trace(2_000);
+    for mut s in all_schedulers() {
+        let mut service = DiskService::table1();
+        let m = simulate(
+            s.as_mut(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(3, 8),
+        );
+        assert_eq!(
+            m.served + m.dropped,
+            trace.len() as u64,
+            "{} lost or duplicated requests",
+            s.name()
+        );
+        assert_eq!(m.dropped, 0, "{} dropped without drop_past_due", s.name());
+        assert!(m.makespan_us > 0);
+    }
+}
+
+#[test]
+fn every_scheduler_conserves_requests_with_dropping() {
+    let trace = poisson_trace(2_000);
+    for mut s in all_schedulers() {
+        let mut service = DiskService::table1();
+        let m = simulate(
+            s.as_mut(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(3, 8).dropping(),
+        );
+        assert_eq!(
+            m.served + m.dropped,
+            trace.len() as u64,
+            "{} lost requests under dropping",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let trace = poisson_trace(1_500);
+    let run = || {
+        let mut s = CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap();
+        let mut service = DiskService::table1();
+        simulate(
+            &mut s,
+            &trace,
+            &mut service,
+            SimOptions::with_shape(3, 8),
+        )
+    };
+    let a: Metrics = run();
+    let b: Metrics = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn newsbyte_workload_drives_all_schedulers() {
+    let mut wl = NewsByteConfig::paper(72);
+    wl.duration_us = 10_000_000;
+    let trace = wl.generate(5);
+    assert!(!trace.is_empty());
+    for mut s in all_schedulers() {
+        let mut service = DiskService::table1();
+        let m = simulate(
+            s.as_mut(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 8).dropping(),
+        );
+        assert_eq!(m.served + m.dropped, trace.len() as u64, "{}", s.name());
+    }
+}
+
+#[test]
+fn transfer_dominated_service_matches_disk_free_schedulers() {
+    // Under a uniform service model, total busy time is identical across
+    // policies — only waiting differs.
+    let trace = poisson_trace(1_000);
+    let mut totals = Vec::new();
+    for mut s in all_schedulers() {
+        let mut service = TransferDominated::uniform(10_000, 3832);
+        let m = simulate(
+            s.as_mut(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(3, 8),
+        );
+        totals.push((s.name().to_string(), m.busy_us()));
+    }
+    let first = totals[0].1;
+    for (name, busy) in &totals {
+        assert_eq!(*busy, first, "{name} busy time differs");
+    }
+}
+
+#[test]
+fn utilization_is_sane() {
+    let trace = poisson_trace(3_000);
+    let mut s = Sstf::new();
+    let mut service = DiskService::table1();
+    let m = simulate(
+        &mut s,
+        &trace,
+        &mut service,
+        SimOptions::with_shape(3, 8),
+    );
+    let u = m.utilization();
+    assert!(u > 0.3 && u <= 1.0, "utilization {u}");
+}

@@ -1,0 +1,136 @@
+//! Property-based stress: random traces through every scheduler against
+//! every service model, checking conservation, determinism and metric
+//! consistency — the "no scheduler panics, loses or duplicates a request
+//! under any input" contract.
+
+use cascaded_sfc::cascade::{CascadeConfig, CascadedSfc};
+use cascaded_sfc::sched::{
+    Batched, Bucket, CScan, Cello, CostModel, DeadlineDriven, DiskScheduler, Edf, Fcfs, FdScan,
+    MultiQueue, QosVector, Request, Scan, ScanEdf, ScanRt, Ssedo, Ssedv, Sstf,
+};
+use cascaded_sfc::sim::{
+    simulate, simulate_logged, DiskService, SimOptions, TransferDominated,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary (sorted, dense-id) trace of up to 120 requests
+/// with adversarial coordinates: simultaneous arrivals, zero/huge sizes,
+/// already-expired and relaxed deadlines, duplicate cylinders.
+fn arb_trace() -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec(
+        (
+            0u64..2_000_000,                      // arrival
+            prop::option::of(0u64..3_000_000),    // deadline offset (None = relaxed)
+            0u32..3832,                           // cylinder
+            prop::sample::select(vec![0u64, 1, 512, 4096, 65536, 1 << 20]),
+            prop::collection::vec(0u8..16, 0..4), // qos levels
+        ),
+        1..120,
+    )
+    .prop_map(|rows| {
+        let mut trace: Vec<Request> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (arrival, dl, cyl, bytes, qos))| {
+                let deadline = dl.map(|d| arrival + d).unwrap_or(u64::MAX);
+                Request::read(i as u64, arrival, deadline, cyl, bytes, QosVector::new(&qos))
+            })
+            .collect();
+        trace.sort_by_key(|r| (r.arrival_us, r.id));
+        for (i, r) in trace.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        trace
+    })
+}
+
+fn all_schedulers() -> Vec<Box<dyn DiskScheduler>> {
+    let cost = CostModel::table1;
+    vec![
+        Box::new(Fcfs::new()),
+        Box::new(Sstf::new()),
+        Box::new(Scan::new()),
+        Box::new(CScan::new()),
+        Box::new(Edf::new()),
+        Box::new(ScanEdf::new(10_000)),
+        Box::new(FdScan::new(cost())),
+        Box::new(ScanRt::new(cost())),
+        Box::new(Ssedo::new(0.7)),
+        Box::new(Ssedv::new(0.3, cost())),
+        Box::new(MultiQueue::new(0)),
+        Box::new(Bucket::new(1.0, 0.01, 16)),
+        Box::new(DeadlineDriven::new(cost())),
+        Box::new(Cello::realtime_throughput(cost())),
+        Box::new(Batched::new(Edf::new(), "batched-edf")),
+        Box::new(CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_under_arbitrary_traces(trace in arb_trace(), drop in any::<bool>()) {
+        // Requests with no QoS vector break Bucket/MultiQueue by contract;
+        // give everything at least one level.
+        let trace: Vec<Request> = trace
+            .into_iter()
+            .map(|mut r| {
+                if r.qos.dims() == 0 {
+                    r.qos = QosVector::single(0);
+                }
+                r
+            })
+            .collect();
+        let mut options = SimOptions::with_shape(3, 16);
+        if drop {
+            options = options.dropping();
+        }
+        for mut s in all_schedulers() {
+            let mut service = DiskService::table1();
+            let m = simulate(s.as_mut(), &trace, &mut service, options);
+            prop_assert_eq!(
+                m.served + m.dropped,
+                trace.len() as u64,
+                "{} conservation", s.name()
+            );
+            prop_assert_eq!(m.losses_total(), m.dropped + m.late);
+            if !drop {
+                prop_assert_eq!(m.dropped, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn logged_run_covers_every_request(trace in arb_trace()) {
+        let mut s = CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap();
+        let mut service = TransferDominated::uniform(5_000, 3832);
+        let (m, log) = simulate_logged(
+            &mut s,
+            &trace,
+            &mut service,
+            SimOptions::with_shape(3, 16).dropping(),
+        );
+        prop_assert_eq!(log.len(), trace.len());
+        let mut ids: Vec<u64> = log.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..trace.len() as u64).collect::<Vec<_>>());
+        let lost = log.iter().filter(|r| r.lost).count() as u64;
+        prop_assert_eq!(lost, m.losses_total());
+    }
+
+    #[test]
+    fn determinism_across_replays(trace in arb_trace()) {
+        let run = || {
+            let mut s = CascadedSfc::new(CascadeConfig::paper_default(2, 3832)).unwrap();
+            let mut service = DiskService::table1();
+            simulate(
+                &mut s,
+                &trace,
+                &mut service,
+                SimOptions::with_shape(2, 16),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
