@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate — the same steps .github/workflows/ci.yml runs.
+# Usage: ./ci.sh
+#
+# Everything builds offline (see README "Building offline"): the
+# external dev-dependencies resolve to the vendored shims under
+# vendor/, so no network or registry cache is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "ci.sh: all green"

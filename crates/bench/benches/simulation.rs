@@ -78,10 +78,9 @@ fn bench_refresh_ablation(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let mut s = CascadedSfc::new(
-                    CascadeConfig::paper_default(3, 3832).with_dispatch(dispatch),
-                )
-                .unwrap();
+                let mut s =
+                    CascadedSfc::new(CascadeConfig::paper_default(3, 3832).with_dispatch(dispatch))
+                        .unwrap();
                 let mut service = DiskService::table1();
                 simulate(
                     black_box(&mut s),

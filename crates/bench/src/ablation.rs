@@ -69,12 +69,7 @@ pub fn mixed_load(seed: u64, requests: usize) -> Vec<MixedRow> {
     let fifo = {
         let mut s = sched::Fcfs::new();
         let mut service = TransferDominated::uniform(20_000, 3832);
-        simulate(
-            &mut s,
-            &trace,
-            &mut service,
-            SimOptions::with_shape(3, 16),
-        )
+        simulate(&mut s, &trace, &mut service, SimOptions::with_shape(3, 16))
     };
     let base = fifo.inversions_total().max(1) as f64;
     variants()
@@ -82,12 +77,7 @@ pub fn mixed_load(seed: u64, requests: usize) -> Vec<MixedRow> {
         .map(|(name, dispatch)| {
             let mut s = scheduler_with(dispatch);
             let mut service = TransferDominated::uniform(20_000, 3832);
-            let m = simulate(
-                &mut s,
-                &trace,
-                &mut service,
-                SimOptions::with_shape(3, 16),
-            );
+            let m = simulate(&mut s, &trace, &mut service, SimOptions::with_shape(3, 16));
             MixedRow {
                 variant: name,
                 inversion_pct_of_fifo: m.inversions_total() as f64 / base * 100.0,

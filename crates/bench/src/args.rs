@@ -126,9 +126,12 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_defaults() {
-        let a =
-            Args::parse_from("t", argv(&["--seed", "7", "--requests", "100"]), &["seed", "requests", "dims"])
-                .unwrap();
+        let a = Args::parse_from(
+            "t",
+            argv(&["--seed", "7", "--requests", "100"]),
+            &["seed", "requests", "dims"],
+        )
+        .unwrap();
         assert_eq!(a.get("seed", 0u64), 7);
         assert_eq!(a.get("requests", 0usize), 100);
         assert_eq!(a.get("dims", 4u32), 4); // default
@@ -162,8 +165,12 @@ mod tests {
 
     #[test]
     fn floats_and_bools_parse() {
-        let a = Args::parse_from("t", argv(&["--f", "2.5", "--quick", "true"]), &["f", "quick"])
-            .unwrap();
+        let a = Args::parse_from(
+            "t",
+            argv(&["--f", "2.5", "--quick", "true"]),
+            &["f", "quick"],
+        )
+        .unwrap();
         assert_eq!(a.get("f", 0.0f64), 2.5);
         assert!(a.get("quick", false));
     }

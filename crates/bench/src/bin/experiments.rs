@@ -49,7 +49,12 @@ fn main() {
         let rows = fig5::run(&cfg);
         let mut s = String::from("window_pct,curve,inversion_pct_of_fifo\n");
         for r in &rows {
-            writeln!(s, "{},{},{:.2}", r.window_pct, r.curve, r.inversion_pct_of_fifo).unwrap();
+            writeln!(
+                s,
+                "{},{},{:.2}",
+                r.window_pct, r.curve, r.inversion_pct_of_fifo
+            )
+            .unwrap();
         }
         write(out_dir, "fig5.csv", s);
     }
@@ -65,7 +70,12 @@ fn main() {
         let rows = fig5::run(&cfg);
         let mut s = String::from("window_pct,curve,inversion_pct_of_fifo\n");
         for r in &rows {
-            writeln!(s, "{},{},{:.2}", r.window_pct, r.curve, r.inversion_pct_of_fifo).unwrap();
+            writeln!(
+                s,
+                "{},{},{:.2}",
+                r.window_pct, r.curve, r.inversion_pct_of_fifo
+            )
+            .unwrap();
         }
         write(out_dir, "fig5_high_load.csv", s);
     }

@@ -15,7 +15,10 @@ fn main() {
         requests: args.get("requests", 20_000),
         ..Default::default()
     };
-    eprintln!("# Figure 7 — fairness across 4 QoS dimensions (seed {})", cfg.seed);
+    eprintln!(
+        "# Figure 7 — fairness across 4 QoS dimensions (seed {})",
+        cfg.seed
+    );
     eprintln!("# paper: Diagonal most fair (stddev < 1%); Sweep/C-Scan least fair but own a zero-inversion favored dimension");
     let rows = fig7::run(&cfg);
     fig7::print_csv(&cfg, &rows);

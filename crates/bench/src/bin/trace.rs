@@ -1,0 +1,78 @@
+//! Emit the per-request event timeline of one fully-traced
+//! paper-default run, plus a human-readable histogram summary.
+//!
+//! ```text
+//! cargo run -p bench --release --bin trace [--seed N] [--requests N]
+//!     [--dims D] [--service-us U] [--window PCT]
+//!     [--out trace.jsonl] [--format jsonl|csv]
+//! ```
+//!
+//! The timeline goes to `--out`; the summary and the event/metric
+//! reconciliation verdict go to stderr, so the binary composes with
+//! `jq`/`awk` pipelines over the timeline file.
+
+use bench::args::Args;
+use bench::trace::{self, Config};
+use obs::{CsvSink, JsonlSink};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+fn main() {
+    let args = Args::parse(&[
+        "seed",
+        "requests",
+        "dims",
+        "service-us",
+        "window",
+        "out",
+        "format",
+    ]);
+    let cfg = Config {
+        seed: args.get("seed", bench::DEFAULT_SEED),
+        requests: args.get("requests", 5_000),
+        dims: args.get("dims", 2),
+        service_us: args.get("service-us", 20_000),
+        window_pct: args.get("window", 10),
+    };
+    let format: String = args.get("format", "jsonl".to_string());
+    let out: String = args.get("out", format!("trace.{format}"));
+
+    let file = File::create(&out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        std::process::exit(2);
+    });
+    let writer = BufWriter::new(file);
+
+    eprintln!(
+        "# trace — paper-default cascade, {} requests, {} dims, window {}%, seed {}",
+        cfg.requests, cfg.dims, cfg.window_pct, cfg.seed
+    );
+    let (report, events) = match format.as_str() {
+        "jsonl" => {
+            let (report, sink) = trace::run_with_sink(&cfg, JsonlSink::new(writer));
+            let events = sink.lines();
+            sink.into_inner().flush().expect("flush timeline");
+            (report, events)
+        }
+        "csv" => {
+            let (report, sink) = trace::run_with_sink(&cfg, CsvSink::new(writer));
+            let events = sink.rows();
+            sink.into_inner().flush().expect("flush timeline");
+            (report, events)
+        }
+        other => {
+            eprintln!("unknown --format {other:?} (expected jsonl or csv)");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("# {events} events -> {out}");
+    eprint!("{}", report.snapshot.report());
+    match report.reconcile() {
+        Ok(()) => eprintln!("# reconciliation: events match Metrics and dispatcher counters"),
+        Err(e) => {
+            eprintln!("# reconciliation FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -159,10 +159,7 @@ pub fn run(cfg: &Config) -> Vec<Row> {
     let trace = trace_of(cfg);
     // The baselines run batch-mode too (the PanaViss server serves in
     // batches, §6), so the comparison isolates the *ordering* policies.
-    let cscan = run_sim(
-        &trace,
-        &mut Batched::new(CScan::new(), "batched-c-scan"),
-    );
+    let cscan = run_sim(&trace, &mut Batched::new(CScan::new(), "batched-c-scan"));
     let edf = run_sim(&trace, &mut Batched::new(Edf::new(), "batched-edf"));
     let inv_base = cscan.inversions_total().max(1) as f64;
     let loss_base = cscan.losses_total().max(1) as f64;

@@ -103,12 +103,24 @@ pub fn run_sim(cfg: &Config, users: u32, sched: &mut dyn DiskScheduler) -> Metri
 /// The five §6 schedulers, freshly constructed.
 pub fn schedulers() -> Vec<(String, Box<dyn DiskScheduler>)> {
     vec![
-        ("fcfs".into(), Box::new(Fcfs::new()) as Box<dyn DiskScheduler>),
+        (
+            "fcfs".into(),
+            Box::new(Fcfs::new()) as Box<dyn DiskScheduler>,
+        ),
         // Deadline-major lexicographic curve = EDF within each batch.
-        ("sweep-x".into(), Box::new(curve_scheduler(CurveKind::CScan))),
+        (
+            "sweep-x".into(),
+            Box::new(curve_scheduler(CurveKind::CScan)),
+        ),
         // Priority-major lexicographic curve = multi-queue within batches.
-        ("sweep-y".into(), Box::new(curve_scheduler(CurveKind::Sweep))),
-        ("hilbert".into(), Box::new(curve_scheduler(CurveKind::Hilbert))),
+        (
+            "sweep-y".into(),
+            Box::new(curve_scheduler(CurveKind::Sweep)),
+        ),
+        (
+            "hilbert".into(),
+            Box::new(curve_scheduler(CurveKind::Hilbert)),
+        ),
         ("gray".into(), Box::new(curve_scheduler(CurveKind::Gray))),
     ]
 }

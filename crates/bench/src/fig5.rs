@@ -68,16 +68,14 @@ pub fn run_priority_sim(
     window_pct: u32,
     service_us: u64,
 ) -> Metrics {
-    let cfg = CascadeConfig::priority_only(curve, dims, level_bits).with_dispatch(
-        DispatchConfig {
-            mode: PreemptionMode::Conditional {
-                window: window_pct as f64 / 100.0,
-            },
-            serve_promote: true,
-            expand_factor: None,
-            refresh_on_swap: false, // priorities are time-independent here
+    let cfg = CascadeConfig::priority_only(curve, dims, level_bits).with_dispatch(DispatchConfig {
+        mode: PreemptionMode::Conditional {
+            window: window_pct as f64 / 100.0,
         },
-    );
+        serve_promote: true,
+        expand_factor: None,
+        refresh_on_swap: false, // priorities are time-independent here
+    });
     let mut sched = CascadedSfc::new(cfg).expect("valid cascade config");
     let mut service = TransferDominated::uniform(service_us, 3832);
     simulate(

@@ -147,7 +147,10 @@ mod tests {
         };
         let sweep = val(CurveKind::Sweep);
         for c in [CurveKind::CScan, CurveKind::Scan, CurveKind::Diagonal] {
-            assert!((val(c) - sweep).abs() < 1e-9, "{c} differs from sweep in 1-D");
+            assert!(
+                (val(c) - sweep).abs() < 1e-9,
+                "{c} differs from sweep in 1-D"
+            );
         }
     }
 }

@@ -73,10 +73,7 @@ pub fn run(cfg: &Config) -> Vec<Row> {
                 .map(|(&inv, &base)| inv as f64 / base.max(1) as f64 * 100.0)
                 .collect();
             let mean = per_dim_pct.iter().sum::<f64>() / per_dim_pct.len() as f64;
-            let stddev = (per_dim_pct
-                .iter()
-                .map(|p| (p - mean).powi(2))
-                .sum::<f64>()
+            let stddev = (per_dim_pct.iter().map(|p| (p - mean).powi(2)).sum::<f64>()
                 / per_dim_pct.len() as f64)
                 .sqrt();
             let favored = per_dim_pct.iter().copied().fold(f64::INFINITY, f64::min);
@@ -108,7 +105,11 @@ pub fn print_csv(cfg: &Config, rows: &[Row]) {
                     .iter()
                     .find(|r| r.curve == c && r.window_pct == w)
                     .expect("complete grid");
-                let v = if field == 0 { row.stddev } else { row.favored_pct };
+                let v = if field == 0 {
+                    row.stddev
+                } else {
+                    row.favored_pct
+                };
                 print!(",{v:.1}");
             }
             println!();

@@ -98,7 +98,14 @@ pub fn trace_of(cfg: &Config) -> Vec<Request> {
             // §5.2: high-priority requests are small (audio/video chunks),
             // low-priority ones large (FTP) — 16 KB + 24 KB per level.
             let bytes = 16 * 1024 + qos.level(0) as u64 * 24 * 1024;
-            trace.push(Request::read(id, arrival, deadline, rng.gen_range(0..3832), bytes, qos));
+            trace.push(Request::read(
+                id,
+                arrival,
+                deadline,
+                rng.gen_range(0..3832),
+                bytes,
+                qos,
+            ));
             id += 1;
         }
     }
@@ -194,7 +201,11 @@ mod tests {
         let f0 = rows.iter().find(|r| r.f == Some(0.0)).unwrap();
         let f8 = rows.iter().find(|r| r.f == Some(8.0)).unwrap();
         // f = 0: many more losses than EDF, much less inversion.
-        assert!(f0.losses_pct_of_edf > 150.0, "f=0 losses {:.0}%", f0.losses_pct_of_edf);
+        assert!(
+            f0.losses_pct_of_edf > 150.0,
+            "f=0 losses {:.0}%",
+            f0.losses_pct_of_edf
+        );
         assert!(f0.inversion_pct_of_edf < f8.inversion_pct_of_edf);
         // large f: losses near EDF.
         assert!(

@@ -17,7 +17,9 @@
 //! | [`ablation`] | §3 | dispatcher regimes, SP, ER, starvation bounds |
 //!
 //! Extra binaries: `curves` (the geometric quality table of the whole
-//! curve catalogue) and `experiments` (runs everything into `results/`).
+//! curve catalogue), `experiments` (runs everything into `results/`),
+//! and `trace` (a fully-instrumented run emitting the per-request event
+//! timeline as JSONL/CSV plus a histogram summary — see [`trace`]).
 //!
 //! All experiments are deterministic given a seed; run any binary with
 //! `--seed N` to change it.
@@ -35,6 +37,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod table1;
+pub mod trace;
 
 /// The seven SFC1 curves of the paper's Figure 1 (see DESIGN.md §4 for
 /// the reconstruction of the OCR-dropped labels).

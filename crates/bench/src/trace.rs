@@ -1,0 +1,214 @@
+//! Per-request event timeline of one Cascaded-SFC run.
+//!
+//! Runs the paper-default three-stage scheduler over a Figure-5 Poisson
+//! workload with *every* trace hook live: the engine's request
+//! lifecycle events (arrival → dispatch → service → complete/drop) and
+//! the dispatcher's internal events (preemptions, SP promotions, ER
+//! expansions/resets, queue swaps) interleave into one stream. A
+//! [`obs::SharedSink`] fans the stream into a [`obs::Snapshot`] (for
+//! the printed summary) *and* the caller's own sink (JSONL or CSV on
+//! disk for the `trace` binary).
+//!
+//! The run double-checks itself: [`Report::reconcile`] verifies that
+//! the event-derived counters agree exactly with the simulator's
+//! [`Metrics`] and the dispatcher's own counters, so a timeline on disk
+//! is guaranteed complete — every served request really has its four
+//! lifecycle events, every preemption its event.
+
+use cascade::{CascadeConfig, CascadedSfc, PreemptionMode};
+use obs::{SharedSink, Snapshot, Tee, TraceSink};
+use sim::{simulate_traced, Metrics, SimOptions, TransferDominated};
+use workload::PoissonConfig;
+
+/// Traced-run parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// RNG seed.
+    pub seed: u64,
+    /// Requests to generate.
+    pub requests: usize,
+    /// QoS dimensions.
+    pub dims: u32,
+    /// Per-request service time (µs).
+    pub service_us: u64,
+    /// Blocking window, percent of the scheduling space.
+    pub window_pct: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: crate::DEFAULT_SEED,
+            requests: 5_000,
+            dims: 2,
+            service_us: 20_000,
+            window_pct: 10,
+        }
+    }
+}
+
+/// Everything one traced run produced, minus the raw event stream
+/// (which went to the caller's sink).
+#[derive(Debug)]
+pub struct Report {
+    /// The simulator's aggregate metrics.
+    pub metrics: Metrics,
+    /// Histograms and counters distilled from the event stream.
+    pub snapshot: Snapshot,
+    /// Dispatcher's own count of preemptions.
+    pub preemptions: u64,
+    /// Dispatcher's own count of serve-promote promotions.
+    pub promotions: u64,
+    /// Dispatcher's own count of queue swaps.
+    pub swaps: u64,
+}
+
+impl Report {
+    /// Cross-check the event stream against the independently-kept
+    /// [`Metrics`] and dispatcher counters. Any mismatch means events
+    /// were lost or double-emitted; the error names the first
+    /// discrepancy.
+    pub fn reconcile(&self) -> Result<(), String> {
+        let c = &self.snapshot.counters;
+        let m = &self.metrics;
+        let checks: [(&str, u64, u64); 9] = [
+            (
+                "dispatches vs served+dropped",
+                c.dispatches,
+                m.served + m.dropped,
+            ),
+            ("service_starts vs served", c.service_starts, m.served),
+            ("service_completes vs served", c.service_completes, m.served),
+            ("drops vs dropped", c.drops, m.dropped),
+            ("late_completions vs late", c.late_completions, m.late),
+            (
+                "preempt events vs dispatcher",
+                c.preemptions,
+                self.preemptions,
+            ),
+            (
+                "sp_promote events vs dispatcher",
+                c.sp_promotions,
+                self.promotions,
+            ),
+            ("queue_swap events vs dispatcher", c.queue_swaps, self.swaps),
+            // paper_default has ER on: the window expands at every
+            // blocked preemption and every SP promotion.
+            (
+                "er_expands vs preempts+promotions",
+                c.er_expands,
+                self.preemptions + self.promotions,
+            ),
+        ];
+        for (what, got, want) in checks {
+            if got != want {
+                return Err(format!("{what}: {got} != {want}"));
+            }
+        }
+        if self.snapshot.response_us.count() != m.served {
+            return Err("response histogram count vs served".into());
+        }
+        if m.served > 0 && self.snapshot.response_us.max() != Some(m.max_response_us) {
+            return Err("response histogram max vs max_response_us".into());
+        }
+        Ok(())
+    }
+}
+
+/// Run one fully-traced paper-default simulation, interleaving engine
+/// and dispatcher events into `event_sink`. Returns the report and the
+/// sink (with the complete stream) back to the caller.
+pub fn run_with_sink<E: TraceSink>(cfg: &Config, event_sink: E) -> (Report, E) {
+    let mut cascade_cfg = CascadeConfig::paper_default(cfg.dims, 3832);
+    cascade_cfg.dispatch.mode = PreemptionMode::Conditional {
+        window: cfg.window_pct as f64 / 100.0,
+    };
+
+    let shared = SharedSink::new(Tee::new(Snapshot::new(), event_sink));
+    let mut engine_sink = shared.clone();
+    let mut scheduler =
+        CascadedSfc::with_sink(cascade_cfg, shared.clone()).expect("valid cascade config");
+
+    let trace = PoissonConfig::figure5(cfg.dims, cfg.requests).generate(cfg.seed);
+    let mut service = TransferDominated::uniform(cfg.service_us, 3832);
+    let metrics = simulate_traced(
+        &mut scheduler,
+        &trace,
+        &mut service,
+        SimOptions::with_shape(cfg.dims as usize, 16),
+        &mut engine_sink,
+    );
+
+    let (preemptions, promotions, swaps) = scheduler.dispatch_counters();
+    drop(engine_sink);
+    drop(scheduler.into_sink());
+    let tee = shared
+        .try_unwrap()
+        .unwrap_or_else(|_| panic!("all sink clones dropped"));
+    let (snapshot, event_sink) = tee.into_inner();
+    (
+        Report {
+            metrics,
+            snapshot,
+            preemptions,
+            promotions,
+            swaps,
+        },
+        event_sink,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{JsonlSink, NullSink, RingSink};
+
+    fn small() -> Config {
+        Config {
+            requests: 800,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn traced_run_reconciles() {
+        let (report, _) = run_with_sink(&small(), NullSink);
+        report.reconcile().expect("events reconcile");
+        assert_eq!(
+            report.metrics.served + report.metrics.dropped,
+            800,
+            "every request accounted for"
+        );
+        assert!(report.swaps > 0, "a saturating run swaps queues");
+    }
+
+    #[test]
+    fn jsonl_stream_has_one_line_per_event() {
+        let (report, sink) = run_with_sink(&small(), JsonlSink::new(Vec::new()));
+        let buf = sink.into_inner();
+        let text = String::from_utf8(buf).expect("utf-8 jsonl");
+        let lines = text.lines().count() as u64;
+        let c = &report.snapshot.counters;
+        let events = c.arrivals
+            + c.dispatches
+            + c.service_starts
+            + c.service_completes
+            + c.drops
+            + c.preemptions
+            + c.sp_promotions
+            + c.er_expands
+            + c.er_resets
+            + c.queue_swaps
+            + c.sweep_reversals;
+        assert_eq!(lines, events);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn ring_and_snapshot_see_the_same_stream() {
+        let (report, ring) = run_with_sink(&small(), RingSink::new(1 << 20));
+        let arrivals = ring.events().filter(|e| e.name() == "arrival").count() as u64;
+        assert_eq!(arrivals, report.snapshot.counters.arrivals);
+        assert_eq!(ring.evicted(), 0, "ring sized for the whole run");
+    }
+}

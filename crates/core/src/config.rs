@@ -295,8 +295,8 @@ mod tests {
 
     #[test]
     fn builder_replaces_dispatch() {
-        let c = CascadeConfig::paper_default(2, 100)
-            .with_dispatch(DispatchConfig::non_preemptive());
+        let c =
+            CascadeConfig::paper_default(2, 100).with_dispatch(DispatchConfig::non_preemptive());
         assert_eq!(c.dispatch.mode, PreemptionMode::NonPreemptive);
     }
 }

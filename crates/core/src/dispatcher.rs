@@ -22,6 +22,7 @@
 //!     starvation-free.
 
 use crate::config::{DispatchConfig, PreemptionMode};
+use obs::{NullSink, TraceEvent, TraceSink};
 use sched::Request;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -121,6 +122,19 @@ impl Dispatcher {
 
     /// Insert an arriving request with characterization value `v`.
     pub fn insert(&mut self, req: Request, v: u128) {
+        self.insert_traced(req, v, 0, &mut NullSink);
+    }
+
+    /// [`Dispatcher::insert`], additionally reporting preemption and ER
+    /// window events to `sink`, timestamped `now_us`. With
+    /// [`obs::NullSink`] this compiles to exactly [`Dispatcher::insert`].
+    pub fn insert_traced<S: TraceSink>(
+        &mut self,
+        req: Request,
+        v: u128,
+        now_us: u64,
+        sink: &mut S,
+    ) {
         let entry = Entry { v, req };
         match self.config.mode {
             PreemptionMode::Fully => self.q.push(entry),
@@ -132,9 +146,16 @@ impl Dispatcher {
                     Some(cur) => v < cur.saturating_sub(self.window),
                 };
                 if significantly_higher {
-                    if self.current.is_some() {
+                    if let Some(cur) = self.current {
                         self.preemptions += 1;
-                        self.expand_window();
+                        if S::ENABLED {
+                            sink.emit(&TraceEvent::Preempt {
+                                now_us,
+                                preempted_v: cur,
+                                by_v: v,
+                            });
+                        }
+                        self.expand_window(now_us, sink);
                     }
                     self.q.push(entry);
                 } else {
@@ -150,9 +171,18 @@ impl Dispatcher {
     /// [`DispatchConfig::refresh_on_swap`]) recomputes characterization
     /// values for the whole waiting queue at the swap boundary,
     /// re-anchoring time-dependent coordinates.
-    pub fn pop(
+    pub fn pop(&mut self, refresh: Option<&mut dyn FnMut(&Request) -> u128>) -> Option<Request> {
+        self.pop_traced(refresh, 0, &mut NullSink)
+    }
+
+    /// [`Dispatcher::pop`], additionally reporting queue-swap, ER-reset
+    /// and SP-promotion events to `sink`, timestamped `now_us`. With
+    /// [`obs::NullSink`] this compiles to exactly [`Dispatcher::pop`].
+    pub fn pop_traced<S: TraceSink>(
         &mut self,
         mut refresh: Option<&mut dyn FnMut(&Request) -> u128>,
+        now_us: u64,
+        sink: &mut S,
     ) -> Option<Request> {
         // Swap empty active queue with the waiting queue.
         if self.q.is_empty() {
@@ -162,7 +192,20 @@ impl Dispatcher {
             }
             std::mem::swap(&mut self.q, &mut self.q_wait);
             self.swaps += 1;
+            if S::ENABLED {
+                sink.emit(&TraceEvent::QueueSwap {
+                    now_us,
+                    batch: self.q.len() as u64,
+                });
+            }
             // ER: the active queue turned over — reset the window.
+            if S::ENABLED && self.config.expand_factor.is_some() && self.window != self.base_window
+            {
+                sink.emit(&TraceEvent::ErReset {
+                    now_us,
+                    window: self.base_window,
+                });
+            }
             self.window = self.base_window;
             if self.config.refresh_on_swap {
                 if let Some(f) = refresh.as_mut() {
@@ -189,7 +232,10 @@ impl Dispatcher {
                 if wait_top.v < next_v.saturating_sub(self.window) {
                     let e = self.q_wait.pop().expect("peeked");
                     self.promotions += 1;
-                    self.expand_window();
+                    if S::ENABLED {
+                        sink.emit(&TraceEvent::SpPromote { now_us, v: e.v });
+                    }
+                    self.expand_window(now_us, sink);
                     self.q.push(e);
                 } else {
                     break;
@@ -209,10 +255,16 @@ impl Dispatcher {
         }
     }
 
-    fn expand_window(&mut self) {
+    fn expand_window<S: TraceSink>(&mut self, now_us: u64, sink: &mut S) {
         if let Some(e) = self.config.expand_factor {
             let expanded = (self.window as f64 * e).min(u64::MAX as f64) as u128;
             self.window = expanded.max(self.window.saturating_add(1));
+            if S::ENABLED {
+                sink.emit(&TraceEvent::ErExpand {
+                    now_us,
+                    window: self.window,
+                });
+            }
         }
     }
 }
@@ -337,6 +389,59 @@ mod tests {
         // Queue drains, swap resets the window.
         assert_eq!(d.pop(None).unwrap().id, 4);
         assert_eq!(d.current_window(), d.base_window);
+    }
+
+    #[test]
+    fn traced_events_reconcile_with_counters() {
+        use obs::RingSink;
+        let mut d = conditional(0.05, true, Some(4.0));
+        let mut sink = RingSink::new(1024);
+        let mut t = 0u64;
+        // A descending-priority stream drives preemptions, promotions and
+        // swaps; every counter increment must emit a matching event.
+        let values = [900u128, 700, 480, 820, 10, 650, 5, 999, 300];
+        for (i, &v) in values.iter().enumerate() {
+            d.insert_traced(req(i as u64), v, t, &mut sink);
+            t += 10;
+            if i % 2 == 1 {
+                let _ = d.pop_traced(None, t, &mut sink);
+                t += 10;
+            }
+        }
+        while d.pop_traced(None, t, &mut sink).is_some() {
+            t += 10;
+        }
+        let (preempts, promotions, swaps) = d.counters();
+        let count = |name: &str| sink.events().filter(|e| e.name() == name).count() as u64;
+        assert_eq!(count("preempt"), preempts);
+        assert_eq!(count("sp_promote"), promotions);
+        assert_eq!(count("queue_swap"), swaps);
+        assert!(preempts > 0 && swaps > 0, "workload too tame to test");
+        // Each preemption/promotion expanded the window (e is set).
+        assert_eq!(count("er_expand"), preempts + promotions);
+        // Resets only happen at swaps after an expansion.
+        assert!(count("er_reset") <= swaps);
+    }
+
+    #[test]
+    fn untraced_and_traced_behave_identically() {
+        let mut plain = conditional(0.1, true, Some(2.0));
+        let mut traced = conditional(0.1, true, Some(2.0));
+        let mut sink = obs::RingSink::new(256);
+        let values = [500u128, 450, 350, 900, 20, 610];
+        for (i, &v) in values.iter().enumerate() {
+            plain.insert(req(i as u64), v);
+            traced.insert_traced(req(i as u64), v, i as u64, &mut sink);
+        }
+        loop {
+            let a = plain.pop(None);
+            let b = traced.pop_traced(None, 0, &mut sink);
+            assert_eq!(a.as_ref().map(|r| r.id), b.as_ref().map(|r| r.id));
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(plain.counters(), traced.counters());
     }
 
     #[test]

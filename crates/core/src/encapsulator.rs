@@ -209,8 +209,7 @@ mod tests {
 
     #[test]
     fn stage1_only_orders_by_curve() {
-        let e = Encapsulator::new(CascadeConfig::priority_only(CurveKind::Diagonal, 3, 4))
-            .unwrap();
+        let e = Encapsulator::new(CascadeConfig::priority_only(CurveKind::Diagonal, 3, 4)).unwrap();
         let high = e.characterize(&req(&[0, 0, 0], u64::MAX, 0), &head());
         let low = e.characterize(&req(&[15, 15, 15], u64::MAX, 0), &head());
         assert!(high < low);

@@ -4,19 +4,33 @@
 use crate::config::CascadeConfig;
 use crate::dispatcher::Dispatcher;
 use crate::encapsulator::Encapsulator;
+use obs::{NullSink, TraceSink};
 use sched::{DiskScheduler, HeadState, Request};
 use sfc::SfcError;
 
 /// The Cascaded-SFC multimedia disk scheduler (see the crate docs for the
 /// architecture).
-pub struct CascadedSfc {
+///
+/// The sink parameter defaults to [`obs::NullSink`], so existing code —
+/// `CascadedSfc::new(config)` — is untraced and pays nothing. Pass a real
+/// sink via [`CascadedSfc::with_sink`] to observe the dispatcher's
+/// preemption/SP/ER/swap events.
+pub struct CascadedSfc<S: TraceSink = NullSink> {
     encapsulator: Encapsulator,
     dispatcher: Dispatcher,
+    sink: S,
 }
 
 impl CascadedSfc {
-    /// Build the scheduler from a configuration.
+    /// Build the (untraced) scheduler from a configuration.
     pub fn new(config: CascadeConfig) -> Result<Self, SfcError> {
+        Self::with_sink(config, NullSink)
+    }
+}
+
+impl<S: TraceSink> CascadedSfc<S> {
+    /// Build the scheduler with a trace sink receiving dispatcher events.
+    pub fn with_sink(config: CascadeConfig, sink: S) -> Result<Self, SfcError> {
         let encapsulator = Encapsulator::new(config)?;
         let dispatcher = Dispatcher::new(
             encapsulator.config().dispatch,
@@ -25,6 +39,7 @@ impl CascadedSfc {
         Ok(CascadedSfc {
             encapsulator,
             dispatcher,
+            sink,
         })
     }
 
@@ -37,25 +52,38 @@ impl CascadedSfc {
     pub fn dispatch_counters(&self) -> (u64, u64, u64) {
         self.dispatcher.counters()
     }
+
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consume the scheduler, returning its trace sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
 }
 
-impl DiskScheduler for CascadedSfc {
+impl<S: TraceSink> DiskScheduler for CascadedSfc<S> {
     fn name(&self) -> &'static str {
         "cascaded-sfc"
     }
 
     fn enqueue(&mut self, req: Request, head: &HeadState) {
         let v = self.encapsulator.characterize(&req, head);
-        self.dispatcher.insert(req, v);
+        self.dispatcher
+            .insert_traced(req, v, head.now_us, &mut self.sink);
     }
 
     fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
         let enc = &self.encapsulator;
         if enc.config().dispatch.refresh_on_swap {
             let mut refresh = |r: &Request| enc.characterize(r, head);
-            self.dispatcher.pop(Some(&mut refresh))
+            self.dispatcher
+                .pop_traced(Some(&mut refresh), head.now_us, &mut self.sink)
         } else {
-            self.dispatcher.pop(None)
+            self.dispatcher
+                .pop_traced(None, head.now_us, &mut self.sink)
         }
     }
 
@@ -147,7 +175,12 @@ mod tests {
         let mut s = CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap();
         for i in 0..50u64 {
             s.enqueue(
-                req(i, &[(i % 16) as u8, ((i * 7) % 16) as u8, 3], 500_000, (i * 71 % 3832) as u32),
+                req(
+                    i,
+                    &[(i % 16) as u8, ((i * 7) % 16) as u8, 3],
+                    500_000,
+                    (i * 71 % 3832) as u32,
+                ),
                 &head(),
             );
         }
@@ -161,6 +194,36 @@ mod tests {
     }
 
     #[test]
+    fn sink_observes_dispatcher_events() {
+        use obs::RingSink;
+        let mut s =
+            CascadedSfc::with_sink(CascadeConfig::paper_default(2, 3832), RingSink::new(4096))
+                .unwrap();
+        for i in 0..40u64 {
+            let h = HeadState::new((i * 90 % 3832) as u32, i * 1_000, 3832);
+            s.enqueue(
+                req(
+                    i,
+                    &[(i % 16) as u8, ((i * 5) % 16) as u8],
+                    200_000 + i * 1_000,
+                    (i * 131 % 3832) as u32,
+                ),
+                &h,
+            );
+            if i % 3 == 0 {
+                let _ = s.dequeue(&h);
+            }
+        }
+        let (preempts, promotions, swaps) = s.dispatch_counters();
+        let ring = s.into_sink();
+        let count = |name: &str| ring.events().filter(|e| e.name() == name).count() as u64;
+        assert_eq!(count("preempt"), preempts);
+        assert_eq!(count("sp_promote"), promotions);
+        assert_eq!(count("queue_swap"), swaps);
+        assert!(swaps > 0, "no dispatch activity traced");
+    }
+
+    #[test]
     fn name_and_counters() {
         let s = CascadedSfc::new(CascadeConfig::paper_default(2, 100)).unwrap();
         assert_eq!(s.name(), "cascaded-sfc");
@@ -170,8 +233,7 @@ mod tests {
     #[test]
     fn higher_priority_served_first_within_batch() {
         let mut s = CascadedSfc::new(
-            CascadeConfig::paper_default(2, 3832)
-                .with_dispatch(DispatchConfig::fully_preemptive()),
+            CascadeConfig::paper_default(2, 3832).with_dispatch(DispatchConfig::fully_preemptive()),
         )
         .unwrap();
         // Identical deadline and cylinder: QoS decides.

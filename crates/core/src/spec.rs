@@ -87,7 +87,10 @@ fn head_and_opts(rest: &str) -> (&str, Vec<&str>) {
     match rest.split_once(':') {
         Some((head, opts)) => (
             head.trim(),
-            opts.split(',').map(str::trim).filter(|s| !s.is_empty()).collect(),
+            opts.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect(),
         ),
         None => (rest.trim(), Vec::new()),
     }
@@ -99,7 +102,8 @@ fn opt_value<'a>(opt: &'a str, key: &str) -> Option<&'a str> {
 }
 
 fn parse_u32(v: &str, clause: &str) -> Result<u32, SpecError> {
-    v.parse().map_err(|_| err(format!("bad integer {v:?}"), clause))
+    v.parse()
+        .map_err(|_| err(format!("bad integer {v:?}"), clause))
 }
 
 fn parse_duration_us(v: &str, clause: &str) -> Result<Micros, SpecError> {
@@ -124,8 +128,8 @@ fn parse_duration_us(v: &str, clause: &str) -> Result<Micros, SpecError> {
 
 fn parse_stage1(rest: &str, clause: &str) -> Result<Stage1, SpecError> {
     let (head, opts) = head_and_opts(rest);
-    let curve = CurveKind::parse(head)
-        .ok_or_else(|| err(format!("unknown curve {head:?}"), clause))?;
+    let curve =
+        CurveKind::parse(head).ok_or_else(|| err(format!("unknown curve {head:?}"), clause))?;
     let mut dims = 1u32;
     let mut level_bits = 4u32;
     for opt in opts {
@@ -134,7 +138,10 @@ fn parse_stage1(rest: &str, clause: &str) -> Result<Stage1, SpecError> {
         } else if let Some(v) = opt_value(opt, "levels") {
             let levels = parse_u32(v, clause)?;
             if !levels.is_power_of_two() || levels < 2 {
-                return Err(err(format!("levels must be a power of two >= 2, got {levels}"), clause));
+                return Err(err(
+                    format!("levels must be a power of two >= 2, got {levels}"),
+                    clause,
+                ));
             }
             level_bits = levels.trailing_zeros();
         } else {
@@ -155,9 +162,7 @@ fn parse_stage2(rest: &str, clause: &str) -> Result<Stage2, SpecError> {
     let mut f = 1.0f64;
     for opt in &opts {
         if let Some(v) = opt_value(opt, "f") {
-            f = v
-                .parse()
-                .map_err(|_| err(format!("bad f {v:?}"), clause))?;
+            f = v.parse().map_err(|_| err(format!("bad f {v:?}"), clause))?;
         } else if let Some(v) = opt_value(opt, "horizon") {
             horizon_us = parse_duration_us(v, clause)?;
         } else if let Some(v) = opt_value(opt, "bits") {
@@ -320,7 +325,10 @@ mod tests {
     fn curve_combiner_for_sfc2() {
         let cfg = parse("sfc2 = gray : horizon=150ms, bits=8").unwrap();
         let s2 = cfg.stage2.unwrap();
-        assert!(matches!(s2.combiner, Stage2Combiner::Curve(CurveKind::Gray)));
+        assert!(matches!(
+            s2.combiner,
+            Stage2Combiner::Curve(CurveKind::Gray)
+        ));
         assert_eq!(s2.resolution_bits, 8);
     }
 
@@ -338,7 +346,7 @@ mod tests {
             "sfc1 = diagonal : levels=10", // not a power of two
             "sfc2 = weighted : f=-1",
             "sfc3 = r=0 : cylinders=10",
-            "sfc3 = r=2",               // missing cylinders
+            "sfc3 = r=2", // missing cylinders
             "dispatch = sometimes",
             "dispatch = conditional : w=200%",
             "dispatch = conditional : er=0.5",

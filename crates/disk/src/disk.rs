@@ -202,7 +202,10 @@ mod tests {
         let trace = [(100u32, 65536u64), (2000, 32768), (1500, 65536), (4, 512)];
         let run = || {
             let mut d = Disk::table1();
-            trace.iter().map(|&(c, b)| d.service(c, b)).collect::<Vec<_>>()
+            trace
+                .iter()
+                .map(|&(c, b)| d.service(c, b))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

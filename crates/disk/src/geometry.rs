@@ -269,7 +269,7 @@ mod modern_tests {
         use crate::{Disk, SeekModel};
         let mut d = Disk::new(DiskGeometry::modern(), SeekModel::modern());
         let b = d.service(75_000, 1 << 20); // 1 MB read mid-platter
-        // ≈ seek + rotation + ~5 ms transfer at ~200 MB/s.
+                                            // ≈ seek + rotation + ~5 ms transfer at ~200 MB/s.
         assert!(b.total_us() > 4_000 && b.total_us() < 40_000, "{b:?}");
     }
 }

@@ -1,0 +1,441 @@
+//! The event taxonomy: everything the scheduler stack can report about
+//! one simulated run, as a flat enum of plain-data variants.
+//!
+//! Events carry only primitives so the crate stays dependency-free and
+//! sinks can render them without reflection. Characterization values and
+//! blocking windows are `u128` (the encapsulator's value space); they are
+//! rendered as strings in JSON because they routinely exceed the 2⁵³
+//! integer range JSON consumers can be trusted with.
+
+use std::fmt::Write as _;
+
+/// One observable event in the life of the scheduler stack.
+///
+/// Emission points, by layer:
+///
+/// * the **simulation engine** emits [`Arrival`](TraceEvent::Arrival),
+///   [`Dispatch`](TraceEvent::Dispatch),
+///   [`ServiceStart`](TraceEvent::ServiceStart),
+///   [`ServiceComplete`](TraceEvent::ServiceComplete) and
+///   [`Drop`](TraceEvent::Drop);
+/// * the **cascade dispatcher** emits [`Preempt`](TraceEvent::Preempt),
+///   [`SpPromote`](TraceEvent::SpPromote),
+///   [`ErExpand`](TraceEvent::ErExpand),
+///   [`ErReset`](TraceEvent::ErReset) and
+///   [`QueueSwap`](TraceEvent::QueueSwap);
+/// * the **elevator baselines** emit
+///   [`SweepReverse`](TraceEvent::SweepReverse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A request reached the scheduler queue.
+    Arrival {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// Target cylinder.
+        cylinder: u32,
+        /// Absolute deadline (µs); `u64::MAX` when none.
+        deadline_us: u64,
+    },
+    /// The scheduler picked a request to serve next.
+    Dispatch {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// Target cylinder.
+        cylinder: u32,
+        /// Pending requests at the dispatch instant (the dispatched one
+        /// included).
+        queue_depth: u64,
+        /// Deadline minus now at dispatch (µs); negative when already
+        /// past due. Saturated at the `i64` range.
+        slack_us: i64,
+    },
+    /// The disk began serving a dispatched request.
+    ServiceStart {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// Target cylinder.
+        cylinder: u32,
+        /// Seek distance from the head position (cylinders).
+        seek_cylinders: u32,
+    },
+    /// The disk finished serving a request.
+    ServiceComplete {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// Completion minus arrival (µs).
+        response_us: u64,
+        /// Whether the deadline had passed at completion.
+        late: bool,
+    },
+    /// A past-due request was dropped unserved (§6 losses).
+    Drop {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// How far past the deadline the drop happened (µs).
+        missed_by_us: u64,
+    },
+    /// A conditional-mode arrival beat the in-service value by more than
+    /// the blocking window and entered the active queue (§3.1).
+    Preempt {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Characterization value of the in-service request.
+        preempted_v: u128,
+        /// Characterization value of the preempting arrival.
+        by_v: u128,
+    },
+    /// SP promoted a waiting request into the active queue (§3.2).
+    SpPromote {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Characterization value of the promoted request.
+        v: u128,
+    },
+    /// ER expanded the blocking window after a preemption or promotion
+    /// (§3.3).
+    ErExpand {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// The window after expansion.
+        window: u128,
+    },
+    /// ER reset an expanded window at a queue swap (§3.3).
+    ErReset {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// The base window restored.
+        window: u128,
+    },
+    /// The active queue drained and swapped with the waiting queue.
+    QueueSwap {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Size of the batch entering service.
+        batch: u64,
+    },
+    /// An elevator policy reversed (SCAN/SCAN-EDF) or flew back (C-SCAN).
+    SweepReverse {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Head cylinder at the reversal.
+        cylinder: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable `snake_case` name of the variant, used as the `event` field
+    /// in JSONL/CSV renderings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Arrival { .. } => "arrival",
+            TraceEvent::Dispatch { .. } => "dispatch",
+            TraceEvent::ServiceStart { .. } => "service_start",
+            TraceEvent::ServiceComplete { .. } => "service_complete",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Preempt { .. } => "preempt",
+            TraceEvent::SpPromote { .. } => "sp_promote",
+            TraceEvent::ErExpand { .. } => "er_expand",
+            TraceEvent::ErReset { .. } => "er_reset",
+            TraceEvent::QueueSwap { .. } => "queue_swap",
+            TraceEvent::SweepReverse { .. } => "sweep_reverse",
+        }
+    }
+
+    /// The simulation time the event carries (µs).
+    pub fn now_us(&self) -> u64 {
+        match *self {
+            TraceEvent::Arrival { now_us, .. }
+            | TraceEvent::Dispatch { now_us, .. }
+            | TraceEvent::ServiceStart { now_us, .. }
+            | TraceEvent::ServiceComplete { now_us, .. }
+            | TraceEvent::Drop { now_us, .. }
+            | TraceEvent::Preempt { now_us, .. }
+            | TraceEvent::SpPromote { now_us, .. }
+            | TraceEvent::ErExpand { now_us, .. }
+            | TraceEvent::ErReset { now_us, .. }
+            | TraceEvent::QueueSwap { now_us, .. }
+            | TraceEvent::SweepReverse { now_us, .. } => now_us,
+        }
+    }
+
+    /// The request id the event concerns, when it concerns one.
+    pub fn req(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::Arrival { req, .. }
+            | TraceEvent::Dispatch { req, .. }
+            | TraceEvent::ServiceStart { req, .. }
+            | TraceEvent::ServiceComplete { req, .. }
+            | TraceEvent::Drop { req, .. } => Some(req),
+            _ => None,
+        }
+    }
+
+    /// Append the event as one JSON object (no trailing newline).
+    ///
+    /// `u128` fields are emitted as strings; everything else as JSON
+    /// numbers/booleans.
+    pub fn write_json(&self, out: &mut String) {
+        let name = self.name();
+        match *self {
+            TraceEvent::Arrival {
+                now_us,
+                req,
+                cylinder,
+                deadline_us,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"cylinder\":{cylinder},\"deadline_us\":{deadline_us}}}"
+                );
+            }
+            TraceEvent::Dispatch {
+                now_us,
+                req,
+                cylinder,
+                queue_depth,
+                slack_us,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"cylinder\":{cylinder},\"queue_depth\":{queue_depth},\
+                     \"slack_us\":{slack_us}}}"
+                );
+            }
+            TraceEvent::ServiceStart {
+                now_us,
+                req,
+                cylinder,
+                seek_cylinders,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"cylinder\":{cylinder},\"seek_cylinders\":{seek_cylinders}}}"
+                );
+            }
+            TraceEvent::ServiceComplete {
+                now_us,
+                req,
+                response_us,
+                late,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"response_us\":{response_us},\"late\":{late}}}"
+                );
+            }
+            TraceEvent::Drop {
+                now_us,
+                req,
+                missed_by_us,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"missed_by_us\":{missed_by_us}}}"
+                );
+            }
+            TraceEvent::Preempt {
+                now_us,
+                preempted_v,
+                by_v,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\
+                     \"preempted_v\":\"{preempted_v}\",\"by_v\":\"{by_v}\"}}"
+                );
+            }
+            TraceEvent::SpPromote { now_us, v } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"v\":\"{v}\"}}"
+                );
+            }
+            TraceEvent::ErExpand { now_us, window } | TraceEvent::ErReset { now_us, window } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"window\":\"{window}\"}}"
+                );
+            }
+            TraceEvent::QueueSwap { now_us, batch } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"batch\":{batch}}}"
+                );
+            }
+            TraceEvent::SweepReverse { now_us, cylinder } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"cylinder\":{cylinder}}}"
+                );
+            }
+        }
+    }
+
+    /// The CSV header matching [`TraceEvent::write_csv`].
+    pub fn csv_header() -> &'static str {
+        "event,now_us,req,cylinder,a,b"
+    }
+
+    /// Append the event as one CSV row (no trailing newline).
+    ///
+    /// The `a`/`b` columns are event-specific: `deadline_us` (arrival),
+    /// `queue_depth`/`slack_us` (dispatch), `seek_cylinders` (service
+    /// start), `response_us`/`late` (service complete), `missed_by_us`
+    /// (drop), `preempted_v`/`by_v` (preempt), `v` (sp_promote), `window`
+    /// (er_expand/er_reset), `batch` (queue_swap). Unused cells are empty.
+    pub fn write_csv(&self, out: &mut String) {
+        let name = self.name();
+        let now = self.now_us();
+        match *self {
+            TraceEvent::Arrival {
+                req,
+                cylinder,
+                deadline_us,
+                ..
+            } => {
+                let _ = write!(out, "{name},{now},{req},{cylinder},{deadline_us},");
+            }
+            TraceEvent::Dispatch {
+                req,
+                cylinder,
+                queue_depth,
+                slack_us,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    "{name},{now},{req},{cylinder},{queue_depth},{slack_us}"
+                );
+            }
+            TraceEvent::ServiceStart {
+                req,
+                cylinder,
+                seek_cylinders,
+                ..
+            } => {
+                let _ = write!(out, "{name},{now},{req},{cylinder},{seek_cylinders},");
+            }
+            TraceEvent::ServiceComplete {
+                req,
+                response_us,
+                late,
+                ..
+            } => {
+                let _ = write!(out, "{name},{now},{req},,{response_us},{}", u8::from(late));
+            }
+            TraceEvent::Drop {
+                req, missed_by_us, ..
+            } => {
+                let _ = write!(out, "{name},{now},{req},,{missed_by_us},");
+            }
+            TraceEvent::Preempt {
+                preempted_v, by_v, ..
+            } => {
+                let _ = write!(out, "{name},{now},,,{preempted_v},{by_v}");
+            }
+            TraceEvent::SpPromote { v, .. } => {
+                let _ = write!(out, "{name},{now},,,{v},");
+            }
+            TraceEvent::ErExpand { window, .. } | TraceEvent::ErReset { window, .. } => {
+                let _ = write!(out, "{name},{now},,,{window},");
+            }
+            TraceEvent::QueueSwap { batch, .. } => {
+                let _ = write!(out, "{name},{now},,,{batch},");
+            }
+            TraceEvent::SweepReverse { cylinder, .. } => {
+                let _ = write!(out, "{name},{now},,{cylinder},,");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_snake_case() {
+        let e = TraceEvent::SpPromote { now_us: 1, v: 2 };
+        assert_eq!(e.name(), "sp_promote");
+        assert_eq!(e.now_us(), 1);
+        assert_eq!(e.req(), None);
+    }
+
+    #[test]
+    fn json_rendering_is_one_object() {
+        let mut s = String::new();
+        TraceEvent::Dispatch {
+            now_us: 10,
+            req: 3,
+            cylinder: 77,
+            queue_depth: 4,
+            slack_us: -5,
+        }
+        .write_json(&mut s);
+        assert_eq!(
+            s,
+            "{\"event\":\"dispatch\",\"now_us\":10,\"req\":3,\
+             \"cylinder\":77,\"queue_depth\":4,\"slack_us\":-5}"
+        );
+    }
+
+    #[test]
+    fn big_values_render_as_strings_in_json() {
+        let mut s = String::new();
+        TraceEvent::Preempt {
+            now_us: 0,
+            preempted_v: u128::MAX,
+            by_v: 7,
+        }
+        .write_json(&mut s);
+        assert!(s.contains(&format!("\"{}\"", u128::MAX)));
+        assert!(s.contains("\"by_v\":\"7\""));
+    }
+
+    #[test]
+    fn csv_rows_match_the_header_width() {
+        let header_cols = TraceEvent::csv_header().split(',').count();
+        let events = [
+            TraceEvent::Arrival {
+                now_us: 0,
+                req: 1,
+                cylinder: 2,
+                deadline_us: 3,
+            },
+            TraceEvent::ServiceComplete {
+                now_us: 9,
+                req: 1,
+                response_us: 9,
+                late: true,
+            },
+            TraceEvent::QueueSwap {
+                now_us: 5,
+                batch: 2,
+            },
+            TraceEvent::SweepReverse {
+                now_us: 6,
+                cylinder: 30,
+            },
+        ];
+        for e in events {
+            let mut s = String::new();
+            e.write_csv(&mut s);
+            assert_eq!(s.split(',').count(), header_cols, "row {s}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # obs — event-trace and histogram observability for the scheduler stack
+//!
+//! A zero-dependency layer the rest of the workspace threads through the
+//! dispatcher, the baseline schedulers and the simulation engine:
+//!
+//! * [`TraceEvent`] — the event taxonomy (arrivals, dispatches, service
+//!   starts/completions, drops, preemptions, SP promotions, ER
+//!   expand/reset, queue swaps, sweep reversals);
+//! * [`TraceSink`] — the consumer contract, with
+//!   [`NullSink`] (free: instrumentation compiles out),
+//!   [`RingSink`] (bounded in-memory tail), [`JsonlSink`] / [`CsvSink`]
+//!   (raw timelines), [`Tee`] (duplicate), and [`SharedSink`]
+//!   (one stream shared by several layers);
+//! * [`Histogram`] — log₂-bucketed distributions with
+//!   p50/p95/p99/p999, and [`nearest_rank`], the exact percentile the
+//!   analysis code shares;
+//! * [`Snapshot`] — counters + histograms, itself a sink, mergeable
+//!   across the striped/RAID members.
+//!
+//! The overhead contract: instrumented code guards every emission on
+//! `S::ENABLED`, so with the default [`NullSink`] the instrumented paths
+//! monomorphize to the uninstrumented machine code.
+//!
+//! ```
+//! use obs::{RingSink, Snapshot, Tee, TraceEvent, TraceSink};
+//!
+//! let mut sink = Tee::new(Snapshot::new(), RingSink::new(1024));
+//! sink.emit(&TraceEvent::QueueSwap { now_us: 10, batch: 3 });
+//! let (snapshot, ring) = sink.into_inner();
+//! assert_eq!(snapshot.counters.queue_swaps, 1);
+//! assert_eq!(ring.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod hist;
+mod sink;
+mod snapshot;
+
+pub use event::TraceEvent;
+pub use hist::{nearest_rank, Histogram, HISTOGRAM_BUCKETS};
+pub use sink::{CsvSink, JsonlSink, NullSink, RingSink, SharedSink, Tee, TraceSink};
+pub use snapshot::{Counters, Snapshot};

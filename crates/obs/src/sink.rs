@@ -1,0 +1,398 @@
+//! Trace sinks: where emitted events go.
+//!
+//! The contract is [`TraceSink`]: one `emit` call per event, plus the
+//! associated constant [`TraceSink::ENABLED`] that lets instrumented code
+//! skip event *construction* entirely when the sink is the no-op
+//! [`NullSink`]. Instrumentation sites follow the pattern
+//!
+//! ```ignore
+//! if S::ENABLED {
+//!     sink.emit(&TraceEvent::QueueSwap { now_us, batch });
+//! }
+//! ```
+//!
+//! so that with the default `NullSink` the branch is constant-folded away
+//! and the instrumented hot path is byte-for-byte the uninstrumented one.
+
+use crate::event::TraceEvent;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::rc::Rc;
+
+/// A consumer of [`TraceEvent`]s.
+pub trait TraceSink {
+    /// Whether this sink actually consumes events. Instrumentation sites
+    /// guard event construction on this constant so a disabled sink costs
+    /// nothing; only [`NullSink`] should set it to `false`.
+    const ENABLED: bool = true;
+
+    /// Consume one event.
+    fn emit(&mut self, event: &TraceEvent);
+}
+
+/// A mutable borrow of a sink is itself a sink.
+impl<S: TraceSink> TraceSink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    fn emit(&mut self, event: &TraceEvent) {
+        (**self).emit(event);
+    }
+}
+
+/// The no-op sink: discards everything and reports itself disabled, so
+/// instrumented code monomorphizes to the uninstrumented code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    fn emit(&mut self, _event: &TraceEvent) {}
+}
+
+/// A bounded in-memory sink keeping the most recent events.
+///
+/// When full, the oldest event is evicted (and counted); the ring never
+/// reallocates past its capacity, so it is safe to leave attached to
+/// long runs.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// The held events as an owned vector, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(*event);
+    }
+}
+
+/// A sink rendering every event as one JSON object per line (JSONL) into
+/// any [`Write`] target.
+///
+/// # Panics
+///
+/// `emit` panics if the underlying writer fails — a trace explicitly
+/// requested and then lost would silently invalidate an experiment.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    buf: String,
+    lines: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer. Buffer the writer yourself (`BufWriter`) when it is
+    /// a raw file: one write call is issued per event.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            buf: String::with_capacity(160),
+            lines: 0,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        self.writer.flush().expect("trace sink flush failed");
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.buf.clear();
+        event.write_json(&mut self.buf);
+        self.buf.push('\n');
+        self.writer
+            .write_all(self.buf.as_bytes())
+            .expect("trace sink write failed");
+        self.lines += 1;
+    }
+}
+
+/// A sink rendering events as CSV rows (header emitted before the first
+/// row; see [`TraceEvent::write_csv`] for the column contract).
+///
+/// # Panics
+///
+/// `emit` panics if the underlying writer fails, like [`JsonlSink`].
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    writer: W,
+    buf: String,
+    wrote_header: bool,
+    rows: u64,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wrap a writer (buffer it yourself when it is a raw file).
+    pub fn new(writer: W) -> Self {
+        CsvSink {
+            writer,
+            buf: String::with_capacity(128),
+            wrote_header: false,
+            rows: 0,
+        }
+    }
+
+    /// Data rows written so far (the header is not counted).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        self.writer.flush().expect("trace sink flush failed");
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for CsvSink<W> {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.buf.clear();
+        if !self.wrote_header {
+            self.buf.push_str(TraceEvent::csv_header());
+            self.buf.push('\n');
+            self.wrote_header = true;
+        }
+        event.write_csv(&mut self.buf);
+        self.buf.push('\n');
+        self.writer
+            .write_all(self.buf.as_bytes())
+            .expect("trace sink write failed");
+        self.rows += 1;
+    }
+}
+
+/// A sink duplicating every event into two sinks (e.g. a
+/// [`crate::Snapshot`] for aggregates plus a [`JsonlSink`] for the raw
+/// timeline).
+#[derive(Debug, Clone, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: TraceSink, B: TraceSink> Tee<A, B> {
+    /// Combine two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        Tee(a, b)
+    }
+
+    /// Split back into the two sinks.
+    pub fn into_inner(self) -> (A, B) {
+        (self.0, self.1)
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn emit(&mut self, event: &TraceEvent) {
+        if A::ENABLED {
+            self.0.emit(event);
+        }
+        if B::ENABLED {
+            self.1.emit(event);
+        }
+    }
+}
+
+/// A cloneable handle to one shared sink, so several instrumented layers
+/// (the engine and a scheduler it drives, say) can interleave events into
+/// a single stream. Single-threaded by design, like the simulator.
+#[derive(Debug, Default)]
+pub struct SharedSink<S>(Rc<RefCell<S>>);
+
+impl<S> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink(Rc::clone(&self.0))
+    }
+}
+
+impl<S: TraceSink> SharedSink<S> {
+    /// Wrap a sink for sharing.
+    pub fn new(sink: S) -> Self {
+        SharedSink(Rc::new(RefCell::new(sink)))
+    }
+
+    /// Run `f` against the shared sink (e.g. to read a
+    /// [`crate::Snapshot`] mid-run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside the sink's own `emit`.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Recover the inner sink. Fails (returning `self`) while other
+    /// handles are still alive.
+    pub fn try_unwrap(self) -> Result<S, Self> {
+        Rc::try_unwrap(self.0)
+            .map(RefCell::into_inner)
+            .map_err(SharedSink)
+    }
+}
+
+impl<S: TraceSink> TraceSink for SharedSink<S> {
+    const ENABLED: bool = S::ENABLED;
+
+    fn emit(&mut self, event: &TraceEvent) {
+        self.0.borrow_mut().emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn swap(t: u64) -> TraceEvent {
+        TraceEvent::QueueSwap {
+            now_us: t,
+            batch: 1,
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink::ENABLED);
+        assert!(RingSink::ENABLED);
+        // Tee is enabled iff either side is.
+        assert!(!<Tee<NullSink, NullSink>>::ENABLED);
+        assert!(<Tee<NullSink, RingSink>>::ENABLED);
+        NullSink.emit(&swap(0)); // and harmless to call anyway
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent() {
+        let mut ring = RingSink::new(3);
+        for t in 0..5 {
+            ring.emit(&swap(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.evicted(), 2);
+        let times: Vec<u64> = ring.events().map(|e| e.now_us()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(ring.to_vec().len(), 3);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&swap(1));
+        sink.emit(&swap(2));
+        assert_eq!(sink.lines(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"queue_swap\""));
+    }
+
+    #[test]
+    fn csv_emits_header_once() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.emit(&swap(1));
+        sink.emit(&swap(2));
+        assert_eq!(sink.rows(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], TraceEvent::csv_header());
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let mut tee = Tee::new(RingSink::new(8), RingSink::new(8));
+        tee.emit(&swap(7));
+        let (a, b) = tee.into_inner();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn shared_sink_interleaves_and_unwraps() {
+        let shared = SharedSink::new(RingSink::new(8));
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        a.emit(&swap(1));
+        b.emit(&swap(2));
+        assert_eq!(shared.with(|r| r.len()), 2);
+        drop(a);
+        drop(b);
+        let ring = shared.try_unwrap().expect("all clones dropped");
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn shared_sink_unwrap_fails_while_shared() {
+        let shared = SharedSink::new(RingSink::new(1));
+        let other = shared.clone();
+        assert!(shared.try_unwrap().is_err());
+        drop(other);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn mutable_borrow_is_a_sink() {
+        let mut ring = RingSink::new(4);
+        let borrow = &mut ring;
+        borrow.emit(&swap(3));
+        assert_eq!(ring.len(), 1);
+        assert!(<&mut RingSink>::ENABLED);
+        assert!(!<&mut NullSink>::ENABLED);
+    }
+}

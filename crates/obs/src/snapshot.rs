@@ -1,0 +1,297 @@
+//! The aggregate view of a trace: counters plus histograms, itself a
+//! [`TraceSink`] so it can record directly or sit on one arm of a
+//! [`crate::Tee`] next to a raw-timeline sink.
+
+use crate::event::TraceEvent;
+use crate::hist::Histogram;
+use crate::sink::TraceSink;
+use std::fmt::Write as _;
+
+/// One counter per event kind (plus late completions, split out of
+/// `service_completes` because they are the §6 loss signal).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// `Arrival` events.
+    pub arrivals: u64,
+    /// `Dispatch` events.
+    pub dispatches: u64,
+    /// `ServiceStart` events.
+    pub service_starts: u64,
+    /// `ServiceComplete` events.
+    pub service_completes: u64,
+    /// `ServiceComplete` events with `late` set.
+    pub late_completions: u64,
+    /// `Drop` events.
+    pub drops: u64,
+    /// `Preempt` events.
+    pub preemptions: u64,
+    /// `SpPromote` events.
+    pub sp_promotions: u64,
+    /// `ErExpand` events.
+    pub er_expands: u64,
+    /// `ErReset` events.
+    pub er_resets: u64,
+    /// `QueueSwap` events.
+    pub queue_swaps: u64,
+    /// `SweepReverse` events.
+    pub sweep_reversals: u64,
+}
+
+impl Counters {
+    /// Add another set of counters into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.arrivals += other.arrivals;
+        self.dispatches += other.dispatches;
+        self.service_starts += other.service_starts;
+        self.service_completes += other.service_completes;
+        self.late_completions += other.late_completions;
+        self.drops += other.drops;
+        self.preemptions += other.preemptions;
+        self.sp_promotions += other.sp_promotions;
+        self.er_expands += other.er_expands;
+        self.er_resets += other.er_resets;
+        self.queue_swaps += other.queue_swaps;
+        self.sweep_reversals += other.sweep_reversals;
+    }
+}
+
+/// Aggregated observations of one (or, after [`Snapshot::merge`],
+/// several) traced runs: event counters and the four distribution
+/// histograms the paper's analysis cares about.
+///
+/// Mergeability is the point: the striped/RAID path runs one simulation
+/// per member disk and folds the members' snapshots into one group view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Event counts.
+    pub counters: Counters,
+    /// Response time of completed requests (µs, from `ServiceComplete`).
+    pub response_us: Histogram,
+    /// Seek distance per service (cylinders, from `ServiceStart`).
+    pub seek_cylinders: Histogram,
+    /// Pending-queue depth at each dispatch (from `Dispatch`).
+    pub queue_depth: Histogram,
+    /// Slack at dispatch (µs, from `Dispatch`), clamped at 0: past-due
+    /// dispatches record 0.
+    pub slack_us: Histogram,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Fold another snapshot into this one (exact: counters add,
+    /// histograms concatenate).
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.counters.merge(&other.counters);
+        self.response_us.merge(&other.response_us);
+        self.seek_cylinders.merge(&other.seek_cylinders);
+        self.queue_depth.merge(&other.queue_depth);
+        self.slack_us.merge(&other.slack_us);
+    }
+
+    /// A human-readable multi-line report of the snapshot.
+    pub fn report(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "events");
+        let _ = writeln!(
+            out,
+            "  arrivals {}  dispatches {}  service {}/{}  late {}  drops {}",
+            c.arrivals,
+            c.dispatches,
+            c.service_starts,
+            c.service_completes,
+            c.late_completions,
+            c.drops
+        );
+        let _ = writeln!(
+            out,
+            "  preemptions {}  sp-promotions {}  er-expands {}  er-resets {}  \
+             queue-swaps {}  sweep-reversals {}",
+            c.preemptions,
+            c.sp_promotions,
+            c.er_expands,
+            c.er_resets,
+            c.queue_swaps,
+            c.sweep_reversals
+        );
+        let hist =
+            |out: &mut String, name: &str, unit: &str, h: &Histogram| match (h.min(), h.max()) {
+                (Some(min), Some(max)) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}: n {}  mean {:.1}{unit}  p50 {}  p95 {}  p99 {}  \
+                         p999 {}  min {min}  max {max}",
+                        h.count(),
+                        h.mean(),
+                        h.p50().unwrap(),
+                        h.p95().unwrap(),
+                        h.p99().unwrap(),
+                        h.p999().unwrap(),
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "{name}: (no samples)");
+                }
+            };
+        hist(&mut out, "response_us", "µs", &self.response_us);
+        hist(&mut out, "seek_cylinders", "cyl", &self.seek_cylinders);
+        hist(&mut out, "queue_depth", "", &self.queue_depth);
+        hist(&mut out, "slack_us", "µs", &self.slack_us);
+        out
+    }
+}
+
+impl TraceSink for Snapshot {
+    fn emit(&mut self, event: &TraceEvent) {
+        let c = &mut self.counters;
+        match *event {
+            TraceEvent::Arrival { .. } => c.arrivals += 1,
+            TraceEvent::Dispatch {
+                queue_depth,
+                slack_us,
+                ..
+            } => {
+                c.dispatches += 1;
+                self.queue_depth.record(queue_depth);
+                self.slack_us.record(slack_us.max(0) as u64);
+            }
+            TraceEvent::ServiceStart { seek_cylinders, .. } => {
+                c.service_starts += 1;
+                self.seek_cylinders.record(seek_cylinders as u64);
+            }
+            TraceEvent::ServiceComplete {
+                response_us, late, ..
+            } => {
+                c.service_completes += 1;
+                if late {
+                    c.late_completions += 1;
+                }
+                self.response_us.record(response_us);
+            }
+            TraceEvent::Drop { .. } => c.drops += 1,
+            TraceEvent::Preempt { .. } => c.preemptions += 1,
+            TraceEvent::SpPromote { .. } => c.sp_promotions += 1,
+            TraceEvent::ErExpand { .. } => c.er_expands += 1,
+            TraceEvent::ErReset { .. } => c.er_resets += 1,
+            TraceEvent::QueueSwap { .. } => c.queue_swaps += 1,
+            TraceEvent::SweepReverse { .. } => c.sweep_reversals += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(s: &mut Snapshot) {
+        s.emit(&TraceEvent::Arrival {
+            now_us: 0,
+            req: 1,
+            cylinder: 5,
+            deadline_us: 100,
+        });
+        s.emit(&TraceEvent::Dispatch {
+            now_us: 10,
+            req: 1,
+            cylinder: 5,
+            queue_depth: 3,
+            slack_us: -7,
+        });
+        s.emit(&TraceEvent::ServiceStart {
+            now_us: 10,
+            req: 1,
+            cylinder: 5,
+            seek_cylinders: 40,
+        });
+        s.emit(&TraceEvent::ServiceComplete {
+            now_us: 30,
+            req: 1,
+            response_us: 30,
+            late: true,
+        });
+        s.emit(&TraceEvent::Preempt {
+            now_us: 31,
+            preempted_v: 9,
+            by_v: 2,
+        });
+        s.emit(&TraceEvent::ErExpand {
+            now_us: 31,
+            window: 8,
+        });
+        s.emit(&TraceEvent::QueueSwap {
+            now_us: 40,
+            batch: 2,
+        });
+        s.emit(&TraceEvent::ErReset {
+            now_us: 40,
+            window: 4,
+        });
+        s.emit(&TraceEvent::SpPromote { now_us: 41, v: 3 });
+        s.emit(&TraceEvent::Drop {
+            now_us: 50,
+            req: 2,
+            missed_by_us: 6,
+        });
+        s.emit(&TraceEvent::SweepReverse {
+            now_us: 60,
+            cylinder: 5,
+        });
+    }
+
+    #[test]
+    fn records_every_event_kind() {
+        let mut s = Snapshot::new();
+        feed(&mut s);
+        let c = s.counters;
+        assert_eq!(
+            (
+                c.arrivals,
+                c.dispatches,
+                c.service_starts,
+                c.service_completes
+            ),
+            (1, 1, 1, 1)
+        );
+        assert_eq!((c.late_completions, c.drops), (1, 1));
+        assert_eq!(
+            (c.preemptions, c.sp_promotions, c.er_expands, c.er_resets),
+            (1, 1, 1, 1)
+        );
+        assert_eq!((c.queue_swaps, c.sweep_reversals), (1, 1));
+        assert_eq!(s.response_us.count(), 1);
+        assert_eq!(s.seek_cylinders.max(), Some(40));
+        assert_eq!(s.queue_depth.max(), Some(3));
+        // Negative slack clamps to 0.
+        assert_eq!(s.slack_us.max(), Some(0));
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Snapshot::new();
+        let mut b = Snapshot::new();
+        feed(&mut a);
+        feed(&mut b);
+        let mut both = Snapshot::new();
+        feed(&mut both);
+        feed(&mut both);
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn report_mentions_the_headline_numbers() {
+        let mut s = Snapshot::new();
+        feed(&mut s);
+        let r = s.report();
+        assert!(r.contains("preemptions 1"));
+        assert!(r.contains("response_us"));
+        assert!(r.contains("sweep-reversals 1"));
+        // Empty histogram branch renders too.
+        let empty = Snapshot::new().report();
+        assert!(empty.contains("(no samples)"));
+    }
+}

@@ -132,9 +132,10 @@ impl DiskScheduler for Cello {
                     .inner
                     .dequeue(head)
                     .expect("class was non-empty");
-                let charge =
-                    self.cost
-                        .estimate_us(head.cylinder, req.cylinder, req.bytes) as i64;
+                let charge = self
+                    .cost
+                    .estimate_us(head.cylinder, req.cylinder, req.bytes)
+                    as i64;
                 self.classes[best].credit -= charge;
                 return Some(req);
             }

@@ -37,10 +37,7 @@ impl DeadlineDriven {
 
     /// Scheduler with a custom absolute-priority mapping (the §4.3
     /// extension point: e.g. an SFC1 characterization value).
-    pub fn with_priority(
-        cost: CostModel,
-        priority: Box<dyn Fn(&Request) -> u64 + Send>,
-    ) -> Self {
+    pub fn with_priority(cost: CostModel, priority: Box<dyn Fn(&Request) -> u64 + Send>) -> Self {
         DeadlineDriven {
             active: VecDeque::new(),
             tail: VecDeque::new(),
@@ -194,9 +191,9 @@ mod tests {
         let mut s = DeadlineDriven::new(CostModel::table1());
         s.enqueue(req(1, 0, 20_000, 150), &head());
         s.enqueue(req(2, 0, 1, 3800), &head()); // hopeless deadline, equal priority
-        // Equal priority: the queued request is demotable, but demoting it
-        // cannot make the hopeless deadline feasible; eventually the
-        // newcomer or victim lands on the tail. All requests survive.
+                                                // Equal priority: the queued request is demotable, but demoting it
+                                                // cannot make the hopeless deadline feasible; eventually the
+                                                // newcomer or victim lands on the tail. All requests survive.
         let mut ids: Vec<u64> = Vec::new();
         while let Some(r) = s.dequeue(&head()) {
             ids.push(r.id);

@@ -58,7 +58,11 @@ impl DiskScheduler for FdScan {
             Some(target) => {
                 // Serve the nearest request lying between head and target
                 // (inclusive); the target itself bounds the sweep.
-                let (lo, hi) = if target >= cyl { (cyl, target) } else { (target, cyl) };
+                let (lo, hi) = if target >= cyl {
+                    (cyl, target)
+                } else {
+                    (target, cyl)
+                };
                 take_min_by_key(&mut self.queue, |r| {
                     if r.cylinder >= lo && r.cylinder <= hi {
                         (0u8, head.distance_to(r.cylinder))

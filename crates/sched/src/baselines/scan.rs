@@ -11,26 +11,45 @@
 
 use crate::baselines::take_min_by_key;
 use crate::{DiskScheduler, HeadState, Request, SweepDirection};
+use obs::{NullSink, TraceEvent, TraceSink};
 
 /// SCAN (elevator, with LOOK reversal).
+///
+/// The sink parameter defaults to [`obs::NullSink`] (no tracing, no
+/// cost); [`Scan::with_sink`] attaches a sink that receives a
+/// [`TraceEvent::SweepReverse`] at every LOOK reversal.
 #[derive(Debug)]
-pub struct Scan {
+pub struct Scan<S: TraceSink = NullSink> {
     queue: Vec<Request>,
     direction: SweepDirection,
+    sink: S,
 }
 
 impl Scan {
-    /// An empty SCAN scheduler, initially sweeping up.
+    /// An empty (untraced) SCAN scheduler, initially sweeping up.
     pub fn new() -> Self {
+        Scan::with_sink(NullSink)
+    }
+}
+
+impl<S: TraceSink> Scan<S> {
+    /// An empty SCAN scheduler reporting sweep reversals to `sink`.
+    pub fn with_sink(sink: S) -> Self {
         Scan {
             queue: Vec::new(),
             direction: SweepDirection::Up,
+            sink,
         }
     }
 
     /// Current sweep direction.
     pub fn direction(&self) -> SweepDirection {
         self.direction
+    }
+
+    /// Consume the scheduler, returning its trace sink.
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     fn take_ahead(&mut self, head: &HeadState) -> Option<Request> {
@@ -76,7 +95,7 @@ impl Default for Scan {
     }
 }
 
-impl DiskScheduler for Scan {
+impl<S: TraceSink> DiskScheduler for Scan<S> {
     fn name(&self) -> &'static str {
         "scan"
     }
@@ -94,6 +113,12 @@ impl DiskScheduler for Scan {
         }
         // Nothing ahead: reverse (LOOK) and try again.
         self.direction = self.direction.flip();
+        if S::ENABLED {
+            self.sink.emit(&TraceEvent::SweepReverse {
+                now_us: head.now_us,
+                cylinder: head.cylinder,
+            });
+        }
         self.take_ahead(head)
     }
 
@@ -107,19 +132,39 @@ impl DiskScheduler for Scan {
 }
 
 /// C-SCAN (circular scan: one-directional sweep with fly-back).
+///
+/// Like [`Scan`], the sink defaults to [`obs::NullSink`];
+/// [`CScan::with_sink`] reports each fly-back as a
+/// [`TraceEvent::SweepReverse`].
 #[derive(Debug, Default)]
-pub struct CScan {
+pub struct CScan<S: TraceSink = NullSink> {
     queue: Vec<Request>,
+    sink: S,
 }
 
 impl CScan {
-    /// An empty C-SCAN scheduler.
+    /// An empty (untraced) C-SCAN scheduler.
     pub fn new() -> Self {
         Self::default()
     }
 }
 
-impl DiskScheduler for CScan {
+impl<S: TraceSink> CScan<S> {
+    /// An empty C-SCAN scheduler reporting fly-backs to `sink`.
+    pub fn with_sink(sink: S) -> Self {
+        CScan {
+            queue: Vec::new(),
+            sink,
+        }
+    }
+
+    /// Consume the scheduler, returning its trace sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+}
+
+impl<S: TraceSink> DiskScheduler for CScan<S> {
     fn name(&self) -> &'static str {
         "c-scan"
     }
@@ -131,13 +176,25 @@ impl DiskScheduler for CScan {
     fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
         let cyl = head.cylinder;
         // Nearest at-or-above the head; if none, wrap to the lowest.
-        take_min_by_key(&mut self.queue, |r| {
+        let picked = take_min_by_key(&mut self.queue, |r| {
             if r.cylinder >= cyl {
                 (0u8, r.cylinder - cyl)
             } else {
                 (1u8, r.cylinder)
             }
-        })
+        });
+        if S::ENABLED {
+            if let Some(r) = &picked {
+                // A pick below the head is the fly-back.
+                if r.cylinder < cyl {
+                    self.sink.emit(&TraceEvent::SweepReverse {
+                        now_us: head.now_us,
+                        cylinder: head.cylinder,
+                    });
+                }
+            }
+        }
+        picked
     }
 
     fn len(&self) -> usize {
@@ -203,5 +260,43 @@ mod tests {
         let head = HeadState::new(0, 0, 3832);
         assert!(Scan::new().dequeue(&head).is_none());
         assert!(CScan::new().dequeue(&head).is_none());
+    }
+
+    #[test]
+    fn scan_reports_reversals_to_its_sink() {
+        let mut s = Scan::with_sink(obs::RingSink::new(64));
+        let mut head = HeadState::new(100, 0, 3832);
+        for (id, cyl) in [(1, 150), (2, 50), (3, 300), (4, 80)] {
+            s.enqueue(req(id, cyl), &head);
+        }
+        while let Some(r) = s.dequeue(&head) {
+            head.cylinder = r.cylinder;
+            head.now_us += 1_000;
+        }
+        let ring = s.into_sink();
+        let reversals: Vec<_> = ring.events().collect();
+        // Up 150, 300; one reversal at 300; down 80, 50.
+        assert_eq!(reversals.len(), 1);
+        assert_eq!(
+            reversals[0],
+            &obs::TraceEvent::SweepReverse {
+                now_us: 2_000,
+                cylinder: 300
+            }
+        );
+    }
+
+    #[test]
+    fn cscan_reports_flybacks_to_its_sink() {
+        let mut s = CScan::with_sink(obs::RingSink::new(64));
+        let mut head = HeadState::new(100, 0, 3832);
+        for (id, cyl) in [(1, 150), (2, 50), (3, 300), (4, 80)] {
+            s.enqueue(req(id, cyl), &head);
+        }
+        while let Some(r) = s.dequeue(&head) {
+            head.cylinder = r.cylinder;
+        }
+        // One fly-back: after 300, wrap to 50.
+        assert_eq!(s.into_sink().len(), 1);
     }
 }

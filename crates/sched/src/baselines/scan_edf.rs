@@ -9,23 +9,43 @@
 
 use crate::baselines::take_min_by_key;
 use crate::{DiskScheduler, HeadState, Micros, Request, SweepDirection};
+use obs::{NullSink, TraceEvent, TraceSink};
 
 /// SCAN-EDF queue.
+///
+/// The sink parameter defaults to [`obs::NullSink`];
+/// [`ScanEdf::with_sink`] reports intra-batch sweep reversals as
+/// [`TraceEvent::SweepReverse`].
 #[derive(Debug)]
-pub struct ScanEdf {
+pub struct ScanEdf<S: TraceSink = NullSink> {
     queue: Vec<Request>,
     granularity_us: Micros,
     direction: SweepDirection,
+    sink: S,
 }
 
 impl ScanEdf {
-    /// SCAN-EDF whose deadline batches are `granularity_us` wide.
+    /// (Untraced) SCAN-EDF whose deadline batches are `granularity_us`
+    /// wide.
     pub fn new(granularity_us: Micros) -> Self {
+        ScanEdf::with_sink(granularity_us, NullSink)
+    }
+}
+
+impl<S: TraceSink> ScanEdf<S> {
+    /// SCAN-EDF reporting sweep reversals to `sink`.
+    pub fn with_sink(granularity_us: Micros, sink: S) -> Self {
         ScanEdf {
             queue: Vec::new(),
             granularity_us,
             direction: SweepDirection::Up,
+            sink,
         }
+    }
+
+    /// Consume the scheduler, returning its trace sink.
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     fn batch_of(&self, r: &Request) -> Micros {
@@ -37,7 +57,7 @@ impl ScanEdf {
     }
 }
 
-impl DiskScheduler for ScanEdf {
+impl<S: TraceSink> DiskScheduler for ScanEdf<S> {
     fn name(&self) -> &'static str {
         "scan-edf"
     }
@@ -79,10 +99,22 @@ impl DiskScheduler for ScanEdf {
         });
         // If the pick was behind the head, the sweep reverses there.
         if let Some(r) = &picked {
-            match self.direction {
-                SweepDirection::Up if r.cylinder < cyl => self.direction = SweepDirection::Down,
-                SweepDirection::Down if r.cylinder > cyl => self.direction = SweepDirection::Up,
-                _ => {}
+            let reversed = match self.direction {
+                SweepDirection::Up if r.cylinder < cyl => {
+                    self.direction = SweepDirection::Down;
+                    true
+                }
+                SweepDirection::Down if r.cylinder > cyl => {
+                    self.direction = SweepDirection::Up;
+                    true
+                }
+                _ => false,
+            };
+            if S::ENABLED && reversed {
+                self.sink.emit(&TraceEvent::SweepReverse {
+                    now_us: head.now_us,
+                    cylinder: head.cylinder,
+                });
             }
         }
         picked

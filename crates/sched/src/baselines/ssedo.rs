@@ -57,11 +57,8 @@ impl DiskScheduler for Ssedo {
             return None;
         }
         // Deadline ranks.
-        let mut by_deadline: Vec<(u64, u64)> = self
-            .queue
-            .iter()
-            .map(|r| (r.deadline_us, r.id))
-            .collect();
+        let mut by_deadline: Vec<(u64, u64)> =
+            self.queue.iter().map(|r| (r.deadline_us, r.id)).collect();
         by_deadline.sort_unstable();
         let rank_of = |r: &Request| {
             by_deadline

@@ -59,7 +59,7 @@ mod tests {
         s.enqueue(req(2, 120), &head);
         s.enqueue(req(3, 60), &head);
         assert_eq!(s.dequeue(&head).unwrap().id, 2); // |120-100| = 20
-        // Head has conceptually moved; caller passes updated state.
+                                                     // Head has conceptually moved; caller passes updated state.
         let head = HeadState::new(120, 0, 3832);
         assert_eq!(s.dequeue(&head).unwrap().id, 3); // |60-120| = 60 < 380
         let head = HeadState::new(60, 0, 3832);

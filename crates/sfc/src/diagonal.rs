@@ -63,9 +63,7 @@ impl Diagonal {
         }
         let mut cum = Vec::new();
         if dims >= 3 {
-            let entries: u128 = (1..=dims as u128)
-                .map(|m| m * (side as u128 - 1) + 1)
-                .sum();
+            let entries: u128 = (1..=dims as u128).map(|m| m * (side as u128 - 1) + 1).sum();
             if entries > MAX_TABLE_ENTRIES {
                 return Err(SfcError::TooLarge { dims, order: 0 });
             }
@@ -128,7 +126,7 @@ fn build_tables(d: usize, side: u64) -> Vec<Vec<u128>> {
     let n = side as usize;
     let mut cum: Vec<Vec<u128>> = Vec::with_capacity(d + 1);
     cum.push(Vec::new()); // m = 0 handled in closed form
-    // m = 1: N_1(t) = 1 for t in 0..n, cum = t+1.
+                          // m = 1: N_1(t) = 1 for t in 0..n, cum = t+1.
     cum.push((1..=n as u128).collect());
     for m in 2..=d {
         let tmax = m * (n - 1);
@@ -138,11 +136,7 @@ fn build_tables(d: usize, side: u64) -> Vec<Vec<u128>> {
         // N_m(t) = C_{m-1}(t) - C_{m-1}(t - n); build cumulative directly.
         let mut acc: u128 = 0;
         for t in 0..=tmax {
-            let hi = if t < prev.len() {
-                prev[t]
-            } else {
-                prev_total
-            };
+            let hi = if t < prev.len() { prev[t] } else { prev_total };
             let lo = if t >= n {
                 let u = t - n;
                 if u < prev.len() {
@@ -260,7 +254,10 @@ impl WeightedDiagonal {
     ///
     /// Panics if `f` is negative, NaN or infinite.
     pub fn new(f: f64) -> Self {
-        assert!(f.is_finite() && f >= 0.0, "balance factor must be finite and >= 0");
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "balance factor must be finite and >= 0"
+        );
         WeightedDiagonal { f }
     }
 

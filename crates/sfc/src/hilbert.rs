@@ -189,11 +189,7 @@ mod tests {
         assert_eq!(pts.len(), 16);
         assert_eq!(pts[0], vec![0, 0]);
         for w in pts.windows(2) {
-            let d: u64 = w[0]
-                .iter()
-                .zip(&w[1])
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum();
+            let d: u64 = w[0].iter().zip(&w[1]).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert_eq!(d, 1, "non-unit step {:?} -> {:?}", w[0], w[1]);
         }
     }
@@ -207,11 +203,7 @@ mod tests {
             c.point(0, &mut prev);
             for i in 1..c.cells() {
                 c.point(i, &mut cur);
-                let d: u64 = prev
-                    .iter()
-                    .zip(&cur)
-                    .map(|(&a, &b)| a.abs_diff(b))
-                    .sum();
+                let d: u64 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
                 assert_eq!(d, 1, "dims={dims} bits={bits} step {i}");
                 std::mem::swap(&mut prev, &mut cur);
             }

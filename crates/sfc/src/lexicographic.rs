@@ -243,11 +243,7 @@ mod tests {
         for i in 1..c.cells() {
             c.point(i - 1, &mut prev);
             c.point(i, &mut cur);
-            let dist: u64 = prev
-                .iter()
-                .zip(&cur)
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum();
+            let dist: u64 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert_eq!(dist, 1, "step {i} jumps from {prev:?} to {cur:?}");
         }
     }

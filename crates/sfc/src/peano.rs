@@ -179,11 +179,7 @@ mod tests {
             c.point(0, &mut prev);
             for i in 1..c.cells() {
                 c.point(i, &mut cur);
-                let d: u64 = prev
-                    .iter()
-                    .zip(&cur)
-                    .map(|(&a, &b)| a.abs_diff(b))
-                    .sum();
+                let d: u64 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
                 assert_eq!(
                     d, 1,
                     "dims={dims} order={order} step {i}: {prev:?} -> {cur:?}"
@@ -217,9 +213,6 @@ mod tests {
 
     #[test]
     fn rejects_huge() {
-        assert!(matches!(
-            Peano::new(4, 25),
-            Err(SfcError::TooLarge { .. })
-        ));
+        assert!(matches!(Peano::new(4, 25), Err(SfcError::TooLarge { .. })));
     }
 }

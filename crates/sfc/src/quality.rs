@@ -131,11 +131,7 @@ pub fn continuity(curve: &dyn SpaceFillingCurve) -> Result<ContinuityReport, Gri
     let mut max_jump: u64 = 0;
     let mut total_jump: u128 = 0;
     for w in cells.windows(2) {
-        let d: u64 = w[0]
-            .iter()
-            .zip(&w[1])
-            .map(|(&a, &b)| a.abs_diff(b))
-            .sum();
+        let d: u64 = w[0].iter().zip(&w[1]).map(|(&a, &b)| a.abs_diff(b)).sum();
         if d == 1 {
             unit_steps += 1;
         }
@@ -250,10 +246,7 @@ pub fn irregularity(curve: &dyn SpaceFillingCurve) -> Result<Vec<u64>, GridTooLa
 ///
 /// `box_side` is the query box edge length; boxes are slid over every
 /// position (exhaustive), so keep the grid small.
-pub fn mean_clusters(
-    curve: &dyn SpaceFillingCurve,
-    box_side: u64,
-) -> Result<f64, GridTooLarge> {
+pub fn mean_clusters(curve: &dyn SpaceFillingCurve, box_side: u64) -> Result<f64, GridTooLarge> {
     let cells = curve.cells();
     if cells > MAX_ANALYZED_CELLS {
         return Err(GridTooLarge { cells });

@@ -49,7 +49,11 @@ impl Spiral {
                 .ok_or(SfcError::TooLarge { dims, order: 0 })?;
         }
         let c_hi = side / 2;
-        let c_lo = if side.is_multiple_of(2) { c_hi - 1 } else { c_hi };
+        let c_lo = if side.is_multiple_of(2) {
+            c_hi - 1
+        } else {
+            c_hi
+        };
         Ok(Spiral {
             dims,
             side,
@@ -65,7 +69,9 @@ impl Spiral {
             .map(|&c| {
                 if c < self.c_lo {
                     self.c_lo - c
-                } else { c.saturating_sub(self.c_hi) }
+                } else {
+                    c.saturating_sub(self.c_hi)
+                }
             })
             .max()
             .unwrap_or(0)
@@ -193,11 +199,7 @@ impl SpaceFillingCurve for Spiral {
             }
             let base = self.cells_within(r - 1);
             // Lower side first, then upper.
-            return if point[0] < self.c_lo {
-                base
-            } else {
-                base + 1
-            };
+            return if point[0] < self.c_lo { base } else { base + 1 };
         }
         let r = self.ring(point);
         let before = if r == 0 { 0 } else { self.cells_within(r - 1) };
@@ -325,11 +327,7 @@ mod tests {
             c.point(0, &mut prev);
             for i in 1..c.cells() {
                 c.point(i, &mut cur);
-                let d: u64 = prev
-                    .iter()
-                    .zip(&cur)
-                    .map(|(&a, &b)| a.abs_diff(b))
-                    .sum();
+                let d: u64 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
                 assert_eq!(d, 1, "bits={bits} step {i}: {prev:?} -> {cur:?}");
                 std::mem::swap(&mut prev, &mut cur);
             }

@@ -23,18 +23,14 @@ fn walk2(kind: CurveKind, order: u32) -> Vec<(u64, u64)> {
 #[test]
 fn sweep_4x4() {
     // Vertical strokes: x major, y ascending.
-    let expected: Vec<(u64, u64)> = (0..4)
-        .flat_map(|x| (0..4).map(move |y| (x, y)))
-        .collect();
+    let expected: Vec<(u64, u64)> = (0..4).flat_map(|x| (0..4).map(move |y| (x, y))).collect();
     assert_eq!(walk2(CurveKind::Sweep, 2), expected);
 }
 
 #[test]
 fn cscan_4x4() {
     // Horizontal rows with fly-back: y major, x ascending.
-    let expected: Vec<(u64, u64)> = (0..4)
-        .flat_map(|y| (0..4).map(move |x| (x, y)))
-        .collect();
+    let expected: Vec<(u64, u64)> = (0..4).flat_map(|y| (0..4).map(move |x| (x, y))).collect();
     assert_eq!(walk2(CurveKind::CScan, 2), expected);
 }
 
@@ -42,10 +38,22 @@ fn cscan_4x4() {
 fn scan_4x4() {
     // Serpentine rows: y major, x alternating.
     let expected: Vec<(u64, u64)> = vec![
-        (0, 0), (1, 0), (2, 0), (3, 0),
-        (3, 1), (2, 1), (1, 1), (0, 1),
-        (0, 2), (1, 2), (2, 2), (3, 2),
-        (3, 3), (2, 3), (1, 3), (0, 3),
+        (0, 0),
+        (1, 0),
+        (2, 0),
+        (3, 0),
+        (3, 1),
+        (2, 1),
+        (1, 1),
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (2, 2),
+        (3, 2),
+        (3, 3),
+        (2, 3),
+        (1, 3),
+        (0, 3),
     ];
     assert_eq!(walk2(CurveKind::Scan, 2), expected);
 }
@@ -55,13 +63,22 @@ fn diagonal_4x4() {
     // Anti-diagonals by coordinate sum; lexicographic within even sums,
     // reversed within odd sums (the zigzag).
     let expected: Vec<(u64, u64)> = vec![
-        (0, 0),                         // s=0
-        (1, 0), (0, 1),                 // s=1 (reversed)
-        (0, 2), (1, 1), (2, 0),         // s=2
-        (3, 0), (2, 1), (1, 2), (0, 3), // s=3 (reversed)
-        (1, 3), (2, 2), (3, 1),         // s=4
-        (3, 2), (2, 3),                 // s=5 (reversed)
-        (3, 3),                         // s=6
+        (0, 0), // s=0
+        (1, 0),
+        (0, 1), // s=1 (reversed)
+        (0, 2),
+        (1, 1),
+        (2, 0), // s=2
+        (3, 0),
+        (2, 1),
+        (1, 2),
+        (0, 3), // s=3 (reversed)
+        (1, 3),
+        (2, 2),
+        (3, 1), // s=4
+        (3, 2),
+        (2, 3), // s=5 (reversed)
+        (3, 3), // s=6
     ];
     assert_eq!(walk2(CurveKind::Diagonal, 2), expected);
 }
@@ -95,11 +112,22 @@ fn hilbert_4x4() {
 fn spiral_4x4() {
     // Core block loop then one perimeter ring, exactly as documented.
     let expected: Vec<(u64, u64)> = vec![
-        (1, 1), (1, 2), (2, 2), (2, 1), // core loop
-        (3, 1), (3, 2), (3, 3),         // right edge up
-        (2, 3), (1, 3), (0, 3),         // top leftward
-        (0, 2), (0, 1), (0, 0),         // left edge down
-        (1, 0), (2, 0), (3, 0),         // bottom rightward
+        (1, 1),
+        (1, 2),
+        (2, 2),
+        (2, 1), // core loop
+        (3, 1),
+        (3, 2),
+        (3, 3), // right edge up
+        (2, 3),
+        (1, 3),
+        (0, 3), // top leftward
+        (0, 2),
+        (0, 1),
+        (0, 0), // left edge down
+        (1, 0),
+        (2, 0),
+        (3, 0), // bottom rightward
     ];
     assert_eq!(walk2(CurveKind::Spiral, 2), expected);
 }
@@ -107,10 +135,22 @@ fn spiral_4x4() {
 #[test]
 fn zorder_4x4() {
     let expected: Vec<(u64, u64)> = vec![
-        (0, 0), (0, 1), (1, 0), (1, 1),
-        (0, 2), (0, 3), (1, 2), (1, 3),
-        (2, 0), (2, 1), (3, 0), (3, 1),
-        (2, 2), (2, 3), (3, 2), (3, 3),
+        (0, 0),
+        (0, 1),
+        (1, 0),
+        (1, 1),
+        (0, 2),
+        (0, 3),
+        (1, 2),
+        (1, 3),
+        (2, 0),
+        (2, 1),
+        (3, 0),
+        (3, 1),
+        (2, 2),
+        (2, 3),
+        (3, 2),
+        (3, 3),
     ];
     assert_eq!(walk2(CurveKind::ZOrder, 2), expected);
 }
@@ -134,9 +174,15 @@ fn peano_9x9_opening_and_corners() {
     assert_eq!(
         &w[..9],
         &[
-            (0, 0), (0, 1), (0, 2),
-            (1, 2), (1, 1), (1, 0),
-            (2, 0), (2, 1), (2, 2)
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 1),
+            (1, 0),
+            (2, 0),
+            (2, 1),
+            (2, 2)
         ]
     );
     // The 10th cell steps up into the next 3x3 block: continuity across

@@ -22,12 +22,7 @@ use diskmodel::{DiskGeometry, SeekModel};
 
 /// Worst-case duration of one service round of `n` block requests under a
 /// sweep-order scheduler, in milliseconds.
-pub fn round_ms(
-    geometry: &DiskGeometry,
-    seek: &SeekModel,
-    n: u32,
-    block_bytes: u64,
-) -> f64 {
+pub fn round_ms(geometry: &DiskGeometry, seek: &SeekModel, n: u32, block_bytes: u64) -> f64 {
     if n == 0 {
         return 0.0;
     }

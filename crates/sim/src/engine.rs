@@ -9,6 +9,7 @@
 
 use crate::metrics::Metrics;
 use crate::service::ServiceProvider;
+use obs::{NullSink, TraceEvent, TraceSink};
 use sched::{DiskScheduler, HeadState, Micros, Request};
 
 /// Simulation policy knobs.
@@ -97,7 +98,7 @@ pub fn simulate(
     service: &mut dyn ServiceProvider,
     options: SimOptions,
 ) -> Metrics {
-    simulate_inner(scheduler, trace, service, options, None)
+    simulate_inner(scheduler, trace, service, options, None, &mut NullSink)
 }
 
 /// Like [`simulate`], additionally returning one [`RequestRecord`] per
@@ -110,16 +111,43 @@ pub fn simulate_logged(
     options: SimOptions,
 ) -> (Metrics, Vec<RequestRecord>) {
     let mut log = Vec::with_capacity(trace.len());
-    let m = simulate_inner(scheduler, trace, service, options, Some(&mut log));
+    let m = simulate_inner(
+        scheduler,
+        trace,
+        service,
+        options,
+        Some(&mut log),
+        &mut NullSink,
+    );
     (m, log)
 }
 
-fn simulate_inner(
+/// Like [`simulate`], additionally emitting the engine-level event
+/// timeline ([`TraceEvent::Arrival`], [`TraceEvent::Dispatch`],
+/// [`TraceEvent::ServiceStart`], [`TraceEvent::ServiceComplete`],
+/// [`TraceEvent::Drop`]) into `sink`.
+///
+/// To see scheduler-internal events (preemptions, sweep reversals) in
+/// the same stream, build the scheduler over an [`obs::SharedSink`]
+/// clone of `sink` — see the `trace` bench binary for the full wiring.
+/// With [`obs::NullSink`] this monomorphizes to exactly [`simulate`].
+pub fn simulate_traced<S: TraceSink>(
+    scheduler: &mut dyn DiskScheduler,
+    trace: &[Request],
+    service: &mut dyn ServiceProvider,
+    options: SimOptions,
+    sink: &mut S,
+) -> Metrics {
+    simulate_inner(scheduler, trace, service, options, None, sink)
+}
+
+fn simulate_inner<S: TraceSink>(
     scheduler: &mut dyn DiskScheduler,
     trace: &[Request],
     service: &mut dyn ServiceProvider,
     options: SimOptions,
     mut log: Option<&mut Vec<RequestRecord>>,
+    sink: &mut S,
 ) -> Metrics {
     let mut metrics = Metrics::new(options.dims, options.levels);
     let cylinders = service.cylinders();
@@ -136,6 +164,14 @@ fn simulate_inner(
         while next_arrival < trace.len() && trace[next_arrival].arrival_us <= now {
             let r = trace[next_arrival].clone();
             let head = HeadState::new(service.head(), r.arrival_us, cylinders);
+            if S::ENABLED {
+                sink.emit(&TraceEvent::Arrival {
+                    now_us: r.arrival_us,
+                    req: r.id,
+                    cylinder: r.cylinder,
+                    deadline_us: r.deadline_us,
+                });
+            }
             scheduler.enqueue(r, &head);
             next_arrival += 1;
         }
@@ -144,10 +180,30 @@ fn simulate_inner(
         match scheduler.dequeue(&head) {
             Some(req) => {
                 let in_window = measured(&req);
+                if S::ENABLED {
+                    let slack = (req.deadline_us as i128 - now as i128)
+                        .clamp(i64::MIN as i128, i64::MAX as i128)
+                        as i64;
+                    sink.emit(&TraceEvent::Dispatch {
+                        now_us: now,
+                        req: req.id,
+                        cylinder: req.cylinder,
+                        // The dispatched request itself still counts.
+                        queue_depth: scheduler.len() as u64 + 1,
+                        slack_us: slack,
+                    });
+                }
                 if options.drop_past_due && req.is_late(now) {
                     if in_window {
                         metrics.dropped += 1;
                         metrics.record_loss(&req);
+                    }
+                    if S::ENABLED {
+                        sink.emit(&TraceEvent::Drop {
+                            now_us: now,
+                            req: req.id,
+                            missed_by_us: now.saturating_sub(req.deadline_us),
+                        });
                     }
                     if let Some(log) = log.as_mut() {
                         log.push(RequestRecord {
@@ -162,9 +218,25 @@ fn simulate_inner(
                 if options.count_inversions && in_window {
                     count_inversions(scheduler, &req, &mut metrics);
                 }
+                if S::ENABLED {
+                    sink.emit(&TraceEvent::ServiceStart {
+                        now_us: now,
+                        req: req.id,
+                        cylinder: req.cylinder,
+                        seek_cylinders: service.head().abs_diff(req.cylinder),
+                    });
+                }
                 let breakdown = service.service(&req);
                 now += breakdown.total_us();
                 let late = req.is_late(now);
+                if S::ENABLED {
+                    sink.emit(&TraceEvent::ServiceComplete {
+                        now_us: now,
+                        req: req.id,
+                        response_us: now - req.arrival_us,
+                        late,
+                    });
+                }
                 if in_window {
                     metrics.seek_us += breakdown.seek_us;
                     metrics.rotation_us += breakdown.rotation_us;
@@ -352,12 +424,7 @@ mod tests {
             .collect();
         let mut service = TransferDominated::uniform(1_000, 3832);
         let mut s = Sstf::new();
-        let (m, log) = simulate_logged(
-            &mut s,
-            &trace,
-            &mut service,
-            SimOptions::with_shape(1, 2),
-        );
+        let (m, log) = simulate_logged(&mut s, &trace, &mut service, SimOptions::with_shape(1, 2));
         assert_eq!(m.served, 8);
         assert_eq!(log.len(), 8);
         // Completion times are strictly increasing in service order.
@@ -382,6 +449,91 @@ mod tests {
         assert_eq!(m.dropped, 4);
         assert_eq!(log.iter().filter(|r| r.completion_us.is_none()).count(), 4);
         assert!(log.iter().all(|r| r.lost));
+    }
+
+    #[test]
+    fn traced_run_reconciles_with_metrics() {
+        use obs::Snapshot;
+        // A deadline mix that produces served, late and dropped requests.
+        let trace: Vec<Request> = (0..30)
+            .map(|i| {
+                let deadline = if i % 3 == 0 { 1 + i * 10 } else { u64::MAX };
+                req(i, i * 500, deadline, ((i * 733) % 3832) as u32, &[0])
+            })
+            .collect();
+        let options = SimOptions::with_shape(1, 2).dropping();
+        let plain = {
+            let mut service = TransferDominated::uniform(2_000, 3832);
+            simulate(&mut Fcfs::new(), &trace, &mut service, options)
+        };
+        let mut snapshot = Snapshot::new();
+        let traced = {
+            let mut service = TransferDominated::uniform(2_000, 3832);
+            simulate_traced(
+                &mut Fcfs::new(),
+                &trace,
+                &mut service,
+                options,
+                &mut snapshot,
+            )
+        };
+        // Tracing must not change the simulation.
+        assert_eq!(plain, traced);
+        // And the event counters must reconcile with the metrics exactly.
+        let c = snapshot.counters;
+        assert_eq!(c.arrivals, 30);
+        assert_eq!(c.dispatches, traced.served + traced.dropped);
+        assert_eq!(c.service_starts, traced.served);
+        assert_eq!(c.service_completes, traced.served);
+        assert_eq!(c.drops, traced.dropped);
+        assert_eq!(c.late_completions, traced.late);
+        assert!(traced.dropped > 0, "workload produced no drops");
+        assert_eq!(snapshot.response_us.count(), traced.served);
+        assert_eq!(snapshot.response_us.max(), Some(traced.max_response_us));
+        assert_eq!(snapshot.seek_cylinders.count(), traced.served);
+        assert_eq!(snapshot.queue_depth.count(), c.dispatches);
+    }
+
+    #[test]
+    fn traced_timeline_orders_each_request() {
+        use obs::{RingSink, TraceEvent};
+        let trace: Vec<Request> = (0..10)
+            .map(|i| req(i, i * 100, u64::MAX, (i * 311 % 3832) as u32, &[0]))
+            .collect();
+        let mut ring = RingSink::new(4096);
+        let mut service = TransferDominated::uniform(1_000, 3832);
+        simulate_traced(
+            &mut Sstf::new(),
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 2),
+            &mut ring,
+        );
+        // Per request: arrival <= dispatch == service_start <= complete.
+        for id in 0..10u64 {
+            let times: Vec<(&'static str, u64)> = ring
+                .events()
+                .filter(|e| e.req() == Some(id))
+                .map(|e| (e.name(), e.now_us()))
+                .collect();
+            let names: Vec<&str> = times.iter().map(|(n, _)| *n).collect();
+            assert_eq!(
+                names,
+                vec!["arrival", "dispatch", "service_start", "service_complete"],
+                "request {id}"
+            );
+            assert!(times.windows(2).all(|w| w[0].1 <= w[1].1), "request {id}");
+        }
+        // Scheduling events are globally time-ordered. Arrivals are not:
+        // they are delivered in batches between services, so an arrival
+        // that happened mid-service is emitted after that service's
+        // completion event with an earlier stamp.
+        let stamps: Vec<u64> = ring
+            .events()
+            .filter(|e| e.name() != "arrival")
+            .map(TraceEvent::now_us)
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -49,11 +49,7 @@ impl Metrics {
 
     /// Record that `request` exists (fills the per-level denominators).
     pub fn record_request(&mut self, request: &Request) {
-        for k in 0..self
-            .requests_by_dim_level
-            .len()
-            .min(request.qos.dims())
-        {
+        for k in 0..self.requests_by_dim_level.len().min(request.qos.dims()) {
             let level = request.qos.level(k) as usize;
             if let Some(slot) = self.requests_by_dim_level[k].get_mut(level) {
                 *slot += 1;
@@ -69,6 +65,48 @@ impl Metrics {
                 *slot += 1;
             }
         }
+    }
+
+    /// Fold another accumulator into this one, as if both runs' events
+    /// had been recorded here: counts and times add, extrema take the
+    /// max, per-dimension tables widen to the larger shape. The striped
+    /// RAID path uses this to aggregate per-member runs into one group
+    /// view (`makespan_us` becomes the slowest member's makespan).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.served += other.served;
+        self.dropped += other.dropped;
+        self.late += other.late;
+        if self.inversions_per_dim.len() < other.inversions_per_dim.len() {
+            self.inversions_per_dim
+                .resize(other.inversions_per_dim.len(), 0);
+        }
+        for (k, v) in other.inversions_per_dim.iter().enumerate() {
+            self.inversions_per_dim[k] += v;
+        }
+        let merge_table = |mine: &mut Vec<Vec<u64>>, theirs: &Vec<Vec<u64>>| {
+            if mine.len() < theirs.len() {
+                mine.resize(theirs.len(), Vec::new());
+            }
+            for (row, other_row) in mine.iter_mut().zip(theirs.iter()) {
+                if row.len() < other_row.len() {
+                    row.resize(other_row.len(), 0);
+                }
+                for (slot, v) in row.iter_mut().zip(other_row.iter()) {
+                    *slot += v;
+                }
+            }
+        };
+        merge_table(&mut self.losses_by_dim_level, &other.losses_by_dim_level);
+        merge_table(
+            &mut self.requests_by_dim_level,
+            &other.requests_by_dim_level,
+        );
+        self.seek_us += other.seek_us;
+        self.rotation_us += other.rotation_us;
+        self.transfer_us += other.transfer_us;
+        self.response_total_us += other.response_total_us;
+        self.max_response_us = self.max_response_us.max(other.max_response_us);
+        self.makespan_us = self.makespan_us.max(other.makespan_us);
     }
 
     /// Total priority inversions over all dimensions.
@@ -152,8 +190,7 @@ impl Metrics {
             let w = if levels == 1 {
                 top_to_bottom
             } else {
-                top_to_bottom
-                    - (top_to_bottom - 1.0) * level as f64 / (levels as f64 - 1.0)
+                top_to_bottom - (top_to_bottom - 1.0) * level as f64 / (levels as f64 - 1.0)
             };
             cost += w * m as f64 / r as f64;
         }
@@ -241,6 +278,52 @@ mod tests {
         // Ratio should be about 11:1.
         let ratio = loses_high.weighted_loss(0, 11.0) / loses_low.weighted_loss(0, 11.0);
         assert!((10.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn merge_adds_counts_and_takes_extrema() {
+        let mut a = Metrics::new(2, 4);
+        a.served = 5;
+        a.late = 1;
+        a.inversions_per_dim = vec![3, 1];
+        a.requests_by_dim_level[0][2] = 4;
+        a.seek_us = 100;
+        a.response_total_us = 1_000;
+        a.max_response_us = 400;
+        a.makespan_us = 900;
+        let mut b = Metrics::new(2, 4);
+        b.served = 2;
+        b.dropped = 3;
+        b.inversions_per_dim = vec![1, 7];
+        b.requests_by_dim_level[0][2] = 1;
+        b.losses_by_dim_level[1][0] = 2;
+        b.seek_us = 50;
+        b.response_total_us = 500;
+        b.max_response_us = 800;
+        b.makespan_us = 700;
+        a.merge(&b);
+        assert_eq!(a.served, 7);
+        assert_eq!(a.dropped, 3);
+        assert_eq!(a.late, 1);
+        assert_eq!(a.inversions_per_dim, vec![4, 8]);
+        assert_eq!(a.requests_by_dim_level[0][2], 5);
+        assert_eq!(a.losses_by_dim_level[1][0], 2);
+        assert_eq!(a.seek_us, 150);
+        assert_eq!(a.response_total_us, 1_500);
+        assert_eq!(a.max_response_us, 800); // max, not sum
+        assert_eq!(a.makespan_us, 900); // slowest member
+    }
+
+    #[test]
+    fn merge_widens_mismatched_shapes() {
+        let mut narrow = Metrics::new(1, 2);
+        narrow.inversions_per_dim = vec![5];
+        let mut wide = Metrics::new(3, 4);
+        wide.inversions_per_dim = vec![1, 2, 3];
+        wide.requests_by_dim_level[2][3] = 9;
+        narrow.merge(&wide);
+        assert_eq!(narrow.inversions_per_dim, vec![6, 2, 3]);
+        assert_eq!(narrow.requests_by_dim_level[2][3], 9);
     }
 
     #[test]

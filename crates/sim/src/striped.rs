@@ -12,10 +12,11 @@
 //! throughput multiplier the workload crate's NewsByte stripe accounting
 //! assumes, verified here end-to-end.
 
-use crate::engine::{simulate, SimOptions};
+use crate::engine::{simulate_traced, SimOptions};
 use crate::metrics::Metrics;
 use crate::service::DiskService;
 use diskmodel::{Disk, Raid5};
+use obs::{NullSink, Snapshot, TraceSink};
 use sched::{DiskScheduler, Request};
 
 /// Result of a striped run: per-member metrics plus the aggregate.
@@ -47,6 +48,17 @@ impl StripedOutcome {
             self.losses() as f64 / total as f64
         }
     }
+
+    /// The members folded into one group-level [`Metrics`] via
+    /// [`Metrics::merge`] (counts add, `makespan_us` is the slowest
+    /// member's).
+    pub fn aggregate(&self) -> Metrics {
+        let mut total = Metrics::default();
+        for m in &self.per_member {
+            total.merge(m);
+        }
+        total
+    }
 }
 
 /// Run a trace against a RAID-5 group of `members` Table-1 disks, one
@@ -61,6 +73,36 @@ pub fn simulate_striped(
     make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
     options: SimOptions,
 ) -> StripedOutcome {
+    run_striped(trace, members, make_scheduler, options, || NullSink).0
+}
+
+/// [`simulate_striped`] with one [`Snapshot`] sink per member, merged
+/// into a single group-level snapshot. The snapshot's event-derived
+/// counters reconcile with [`StripedOutcome::aggregate`]: dispatches ==
+/// served + dropped, service completes == served, drops == dropped.
+pub fn simulate_striped_observed(
+    trace: &[Request],
+    members: usize,
+    make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
+    options: SimOptions,
+) -> (StripedOutcome, Snapshot) {
+    let (outcome, sinks) = run_striped(trace, members, make_scheduler, options, Snapshot::new);
+    let mut group = Snapshot::new();
+    for member in &sinks {
+        group.merge(member);
+    }
+    (outcome, group)
+}
+
+/// Shared member loop: route, sort, and simulate each member with its
+/// own scheduler, service model, and sink.
+fn run_striped<S: TraceSink>(
+    trace: &[Request],
+    members: usize,
+    make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
+    options: SimOptions,
+    make_sink: impl Fn() -> S,
+) -> (StripedOutcome, Vec<S>) {
     assert!(members >= 3, "RAID-5 needs at least 3 members");
     let layout = Raid5::new(Disk::table1(), members);
     let cylinders = Disk::table1().geometry().cylinders();
@@ -76,6 +118,7 @@ pub fn simulate_striped(
     }
 
     let mut per_member = Vec::with_capacity(members);
+    let mut sinks = Vec::with_capacity(members);
     let mut makespan = 0u64;
     for member_trace in &mut member_traces {
         // Re-assign dense ids per member (engine requirement is sorted
@@ -83,19 +126,31 @@ pub fn simulate_striped(
         member_trace.sort_by_key(|r| (r.arrival_us, r.id));
         let mut scheduler = make_scheduler();
         let mut service = DiskService::table1();
-        let m = simulate(scheduler.as_mut(), member_trace, &mut service, options);
+        let mut sink = make_sink();
+        let m = simulate_traced(
+            scheduler.as_mut(),
+            member_trace,
+            &mut service,
+            options,
+            &mut sink,
+        );
         makespan = makespan.max(m.makespan_us);
         per_member.push(m);
+        sinks.push(sink);
     }
-    StripedOutcome {
-        per_member,
-        makespan_us: makespan,
-    }
+    (
+        StripedOutcome {
+            per_member,
+            makespan_us: makespan,
+        },
+        sinks,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::simulate;
     use sched::{Fcfs, QosVector};
 
     /// A saturating batch of single-block reads over many logical blocks.
@@ -159,9 +214,7 @@ mod tests {
     #[test]
     fn aggregate_ratios_are_consistent() {
         let trace: Vec<Request> = (0..200)
-            .map(|i| {
-                Request::read(i, 0, 1, (i % 100) as u32, 64 * 1024, QosVector::single(0))
-            })
+            .map(|i| Request::read(i, 0, 1, (i % 100) as u32, 64 * 1024, QosVector::single(0)))
             .collect();
         let out = simulate_striped(
             &trace,
@@ -178,6 +231,48 @@ mod tests {
                 .sum::<u64>(),
             200
         );
+    }
+
+    #[test]
+    fn aggregate_folds_members_into_group_totals() {
+        let trace = batch(400);
+        let out = simulate_striped(
+            &trace,
+            5,
+            || Box::new(Fcfs::new()),
+            SimOptions::with_shape(1, 2),
+        );
+        let total = out.aggregate();
+        assert_eq!(total.served, out.served());
+        assert_eq!(total.losses_total(), out.losses());
+        assert_eq!(total.makespan_us, out.makespan_us);
+        assert_eq!(
+            total.response_total_us,
+            out.per_member
+                .iter()
+                .map(|m| m.response_total_us)
+                .sum::<u128>()
+        );
+    }
+
+    #[test]
+    fn observed_snapshot_reconciles_with_aggregate_metrics() {
+        let trace = batch(400);
+        let (out, snap) = simulate_striped_observed(
+            &trace,
+            5,
+            || Box::new(Fcfs::new()),
+            SimOptions::with_shape(1, 2),
+        );
+        let total = out.aggregate();
+        let c = &snap.counters;
+        assert_eq!(c.arrivals, 400);
+        assert_eq!(c.dispatches, total.served + total.dropped);
+        assert_eq!(c.service_completes, total.served);
+        assert_eq!(c.drops, total.dropped);
+        assert_eq!(c.late_completions, total.late);
+        assert_eq!(snap.response_us.count(), total.served);
+        assert_eq!(snap.response_us.max(), Some(total.max_response_us));
     }
 
     #[test]

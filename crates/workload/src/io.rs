@@ -65,7 +65,8 @@ pub fn from_csv(text: &str) -> Result<Trace, TraceParseError> {
     let err = |line: usize, message: String| TraceParseError { line, message };
     let mut lines = text.lines().enumerate();
     match lines.next() {
-        Some((_, header)) if header.trim() == "id,arrival_us,deadline_us,cylinder,bytes,kind,qos" => {}
+        Some((_, header))
+            if header.trim() == "id,arrival_us,deadline_us,cylinder,bytes,kind,qos" => {}
         Some((_, other)) => {
             return Err(err(1, format!("unexpected header {other:?}")));
         }
@@ -80,7 +81,10 @@ pub fn from_csv(text: &str) -> Result<Trace, TraceParseError> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 7 {
-            return Err(err(line_no, format!("expected 7 fields, got {}", fields.len())));
+            return Err(err(
+                line_no,
+                format!("expected 7 fields, got {}", fields.len()),
+            ));
         }
         let parse_u64 = |s: &str, what: &str| {
             s.parse::<u64>()
@@ -113,7 +117,10 @@ pub fn from_csv(text: &str) -> Result<Trace, TraceParseError> {
                 );
             }
             if levels.len() > sched::MAX_QOS_DIMS {
-                return Err(err(line_no, format!("too many qos dimensions ({})", levels.len())));
+                return Err(err(
+                    line_no,
+                    format!("too many qos dimensions ({})", levels.len()),
+                ));
             }
             QosVector::new(&levels)
         };
@@ -174,8 +181,10 @@ mod tests {
     #[test]
     fn empty_input_is_an_empty_trace() {
         assert!(from_csv("").unwrap().is_empty());
-        assert!(from_csv("id,arrival_us,deadline_us,cylinder,bytes,kind,qos\n")
-            .unwrap()
-            .is_empty());
+        assert!(
+            from_csv("id,arrival_us,deadline_us,cylinder,bytes,kind,qos\n")
+                .unwrap()
+                .is_empty()
+        );
     }
 }

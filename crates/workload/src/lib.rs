@@ -50,10 +50,7 @@ pub type Trace = Vec<Request>;
 /// ids unique and dense.
 pub fn validate_trace(trace: &Trace) -> bool {
     trace.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us)
-        && trace
-            .iter()
-            .enumerate()
-            .all(|(i, r)| r.id == i as u64)
+        && trace.iter().enumerate().all(|(i, r)| r.id == i as u64)
 }
 
 /// Merge several traces into one (mixed workloads, e.g. VoD streams plus

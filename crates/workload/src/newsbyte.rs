@@ -90,8 +90,7 @@ impl NewsByteConfig {
         let users: Vec<User> = (0..self.users)
             .map(|u| User {
                 level: dist::normal_level(&mut rng, self.levels),
-                offset: (u % self.burst_groups) as u64 * group_offset
-                    + rng.gen_range(0..500), // sub-millisecond burst jitter
+                offset: (u % self.burst_groups) as u64 * group_offset + rng.gen_range(0..500), // sub-millisecond burst jitter
                 base_cylinder: rng.gen_range(0..self.cylinders),
                 writes: rng.gen::<f64>() < self.write_fraction,
             })
@@ -110,8 +109,7 @@ impl NewsByteConfig {
                 if arrival >= self.duration_us {
                     continue;
                 }
-                let deadline =
-                    arrival + rng.gen_range(self.deadline_lo_us..=self.deadline_hi_us);
+                let deadline = arrival + rng.gen_range(self.deadline_lo_us..=self.deadline_hi_us);
                 // Sequential layout with slight spread: tick-th block of
                 // the stream sits a few cylinders along.
                 let cylinder = (user.base_cylinder + (tick as u32 % 32)) % self.cylinders;

@@ -28,12 +28,7 @@ fn main() {
         // gets 8x8 (order 3).
         let order = if kind == CurveKind::Peano { 2 } else { 3 };
         let curve = kind.build(2, order).expect("2-D curves always build");
-        println!(
-            "== {} ({}x{} grid) ==",
-            kind,
-            curve.side(),
-            curve.side()
-        );
+        println!("== {} ({}x{} grid) ==", kind, curve.side(), curve.side());
         draw(curve.as_ref());
 
         let cont = quality::continuity(curve.as_ref()).expect("small grid");

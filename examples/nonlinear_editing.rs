@@ -51,7 +51,10 @@ fn main() {
 
     let schedulers: Vec<(&str, Box<dyn DiskScheduler>)> = vec![
         ("fcfs", Box::new(Fcfs::new())),
-        ("sweep-x (EDF-like)", Box::new(curve_scheduler(CurveKind::CScan))),
+        (
+            "sweep-x (EDF-like)",
+            Box::new(curve_scheduler(CurveKind::CScan)),
+        ),
         (
             "sweep-y (multi-queue)",
             Box::new(curve_scheduler(CurveKind::Sweep)),

@@ -39,9 +39,7 @@ fn main() {
             QosVector::new(qos),
         );
         let v = cascade.encapsulator().characterize(&req, &head);
-        println!(
-            "  [{i}] {label} qos={qos:?} deadline={deadline_ms}ms cyl={cylinder} -> v_c={v}"
-        );
+        println!("  [{i}] {label} qos={qos:?} deadline={deadline_ms}ms cyl={cylinder} -> v_c={v}");
         cascade.enqueue(req.clone(), &head);
         fcfs.enqueue(req, &head);
     }

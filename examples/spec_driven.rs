@@ -24,7 +24,9 @@ const DEFAULT_SPEC: &str = "
 ";
 
 fn main() {
-    let spec_text = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_SPEC.to_string());
+    let spec_text = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT_SPEC.to_string());
     let config = match spec::parse(&spec_text) {
         Ok(c) => c,
         Err(e) => {
@@ -54,8 +56,15 @@ fn main() {
         SimOptions::with_shape(3, 8).dropping(),
     );
     println!("requests      {}", m.requests_total());
-    println!("losses        {} ({:.1}%)", m.losses_total(), m.loss_ratio() * 100.0);
-    println!("mean seek     {:.2} ms", m.seek_us as f64 / 1000.0 / m.served.max(1) as f64);
+    println!(
+        "losses        {} ({:.1}%)",
+        m.losses_total(),
+        m.loss_ratio() * 100.0
+    );
+    println!(
+        "mean seek     {:.2} ms",
+        m.seek_us as f64 / 1000.0 / m.served.max(1) as f64
+    );
     println!("mean response {:.1} ms", m.mean_response_us() / 1000.0);
     println!("inversions    {}", m.inversions_total());
 }

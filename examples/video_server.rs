@@ -9,10 +9,9 @@
 //! ```
 
 use cascaded_sfc::cascade::{CascadeConfig, CascadedSfc};
-use cascaded_sfc::sched::{
-    Batched, CScan, CostModel, DiskScheduler, Edf, Fcfs, ScanEdf, Sstf,
-};
-use cascaded_sfc::sim::{simulate, DiskService, SimOptions};
+use cascaded_sfc::obs::{SharedSink, Snapshot};
+use cascaded_sfc::sched::{Batched, CScan, CostModel, DiskScheduler, Edf, Fcfs, ScanEdf, Sstf};
+use cascaded_sfc::sim::{simulate, simulate_traced, DiskService, SimOptions};
 use cascaded_sfc::workload::{DeadlineDist, PoissonConfig, Sizing};
 
 fn main() {
@@ -80,4 +79,21 @@ fn main() {
          minimizes seeks but ignores deadlines, and the Cascaded-SFC holds \
          losses low while also keeping inversions and seeks down."
     );
+
+    // Beyond the means: rerun the cascade with a trace sink attached and
+    // print the full response/seek/queue-depth distributions (the same
+    // machinery `cargo run -p bench --bin trace` streams to JSONL).
+    let sink = SharedSink::new(Snapshot::new());
+    let mut s =
+        CascadedSfc::with_sink(CascadeConfig::paper_default(2, 3832), sink.clone()).unwrap();
+    let mut service = DiskService::table1();
+    simulate_traced(
+        &mut s,
+        &trace,
+        &mut service,
+        SimOptions::with_shape(2, 8).dropping(),
+        &mut sink.clone(),
+    );
+    println!("\ncascaded-sfc distributions (traced rerun):");
+    sink.with(|snapshot| print!("{}", snapshot.report()));
 }

@@ -9,7 +9,9 @@
 //! * [`sched`] — request model and baseline disk schedulers,
 //! * [`cascade`] — the Cascaded-SFC scheduler itself,
 //! * [`workload`] — multimedia workload generators,
-//! * [`sim`] — the discrete-event simulator and QoS metrics.
+//! * [`sim`] — the discrete-event simulator and QoS metrics,
+//! * [`obs`] — the zero-dependency event-trace and histogram
+//!   observability layer (sinks, log2 histograms, snapshots).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -17,6 +19,7 @@
 
 pub use cascade;
 pub use diskmodel;
+pub use obs;
 pub use sched;
 pub use sfc;
 pub use sim;

@@ -88,12 +88,7 @@ fn simulation_is_deterministic() {
     let run = || {
         let mut s = CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap();
         let mut service = DiskService::table1();
-        simulate(
-            &mut s,
-            &trace,
-            &mut service,
-            SimOptions::with_shape(3, 8),
-        )
+        simulate(&mut s, &trace, &mut service, SimOptions::with_shape(3, 8))
     };
     let a: Metrics = run();
     let b: Metrics = run();
@@ -145,12 +140,7 @@ fn utilization_is_sane() {
     let trace = poisson_trace(3_000);
     let mut s = Sstf::new();
     let mut service = DiskService::table1();
-    let m = simulate(
-        &mut s,
-        &trace,
-        &mut service,
-        SimOptions::with_shape(3, 8),
-    );
+    let m = simulate(&mut s, &trace, &mut service, SimOptions::with_shape(3, 8));
     let u = m.utilization();
     assert!(u > 0.3 && u <= 1.0, "utilization {u}");
 }

@@ -124,12 +124,8 @@ fn cascade_deadline_major_matches_edf_on_batches() {
 fn cascade_priority_only_matches_multiqueue_levels() {
     let mut rng = StdRng::seed_from_u64(5);
     let head = HeadState::new(0, 0, 3832);
-    let mut cascade = CascadedSfc::new(CascadeConfig::priority_only(
-        CurveKind::Diagonal,
-        1,
-        3,
-    ))
-    .unwrap();
+    let mut cascade =
+        CascadedSfc::new(CascadeConfig::priority_only(CurveKind::Diagonal, 1, 3)).unwrap();
     let mut mq = MultiQueue::new(0);
     for id in 0..300u64 {
         let r = Request::read(

@@ -72,14 +72,13 @@ fn sp_policy_reduces_inversion_of_the_window() {
     // only help.
     let trace = PoissonConfig::figure5(3, 5_000).generate(25);
     let run_with = |sp: bool| {
-        let cfg = CascadeConfig::priority_only(CurveKind::Diagonal, 3, 4).with_dispatch(
-            DispatchConfig {
+        let cfg =
+            CascadeConfig::priority_only(CurveKind::Diagonal, 3, 4).with_dispatch(DispatchConfig {
                 mode: cascaded_sfc::cascade::PreemptionMode::Conditional { window: 0.3 },
                 serve_promote: sp,
                 expand_factor: None,
                 refresh_on_swap: false,
-            },
-        );
+            });
         let mut s = CascadedSfc::new(cfg).unwrap();
         run(&mut s, &trace, 3).inversions_total()
     };
@@ -125,11 +124,6 @@ fn inversion_definition_matches_hand_count() {
         .collect();
     let mut s = Scripted { queue: Vec::new() };
     let mut service = TransferDominated::uniform(1_000, 3832);
-    let m = simulate(
-        &mut s,
-        &trace,
-        &mut service,
-        SimOptions::with_shape(1, 16),
-    );
+    let m = simulate(&mut s, &trace, &mut service, SimOptions::with_shape(1, 16));
     assert_eq!(m.inversions_per_dim[0], 6);
 }

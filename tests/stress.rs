@@ -8,9 +8,7 @@ use cascaded_sfc::sched::{
     Batched, Bucket, CScan, Cello, CostModel, DeadlineDriven, DiskScheduler, Edf, Fcfs, FdScan,
     MultiQueue, QosVector, Request, Scan, ScanEdf, ScanRt, Ssedo, Ssedv, Sstf,
 };
-use cascaded_sfc::sim::{
-    simulate, simulate_logged, DiskService, SimOptions, TransferDominated,
-};
+use cascaded_sfc::sim::{simulate, simulate_logged, DiskService, SimOptions, TransferDominated};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary (sorted, dense-id) trace of up to 120 requests
@@ -19,9 +17,9 @@ use proptest::prelude::*;
 fn arb_trace() -> impl Strategy<Value = Vec<Request>> {
     prop::collection::vec(
         (
-            0u64..2_000_000,                      // arrival
-            prop::option::of(0u64..3_000_000),    // deadline offset (None = relaxed)
-            0u32..3832,                           // cylinder
+            0u64..2_000_000,                   // arrival
+            prop::option::of(0u64..3_000_000), // deadline offset (None = relaxed)
+            0u32..3832,                        // cylinder
             prop::sample::select(vec![0u64, 1, 512, 4096, 65536, 1 << 20]),
             prop::collection::vec(0u8..16, 0..4), // qos levels
         ),
@@ -33,7 +31,14 @@ fn arb_trace() -> impl Strategy<Value = Vec<Request>> {
             .enumerate()
             .map(|(i, (arrival, dl, cyl, bytes, qos))| {
                 let deadline = dl.map(|d| arrival + d).unwrap_or(u64::MAX);
-                Request::read(i as u64, arrival, deadline, cyl, bytes, QosVector::new(&qos))
+                Request::read(
+                    i as u64,
+                    arrival,
+                    deadline,
+                    cyl,
+                    bytes,
+                    QosVector::new(&qos),
+                )
             })
             .collect();
         trace.sort_by_key(|r| (r.arrival_us, r.id));

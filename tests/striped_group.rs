@@ -49,7 +49,11 @@ fn one_member_view_approximates_the_full_group() {
     let group_ratio = group_view.loss_ratio();
     // The group sees 4x the requests...
     let singles = single_view.requests_total();
-    let groups: u64 = group_view.per_member.iter().map(|m| m.requests_total()).sum();
+    let groups: u64 = group_view
+        .per_member
+        .iter()
+        .map(|m| m.requests_total())
+        .sum();
     assert!(
         (3.5..4.6).contains(&(groups as f64 / singles as f64)),
         "group {groups} vs single-view {singles}"

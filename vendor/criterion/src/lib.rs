@@ -1,0 +1,311 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This shim keeps the workspace's `benches/` compiling and
+//! producing useful numbers with the same source code: `criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, group-level
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `black_box`
+//! and `BenchmarkId`.
+//!
+//! Measurement is deliberately simple: after a warm-up phase, it runs
+//! `sample_size` samples sized to fill the measurement window and reports
+//! the min / mean / max time per iteration. There are no statistical
+//! outlier analyses, plots or baselines — swap the workspace dependency
+//! back to crates.io `criterion = "0.5"` when network access returns if
+//! those matter.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function preventing the optimizer from deleting a
+/// computation (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] so `bench_function` accepts both
+/// string literals and explicit ids.
+pub trait IntoBenchmarkId {
+    /// Convert to the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.into() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The timing callback handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` invocations of `routine` (the sample currently being
+    /// taken). The return value of `routine` is black-boxed so its
+    /// computation cannot be optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let (sample_size, warm_up, measurement) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        run_benchmark(
+            &id.into_benchmark_id().id,
+            sample_size,
+            warm_up,
+            measurement,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling begins.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget the samples aim to fill.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a routine under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a routine that receives a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
+    // Warm-up: repeatedly run single iterations, tracking the cost of one
+    // call to size the samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < warm_up {
+        f(&mut b);
+        if !b.elapsed.is_zero() {
+            per_iter = b.elapsed;
+        }
+    }
+
+    // Size each sample so that `sample_size` samples fill the window.
+    let budget = measurement.as_nanos() / sample_size.max(1) as u128;
+    let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+    let mut times: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    println!(
+        "{id:<40} time: [{} {} {}]  ({iters} iters x {sample_size} samples)",
+        fmt_ns(lo),
+        fmt_ns(mean),
+        fmt_ns(hi),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a single named runner (mirrors
+/// `criterion::criterion_group!`; only the plain form is supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        let mut ran = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

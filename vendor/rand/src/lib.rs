@@ -1,0 +1,351 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real `rand` cannot be fetched from crates.io. This crate provides the
+//! exact API subset the workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range, gen_bool}` and
+//! `seq::SliceRandom::shuffle` — with the same call syntax, backed by a
+//! xoshiro256++ generator seeded through SplitMix64.
+//!
+//! It is *not* the real `rand`: the stream of numbers differs, there is
+//! no `OsRng`, no distributions module, and no crypto-strength anything.
+//! It exists so `cargo build && cargo test` work from a clean offline
+//! checkout; swap the workspace dependency back to crates.io `rand = "0.8"`
+//! if the environment regains network access and bit-identical streams
+//! with upstream matter.
+
+/// A source of random 64-bit words. The base trait every generator
+/// implements (mirrors `rand::RngCore` for the methods used here).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Sampling sugar on top of [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value of a type with a standard distribution: uniform in
+    /// `[0, 1)` for floats, uniform over all values for integers, a fair
+    /// coin for `bool`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Deterministic construction from a seed (mirrors `rand::SeedableRng`
+/// for the `seed_from_u64` entry point the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution (support for
+/// [`Rng::gen`]).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`Rng::gen_range`] (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+///
+/// Implemented generically over [`SampleUniform`] element types — a
+/// *single* generic impl per range shape, like the real crate, so that
+/// integer-literal inference flows from the use site into the range
+/// (`arrival + rng.gen_range(0..500)` infers `Range<u64>`).
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range. Panics when empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types uniform ranges can be sampled over (mirrors
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[lo, hi)` when `inclusive` is false, `[lo, hi]`
+    /// otherwise. The range must be non-empty.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let mut span = ((hi as $u).wrapping_sub(lo as $u)) as u64;
+                if inclusive {
+                    span = span.wrapping_add(1);
+                    if span == 0 {
+                        // Full-width range: every word is a valid sample.
+                        return rng.next_u64() as $t;
+                    }
+                }
+                lo.wrapping_add(reduce(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(
+    u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+    i8: u8, i16: u16, i32: u32, i64: u64, isize: usize
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let u = <$t as Standard>::sample(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Map a random word to `0..span` (multiply-shift; the bias is
+/// `span / 2^64`, irrelevant at the spans simulations use).
+#[inline]
+fn reduce(word: u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((word as u128 * span as u128) >> 64) as u64
+}
+
+pub mod rngs {
+    //! Concrete generators (`StdRng` only).
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Seeded via SplitMix64 so that nearby `u64` seeds produce unrelated
+    /// streams (the same scheme the real `rand` uses for `seed_from_u64`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers (`SliceRandom::shuffle` only).
+
+    use super::{RngCore, SampleRange};
+
+    /// Randomized operations on slices (mirrors `rand::seq::SliceRandom`
+    /// for the methods used here).
+    pub trait SliceRandom {
+        /// Element type of the sequence.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` when empty.
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample(rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(0..self.len()).sample(rng)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen_range(0..1_000_000u64)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen_range(0..1_000_000u64)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen_range(0..1_000_000u64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let a: u8 = r.gen_range(0..3u8);
+            assert!(a < 3);
+            let b = r.gen_range(150_000..=500_000);
+            assert!((150_000..=500_000).contains(&b));
+            let c: f64 = r.gen();
+            assert!((0.0..1.0).contains(&c));
+            let d: i64 = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_real() {
+        // Chi-square-ish sanity: 8 cells, 80k draws, each cell within
+        // 5% of expectation.
+        let mut r = StdRng::seed_from_u64(3);
+        let mut cells = [0u32; 8];
+        for _ in 0..80_000 {
+            cells[r.gen_range(0..8usize)] += 1;
+        }
+        for &c in &cells {
+            assert!((9_500..10_500).contains(&c), "cells {cells:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut v: Vec<u64> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the identity permutation");
+    }
+
+    #[test]
+    fn float_range_and_bool() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut trues = 0;
+        for _ in 0..10_000 {
+            let x = r.gen_range(2.0f64..8.0);
+            assert!((2.0..8.0).contains(&x));
+            if r.gen_bool(0.25) {
+                trues += 1;
+            }
+        }
+        assert!((2_000..3_000).contains(&trues), "p=0.25 gave {trues}/10000");
+    }
+}
