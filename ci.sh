@@ -20,4 +20,9 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> fault-scenario smoke run"
+# Fixed seed: loss-free and fully event-reconciled at a zero fault
+# rate, lossy-but-terminating at a high rate (exits 1 on violation).
+cargo run -q -p bench --release --bin faults -- --mode smoke --duration-ms 8000
+
 echo "ci.sh: all green"

@@ -30,6 +30,7 @@ pub fn variants() -> Vec<(&'static str, DispatchConfig)> {
         serve_promote: sp,
         expand_factor: er,
         refresh_on_swap: false,
+        max_queue: None,
     };
     vec![
         ("fully-preemptive", DispatchConfig::fully_preemptive()),
@@ -170,6 +171,7 @@ pub fn tuning_sweep(seed: u64, requests: usize) -> Vec<TuningRow> {
                 serve_promote: true,
                 expand_factor: er,
                 refresh_on_swap: false,
+                max_queue: None,
             };
             let mut s = scheduler_with(dispatch);
             let mut service = TransferDominated::uniform(20_000, 3832);
@@ -282,6 +284,7 @@ mod tests {
             serve_promote: false,
             expand_factor: None,
             refresh_on_swap: false,
+            max_queue: None,
         };
         let with_er = DispatchConfig {
             expand_factor: Some(2.0),

@@ -1,0 +1,109 @@
+//! Fault-scenario runner: degradation curves, the degraded-RAID
+//! scenario, and the CI smoke gate.
+//!
+//! ```text
+//! cargo run -p bench --release --bin faults -- --mode sweep|smoke|degraded
+//!     [--seed N] [--members N] [--streams N] [--duration-ms N]
+//!     [--retries N] [--rate-ppm N]
+//! ```
+//!
+//! * `sweep` (default) prints the loss/seek/p99 curves as CSV on stdout.
+//! * `smoke` runs the CI gate: a zero-fault run must be loss-free and
+//!   reconciled, a high-rate run lossy but fully accounted. Exits 1 on
+//!   any violation.
+//! * `degraded` kills one member mid-run and reports the degraded-read
+//!   and rebuild activity.
+//!
+//! `--rate-ppm` replaces the swept rate list with a single rate (sweep)
+//! or sets the high rate (smoke).
+
+use bench::args::Args;
+use bench::fault::{self, Config};
+
+fn main() {
+    let args = Args::parse(&[
+        "mode",
+        "seed",
+        "members",
+        "streams",
+        "duration-ms",
+        "retries",
+        "rate-ppm",
+    ]);
+    let mut cfg = Config {
+        seed: args.get("seed", bench::DEFAULT_SEED),
+        members: args.get("members", 5),
+        streams: args.get("streams", 0),
+        duration_us: args.get("duration-ms", 20_000u64) * 1_000,
+        retries: args.get("retries", 4),
+        ..Default::default()
+    };
+    if args.provided("rate-ppm") {
+        cfg.rates_ppm = vec![args.get("rate-ppm", 250_000u32)];
+    }
+    let mode: String = args.get("mode", "sweep".to_string());
+
+    match mode.as_str() {
+        "sweep" => {
+            eprintln!(
+                "# faults sweep — {} members, {} streams, {} ms, {} attempts, seed {}",
+                cfg.members,
+                cfg.effective_streams(),
+                cfg.duration_us / 1_000,
+                cfg.retries,
+                cfg.seed
+            );
+            fault::print_csv(&fault::sweep(&cfg));
+        }
+        "smoke" => match fault::smoke(&cfg) {
+            Ok((zero, high)) => {
+                eprintln!(
+                    "# smoke OK: zero-fault loss-free ({} served), \
+                     {} ppm lost {}/{} gracefully ({} media errors, {} retries)",
+                    zero.served,
+                    high.transient_ppm,
+                    high.losses,
+                    high.served + high.losses,
+                    high.media_errors,
+                    high.retries
+                );
+            }
+            Err(e) => {
+                eprintln!("# smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        },
+        "degraded" => match fault::degraded(&cfg) {
+            Ok(report) => {
+                let m = &report.metrics;
+                eprintln!(
+                    "# degraded — member {} died at {} ms; rebuild interleaved",
+                    report.failed_member,
+                    report.fail_at_us / 1_000
+                );
+                println!(
+                    "served,{}\nfailed,{}\nlosses,{}\ndegraded_reads,{}\n\
+                     rebuild_ios,{}\nrebuilt_stripes,{}\nrebuild_ms,{}\n\
+                     p99_response_us,{}\nmakespan_ms,{}",
+                    m.served,
+                    m.failed,
+                    m.losses_total(),
+                    m.degraded_reads,
+                    m.rebuild_ios,
+                    report.rebuilt_stripes,
+                    m.rebuild_us / 1_000,
+                    report.snapshot.response_us.p99().unwrap_or(0),
+                    m.makespan_us / 1_000
+                );
+            }
+            Err(e) => {
+                eprintln!("# degraded run FAILED reconciliation: {e}");
+                std::process::exit(1);
+            }
+        },
+        other => {
+            eprintln!("unknown --mode {other:?} (expected sweep, smoke, or degraded)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -4,8 +4,14 @@
 //! ```text
 //! cargo run -p bench --release --bin trace [--seed N] [--requests N]
 //!     [--dims D] [--service-us U] [--window PCT]
-//!     [--out trace.jsonl] [--format jsonl|csv]
+//!     [--transient-ppm N] [--bad-sector-ppm N] [--retries N]
+//!     [--max-queue N] [--out trace.jsonl] [--format jsonl|csv]
 //! ```
+//!
+//! Nonzero fault rates switch the service model to the Table-1 disk
+//! behind a fault injector (media errors, retries, remaps appear in the
+//! timeline); `--max-queue` bounds the dispatcher queue and sheds the
+//! lowest-priority victim on overflow.
 //!
 //! The timeline goes to `--out`; the summary and the event/metric
 //! reconciliation verdict go to stderr, so the binary composes with
@@ -24,6 +30,10 @@ fn main() {
         "dims",
         "service-us",
         "window",
+        "transient-ppm",
+        "bad-sector-ppm",
+        "retries",
+        "max-queue",
         "out",
         "format",
     ]);
@@ -33,6 +43,10 @@ fn main() {
         dims: args.get("dims", 2),
         service_us: args.get("service-us", 20_000),
         window_pct: args.get("window", 10),
+        transient_ppm: args.get("transient-ppm", 0),
+        bad_sector_ppm: args.get("bad-sector-ppm", 0),
+        retries: args.get("retries", 1),
+        max_queue: args.get("max-queue", 0),
     };
     let format: String = args.get("format", "jsonl".to_string());
     let out: String = args.get("out", format!("trace.{format}"));

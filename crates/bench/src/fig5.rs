@@ -75,6 +75,7 @@ pub fn run_priority_sim(
         serve_promote: true,
         expand_factor: None,
         refresh_on_swap: false, // priorities are time-independent here
+        max_queue: None,
     });
     let mut sched = CascadedSfc::new(cfg).expect("valid cascade config");
     let mut service = TransferDominated::uniform(service_us, 3832);

@@ -18,8 +18,11 @@
 //!
 //! Extra binaries: `curves` (the geometric quality table of the whole
 //! curve catalogue), `experiments` (runs everything into `results/`),
-//! and `trace` (a fully-instrumented run emitting the per-request event
-//! timeline as JSONL/CSV plus a histogram summary — see [`trace`]).
+//! `trace` (a fully-instrumented run emitting the per-request event
+//! timeline as JSONL/CSV plus a histogram summary — see [`trace`]), and
+//! `faults` (loss/seek/p99 degradation curves under injected media
+//! errors, a degraded-RAID scenario, and the CI smoke gate — see
+//! [`fault`]).
 //!
 //! All experiments are deterministic given a seed; run any binary with
 //! `--seed N` to change it.
@@ -29,6 +32,7 @@
 
 pub mod ablation;
 pub mod args;
+pub mod fault;
 pub mod fig10;
 pub mod fig11;
 pub mod fig5;

@@ -16,8 +16,9 @@
 //! lifecycle events, every preemption its event.
 
 use cascade::{CascadeConfig, CascadedSfc, PreemptionMode};
+use diskmodel::{Disk, FaultPlan};
 use obs::{SharedSink, Snapshot, Tee, TraceSink};
-use sim::{simulate_traced, Metrics, SimOptions, TransferDominated};
+use sim::{simulate_traced, DiskService, Metrics, ServiceProvider, SimOptions, TransferDominated};
 use workload::PoissonConfig;
 
 /// Traced-run parameters.
@@ -33,6 +34,18 @@ pub struct Config {
     pub service_us: u64,
     /// Blocking window, percent of the scheduling space.
     pub window_pct: u32,
+    /// Transient media-error rate (ppm per request). Any nonzero fault
+    /// rate switches the service model from the transfer-dominated
+    /// abstraction to the full Table-1 disk behind a fault injector.
+    pub transient_ppm: u32,
+    /// Latent bad-sector rate (ppm per request).
+    pub bad_sector_ppm: u32,
+    /// Retry budget per request (attempts, 1 = never retry).
+    pub retries: u32,
+    /// Bounded-queue load shedding: hold at most this many pending
+    /// requests, shedding the lowest-priority victim on overflow.
+    /// 0 = unbounded.
+    pub max_queue: usize,
 }
 
 impl Default for Config {
@@ -43,6 +56,10 @@ impl Default for Config {
             dims: 2,
             service_us: 20_000,
             window_pct: 10,
+            transient_ppm: 0,
+            bad_sector_ppm: 0,
+            retries: 1,
+            max_queue: 0,
         }
     }
 }
@@ -61,6 +78,8 @@ pub struct Report {
     pub promotions: u64,
     /// Dispatcher's own count of queue swaps.
     pub swaps: u64,
+    /// Dispatcher's own count of shed requests (bounded queue).
+    pub sheds: u64,
 }
 
 impl Report {
@@ -71,16 +90,42 @@ impl Report {
     pub fn reconcile(&self) -> Result<(), String> {
         let c = &self.snapshot.counters;
         let m = &self.metrics;
-        let checks: [(&str, u64, u64); 9] = [
+        let checks: [(&str, u64, u64); 15] = [
             (
-                "dispatches vs served+dropped",
-                c.dispatches,
-                m.served + m.dropped,
+                "arrivals vs dispatches+sheds",
+                c.arrivals,
+                c.dispatches + c.sheds,
             ),
-            ("service_starts vs served", c.service_starts, m.served),
+            (
+                "dispatches vs served+dropped+failed",
+                c.dispatches,
+                m.served + m.dropped + m.failed,
+            ),
+            (
+                "service_starts vs served+failed",
+                c.service_starts,
+                m.served + m.failed,
+            ),
             ("service_completes vs served", c.service_completes, m.served),
             ("drops vs dropped", c.drops, m.dropped),
             ("late_completions vs late", c.late_completions, m.late),
+            (
+                "media_error events vs metrics",
+                c.media_errors,
+                m.media_errors,
+            ),
+            ("retry events vs metrics", c.retries, m.retries),
+            (
+                "request_failed events vs metrics",
+                c.request_failures,
+                m.failed,
+            ),
+            (
+                "sector_remap events vs metrics",
+                c.sector_remaps,
+                m.sector_remaps,
+            ),
+            ("shed events vs dispatcher", c.sheds, self.sheds),
             (
                 "preempt events vs dispatcher",
                 c.preemptions,
@@ -123,6 +168,9 @@ pub fn run_with_sink<E: TraceSink>(cfg: &Config, event_sink: E) -> (Report, E) {
     cascade_cfg.dispatch.mode = PreemptionMode::Conditional {
         window: cfg.window_pct as f64 / 100.0,
     };
+    if cfg.max_queue > 0 {
+        cascade_cfg.dispatch = cascade_cfg.dispatch.with_max_queue(cfg.max_queue);
+    }
 
     let shared = SharedSink::new(Tee::new(Snapshot::new(), event_sink));
     let mut engine_sink = shared.clone();
@@ -130,16 +178,25 @@ pub fn run_with_sink<E: TraceSink>(cfg: &Config, event_sink: E) -> (Report, E) {
         CascadedSfc::with_sink(cascade_cfg, shared.clone()).expect("valid cascade config");
 
     let trace = PoissonConfig::figure5(cfg.dims, cfg.requests).generate(cfg.seed);
-    let mut service = TransferDominated::uniform(cfg.service_us, 3832);
+    // Fault injection needs a disk with real per-attempt timing (the
+    // retry pays another revolution); the healthy run keeps the
+    // transfer-dominated abstraction the Figure-5 setting assumes.
+    let mut service: Box<dyn ServiceProvider> = if cfg.transient_ppm > 0 || cfg.bad_sector_ppm > 0 {
+        let plan = FaultPlan::media(cfg.seed, cfg.transient_ppm, cfg.bad_sector_ppm);
+        Box::new(DiskService::with_faults(Disk::table1(), plan))
+    } else {
+        Box::new(TransferDominated::uniform(cfg.service_us, 3832))
+    };
     let metrics = simulate_traced(
         &mut scheduler,
         &trace,
-        &mut service,
-        SimOptions::with_shape(cfg.dims as usize, 16),
+        service.as_mut(),
+        SimOptions::with_shape(cfg.dims as usize, 16).with_retries(cfg.retries),
         &mut engine_sink,
     );
 
     let (preemptions, promotions, swaps) = scheduler.dispatch_counters();
+    let sheds = scheduler.sheds();
     drop(engine_sink);
     drop(scheduler.into_sink());
     let tee = shared
@@ -153,6 +210,7 @@ pub fn run_with_sink<E: TraceSink>(cfg: &Config, event_sink: E) -> (Report, E) {
             preemptions,
             promotions,
             swaps,
+            sheds,
         },
         event_sink,
     )
@@ -199,9 +257,56 @@ mod tests {
             + c.er_expands
             + c.er_resets
             + c.queue_swaps
-            + c.sweep_reversals;
+            + c.sweep_reversals
+            + c.media_errors
+            + c.retries
+            + c.request_failures
+            + c.sector_remaps
+            + c.degraded_reads
+            + c.rebuild_ios
+            + c.sheds;
         assert_eq!(lines, events);
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn faulted_run_reconciles_and_streams_fault_events() {
+        let cfg = Config {
+            transient_ppm: 120_000,
+            bad_sector_ppm: 30_000,
+            retries: 3,
+            ..small()
+        };
+        let (report, sink) = run_with_sink(&cfg, JsonlSink::new(Vec::new()));
+        report.reconcile().expect("faulted events reconcile");
+        let m = &report.metrics;
+        assert!(m.media_errors > 0, "rate should fire");
+        assert!(m.retries > 0);
+        assert!(m.sector_remaps > 0);
+        assert_eq!(m.served + m.dropped + m.failed, 800);
+        let text = String::from_utf8(sink.into_inner()).expect("utf-8 jsonl");
+        assert!(text.contains("\"media_error\""));
+        assert!(text.contains("\"retry\""));
+        assert!(text.contains("\"sector_remap\""));
+    }
+
+    #[test]
+    fn bounded_queue_run_sheds_and_reconciles() {
+        let cfg = Config {
+            max_queue: 16,
+            // Service slower than the 25 ms mean interarrival: the queue
+            // grows without bound, so the cap must shed.
+            service_us: 40_000,
+            ..small()
+        };
+        let (report, _) = run_with_sink(&cfg, NullSink);
+        report.reconcile().expect("shedding run reconciles");
+        assert!(report.sheds > 0, "a saturating run must overflow cap 16");
+        assert_eq!(
+            report.snapshot.counters.dispatches + report.sheds,
+            800,
+            "every request either dispatched or shed"
+        );
     }
 
     #[test]

@@ -156,6 +156,13 @@ pub struct DispatchConfig {
     /// the "each batch is one disk scan" property of SFC3 (§5.3) hold.
     /// Disable to study the stale-characterization ablation.
     pub refresh_on_swap: bool,
+    /// Bounded-queue load shedding: when set, the dispatcher holds at
+    /// most this many pending requests; an insert beyond the bound sheds
+    /// the *lowest-priority* pending request (largest `v_c`, ties by
+    /// newest id) — mirroring SFC2's victim-selection logic, so overload
+    /// degrades the cheap requests first. `None` (the default) keeps the
+    /// queue unbounded.
+    pub max_queue: Option<usize>,
 }
 
 impl DispatchConfig {
@@ -167,6 +174,7 @@ impl DispatchConfig {
             serve_promote: true,
             expand_factor: Some(2.0),
             refresh_on_swap: true,
+            max_queue: None,
         }
     }
 
@@ -177,6 +185,7 @@ impl DispatchConfig {
             serve_promote: false,
             expand_factor: None,
             refresh_on_swap: false,
+            max_queue: None,
         }
     }
 
@@ -188,6 +197,7 @@ impl DispatchConfig {
             serve_promote: false,
             expand_factor: None,
             refresh_on_swap: true,
+            max_queue: None,
         }
     }
 
@@ -195,6 +205,14 @@ impl DispatchConfig {
     /// stale-`v_c` ablation.
     pub fn without_refresh(mut self) -> Self {
         self.refresh_on_swap = false;
+        self
+    }
+
+    /// Bound the pending queue at `cap` requests, shedding the
+    /// lowest-priority victim on overflow (builder-style). A cap of 0 is
+    /// treated as 1 — a queue that can hold nothing cannot schedule.
+    pub fn with_max_queue(mut self, cap: usize) -> Self {
+        self.max_queue = Some(cap.max(1));
         self
     }
 }

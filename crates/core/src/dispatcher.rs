@@ -70,6 +70,7 @@ pub struct Dispatcher {
     preemptions: u64,
     promotions: u64,
     swaps: u64,
+    sheds: u64,
 }
 
 impl Dispatcher {
@@ -97,6 +98,7 @@ impl Dispatcher {
             preemptions: 0,
             promotions: 0,
             swaps: 0,
+            sheds: 0,
         }
     }
 
@@ -113,6 +115,11 @@ impl Dispatcher {
     /// (preemptions, SP promotions, queue swaps) since construction.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.preemptions, self.promotions, self.swaps)
+    }
+
+    /// Requests shed by the bounded queue since construction.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
     }
 
     /// The current (possibly ER-expanded) blocking window.
@@ -136,6 +143,17 @@ impl Dispatcher {
         sink: &mut S,
     ) {
         let entry = Entry { v, req };
+        // Bounded queue: a full dispatcher sheds the lowest-priority
+        // pending request — possibly the arrival itself — before (or
+        // instead of) inserting.
+        let entry = if matches!(self.config.max_queue, Some(cap) if self.len() >= cap) {
+            match self.shed_worst(entry, now_us, sink) {
+                Some(e) => e,
+                None => return, // the arrival itself was the victim
+            }
+        } else {
+            entry
+        };
         match self.config.mode {
             PreemptionMode::Fully => self.q.push(entry),
             PreemptionMode::NonPreemptive => self.q_wait.push(entry),
@@ -255,6 +273,60 @@ impl Dispatcher {
         }
     }
 
+    /// Overload victim selection: find the globally *worst* pending
+    /// request (largest `(v, id)` — SFC2's victim-selection order, ties
+    /// broken against the newer request) across both queues and the
+    /// incoming entry. Returns `Some(incoming)` when a queued request was
+    /// evicted to make room, `None` when the incoming entry itself is the
+    /// victim. The eviction is O(queue) — shedding only happens under
+    /// overload, where losing a little dispatcher time to save a disk
+    /// service is the right trade.
+    fn shed_worst<S: TraceSink>(
+        &mut self,
+        incoming: Entry,
+        now_us: u64,
+        sink: &mut S,
+    ) -> Option<Entry> {
+        let worst_of = |h: &BinaryHeap<Entry>| h.iter().map(|e| (e.v, e.req.id)).max();
+        let worst_q = worst_of(&self.q);
+        let worst_wait = worst_of(&self.q_wait);
+        let worst_pending = worst_q.max(worst_wait);
+        let record = |d: &mut Self, s: &mut S, victim_v: u128, victim_id: u64| {
+            d.sheds += 1;
+            if S::ENABLED {
+                s.emit(&TraceEvent::Shed {
+                    now_us,
+                    req: victim_id,
+                    v: victim_v,
+                });
+            }
+        };
+        match worst_pending {
+            Some(worst) if worst > (incoming.v, incoming.req.id) => {
+                // Evict the queued victim from whichever queue holds it.
+                let heap = if worst_q == Some(worst) {
+                    &mut self.q
+                } else {
+                    &mut self.q_wait
+                };
+                let mut entries = std::mem::take(heap).into_vec();
+                let pos = entries
+                    .iter()
+                    .position(|e| (e.v, e.req.id) == worst)
+                    .expect("victim came from this heap");
+                entries.swap_remove(pos);
+                *heap = entries.into();
+                record(self, sink, worst.0, worst.1);
+                Some(incoming)
+            }
+            _ => {
+                // The arrival is the worst of the lot: shed it unqueued.
+                record(self, sink, incoming.v, incoming.req.id);
+                None
+            }
+        }
+    }
+
     fn expand_window<S: TraceSink>(&mut self, now_us: u64, sink: &mut S) {
         if let Some(e) = self.config.expand_factor {
             let expanded = (self.window as f64 * e).min(u64::MAX as f64) as u128;
@@ -314,6 +386,7 @@ mod tests {
                 serve_promote: sp,
                 expand_factor: er,
                 refresh_on_swap: false,
+                max_queue: None,
             },
             1000,
         )
@@ -452,10 +525,85 @@ mod tests {
                 serve_promote: false,
                 expand_factor: None,
                 refresh_on_swap: false,
+                max_queue: None,
             },
             4000,
         );
         assert_eq!(d.current_window(), 1000);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_worst_victim() {
+        let mut d = Dispatcher::new(DispatchConfig::fully_preemptive().with_max_queue(3), 1000);
+        d.insert(req(1), 50);
+        d.insert(req(2), 900); // the eventual victim
+        d.insert(req(3), 10);
+        assert_eq!(d.len(), 3);
+        // Queue full: a better arrival evicts the worst pending request.
+        d.insert(req(4), 200);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.sheds(), 1);
+        // A worse-than-everything arrival is itself the victim.
+        d.insert(req(5), 999);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.sheds(), 2);
+        // What remains is exactly the best three, in priority order.
+        let order: Vec<u64> = std::iter::from_fn(|| d.pop(None).map(|r| r.id)).collect();
+        assert_eq!(order, vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn shed_ties_evict_the_newer_request() {
+        let mut d = Dispatcher::new(DispatchConfig::fully_preemptive().with_max_queue(2), 1000);
+        d.insert(req(1), 700);
+        d.insert(req(2), 700);
+        d.insert(req(3), 700); // same v: newest id loses
+        assert_eq!(d.sheds(), 1);
+        let order: Vec<u64> = std::iter::from_fn(|| d.pop(None).map(|r| r.id)).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn shedding_spans_both_queues_of_the_conditional_mode() {
+        use obs::RingSink;
+        let mut d = Dispatcher::new(
+            DispatchConfig {
+                mode: PreemptionMode::Conditional { window: 0.1 },
+                serve_promote: false,
+                expand_factor: None,
+                refresh_on_swap: false,
+                max_queue: Some(2),
+            },
+            1000,
+        );
+        let mut sink = RingSink::new(64);
+        d.insert_traced(req(1), 500, 0, &mut sink);
+        assert_eq!(d.pop_traced(None, 1, &mut sink).unwrap().id, 1);
+        d.insert_traced(req(2), 300, 2, &mut sink); // preempts into q
+        d.insert_traced(req(3), 800, 3, &mut sink); // waits in q'
+                                                    // Full. A high-priority arrival evicts the q' victim (800).
+        d.insert_traced(req(4), 100, 4, &mut sink);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.sheds(), 1);
+        // The shed event names the victim.
+        let shed: Vec<_> = sink
+            .events()
+            .filter(|e| e.name() == "shed")
+            .map(|e| e.req())
+            .collect();
+        assert_eq!(shed, vec![Some(3)]);
+        let order: Vec<u64> = std::iter::from_fn(|| d.pop(None).map(|r| r.id)).collect();
+        assert_eq!(order, vec![4, 2]);
+    }
+
+    #[test]
+    fn unbounded_queue_never_sheds() {
+        let mut d = fully();
+        for i in 0..1000 {
+            d.insert(req(i), (i as u128) % 97);
+        }
+        assert_eq!(d.sheds(), 0);
+        assert_eq!(d.len(), 1000);
     }
 
     #[test]

@@ -53,6 +53,13 @@ impl<S: TraceSink> CascadedSfc<S> {
         self.dispatcher.counters()
     }
 
+    /// Requests shed by the bounded queue
+    /// ([`crate::config::DispatchConfig::with_max_queue`]) since
+    /// construction.
+    pub fn sheds(&self) -> u64 {
+        self.dispatcher.sheds()
+    }
+
     /// The attached trace sink.
     pub fn sink(&self) -> &S {
         &self.sink

@@ -264,6 +264,7 @@ fn parse_dispatch(rest: &str, clause: &str) -> Result<DispatchConfig, SpecError>
         serve_promote,
         expand_factor,
         refresh_on_swap: !matches!(mode, PreemptionMode::Fully),
+        max_queue: None,
     })
 }
 

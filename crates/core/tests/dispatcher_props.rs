@@ -26,12 +26,14 @@ fn dispatch_configs() -> Vec<DispatchConfig> {
             serve_promote: false,
             expand_factor: None,
             refresh_on_swap: false,
+            max_queue: None,
         },
         DispatchConfig {
             mode: PreemptionMode::Conditional { window: 0.25 },
             serve_promote: true,
             expand_factor: Some(2.0),
             refresh_on_swap: false,
+            max_queue: None,
         },
         DispatchConfig::paper_default(),
     ]
@@ -119,6 +121,7 @@ proptest! {
                 serve_promote: false,
                 expand_factor: None,
                 refresh_on_swap: false,
+                max_queue: None,
             },
             1000,
         );

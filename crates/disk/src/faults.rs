@@ -1,0 +1,309 @@
+//! Deterministic, seeded fault injection for the disk model.
+//!
+//! Real deployments — the paper's PanaViss server runs every stream over
+//! RAID-5 precisely because member disks fail — see transient media
+//! errors, grown bad sectors, disks that "limp" (serve slowly before
+//! dying), and outright member failures. A [`FaultPlan`] describes all of
+//! these declaratively; a per-member [`FaultInjector`] turns the plan
+//! into a deterministic outcome stream, so two runs of the same trace
+//! under the same plan are bit-identical (the same reproducibility
+//! guarantee the healthy [`crate::Disk`] gives via its tracked platter
+//! angle).
+//!
+//! The zero plan ([`FaultPlan::none`]) injects nothing: a simulation run
+//! through the fault layer with the zero plan produces the exact service
+//! times of the unfaulted path — the layer is pay-for-what-you-use.
+
+use crate::Micros;
+
+/// A scheduled full failure of one member disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberFailure {
+    /// Which member dies (index into the RAID group; 0 for a single disk).
+    pub member: usize,
+    /// Simulation time of death (µs). Accesses at or after this instant
+    /// see the member as gone.
+    pub at_us: Micros,
+}
+
+/// A "limping" member: still serving, but slower by a fixed factor
+/// (a common pre-failure symptom — remapped tracks, internal retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimpSpec {
+    /// Which member limps.
+    pub member: usize,
+    /// Service-time multiplier in permille (1500 = 1.5×). Values below
+    /// 1000 are clamped to 1000 — a limp never speeds a disk up.
+    pub factor_permille: u32,
+}
+
+/// Background rebuild of a failed member onto a hot spare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildSpec {
+    /// Stripes to reconstruct before the rebuild completes.
+    pub stripes: u64,
+    /// Issue one rebuild I/O every `every` foreground requests — the
+    /// bandwidth split between reconstruction and foreground service.
+    pub every: u32,
+}
+
+/// Declarative fault schedule for a disk or RAID group.
+///
+/// Rates are per-request probabilities in parts-per-million, resolved by
+/// a seeded hash of `(seed, member, request counter)` — deterministic,
+/// independent per member, and insensitive to whether tracing is on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault streams.
+    pub seed: u64,
+    /// Transient media errors (unreadable on this revolution, recoverable
+    /// on a retry once the sector comes around again), ppm per request.
+    pub transient_per_million: u32,
+    /// Latent bad sectors (readable only after relocation to a spare
+    /// track), ppm per request.
+    pub bad_sector_per_million: u32,
+    /// Fixed relocation penalty charged when a bad sector is remapped
+    /// (arm movement to the spare-track area and back), µs.
+    pub remap_penalty_us: Micros,
+    /// Members serving slowly.
+    pub limp: Vec<LimpSpec>,
+    /// At most one scheduled member death.
+    pub member_failure: Option<MemberFailure>,
+    /// Background rebuild, active once `member_failure` has struck.
+    pub rebuild: Option<RebuildSpec>,
+}
+
+impl FaultPlan {
+    /// The zero plan: injects nothing, ever.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A seeded plan with only probabilistic media faults (no member
+    /// failure): `transient_ppm` transient errors and `bad_sector_ppm`
+    /// remaps per million requests, with a 5 ms relocation penalty.
+    pub fn media(seed: u64, transient_ppm: u32, bad_sector_ppm: u32) -> Self {
+        FaultPlan {
+            seed,
+            transient_per_million: transient_ppm,
+            bad_sector_per_million: bad_sector_ppm,
+            remap_penalty_us: 5_000,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// `true` when the plan can never inject anything.
+    pub fn is_zero(&self) -> bool {
+        self.transient_per_million == 0
+            && self.bad_sector_per_million == 0
+            && self.limp.is_empty()
+            && self.member_failure.is_none()
+    }
+
+    /// Is `member` dead at `now_us`?
+    pub fn member_down(&self, member: usize, now_us: Micros) -> bool {
+        matches!(self.member_failure, Some(f) if f.member == member && now_us >= f.at_us)
+    }
+
+    /// Service-time multiplier for `member`, permille (≥ 1000).
+    pub fn limp_permille(&self, member: usize) -> u32 {
+        self.limp
+            .iter()
+            .find(|l| l.member == member)
+            .map(|l| l.factor_permille.max(1000))
+            .unwrap_or(1000)
+    }
+
+    /// Schedule `member` to die at `at_us` (builder-style).
+    pub fn with_member_failure(mut self, member: usize, at_us: Micros) -> Self {
+        self.member_failure = Some(MemberFailure { member, at_us });
+        self
+    }
+
+    /// Enable background rebuild (builder-style).
+    pub fn with_rebuild(mut self, stripes: u64, every: u32) -> Self {
+        self.rebuild = Some(RebuildSpec {
+            stripes,
+            every: every.max(1),
+        });
+        self
+    }
+
+    /// Add a limping member (builder-style).
+    pub fn with_limp(mut self, member: usize, factor_permille: u32) -> Self {
+        self.limp.push(LimpSpec {
+            member,
+            factor_permille,
+        });
+        self
+    }
+}
+
+/// What the injector decided for one service attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDraw {
+    /// The attempt fails with a transient media error (retry may succeed).
+    pub transient: bool,
+    /// The sector is bad and gets remapped (success, plus the relocation
+    /// penalty). Suppressed when `transient` also fired — the transient
+    /// error is discovered first.
+    pub bad_sector: bool,
+}
+
+/// Per-member deterministic fault stream: the [`FaultPlan`] rates turned
+/// into concrete per-attempt outcomes.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    member: usize,
+    attempts: u64,
+}
+
+impl FaultInjector {
+    /// A fault stream for `member` under `plan`.
+    pub fn new(plan: FaultPlan, member: usize) -> Self {
+        FaultInjector {
+            plan,
+            member,
+            attempts: 0,
+        }
+    }
+
+    /// The plan driving this stream.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Is this injector's member dead at `now_us`?
+    pub fn down(&self, now_us: Micros) -> bool {
+        self.plan.member_down(self.member, now_us)
+    }
+
+    /// This member's limp multiplier, permille.
+    pub fn limp_permille(&self) -> u32 {
+        self.plan.limp_permille(self.member)
+    }
+
+    /// Draw the fault outcome of the next service attempt. Consumes one
+    /// position of the stream whether or not anything fires, so outcomes
+    /// depend only on the attempt sequence — never on observers.
+    pub fn draw(&mut self) -> FaultDraw {
+        let n = self.attempts;
+        self.attempts += 1;
+        if self.plan.transient_per_million == 0 && self.plan.bad_sector_per_million == 0 {
+            return FaultDraw::default();
+        }
+        let base = self
+            .plan
+            .seed
+            .wrapping_add((self.member as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(n.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        let transient = ppm_hit(
+            splitmix64(base ^ 0x5452_4e53),
+            self.plan.transient_per_million,
+        );
+        let bad_sector = !transient
+            && ppm_hit(
+                splitmix64(base ^ 0x4241_4453),
+                self.plan.bad_sector_per_million,
+            );
+        FaultDraw {
+            transient,
+            bad_sector,
+        }
+    }
+
+    /// Scale a duration by this member's limp factor.
+    pub fn limp_us(&self, us: Micros) -> Micros {
+        let f = self.limp_permille() as u64;
+        if f == 1000 {
+            us
+        } else {
+            us.saturating_mul(f) / 1000
+        }
+    }
+}
+
+/// SplitMix64 — the standard 64-bit avalanche mix; good enough to turn a
+/// (seed, member, counter) triple into an i.i.d.-looking stream without
+/// pulling in an RNG dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Does a hash fall inside a parts-per-million window?
+fn ppm_hit(hash: u64, ppm: u32) -> bool {
+    ppm > 0 && hash % 1_000_000 < ppm as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 0);
+        for _ in 0..10_000 {
+            assert_eq!(inj.draw(), FaultDraw::default());
+        }
+        assert!(!inj.down(u64::MAX));
+        assert_eq!(inj.limp_us(1234), 1234);
+        assert!(FaultPlan::none().is_zero());
+    }
+
+    #[test]
+    fn rates_land_near_target() {
+        // 5% transient: expect ~500 hits in 10k draws, generously bounded.
+        let mut inj = FaultInjector::new(FaultPlan::media(42, 50_000, 20_000), 0);
+        let mut transients = 0;
+        let mut remaps = 0;
+        for _ in 0..10_000 {
+            let d = inj.draw();
+            transients += d.transient as u32;
+            remaps += d.bad_sector as u32;
+        }
+        assert!((300..800).contains(&transients), "transients {transients}");
+        assert!((80..400).contains(&remaps), "remaps {remaps}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_member_distinct() {
+        let run = |member| {
+            let mut inj = FaultInjector::new(FaultPlan::media(7, 100_000, 0), member);
+            (0..256).map(|_| inj.draw().transient).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(0));
+        assert_ne!(run(0), run(1), "member streams must differ");
+    }
+
+    #[test]
+    fn member_failure_schedules() {
+        let plan = FaultPlan::none().with_member_failure(2, 1_000);
+        assert!(!plan.member_down(2, 999));
+        assert!(plan.member_down(2, 1_000));
+        assert!(!plan.member_down(1, 5_000));
+        assert!(!plan.is_zero());
+    }
+
+    #[test]
+    fn limp_scales_and_clamps() {
+        let plan = FaultPlan::none().with_limp(1, 2500).with_limp(3, 500);
+        assert_eq!(plan.limp_permille(1), 2500);
+        assert_eq!(plan.limp_permille(3), 1000, "limp never speeds up");
+        assert_eq!(plan.limp_permille(0), 1000);
+        let inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.limp_us(1000), 2500);
+    }
+
+    #[test]
+    fn transient_suppresses_bad_sector() {
+        // Both rates at 100%: only the transient can fire per attempt.
+        let mut inj = FaultInjector::new(FaultPlan::media(1, 1_000_000, 1_000_000), 0);
+        let d = inj.draw();
+        assert!(d.transient && !d.bad_sector);
+    }
+}

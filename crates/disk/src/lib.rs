@@ -30,13 +30,15 @@
 #![warn(missing_docs)]
 
 mod disk;
+pub mod faults;
 mod geometry;
 mod raid;
 mod seek;
 
 pub use disk::{Disk, ServiceBreakdown};
+pub use faults::{FaultDraw, FaultInjector, FaultPlan, LimpSpec, MemberFailure, RebuildSpec};
 pub use geometry::DiskGeometry;
-pub use raid::Raid5;
+pub use raid::{Raid5, WriteBreakdown};
 pub use seek::SeekModel;
 
 /// Microseconds — the integer time unit shared with the simulator.

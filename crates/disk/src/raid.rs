@@ -17,6 +17,35 @@ pub struct Raid5 {
     disks: Vec<Disk>,
 }
 
+/// Per-member breakdown of a small-write (read-modify-write): the data
+/// and parity members each pay a read-old + write-new pair; the write
+/// completes when the slower of the two finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteBreakdown {
+    /// Combined (read-old + write-new) breakdown on the data member.
+    pub data: ServiceBreakdown,
+    /// Combined (read-old + write-new) breakdown on the parity member.
+    pub parity: ServiceBreakdown,
+}
+
+impl WriteBreakdown {
+    /// Completion time of the write: the two members work in parallel,
+    /// so the slower one gates.
+    pub fn total_us(&self) -> Micros {
+        self.data.total_us().max(self.parity.total_us())
+    }
+
+    /// The gating member's breakdown (data on ties), for seek/rotation
+    /// attribution of the write path.
+    pub fn critical(&self) -> ServiceBreakdown {
+        if self.parity.total_us() > self.data.total_us() {
+            self.parity
+        } else {
+            self.data
+        }
+    }
+}
+
 /// Where a logical block lives inside the array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockLocation {
@@ -98,20 +127,94 @@ impl Raid5 {
 
     /// Write logical block `lba` via the small-write path
     /// (read-modify-write on the data and parity disks). Returns the
-    /// completion time assuming the two member disks work in parallel.
-    pub fn write(&mut self, lba: u64, block_bytes: u64) -> Micros {
+    /// per-member service breakdowns; the two members work in parallel,
+    /// so completion is [`WriteBreakdown::total_us`].
+    pub fn write(&mut self, lba: u64, block_bytes: u64) -> WriteBreakdown {
         let loc = self.locate(lba);
         let cyl = self.cylinder_of_stripe(loc.stripe, block_bytes);
         // Read old + write new on each of the two disks.
-        let d1 = {
-            let d = &mut self.disks[loc.data_disk];
-            d.service(cyl, block_bytes).total_us() + d.service(cyl, block_bytes).total_us()
+        let pair = |d: &mut Disk| {
+            let a = d.service(cyl, block_bytes);
+            let b = d.service(cyl, block_bytes);
+            ServiceBreakdown {
+                seek_us: a.seek_us + b.seek_us,
+                rotation_us: a.rotation_us + b.rotation_us,
+                transfer_us: a.transfer_us + b.transfer_us,
+            }
         };
-        let d2 = {
-            let d = &mut self.disks[loc.parity_disk];
-            d.service(cyl, block_bytes).total_us() + d.service(cyl, block_bytes).total_us()
-        };
-        d1.max(d2)
+        WriteBreakdown {
+            data: pair(&mut self.disks[loc.data_disk]),
+            parity: pair(&mut self.disks[loc.parity_disk]),
+        }
+    }
+
+    /// Read logical block `lba` in *degraded mode*: member `failed` is
+    /// gone, so the block is reconstructed by reading the stripe's block
+    /// from every surviving member and XOR-ing. All survivors do the
+    /// work (their head/angle state advances); the reconstruction
+    /// completes when the slowest finishes, so the returned breakdown is
+    /// the gating member's.
+    ///
+    /// When the block's data member is *not* the failed one, this is just
+    /// a normal [`Raid5::read`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed` is out of range.
+    pub fn degraded_read(&mut self, lba: u64, block_bytes: u64, failed: usize) -> ServiceBreakdown {
+        assert!(failed < self.disks.len(), "failed member out of range");
+        let loc = self.locate(lba);
+        if loc.data_disk != failed {
+            return self.read(lba, block_bytes);
+        }
+        let cyl = self.cylinder_of_stripe(loc.stripe, block_bytes);
+        let mut worst = ServiceBreakdown::default();
+        for (m, disk) in self.disks.iter_mut().enumerate() {
+            if m == failed {
+                continue;
+            }
+            let b = disk.service(cyl, block_bytes);
+            if b.total_us() > worst.total_us() {
+                worst = b;
+            }
+        }
+        worst
+    }
+
+    /// Reconstruct one stripe of a failed member onto a hot spare: read
+    /// the stripe's block from every survivor (the spare's write is
+    /// overlapped with the reads and not modeled separately). Returns the
+    /// gating survivor's breakdown — the bandwidth this rebuild step
+    /// steals from foreground service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed` is out of range.
+    pub fn rebuild_stripe(
+        &mut self,
+        stripe: u64,
+        block_bytes: u64,
+        failed: usize,
+    ) -> ServiceBreakdown {
+        assert!(failed < self.disks.len(), "failed member out of range");
+        let cyl = self.cylinder_of_stripe(stripe, block_bytes);
+        let mut worst = ServiceBreakdown::default();
+        for (m, disk) in self.disks.iter_mut().enumerate() {
+            if m == failed {
+                continue;
+            }
+            let b = disk.service(cyl, block_bytes);
+            if b.total_us() > worst.total_us() {
+                worst = b;
+            }
+        }
+        worst
+    }
+
+    /// Total stripes needed to cover one member disk with `block_bytes`
+    /// blocks — the rebuild workload after a member failure.
+    pub fn stripes_per_member(&self, block_bytes: u64) -> u64 {
+        (self.disks[0].geometry().capacity_bytes() / block_bytes.max(1)).max(1)
     }
 
     /// Access a member disk (e.g. for per-disk statistics).
@@ -162,7 +265,64 @@ mod tests {
         let read = r.read(123, 65536).total_us();
         let mut r2 = Raid5::table1();
         let write = r2.write(123, 65536);
-        assert!(write > read, "write {write} <= read {read}");
+        assert!(
+            write.total_us() > read,
+            "write {} <= read {read}",
+            write.total_us()
+        );
+        // The pair exposes per-member seek/rotation attribution.
+        assert_eq!(
+            write.total_us(),
+            write.data.total_us().max(write.parity.total_us())
+        );
+        assert!(write.critical().total_us() == write.total_us());
+        assert!(write.data.transfer_us > 0 && write.parity.transfer_us > 0);
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_from_survivors() {
+        // Find a block whose data lives on member 0, fail member 0, and
+        // check the reconstruction equals the slowest survivor's service.
+        let lba = (0..64)
+            .find(|&l| Raid5::table1().locate(l).data_disk == 0)
+            .unwrap();
+        let mut r = Raid5::table1();
+        let mut mirror = r.clone();
+        let b = r.degraded_read(lba, 65536, 0);
+        // Recompute on the mirror: every survivor serves the same block.
+        let loc = mirror.locate(lba);
+        let cyl = mirror.cylinder_of_stripe(loc.stripe, 65536);
+        let expected = (1..5)
+            .map(|m| mirror.disks[m].service(cyl, 65536))
+            .max_by_key(|s| s.total_us())
+            .unwrap();
+        assert_eq!(b, expected);
+    }
+
+    #[test]
+    fn degraded_read_of_healthy_member_is_a_plain_read() {
+        let lba = (0..64)
+            .find(|&l| Raid5::table1().locate(l).data_disk == 1)
+            .unwrap();
+        let mut degraded = Raid5::table1();
+        let mut healthy = Raid5::table1();
+        // Member 0 failed, but the block lives on member 1.
+        assert_eq!(
+            degraded.degraded_read(lba, 65536, 0),
+            healthy.read(lba, 65536)
+        );
+    }
+
+    #[test]
+    fn rebuild_stripe_busies_all_survivors() {
+        let mut r = Raid5::table1();
+        let b = r.rebuild_stripe(7, 65536, 2);
+        assert!(b.total_us() > 0);
+        for m in [0usize, 1, 3, 4] {
+            assert_eq!(r.disk(m).stats().requests, 1, "member {m} idle");
+        }
+        assert_eq!(r.disk(2).stats().requests, 0, "failed member touched");
+        assert!(r.stripes_per_member(65536) > 1000);
     }
 
     #[test]

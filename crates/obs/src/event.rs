@@ -21,10 +21,18 @@ use std::fmt::Write as _;
 /// * the **cascade dispatcher** emits [`Preempt`](TraceEvent::Preempt),
 ///   [`SpPromote`](TraceEvent::SpPromote),
 ///   [`ErExpand`](TraceEvent::ErExpand),
-///   [`ErReset`](TraceEvent::ErReset) and
-///   [`QueueSwap`](TraceEvent::QueueSwap);
+///   [`ErReset`](TraceEvent::ErReset),
+///   [`QueueSwap`](TraceEvent::QueueSwap) and, under bounded-queue
+///   overload shedding, [`Shed`](TraceEvent::Shed);
 /// * the **elevator baselines** emit
-///   [`SweepReverse`](TraceEvent::SweepReverse).
+///   [`SweepReverse`](TraceEvent::SweepReverse);
+/// * the **fault-injection path** emits
+///   [`MediaError`](TraceEvent::MediaError),
+///   [`Retry`](TraceEvent::Retry),
+///   [`RequestFailed`](TraceEvent::RequestFailed),
+///   [`SectorRemap`](TraceEvent::SectorRemap),
+///   [`DegradedRead`](TraceEvent::DegradedRead) and
+///   [`RebuildIo`](TraceEvent::RebuildIo).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A request reached the scheduler queue.
@@ -130,6 +138,82 @@ pub enum TraceEvent {
         /// Head cylinder at the reversal.
         cylinder: u32,
     },
+    /// A service attempt failed with a media error (transient CRC error,
+    /// or an access to a dead member); the engine's retry policy decides
+    /// what happens next.
+    MediaError {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// Which attempt failed (1 = first service).
+        attempt: u32,
+        /// `true` for a transient (retryable) error, `false` for an
+        /// access to a dead member.
+        transient: bool,
+    },
+    /// The engine retries a failed attempt within its deadline budget.
+    Retry {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// The attempt about to start (2 = first retry).
+        attempt: u32,
+        /// Deadline minus now at the retry decision (µs); never negative —
+        /// the policy forbids retrying past the deadline. Saturated at the
+        /// `i64` range.
+        slack_us: i64,
+    },
+    /// The retry budget was exhausted (or the deadline passed): the
+    /// request is lost without completing.
+    RequestFailed {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// A latent bad sector was remapped to a spare track; the service
+    /// succeeded after paying the relocation penalty.
+    SectorRemap {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// Relocation penalty charged (µs).
+        penalty_us: u64,
+    },
+    /// A read was served in degraded mode: the data member is dead and
+    /// the block was reconstructed from the surviving members' parity.
+    DegradedRead {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// The dead member reconstructed around.
+        failed_member: u32,
+    },
+    /// One background rebuild I/O competed with foreground service.
+    RebuildIo {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Stripe reconstructed onto the spare.
+        stripe: u64,
+        /// Member bandwidth the step consumed (µs).
+        service_us: u64,
+    },
+    /// Bounded-queue overload shedding dropped the lowest-priority
+    /// pending victim.
+    Shed {
+        /// Simulation time (µs).
+        now_us: u64,
+        /// Request id of the victim.
+        req: u64,
+        /// The victim's characterization value (the queue's worst).
+        v: u128,
+    },
 }
 
 impl TraceEvent {
@@ -148,6 +232,13 @@ impl TraceEvent {
             TraceEvent::ErReset { .. } => "er_reset",
             TraceEvent::QueueSwap { .. } => "queue_swap",
             TraceEvent::SweepReverse { .. } => "sweep_reverse",
+            TraceEvent::MediaError { .. } => "media_error",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::RequestFailed { .. } => "request_failed",
+            TraceEvent::SectorRemap { .. } => "sector_remap",
+            TraceEvent::DegradedRead { .. } => "degraded_read",
+            TraceEvent::RebuildIo { .. } => "rebuild_io",
+            TraceEvent::Shed { .. } => "shed",
         }
     }
 
@@ -164,7 +255,14 @@ impl TraceEvent {
             | TraceEvent::ErExpand { now_us, .. }
             | TraceEvent::ErReset { now_us, .. }
             | TraceEvent::QueueSwap { now_us, .. }
-            | TraceEvent::SweepReverse { now_us, .. } => now_us,
+            | TraceEvent::SweepReverse { now_us, .. }
+            | TraceEvent::MediaError { now_us, .. }
+            | TraceEvent::Retry { now_us, .. }
+            | TraceEvent::RequestFailed { now_us, .. }
+            | TraceEvent::SectorRemap { now_us, .. }
+            | TraceEvent::DegradedRead { now_us, .. }
+            | TraceEvent::RebuildIo { now_us, .. }
+            | TraceEvent::Shed { now_us, .. } => now_us,
         }
     }
 
@@ -175,7 +273,13 @@ impl TraceEvent {
             | TraceEvent::Dispatch { req, .. }
             | TraceEvent::ServiceStart { req, .. }
             | TraceEvent::ServiceComplete { req, .. }
-            | TraceEvent::Drop { req, .. } => Some(req),
+            | TraceEvent::Drop { req, .. }
+            | TraceEvent::MediaError { req, .. }
+            | TraceEvent::Retry { req, .. }
+            | TraceEvent::RequestFailed { req, .. }
+            | TraceEvent::SectorRemap { req, .. }
+            | TraceEvent::DegradedRead { req, .. }
+            | TraceEvent::Shed { req, .. } => Some(req),
             _ => None,
         }
     }
@@ -283,6 +387,80 @@ impl TraceEvent {
                     "{{\"event\":\"{name}\",\"now_us\":{now_us},\"cylinder\":{cylinder}}}"
                 );
             }
+            TraceEvent::MediaError {
+                now_us,
+                req,
+                attempt,
+                transient,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"attempt\":{attempt},\"transient\":{transient}}}"
+                );
+            }
+            TraceEvent::Retry {
+                now_us,
+                req,
+                attempt,
+                slack_us,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"attempt\":{attempt},\"slack_us\":{slack_us}}}"
+                );
+            }
+            TraceEvent::RequestFailed {
+                now_us,
+                req,
+                attempts,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"attempts\":{attempts}}}"
+                );
+            }
+            TraceEvent::SectorRemap {
+                now_us,
+                req,
+                penalty_us,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"penalty_us\":{penalty_us}}}"
+                );
+            }
+            TraceEvent::DegradedRead {
+                now_us,
+                req,
+                failed_member,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"failed_member\":{failed_member}}}"
+                );
+            }
+            TraceEvent::RebuildIo {
+                now_us,
+                stripe,
+                service_us,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"stripe\":{stripe},\
+                     \"service_us\":{service_us}}}"
+                );
+            }
+            TraceEvent::Shed { now_us, req, v } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\"v\":\"{v}\"}}"
+                );
+            }
         }
     }
 
@@ -297,7 +475,11 @@ impl TraceEvent {
     /// `queue_depth`/`slack_us` (dispatch), `seek_cylinders` (service
     /// start), `response_us`/`late` (service complete), `missed_by_us`
     /// (drop), `preempted_v`/`by_v` (preempt), `v` (sp_promote), `window`
-    /// (er_expand/er_reset), `batch` (queue_swap). Unused cells are empty.
+    /// (er_expand/er_reset), `batch` (queue_swap), `attempt`/`transient`
+    /// (media_error), `attempt`/`slack_us` (retry), `attempts`
+    /// (request_failed), `penalty_us` (sector_remap), `failed_member`
+    /// (degraded_read), `stripe`/`service_us` (rebuild_io), `v` (shed).
+    /// Unused cells are empty.
     pub fn write_csv(&self, out: &mut String) {
         let name = self.name();
         let now = self.now_us();
@@ -359,6 +541,43 @@ impl TraceEvent {
             }
             TraceEvent::SweepReverse { cylinder, .. } => {
                 let _ = write!(out, "{name},{now},,{cylinder},,");
+            }
+            TraceEvent::MediaError {
+                req,
+                attempt,
+                transient,
+                ..
+            } => {
+                let _ = write!(out, "{name},{now},{req},,{attempt},{}", u8::from(transient));
+            }
+            TraceEvent::Retry {
+                req,
+                attempt,
+                slack_us,
+                ..
+            } => {
+                let _ = write!(out, "{name},{now},{req},,{attempt},{slack_us}");
+            }
+            TraceEvent::RequestFailed { req, attempts, .. } => {
+                let _ = write!(out, "{name},{now},{req},,{attempts},");
+            }
+            TraceEvent::SectorRemap {
+                req, penalty_us, ..
+            } => {
+                let _ = write!(out, "{name},{now},{req},,{penalty_us},");
+            }
+            TraceEvent::DegradedRead {
+                req, failed_member, ..
+            } => {
+                let _ = write!(out, "{name},{now},{req},,{failed_member},");
+            }
+            TraceEvent::RebuildIo {
+                stripe, service_us, ..
+            } => {
+                let _ = write!(out, "{name},{now},,,{stripe},{service_us}");
+            }
+            TraceEvent::Shed { req, v, .. } => {
+                let _ = write!(out, "{name},{now},{req},,{v},");
             }
         }
     }

@@ -35,6 +35,20 @@ pub struct Counters {
     pub queue_swaps: u64,
     /// `SweepReverse` events.
     pub sweep_reversals: u64,
+    /// `MediaError` events (transient + bad-sector discoveries).
+    pub media_errors: u64,
+    /// `Retry` events.
+    pub retries: u64,
+    /// `RequestFailed` events (retry budget exhausted).
+    pub request_failures: u64,
+    /// `SectorRemap` events.
+    pub sector_remaps: u64,
+    /// `DegradedRead` events.
+    pub degraded_reads: u64,
+    /// `RebuildIo` events.
+    pub rebuild_ios: u64,
+    /// `Shed` events (bounded-queue overload drops).
+    pub sheds: u64,
 }
 
 impl Counters {
@@ -52,6 +66,13 @@ impl Counters {
         self.er_resets += other.er_resets;
         self.queue_swaps += other.queue_swaps;
         self.sweep_reversals += other.sweep_reversals;
+        self.media_errors += other.media_errors;
+        self.retries += other.retries;
+        self.request_failures += other.request_failures;
+        self.sector_remaps += other.sector_remaps;
+        self.degraded_reads += other.degraded_reads;
+        self.rebuild_ios += other.rebuild_ios;
+        self.sheds += other.sheds;
     }
 }
 
@@ -118,6 +139,27 @@ impl Snapshot {
             c.queue_swaps,
             c.sweep_reversals
         );
+        let faults = c.media_errors
+            + c.retries
+            + c.request_failures
+            + c.sector_remaps
+            + c.degraded_reads
+            + c.rebuild_ios
+            + c.sheds;
+        if faults > 0 {
+            let _ = writeln!(
+                out,
+                "  media-errors {}  retries {}  failures {}  remaps {}  \
+                 degraded-reads {}  rebuild-ios {}  sheds {}",
+                c.media_errors,
+                c.retries,
+                c.request_failures,
+                c.sector_remaps,
+                c.degraded_reads,
+                c.rebuild_ios,
+                c.sheds
+            );
+        }
         let hist =
             |out: &mut String, name: &str, unit: &str, h: &Histogram| match (h.min(), h.max()) {
                 (Some(min), Some(max)) => {
@@ -179,6 +221,13 @@ impl TraceSink for Snapshot {
             TraceEvent::ErReset { .. } => c.er_resets += 1,
             TraceEvent::QueueSwap { .. } => c.queue_swaps += 1,
             TraceEvent::SweepReverse { .. } => c.sweep_reversals += 1,
+            TraceEvent::MediaError { .. } => c.media_errors += 1,
+            TraceEvent::Retry { .. } => c.retries += 1,
+            TraceEvent::RequestFailed { .. } => c.request_failures += 1,
+            TraceEvent::SectorRemap { .. } => c.sector_remaps += 1,
+            TraceEvent::DegradedRead { .. } => c.degraded_reads += 1,
+            TraceEvent::RebuildIo { .. } => c.rebuild_ios += 1,
+            TraceEvent::Shed { .. } => c.sheds += 1,
         }
     }
 }
@@ -240,6 +289,43 @@ mod tests {
             now_us: 60,
             cylinder: 5,
         });
+        s.emit(&TraceEvent::MediaError {
+            now_us: 70,
+            req: 3,
+            attempt: 1,
+            transient: true,
+        });
+        s.emit(&TraceEvent::Retry {
+            now_us: 71,
+            req: 3,
+            attempt: 2,
+            slack_us: 12,
+        });
+        s.emit(&TraceEvent::RequestFailed {
+            now_us: 80,
+            req: 3,
+            attempts: 2,
+        });
+        s.emit(&TraceEvent::SectorRemap {
+            now_us: 81,
+            req: 4,
+            penalty_us: 5_000,
+        });
+        s.emit(&TraceEvent::DegradedRead {
+            now_us: 82,
+            req: 5,
+            failed_member: 2,
+        });
+        s.emit(&TraceEvent::RebuildIo {
+            now_us: 83,
+            stripe: 9,
+            service_us: 1_500,
+        });
+        s.emit(&TraceEvent::Shed {
+            now_us: 84,
+            req: 6,
+            v: 77,
+        });
     }
 
     #[test]
@@ -262,6 +348,11 @@ mod tests {
             (1, 1, 1, 1)
         );
         assert_eq!((c.queue_swaps, c.sweep_reversals), (1, 1));
+        assert_eq!((c.media_errors, c.retries, c.request_failures), (1, 1, 1));
+        assert_eq!(
+            (c.sector_remaps, c.degraded_reads, c.rebuild_ios, c.sheds),
+            (1, 1, 1, 1)
+        );
         assert_eq!(s.response_us.count(), 1);
         assert_eq!(s.seek_cylinders.max(), Some(40));
         assert_eq!(s.queue_depth.max(), Some(3));
@@ -290,8 +381,12 @@ mod tests {
         assert!(r.contains("preemptions 1"));
         assert!(r.contains("response_us"));
         assert!(r.contains("sweep-reversals 1"));
-        // Empty histogram branch renders too.
+        assert!(r.contains("degraded-reads 1"));
+        assert!(r.contains("sheds 1"));
+        // Empty histogram branch renders too — and a fault-free snapshot
+        // omits the fault-counter line entirely.
         let empty = Snapshot::new().report();
         assert!(empty.contains("(no samples)"));
+        assert!(!empty.contains("media-errors"));
     }
 }

@@ -40,8 +40,18 @@ pub fn round_ms(geometry: &DiskGeometry, seek: &SeekModel, n: u32, block_bytes: 
 }
 
 /// Largest stream count `n` such that a round of `n` block fetches fits
-/// within the streams' common period `period_ms` (binary search over the
-/// monotone round bound).
+/// within the streams' common period `period_ms`.
+///
+/// The bracket grows by doubling until it contains the answer, then a
+/// binary search over the monotone round bound pins it down — no
+/// arbitrary upper sentinel to saturate at silently.
+///
+/// # Panics
+///
+/// Panics if the bracket cannot be grown to contain the answer (more
+/// than `u32::MAX / 2` streams fit the period) — that means the round
+/// bound is not increasing for this geometry, which is a modeling bug,
+/// not an admission decision.
 pub fn max_streams(
     geometry: &DiskGeometry,
     seek: &SeekModel,
@@ -49,10 +59,22 @@ pub fn max_streams(
     period_ms: f64,
 ) -> u32 {
     assert!(period_ms > 0.0 && period_ms.is_finite());
-    let (mut lo, mut hi) = (0u32, 100_000u32);
+    let fits = |n: u32| round_ms(geometry, seek, n, block_bytes) <= period_ms;
+    // Grow until `hi` no longer fits (so the answer is in [hi/2, hi)).
+    let mut hi = 1u32;
+    while fits(hi) {
+        hi = hi.checked_mul(2).unwrap_or_else(|| {
+            panic!(
+                "max_streams bracket overflow: {hi} streams of {block_bytes} bytes \
+                 still fit a {period_ms} ms period — the round bound is not \
+                 increasing for this geometry"
+            )
+        });
+    }
+    let (mut lo, mut hi) = (hi / 2, hi - 1);
     while lo < hi {
         let mid = lo + (hi - lo).div_ceil(2);
-        if round_ms(geometry, seek, mid, block_bytes) <= period_ms {
+        if fits(mid) {
             lo = mid;
         } else {
             hi = mid - 1;
@@ -160,6 +182,24 @@ mod tests {
             n_new > n_old * 3 / 2,
             "modern {n_new} vs table-1 {n_old} streams"
         );
+    }
+
+    #[test]
+    fn huge_periods_are_not_silently_capped() {
+        // The old implementation saturated at a hidden hi = 100_000
+        // sentinel; the growing bracket must push well past it.
+        let (g, s) = table1();
+        let n = max_streams(&g, &s, 64 * 1024, 1.0e8);
+        assert!(n > 100_000, "bracket stuck at the old sentinel: {n}");
+        // And the answer is still tight: one more stream must not fit.
+        assert!(round_ms(&g, &s, n, 64 * 1024) <= 1.0e8);
+        assert!(round_ms(&g, &s, n + 1, 64 * 1024) > 1.0e8);
+    }
+
+    #[test]
+    fn tiny_period_admits_zero() {
+        let (g, s) = table1();
+        assert_eq!(max_streams(&g, &s, 64 * 1024, 0.001), 0);
     }
 
     #[test]

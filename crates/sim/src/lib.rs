@@ -38,9 +38,15 @@ mod metrics;
 mod service;
 mod striped;
 
-pub use engine::{simulate, simulate_logged, simulate_traced, RequestRecord, SimOptions};
+pub use engine::{
+    simulate, simulate_logged, simulate_traced, RequestRecord, RetryPolicy, SimOptions,
+};
 pub use metrics::{fifo_inversion_baseline, Metrics};
-pub use service::{DiskService, Raid5Service, ServiceProvider, TransferDominated};
-pub use striped::{simulate_striped, simulate_striped_observed, StripedOutcome};
+pub use service::{
+    DiskService, Raid5Service, ServiceFault, ServiceOutcome, ServiceProvider, TransferDominated,
+};
+pub use striped::{
+    simulate_striped, simulate_striped_faulted, simulate_striped_observed, StripedOutcome,
+};
 
 pub use sched::Micros;

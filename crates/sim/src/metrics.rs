@@ -12,6 +12,21 @@ pub struct Metrics {
     pub dropped: u64,
     /// Requests whose service *completed* after their deadline.
     pub late: u64,
+    /// Requests abandoned after exhausting their retry budget (or hitting
+    /// an unrecoverable fault) — the fault-layer loss class.
+    pub failed: u64,
+    /// Media errors observed (failed service attempts, transient or not).
+    pub media_errors: u64,
+    /// Retries issued after transient media errors.
+    pub retries: u64,
+    /// Reads reconstructed from parity around a failed member.
+    pub degraded_reads: u64,
+    /// Latent bad sectors remapped (with their relocation penalty paid).
+    pub sector_remaps: u64,
+    /// Background rebuild I/Os interleaved with foreground service.
+    pub rebuild_ios: u64,
+    /// Member time consumed by background rebuild I/Os (µs).
+    pub rebuild_us: Micros,
     /// Priority inversions per QoS dimension: serving `T` counts, for
     /// each dimension `k`, the waiting requests with higher priority in
     /// `k` (§5.1's definition).
@@ -76,6 +91,13 @@ impl Metrics {
         self.served += other.served;
         self.dropped += other.dropped;
         self.late += other.late;
+        self.failed += other.failed;
+        self.media_errors += other.media_errors;
+        self.retries += other.retries;
+        self.degraded_reads += other.degraded_reads;
+        self.sector_remaps += other.sector_remaps;
+        self.rebuild_ios += other.rebuild_ios;
+        self.rebuild_us += other.rebuild_us;
         if self.inversions_per_dim.len() < other.inversions_per_dim.len() {
             self.inversions_per_dim
                 .resize(other.inversions_per_dim.len(), 0);
@@ -114,14 +136,14 @@ impl Metrics {
         self.inversions_per_dim.iter().sum()
     }
 
-    /// Total deadline losses (dropped + late completions).
+    /// Total deadline losses (dropped + late completions + failed).
     pub fn losses_total(&self) -> u64 {
-        self.dropped + self.late
+        self.dropped + self.late + self.failed
     }
 
     /// Total requests seen.
     pub fn requests_total(&self) -> u64 {
-        self.served + self.dropped
+        self.served + self.dropped + self.failed
     }
 
     /// Fraction of requests that lost their deadline.

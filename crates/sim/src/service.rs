@@ -1,7 +1,51 @@
 //! Service-time models the simulator can drive schedulers against.
 
-use diskmodel::{Disk, ServiceBreakdown};
+use diskmodel::{Disk, FaultInjector, FaultPlan, ServiceBreakdown};
 use sched::{Micros, Request};
+
+/// Why a service attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// Transient media error: the sector was unreadable on this
+    /// revolution; a retry may succeed once it comes around again.
+    Transient,
+    /// The disk (or the block's member, with no parity path left) is
+    /// gone — retrying cannot help.
+    Down,
+}
+
+/// What one service attempt did: the time it took plus everything the
+/// fault layer decided along the way. The healthy path is
+/// [`ServiceOutcome::ok`]; providers without a fault plan never produce
+/// anything else, so the engine's fault branches stay cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceOutcome {
+    /// Time paid by this attempt (any remap penalty already included).
+    pub breakdown: ServiceBreakdown,
+    /// The attempt failed; `None` means the data came back.
+    pub fault: Option<ServiceFault>,
+    /// A latent bad sector was remapped on the way: the relocation
+    /// penalty (already inside `breakdown`), for event reporting.
+    pub remap_penalty_us: Micros,
+    /// The read was reconstructed from parity around this failed member.
+    pub degraded: Option<u32>,
+    /// A background rebuild I/O `(stripe, service_us)` rode behind this
+    /// request, stealing member bandwidth after it completed.
+    pub rebuild: Option<(u64, Micros)>,
+}
+
+impl ServiceOutcome {
+    /// A faultless attempt.
+    pub fn ok(breakdown: ServiceBreakdown) -> Self {
+        ServiceOutcome {
+            breakdown,
+            fault: None,
+            remap_penalty_us: 0,
+            degraded: None,
+            rebuild: None,
+        }
+    }
+}
 
 /// Something that can serve a request and report where its head is.
 pub trait ServiceProvider {
@@ -11,22 +55,54 @@ pub trait ServiceProvider {
     fn cylinders(&self) -> u32;
     /// Serve `req`, advancing internal state; returns the time breakdown.
     fn service(&mut self, req: &Request) -> ServiceBreakdown;
+    /// Serve `req` through the fault layer at simulation time `now_us`.
+    /// The default forwards to [`ServiceProvider::service`] and never
+    /// faults — providers without an injector cost nothing extra.
+    fn service_checked(&mut self, req: &Request, _now_us: Micros) -> ServiceOutcome {
+        ServiceOutcome::ok(self.service(req))
+    }
+}
+
+/// Scale a breakdown by a limping member's service-time multiplier.
+fn limp(inj: &FaultInjector, b: ServiceBreakdown) -> ServiceBreakdown {
+    ServiceBreakdown {
+        seek_us: inj.limp_us(b.seek_us),
+        rotation_us: inj.limp_us(b.rotation_us),
+        transfer_us: inj.limp_us(b.transfer_us),
+    }
 }
 
 /// The full Table-1 disk model (seek + tracked rotation + zoned transfer).
 pub struct DiskService {
     disk: Disk,
+    faults: Option<FaultInjector>,
 }
 
 impl DiskService {
     /// Wrap a disk.
     pub fn new(disk: Disk) -> Self {
-        DiskService { disk }
+        DiskService { disk, faults: None }
     }
 
     /// The paper's Table-1 disk.
     pub fn table1() -> Self {
         DiskService::new(Disk::table1())
+    }
+
+    /// Wrap a disk behind a fault plan (member index 0). With
+    /// [`FaultPlan::none`] this is bit-identical to [`DiskService::new`].
+    pub fn with_faults(disk: Disk, plan: FaultPlan) -> Self {
+        DiskService::with_faults_as_member(disk, plan, 0)
+    }
+
+    /// Like [`DiskService::with_faults`], but drawing from the fault
+    /// stream of RAID member `member` — the striped path gives each
+    /// member disk its own independent stream of the shared plan.
+    pub fn with_faults_as_member(disk: Disk, plan: FaultPlan, member: usize) -> Self {
+        DiskService {
+            disk,
+            faults: Some(FaultInjector::new(plan, member)),
+        }
     }
 
     /// Access the underlying disk (e.g. for statistics).
@@ -46,6 +122,51 @@ impl ServiceProvider for DiskService {
 
     fn service(&mut self, req: &Request) -> ServiceBreakdown {
         self.disk.service(req.cylinder, req.bytes)
+    }
+
+    fn service_checked(&mut self, req: &Request, now_us: Micros) -> ServiceOutcome {
+        let Some(inj) = self.faults.as_mut() else {
+            return ServiceOutcome::ok(self.disk.service(req.cylinder, req.bytes));
+        };
+        if inj.down(now_us) {
+            // A single disk has no parity path: the request cannot be
+            // served at any cost. Zero-time failure keeps the retry
+            // budget (not the clock) in charge of termination.
+            return ServiceOutcome {
+                breakdown: ServiceBreakdown::default(),
+                fault: Some(ServiceFault::Down),
+                remap_penalty_us: 0,
+                degraded: None,
+                rebuild: None,
+            };
+        }
+        let draw = inj.draw();
+        let mut b = limp(inj, self.disk.service(req.cylinder, req.bytes));
+        if draw.transient {
+            // The attempt pays its full service time — the head moved and
+            // the platter turned — but returns no data. A retry re-pays
+            // rotation from the disk's tracked angle: one extra
+            // revolution, exactly the paper's recoverable-error cost.
+            return ServiceOutcome {
+                breakdown: b,
+                fault: Some(ServiceFault::Transient),
+                remap_penalty_us: 0,
+                degraded: None,
+                rebuild: None,
+            };
+        }
+        let mut remap = 0;
+        if draw.bad_sector {
+            remap = inj.plan().remap_penalty_us;
+            b.seek_us += remap;
+        }
+        ServiceOutcome {
+            breakdown: b,
+            fault: None,
+            remap_penalty_us: remap,
+            degraded: None,
+            rebuild: None,
+        }
     }
 }
 
@@ -116,6 +237,15 @@ pub struct Raid5Service {
     raid: diskmodel::Raid5,
     block_bytes: u64,
     last_cylinder: u32,
+    faults: Option<RaidFaultState>,
+}
+
+/// Mutable fault-layer state of a [`Raid5Service`]: one deterministic
+/// stream per member plus the rebuild progress cursor.
+struct RaidFaultState {
+    injectors: Vec<FaultInjector>,
+    rebuilt_stripes: u64,
+    since_rebuild: u32,
 }
 
 impl Raid5Service {
@@ -125,12 +255,41 @@ impl Raid5Service {
             raid: diskmodel::Raid5::table1(),
             block_bytes: 64 * 1024,
             last_cylinder: 0,
+            faults: None,
+        }
+    }
+
+    /// The paper's group behind a fault plan: per-member media-error
+    /// streams, degraded reads around a failed member (reconstructed from
+    /// the survivors at the cost of the slowest), and an optional
+    /// background rebuild interleaved with foreground service. With
+    /// [`FaultPlan::none`] this is bit-identical to
+    /// [`Raid5Service::table1`].
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        let raid = diskmodel::Raid5::table1();
+        let injectors = (0..raid.members())
+            .map(|m| FaultInjector::new(plan.clone(), m))
+            .collect();
+        Raid5Service {
+            raid,
+            block_bytes: 64 * 1024,
+            last_cylinder: 0,
+            faults: Some(RaidFaultState {
+                injectors,
+                rebuilt_stripes: 0,
+                since_rebuild: 0,
+            }),
         }
     }
 
     /// Access the underlying array.
     pub fn raid(&self) -> &diskmodel::Raid5 {
         &self.raid
+    }
+
+    /// Stripes reconstructed so far by the background rebuild.
+    pub fn rebuilt_stripes(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.rebuilt_stripes)
     }
 }
 
@@ -159,15 +318,127 @@ impl ServiceProvider for Raid5Service {
                 total
             }
             sched::OpKind::Write => {
-                let us = self.raid.write(lba, self.block_bytes.min(req.bytes.max(1)));
-                // The RMW path has no clean per-phase split; report it as
-                // transfer time.
-                ServiceBreakdown {
-                    seek_us: 0,
-                    rotation_us: 0,
-                    transfer_us: us,
+                // The write completes when the slower of the data/parity
+                // RMW pairs does; attribute seek vs. rotation to that
+                // gating member.
+                self.raid
+                    .write(lba, self.block_bytes.min(req.bytes.max(1)))
+                    .critical()
+            }
+        }
+    }
+
+    fn service_checked(&mut self, req: &Request, now_us: Micros) -> ServiceOutcome {
+        if self.faults.is_none() {
+            return ServiceOutcome::ok(self.service(req));
+        }
+        self.last_cylinder = req.cylinder;
+        let lba = req.cylinder as u64;
+        let state = self.faults.as_mut().expect("checked above");
+        let plan = state.injectors[0].plan().clone();
+        let failed_member = plan
+            .member_failure
+            .filter(|f| now_us >= f.at_us)
+            .map(|f| f.member);
+
+        let mut total = ServiceBreakdown::default();
+        let mut degraded: Option<u32> = None;
+        let mut remap_total: Micros = 0;
+        if matches!(req.kind, sched::OpKind::Read) {
+            let blocks = req.bytes.div_ceil(self.block_bytes).max(1);
+            let bytes = self.block_bytes.min(req.bytes);
+            for i in 0..blocks {
+                let block_lba = lba + i;
+                let member = self.raid.locate(block_lba).data_disk;
+                if failed_member == Some(member) {
+                    // Reconstruct from the N−1 survivors; pays the max of
+                    // their services. Survivors draw no media faults here
+                    // — a reconstruction-time error would need two
+                    // concurrent failures, outside this model's scope.
+                    let b = self.raid.degraded_read(block_lba, bytes, member);
+                    degraded = Some(member as u32);
+                    total.seek_us += b.seek_us;
+                    total.rotation_us += b.rotation_us;
+                    total.transfer_us += b.transfer_us;
+                    continue;
+                }
+                let inj = &mut state.injectors[member];
+                let draw = inj.draw();
+                let mut b = limp(inj, self.raid.read(block_lba, bytes));
+                if draw.transient {
+                    total.seek_us += b.seek_us;
+                    total.rotation_us += b.rotation_us;
+                    total.transfer_us += b.transfer_us;
+                    return ServiceOutcome {
+                        breakdown: total,
+                        fault: Some(ServiceFault::Transient),
+                        remap_penalty_us: 0,
+                        degraded,
+                        rebuild: None,
+                    };
+                }
+                if draw.bad_sector {
+                    let penalty = plan.remap_penalty_us;
+                    b.seek_us += penalty;
+                    remap_total += penalty;
+                }
+                total.seek_us += b.seek_us;
+                total.rotation_us += b.rotation_us;
+                total.transfer_us += b.transfer_us;
+            }
+        } else {
+            // Writes: the fault stream of the data member covers the RMW
+            // pair; degraded writes (data or parity member down) are
+            // served at healthy cost — the array's write-back buffering
+            // is outside this model (see DESIGN.md §6d).
+            let member = self.raid.locate(lba).data_disk;
+            let inj = &mut state.injectors[member];
+            let draw = inj.draw();
+            let mut b = limp(
+                inj,
+                self.raid
+                    .write(lba, self.block_bytes.min(req.bytes.max(1)))
+                    .critical(),
+            );
+            if draw.transient {
+                return ServiceOutcome {
+                    breakdown: b,
+                    fault: Some(ServiceFault::Transient),
+                    remap_penalty_us: 0,
+                    degraded: None,
+                    rebuild: None,
+                };
+            }
+            if draw.bad_sector {
+                let penalty = plan.remap_penalty_us;
+                b.seek_us += penalty;
+                remap_total += penalty;
+            }
+            total = b;
+        }
+
+        // Background rebuild: once the member is down, every `every`-th
+        // foreground completion tows one stripe reconstruction behind it.
+        let mut rebuild = None;
+        if let (Some(failed), Some(spec)) = (failed_member, plan.rebuild) {
+            if state.rebuilt_stripes < spec.stripes {
+                state.since_rebuild += 1;
+                if state.since_rebuild >= spec.every {
+                    state.since_rebuild = 0;
+                    let stripe = state.rebuilt_stripes;
+                    state.rebuilt_stripes += 1;
+                    let b = self.raid.rebuild_stripe(stripe, self.block_bytes, failed);
+                    rebuild = Some((stripe, b.total_us()));
                 }
             }
+        }
+
+        ServiceOutcome {
+            breakdown: total,
+            fault: None,
+            remap_penalty_us: remap_total,
+            degraded,
+            rebuild,
         }
     }
 }

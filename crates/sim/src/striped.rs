@@ -15,7 +15,7 @@
 use crate::engine::{simulate_traced, SimOptions};
 use crate::metrics::Metrics;
 use crate::service::DiskService;
-use diskmodel::{Disk, Raid5};
+use diskmodel::{Disk, FaultPlan, Raid5};
 use obs::{NullSink, Snapshot, TraceSink};
 use sched::{DiskScheduler, Request};
 
@@ -73,7 +73,56 @@ pub fn simulate_striped(
     make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
     options: SimOptions,
 ) -> StripedOutcome {
-    run_striped(trace, members, make_scheduler, options, || NullSink).0
+    run_striped(
+        trace,
+        members,
+        make_scheduler,
+        options,
+        |_| DiskService::table1(),
+        || NullSink,
+    )
+    .0
+}
+
+/// [`simulate_striped`] with a per-member fault stream of `plan`
+/// (transient media errors, bad-sector remaps, limping members): member
+/// `m`'s disk draws from stream `m`, so the group sees independent but
+/// fully deterministic fault sequences. Combine with
+/// [`SimOptions::with_retries`] for the recovery policy.
+///
+/// Full member failure, degraded reads, and background rebuild are *not*
+/// available here: the striped model runs each member on an independent
+/// timeline, and parity reconstruction couples a read to the other
+/// members' clocks. Use [`crate::Raid5Service::with_faults`] (grouped
+/// timeline) for those scenarios — see DESIGN.md §6d.
+///
+/// # Panics
+///
+/// Panics if `plan` schedules a member failure.
+pub fn simulate_striped_faulted(
+    trace: &[Request],
+    members: usize,
+    make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
+    options: SimOptions,
+    plan: &FaultPlan,
+) -> (StripedOutcome, Snapshot) {
+    assert!(
+        plan.member_failure.is_none(),
+        "member failure needs the grouped timeline: use Raid5Service::with_faults"
+    );
+    let (outcome, sinks) = run_striped(
+        trace,
+        members,
+        make_scheduler,
+        options,
+        |m| DiskService::with_faults_as_member(Disk::table1(), plan.clone(), m),
+        Snapshot::new,
+    );
+    let mut group = Snapshot::new();
+    for member in &sinks {
+        group.merge(member);
+    }
+    (outcome, group)
 }
 
 /// [`simulate_striped`] with one [`Snapshot`] sink per member, merged
@@ -86,7 +135,14 @@ pub fn simulate_striped_observed(
     make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
     options: SimOptions,
 ) -> (StripedOutcome, Snapshot) {
-    let (outcome, sinks) = run_striped(trace, members, make_scheduler, options, Snapshot::new);
+    let (outcome, sinks) = run_striped(
+        trace,
+        members,
+        make_scheduler,
+        options,
+        |_| DiskService::table1(),
+        Snapshot::new,
+    );
     let mut group = Snapshot::new();
     for member in &sinks {
         group.merge(member);
@@ -101,6 +157,7 @@ fn run_striped<S: TraceSink>(
     members: usize,
     make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
     options: SimOptions,
+    make_service: impl Fn(usize) -> DiskService,
     make_sink: impl Fn() -> S,
 ) -> (StripedOutcome, Vec<S>) {
     assert!(members >= 3, "RAID-5 needs at least 3 members");
@@ -120,12 +177,12 @@ fn run_striped<S: TraceSink>(
     let mut per_member = Vec::with_capacity(members);
     let mut sinks = Vec::with_capacity(members);
     let mut makespan = 0u64;
-    for member_trace in &mut member_traces {
+    for (member, member_trace) in member_traces.iter_mut().enumerate() {
         // Re-assign dense ids per member (engine requirement is sorted
         // arrivals; ids may be sparse, but dense keeps logs tidy).
         member_trace.sort_by_key(|r| (r.arrival_us, r.id));
         let mut scheduler = make_scheduler();
-        let mut service = DiskService::table1();
+        let mut service = make_service(member);
         let mut sink = make_sink();
         let m = simulate_traced(
             scheduler.as_mut(),
@@ -273,6 +330,52 @@ mod tests {
         assert_eq!(c.late_completions, total.late);
         assert_eq!(snap.response_us.count(), total.served);
         assert_eq!(snap.response_us.max(), Some(total.max_response_us));
+    }
+
+    #[test]
+    fn faulted_group_with_zero_plan_matches_healthy_run() {
+        let trace = batch(200);
+        let options = SimOptions::with_shape(1, 2);
+        let healthy = simulate_striped(&trace, 5, || Box::new(Fcfs::new()), options);
+        let (faulted, snap) = simulate_striped_faulted(
+            &trace,
+            5,
+            || Box::new(Fcfs::new()),
+            options,
+            &FaultPlan::none(),
+        );
+        assert_eq!(healthy.aggregate(), faulted.aggregate());
+        assert_eq!(snap.counters.media_errors, 0);
+    }
+
+    #[test]
+    fn faulted_group_sees_member_distinct_media_errors() {
+        let trace = batch(400);
+        let (out, snap) = simulate_striped_faulted(
+            &trace,
+            5,
+            || Box::new(Fcfs::new()),
+            SimOptions::with_shape(1, 2).with_retries(4),
+            &FaultPlan::media(77, 150_000, 40_000),
+        );
+        let total = out.aggregate();
+        assert!(total.media_errors > 0, "rate should fire");
+        assert!(total.sector_remaps > 0);
+        assert_eq!(snap.counters.media_errors, total.media_errors);
+        assert_eq!(snap.counters.request_failures, total.failed);
+        assert_eq!(total.served + total.failed, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "grouped timeline")]
+    fn faulted_group_rejects_member_failure_plans() {
+        simulate_striped_faulted(
+            &batch(10),
+            5,
+            || Box::new(Fcfs::new()),
+            SimOptions::default(),
+            &FaultPlan::none().with_member_failure(1, 0),
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@ fn sp_policy_reduces_inversion_of_the_window() {
                 serve_promote: sp,
                 expand_factor: None,
                 refresh_on_swap: false,
+                max_queue: None,
             });
         let mut s = CascadedSfc::new(cfg).unwrap();
         run(&mut s, &trace, 3).inversions_total()
