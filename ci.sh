@@ -25,4 +25,12 @@ echo "==> fault-scenario smoke run"
 # rate, lossy-but-terminating at a high rate (exits 1 on violation).
 cargo run -q -p bench --release --bin faults -- --mode smoke --duration-ms 8000
 
+echo "==> farm smoke run"
+# Fixed seed: serial and threaded executors bit-identical for every
+# routing policy, redirect events reconciled against the outcome
+# counter, every arrival accounted for, and least-loaded routing
+# shedding strictly less than hash under overload (exits 1 on
+# violation).
+cargo run -q -p bench --release --bin farm -- --mode smoke --duration-ms 10000
+
 echo "ci.sh: all green"

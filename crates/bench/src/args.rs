@@ -114,6 +114,26 @@ impl Args {
     pub fn provided(&self, name: &str) -> bool {
         self.values.contains_key(name)
     }
+
+    /// Fetch an enumerated flag: the value must be one of `options`, the
+    /// first of which is the default. Anything else lists the choices
+    /// and exits 2 — shared by `--format`, `--mode`, `--policy`, … so
+    /// every binary rejects typos the same way.
+    pub fn one_of(&self, name: &str, options: &[&'static str]) -> &'static str {
+        debug_assert!(self.allowed.contains(&name), "undeclared flag {name}");
+        debug_assert!(!options.is_empty(), "one_of needs at least one option");
+        match self.values.get(name) {
+            None => options[0],
+            Some(v) => options.iter().copied().find(|o| o == v).unwrap_or_else(|| {
+                eprintln!(
+                    "{}: unknown --{name} value {v:?} (expected one of: {})",
+                    self.binary,
+                    options.join(", ")
+                );
+                std::process::exit(2);
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +181,13 @@ mod tests {
     fn help_is_reported() {
         let e = Args::parse_from("t", argv(&["--help"]), &["seed"]).unwrap_err();
         assert_eq!(e, ArgsError::HelpRequested);
+    }
+
+    #[test]
+    fn one_of_defaults_and_matches() {
+        let a = Args::parse_from("t", argv(&["--mode", "smoke"]), &["mode", "format"]).unwrap();
+        assert_eq!(a.one_of("mode", &["sweep", "smoke"]), "smoke");
+        assert_eq!(a.one_of("format", &["jsonl", "csv"]), "jsonl"); // default
     }
 
     #[test]

@@ -41,9 +41,7 @@ fn main() {
     if args.provided("rate-ppm") {
         cfg.rates_ppm = vec![args.get("rate-ppm", 250_000u32)];
     }
-    let mode: String = args.get("mode", "sweep".to_string());
-
-    match mode.as_str() {
+    match args.one_of("mode", &["sweep", "smoke", "degraded"]) {
         "sweep" => {
             eprintln!(
                 "# faults sweep — {} members, {} streams, {} ms, {} attempts, seed {}",
@@ -101,9 +99,6 @@ fn main() {
                 std::process::exit(1);
             }
         },
-        other => {
-            eprintln!("unknown --mode {other:?} (expected sweep, smoke, or degraded)");
-            std::process::exit(2);
-        }
+        _ => unreachable!("one_of limits the choices"),
     }
 }

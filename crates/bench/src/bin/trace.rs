@@ -48,7 +48,7 @@ fn main() {
         retries: args.get("retries", 1),
         max_queue: args.get("max-queue", 0),
     };
-    let format: String = args.get("format", "jsonl".to_string());
+    let format = args.one_of("format", &["jsonl", "csv"]);
     let out: String = args.get("out", format!("trace.{format}"));
 
     let file = File::create(&out).unwrap_or_else(|e| {
@@ -61,7 +61,7 @@ fn main() {
         "# trace — paper-default cascade, {} requests, {} dims, window {}%, seed {}",
         cfg.requests, cfg.dims, cfg.window_pct, cfg.seed
     );
-    let (report, events) = match format.as_str() {
+    let (report, events) = match format {
         "jsonl" => {
             let (report, sink) = trace::run_with_sink(&cfg, JsonlSink::new(writer));
             let events = sink.lines();
@@ -74,10 +74,7 @@ fn main() {
             sink.into_inner().flush().expect("flush timeline");
             (report, events)
         }
-        other => {
-            eprintln!("unknown --format {other:?} (expected jsonl or csv)");
-            std::process::exit(2);
-        }
+        _ => unreachable!("one_of limits the choices"),
     };
 
     eprintln!("# {events} events -> {out}");

@@ -22,7 +22,9 @@
 //! timeline as JSONL/CSV plus a histogram summary — see [`trace`]), and
 //! `faults` (loss/seek/p99 degradation curves under injected media
 //! errors, a degraded-RAID scenario, and the CI smoke gate — see
-//! [`fault`]).
+//! [`fault`]), and `farm` (shard-count scaling under the three routing
+//! policies, executor bit-identity, and the farm smoke gate — see
+//! [`farm`]).
 //!
 //! All experiments are deterministic given a seed; run any binary with
 //! `--seed N` to change it.
@@ -32,6 +34,7 @@
 
 pub mod ablation;
 pub mod args;
+pub mod farm;
 pub mod fault;
 pub mod fig10;
 pub mod fig11;

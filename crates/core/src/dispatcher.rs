@@ -112,6 +112,12 @@ impl Dispatcher {
         self.len() == 0
     }
 
+    /// Depths of the active and waiting queues, `(q, q')`. Load-aware
+    /// routers read this to steer arrivals toward lightly loaded shards.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.q.len(), self.q_wait.len())
+    }
+
     /// (preemptions, SP promotions, queue swaps) since construction.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.preemptions, self.promotions, self.swaps)

@@ -60,6 +60,11 @@ impl<S: TraceSink> CascadedSfc<S> {
         self.dispatcher.sheds()
     }
 
+    /// Depths of the dispatcher's active and waiting queues, `(q, q')`.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        self.dispatcher.queue_depths()
+    }
+
     /// The attached trace sink.
     pub fn sink(&self) -> &S {
         &self.sink
@@ -100,6 +105,14 @@ impl<S: TraceSink> DiskScheduler for CascadedSfc<S> {
 
     fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
         self.dispatcher.for_each_pending(f);
+    }
+
+    fn sheds(&self) -> u64 {
+        self.dispatcher.sheds()
+    }
+
+    fn queue_capacity(&self) -> Option<usize> {
+        self.encapsulator.config().dispatch.max_queue
     }
 }
 

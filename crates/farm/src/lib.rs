@@ -1,0 +1,460 @@
+//! # farm — sharded multi-disk scheduling at fleet scale
+//!
+//! The paper's PanaViss deployment runs one Cascaded-SFC scheduler per
+//! member disk of a single RAID group. A production service runs *many*
+//! such groups: this crate scales the simulator from one group to a farm
+//! of N shards, each shard owning its own disk, scheduler, and trace
+//! sink.
+//!
+//! Three pieces:
+//!
+//! * **Routing** ([`Router`]): an arriving request is placed on exactly
+//!   one shard by a pluggable policy — [`RoutePolicy::HashStream`]
+//!   (sticky per stream), [`RoutePolicy::CylinderRange`]
+//!   (placement-affine bands) or [`RoutePolicy::LeastLoaded`]
+//!   (queue-depth feedback). Routing runs as a serial deterministic pass
+//!   over the arrival-ordered trace against a modeled per-shard load, so
+//!   placements never depend on execution timing.
+//! * **Execution**: once placements are fixed the shard timelines are
+//!   mutually independent, so they fan out through [`sim::run_indexed`]
+//!   — scoped threads under [`Parallelism::Threads`], the calling thread
+//!   under [`Parallelism::Serial`] — and merge in shard order. Metrics
+//!   and traced event snapshots are bit-identical across executors.
+//! * **Overload handling**: shard schedulers with a bounded queue
+//!   ([`sched::DiskScheduler::queue_capacity`]) shed under overload.
+//!   With [`FarmConfig::redirect_on_overload`], the routing pass steers
+//!   an arrival away from a projected-full shard to the least-loaded one
+//!   with room instead, counting the detour and emitting an
+//!   [`obs::TraceEvent::Redirect`] event.
+//!
+//! ```
+//! use farm::{simulate_farm, FarmConfig, RoutePolicy};
+//! use sched::Fcfs;
+//! use sim::SimOptions;
+//! use workload::VodConfig;
+//!
+//! let trace = VodConfig::mpeg1(24).generate(42);
+//! let cfg = FarmConfig::new(4).with_policy(RoutePolicy::HashStream);
+//! let (out, snap) = simulate_farm(
+//!     &trace,
+//!     &cfg,
+//!     |_shard| Box::new(Fcfs::new()),
+//!     SimOptions::with_shape(1, 4),
+//! );
+//! assert_eq!(out.served(), trace.len() as u64);
+//! assert_eq!(snap.counters.arrivals, trace.len() as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod router;
+
+pub use router::{least_loaded, HashRouter, LeastLoadedRouter, RangeRouter};
+pub use router::{RoutePolicy, Router, ShardLoad};
+pub use sim::Parallelism;
+
+use obs::{Snapshot, TraceEvent, TraceSink};
+use sched::{DiskScheduler, Request};
+use sim::{run_indexed, simulate_traced, DiskService, Metrics, SimOptions};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of a farm run.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Number of shards (disk + scheduler pairs).
+    pub shards: usize,
+    /// Routing policy placing arrivals onto shards.
+    pub policy: RoutePolicy,
+    /// Executor for the shard timelines. The outcome is identical for
+    /// every value; only wall-clock differs.
+    pub parallelism: Parallelism,
+    /// Steer arrivals away from projected-full shards to the least-loaded
+    /// shard with room, instead of letting the bounded queue shed.
+    pub redirect_on_overload: bool,
+    /// Modeled mean service time per request (µs) — drives the routing
+    /// pass's queue-depth model. The default approximates one Table-1
+    /// 64-KB access (seek + half a rotation + transfer).
+    pub est_service_us: u64,
+    /// Cylinders per shard disk (sizes the range partition).
+    pub cylinders: u32,
+}
+
+impl FarmConfig {
+    /// A farm of `shards` Table-1 disks, hash routing, automatic
+    /// parallelism, no redirects.
+    pub fn new(shards: usize) -> Self {
+        FarmConfig {
+            shards,
+            policy: RoutePolicy::HashStream,
+            parallelism: Parallelism::auto(),
+            redirect_on_overload: false,
+            est_service_us: 15_000,
+            cylinders: 3832,
+        }
+    }
+
+    /// Set the routing policy.
+    pub fn with_policy(mut self, policy: RoutePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the executor.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Enable redirect-on-overload.
+    pub fn with_redirects(mut self) -> Self {
+        self.redirect_on_overload = true;
+        self
+    }
+
+    /// Override the modeled per-request service time (µs).
+    pub fn with_est_service_us(mut self, est: u64) -> Self {
+        self.est_service_us = est.max(1);
+        self
+    }
+}
+
+/// Modeled shard occupancy during the routing pass: each assignment books
+/// `est_service_us` of work onto the shard; bookings completed by the
+/// current arrival time fall out of the depth.
+struct LoadModel {
+    est_service_us: u64,
+    /// Min-heap of modeled completion times per shard.
+    completions: Vec<BinaryHeap<Reverse<u64>>>,
+    /// Modeled drain horizon per shard.
+    busy_until: Vec<u64>,
+}
+
+impl LoadModel {
+    fn new(shards: usize, est_service_us: u64) -> Self {
+        LoadModel {
+            est_service_us: est_service_us.max(1),
+            completions: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            busy_until: vec![0; shards],
+        }
+    }
+
+    /// Retire bookings completed by `now`.
+    fn advance_to(&mut self, now: u64) {
+        for heap in &mut self.completions {
+            while heap.peek().is_some_and(|Reverse(t)| *t <= now) {
+                heap.pop();
+            }
+        }
+    }
+
+    /// Current loads, one per shard, decorated with the shards' queue
+    /// capacities.
+    fn loads(&self, capacities: &[Option<usize>]) -> Vec<ShardLoad> {
+        self.completions
+            .iter()
+            .zip(&self.busy_until)
+            .zip(capacities)
+            .map(|((heap, &busy), &capacity)| ShardLoad {
+                queue_depth: heap.len(),
+                busy_until_us: busy,
+                capacity,
+            })
+            .collect()
+    }
+
+    /// Book one request arriving at `now` onto `shard`.
+    fn assign(&mut self, shard: usize, now: u64) {
+        let start = self.busy_until[shard].max(now);
+        let done = start + self.est_service_us;
+        self.busy_until[shard] = done;
+        self.completions[shard].push(Reverse(done));
+    }
+}
+
+/// The routing pass's output: per-shard sub-traces plus placement
+/// accounting.
+#[derive(Debug)]
+pub struct Placement {
+    /// Requests routed to each shard, in arrival order.
+    pub shard_traces: Vec<Vec<Request>>,
+    /// Requests placed on each shard.
+    pub routed_per_shard: Vec<u64>,
+    /// Arrivals steered away from a projected-full shard.
+    pub redirects: u64,
+}
+
+/// Place every request of `trace` (arrival-ordered) onto a shard.
+///
+/// `capacities[i]` is shard `i`'s bounded-queue capacity (probed from its
+/// scheduler). Redirect decisions emit [`TraceEvent::Redirect`] into
+/// `sink`. The pass is serial and model-driven, so placements are a pure
+/// function of the trace and configuration.
+pub fn route_trace<S: TraceSink>(
+    trace: &[Request],
+    cfg: &FarmConfig,
+    capacities: &[Option<usize>],
+    sink: &mut S,
+) -> Placement {
+    assert!(cfg.shards >= 1, "a farm needs at least one shard");
+    assert_eq!(capacities.len(), cfg.shards);
+    let mut router = cfg.policy.build(cfg.cylinders);
+    let mut model = LoadModel::new(cfg.shards, cfg.est_service_us);
+    let mut shard_traces: Vec<Vec<Request>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+    let mut routed_per_shard = vec![0u64; cfg.shards];
+    let mut redirects = 0u64;
+
+    for r in trace {
+        model.advance_to(r.arrival_us);
+        let loads = model.loads(capacities);
+        let chosen = router.route(r, &loads);
+        assert!(chosen < cfg.shards, "router returned shard {chosen}");
+        let mut target = chosen;
+        if cfg.redirect_on_overload && loads[chosen].projected_full() {
+            let alt = least_loaded(&loads);
+            if alt != chosen && !loads[alt].projected_full() {
+                redirects += 1;
+                if S::ENABLED {
+                    sink.emit(&TraceEvent::Redirect {
+                        now_us: r.arrival_us,
+                        req: r.id,
+                        from_shard: chosen as u32,
+                        to_shard: alt as u32,
+                        queue_depth: loads[chosen].queue_depth as u64,
+                    });
+                }
+                target = alt;
+            }
+        }
+        model.assign(target, r.arrival_us);
+        routed_per_shard[target] += 1;
+        shard_traces[target].push(r.clone());
+    }
+
+    Placement {
+        shard_traces,
+        routed_per_shard,
+        redirects,
+    }
+}
+
+/// Result of a farm run: per-shard metrics plus farm-level accounting.
+#[derive(Debug)]
+pub struct FarmOutcome {
+    /// Metrics per shard (index = shard id).
+    pub per_shard: Vec<Metrics>,
+    /// Bounded-queue sheds per shard (from the shards' schedulers).
+    pub sheds_per_shard: Vec<u64>,
+    /// Requests the router placed on each shard.
+    pub routed_per_shard: Vec<u64>,
+    /// Arrivals steered away from a projected-full shard.
+    pub redirects: u64,
+    /// Farm makespan: the slowest shard's makespan.
+    pub makespan_us: u64,
+}
+
+impl FarmOutcome {
+    /// Total requests served across shards.
+    pub fn served(&self) -> u64 {
+        Metrics::total_served(&self.per_shard)
+    }
+
+    /// Total deadline losses across shards.
+    pub fn losses(&self) -> u64 {
+        Metrics::total_losses(&self.per_shard)
+    }
+
+    /// Aggregate loss ratio.
+    pub fn loss_ratio(&self) -> f64 {
+        Metrics::group_loss_ratio(&self.per_shard)
+    }
+
+    /// Total bounded-queue sheds across shards.
+    pub fn sheds(&self) -> u64 {
+        self.sheds_per_shard.iter().sum()
+    }
+
+    /// The shards folded into one farm-level [`Metrics`] via
+    /// [`Metrics::merge`].
+    pub fn aggregate(&self) -> Metrics {
+        Metrics::merged(&self.per_shard)
+    }
+}
+
+/// Run `trace` through a farm of [`FarmConfig::shards`] Table-1 disks.
+///
+/// `make_scheduler(shard)` builds each shard's scheduler; it is also
+/// called once per shard up front (and the instance discarded) to probe
+/// [`sched::DiskScheduler::queue_capacity`] for the routing model. The
+/// returned [`Snapshot`] merges the router's redirect events with every
+/// shard's engine events and one [`TraceEvent::ShardReport`] per shard,
+/// in shard order — bit-identical for every [`Parallelism`] choice.
+pub fn simulate_farm(
+    trace: &[Request],
+    cfg: &FarmConfig,
+    make_scheduler: impl Fn(usize) -> Box<dyn DiskScheduler> + Sync,
+    options: SimOptions,
+) -> (FarmOutcome, Snapshot) {
+    simulate_farm_with(trace, cfg, make_scheduler, options, |_| {
+        DiskService::table1()
+    })
+}
+
+/// [`simulate_farm`] with a custom per-shard service model (e.g. a
+/// fault-injected [`DiskService`] per shard).
+pub fn simulate_farm_with(
+    trace: &[Request],
+    cfg: &FarmConfig,
+    make_scheduler: impl Fn(usize) -> Box<dyn DiskScheduler> + Sync,
+    options: SimOptions,
+    make_service: impl Fn(usize) -> DiskService + Sync,
+) -> (FarmOutcome, Snapshot) {
+    let capacities: Vec<Option<usize>> = (0..cfg.shards)
+        .map(|s| make_scheduler(s).queue_capacity())
+        .collect();
+
+    let mut group = Snapshot::new();
+    let placement = route_trace(trace, cfg, &capacities, &mut group);
+
+    let results = run_indexed(cfg.shards, cfg.parallelism, |shard| {
+        let mut scheduler = make_scheduler(shard);
+        let mut service = make_service(shard);
+        let mut sink = Snapshot::new();
+        let m = simulate_traced(
+            scheduler.as_mut(),
+            &placement.shard_traces[shard],
+            &mut service,
+            options,
+            &mut sink,
+        );
+        let sheds = scheduler.sheds();
+        sink.emit(&TraceEvent::ShardReport {
+            now_us: m.makespan_us,
+            shard: shard as u32,
+            served: m.served,
+            sheds,
+        });
+        (m, sheds, sink)
+    });
+
+    let mut per_shard = Vec::with_capacity(cfg.shards);
+    let mut sheds_per_shard = Vec::with_capacity(cfg.shards);
+    let mut makespan = 0u64;
+    for (m, sheds, sink) in results {
+        makespan = makespan.max(m.makespan_us);
+        group.merge(&sink);
+        per_shard.push(m);
+        sheds_per_shard.push(sheds);
+    }
+
+    (
+        FarmOutcome {
+            per_shard,
+            sheds_per_shard,
+            routed_per_shard: placement.routed_per_shard,
+            redirects: placement.redirects,
+            makespan_us: makespan,
+        },
+        group,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::{Fcfs, QosVector};
+
+    fn batch(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::read(
+                    i,
+                    i * 200,
+                    u64::MAX,
+                    (i * 37 % 3832) as u32,
+                    64 * 1024,
+                    QosVector::single(0),
+                )
+                .with_stream(i % 16)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_request_lands_on_exactly_one_shard() {
+        let trace = batch(300);
+        for policy in [
+            RoutePolicy::HashStream,
+            RoutePolicy::CylinderRange,
+            RoutePolicy::LeastLoaded,
+        ] {
+            let cfg = FarmConfig::new(4).with_policy(policy);
+            let (out, snap) = simulate_farm(
+                &trace,
+                &cfg,
+                |_| Box::new(Fcfs::new()),
+                SimOptions::with_shape(1, 4),
+            );
+            assert_eq!(out.routed_per_shard.iter().sum::<u64>(), 300, "{policy:?}");
+            assert_eq!(out.served(), 300, "{policy:?}");
+            assert_eq!(snap.counters.arrivals, 300, "{policy:?}");
+            assert_eq!(snap.counters.shard_reports, 4, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn sharding_shortens_the_makespan() {
+        let trace = batch(600);
+        let one = FarmConfig::new(1);
+        let four = FarmConfig::new(4).with_policy(RoutePolicy::LeastLoaded);
+        let mk = |_: usize| -> Box<dyn DiskScheduler> { Box::new(Fcfs::new()) };
+        let (o1, _) = simulate_farm(&trace, &one, mk, SimOptions::with_shape(1, 4));
+        let (o4, _) = simulate_farm(&trace, &four, mk, SimOptions::with_shape(1, 4));
+        let speedup = o1.makespan_us as f64 / o4.makespan_us as f64;
+        assert!(
+            speedup > 2.0,
+            "4 shards should beat 1 disk: speedup {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn least_loaded_balances_the_load() {
+        let trace = batch(400);
+        let cfg = FarmConfig::new(4).with_policy(RoutePolicy::LeastLoaded);
+        let (out, _) = simulate_farm(
+            &trace,
+            &cfg,
+            |_| Box::new(Fcfs::new()),
+            SimOptions::with_shape(1, 4),
+        );
+        let min = *out.routed_per_shard.iter().min().unwrap();
+        let max = *out.routed_per_shard.iter().max().unwrap();
+        assert!(
+            max - min <= 8,
+            "feedback routing should balance: {:?}",
+            out.routed_per_shard
+        );
+    }
+
+    #[test]
+    fn single_shard_farm_matches_plain_simulation() {
+        let trace = batch(200);
+        let cfg = FarmConfig::new(1);
+        let (out, _) = simulate_farm(
+            &trace,
+            &cfg,
+            |_| Box::new(Fcfs::new()),
+            SimOptions::with_shape(1, 4),
+        );
+        let mut fcfs = Fcfs::new();
+        let mut service = DiskService::table1();
+        let direct = sim::simulate(
+            &mut fcfs,
+            &trace,
+            &mut service,
+            SimOptions::with_shape(1, 4),
+        );
+        assert_eq!(out.per_shard[0], direct);
+    }
+}

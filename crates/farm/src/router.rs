@@ -1,0 +1,229 @@
+//! Routing policies: which shard serves an arriving request.
+//!
+//! Routers see the request plus a modeled [`ShardLoad`] per shard and pick
+//! an index. The three built-in policies cover the classic trade-offs:
+//!
+//! * [`HashRouter`] — hash the stream id. Stateless and sticky (one
+//!   stream's blocks always hit one shard, preserving sequential layout),
+//!   but blind to load: colliding hot streams overload a shard.
+//! * [`RangeRouter`] — partition the cylinder space into contiguous
+//!   bands, one per shard. Placement-affine (matches content partitioned
+//!   across disks by address) and sticky per file region.
+//! * [`LeastLoadedRouter`] — queue-depth feedback: send the arrival to
+//!   the shard with the fewest modeled pending requests. Best loss rates
+//!   under overload, no stickiness.
+
+use sched::Request;
+
+/// Modeled load of one shard at a routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Requests routed to the shard and not yet (modeled as) completed.
+    pub queue_depth: usize,
+    /// Modeled time at which the shard drains everything assigned so far
+    /// (µs).
+    pub busy_until_us: u64,
+    /// Bounded-queue capacity of the shard's scheduler, if it has one
+    /// (probed via [`sched::DiskScheduler::queue_capacity`]).
+    pub capacity: Option<usize>,
+}
+
+impl ShardLoad {
+    /// `true` when the shard's bounded queue is projected full — routing
+    /// one more request there would likely shed.
+    pub fn projected_full(&self) -> bool {
+        self.capacity.is_some_and(|cap| self.queue_depth >= cap)
+    }
+}
+
+/// A routing policy: pick the shard that serves `req`.
+///
+/// `loads` always has one entry per shard; implementations must return an
+/// index `< loads.len()`. Routers may keep state (`&mut self`) but must be
+/// deterministic — same request sequence, same placements.
+pub trait Router {
+    /// Policy name for reports (e.g. `"hash"`).
+    fn name(&self) -> &'static str;
+
+    /// Choose the shard for `req` given the current modeled loads.
+    fn route(&mut self, req: &Request, loads: &[ShardLoad]) -> usize;
+}
+
+/// The three built-in policies, as a value for configs and CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Hash-by-stream ([`HashRouter`]).
+    HashStream,
+    /// Cylinder-range affinity ([`RangeRouter`]).
+    CylinderRange,
+    /// Queue-depth feedback ([`LeastLoadedRouter`]).
+    LeastLoaded,
+}
+
+impl RoutePolicy {
+    /// Stable policy name (matches the router's `name()`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutePolicy::HashStream => "hash",
+            RoutePolicy::CylinderRange => "range",
+            RoutePolicy::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Build the router; `cylinders` sizes the range partition.
+    pub fn build(self, cylinders: u32) -> Box<dyn Router> {
+        match self {
+            RoutePolicy::HashStream => Box::new(HashRouter),
+            RoutePolicy::CylinderRange => Box::new(RangeRouter { cylinders }),
+            RoutePolicy::LeastLoaded => Box::new(LeastLoadedRouter),
+        }
+    }
+}
+
+/// Hash-by-stream routing: `splitmix64(stream) mod shards`.
+pub struct HashRouter;
+
+/// SplitMix64 finalizer — a full-avalanche mix so that consecutive stream
+/// ids spread over shards instead of striding.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl Router for HashRouter {
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+
+    fn route(&mut self, req: &Request, loads: &[ShardLoad]) -> usize {
+        (splitmix64(req.stream) % loads.len() as u64) as usize
+    }
+}
+
+/// Cylinder-range affinity: shard `i` owns the `i`-th contiguous band of
+/// the cylinder space.
+pub struct RangeRouter {
+    /// Total cylinders being partitioned.
+    pub cylinders: u32,
+}
+
+impl Router for RangeRouter {
+    fn name(&self) -> &'static str {
+        "range"
+    }
+
+    fn route(&mut self, req: &Request, loads: &[ShardLoad]) -> usize {
+        let shards = loads.len() as u64;
+        let cylinders = u64::from(self.cylinders.max(1));
+        let band = u64::from(req.cylinder) * shards / cylinders;
+        (band as usize).min(loads.len() - 1)
+    }
+}
+
+/// Queue-depth feedback: the shard with the fewest modeled pending
+/// requests wins; ties break toward the earlier drain time, then the
+/// lower index (so the choice is deterministic).
+pub struct LeastLoadedRouter;
+
+/// The shard with the least modeled load. Shared by the least-loaded
+/// policy and by redirect-on-overload target selection.
+pub fn least_loaded(loads: &[ShardLoad]) -> usize {
+    loads
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, l)| (l.queue_depth, l.busy_until_us, *i))
+        .map(|(i, _)| i)
+        .expect("at least one shard")
+}
+
+impl Router for LeastLoadedRouter {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, _req: &Request, loads: &[ShardLoad]) -> usize {
+        least_loaded(loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::QosVector;
+
+    fn req(stream: u64, cylinder: u32) -> Request {
+        Request::read(0, 0, u64::MAX, cylinder, 65536, QosVector::none()).with_stream(stream)
+    }
+
+    fn idle(shards: usize) -> Vec<ShardLoad> {
+        vec![
+            ShardLoad {
+                queue_depth: 0,
+                busy_until_us: 0,
+                capacity: None,
+            };
+            shards
+        ]
+    }
+
+    #[test]
+    fn hash_is_sticky_per_stream_and_spreads_streams() {
+        let mut r = HashRouter;
+        let loads = idle(8);
+        let mut used = std::collections::HashSet::new();
+        for stream in 0..64u64 {
+            let first = r.route(&req(stream, 0), &loads);
+            assert!(first < 8);
+            // Sticky: the same stream always routes the same way.
+            assert_eq!(r.route(&req(stream, 999), &loads), first);
+            used.insert(first);
+        }
+        assert!(used.len() >= 6, "poor spread: {used:?}");
+    }
+
+    #[test]
+    fn range_partitions_the_cylinder_space_in_order() {
+        let mut r = RangeRouter { cylinders: 4000 };
+        let loads = idle(4);
+        assert_eq!(r.route(&req(0, 0), &loads), 0);
+        assert_eq!(r.route(&req(0, 999), &loads), 0);
+        assert_eq!(r.route(&req(0, 1000), &loads), 1);
+        assert_eq!(r.route(&req(0, 3999), &loads), 3);
+        // Monotone in the cylinder.
+        let mut last = 0;
+        for cyl in (0..4000).step_by(7) {
+            let s = r.route(&req(0, cyl), &loads);
+            assert!(s >= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn least_loaded_picks_the_shallowest_queue() {
+        let mut loads = idle(3);
+        loads[0].queue_depth = 5;
+        loads[1].queue_depth = 2;
+        loads[2].queue_depth = 2;
+        loads[2].busy_until_us = 100;
+        // Depth ties break on drain horizon: shard 1 drains sooner.
+        assert_eq!(LeastLoadedRouter.route(&req(0, 0), &loads), 1);
+        loads[1].queue_depth = 9;
+        assert_eq!(LeastLoadedRouter.route(&req(0, 0), &loads), 2);
+    }
+
+    #[test]
+    fn projected_full_requires_a_capacity() {
+        let mut l = ShardLoad {
+            queue_depth: 10,
+            busy_until_us: 0,
+            capacity: None,
+        };
+        assert!(!l.projected_full());
+        l.capacity = Some(10);
+        assert!(l.projected_full());
+        l.capacity = Some(11);
+        assert!(!l.projected_full());
+    }
+}

@@ -32,7 +32,9 @@ use std::fmt::Write as _;
 ///   [`RequestFailed`](TraceEvent::RequestFailed),
 ///   [`SectorRemap`](TraceEvent::SectorRemap),
 ///   [`DegradedRead`](TraceEvent::DegradedRead) and
-///   [`RebuildIo`](TraceEvent::RebuildIo).
+///   [`RebuildIo`](TraceEvent::RebuildIo);
+/// * the **farm router** emits [`Redirect`](TraceEvent::Redirect) and,
+///   once per shard timeline, [`ShardReport`](TraceEvent::ShardReport).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A request reached the scheduler queue.
@@ -214,6 +216,31 @@ pub enum TraceEvent {
         /// The victim's characterization value (the queue's worst).
         v: u128,
     },
+    /// The farm router steered an arrival away from its policy-chosen
+    /// shard because that shard's bounded queue was projected full.
+    Redirect {
+        /// Arrival time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// Shard the routing policy picked first.
+        from_shard: u32,
+        /// Shard the request was redirected to.
+        to_shard: u32,
+        /// Modeled queue depth of the overloaded shard at the decision.
+        queue_depth: u64,
+    },
+    /// Per-shard roll-up emitted when a farm shard finishes its timeline.
+    ShardReport {
+        /// The shard's makespan (µs).
+        now_us: u64,
+        /// Shard index within the farm.
+        shard: u32,
+        /// Requests the shard served to completion.
+        served: u64,
+        /// Requests the shard's bounded queue shed.
+        sheds: u64,
+    },
 }
 
 impl TraceEvent {
@@ -239,6 +266,8 @@ impl TraceEvent {
             TraceEvent::DegradedRead { .. } => "degraded_read",
             TraceEvent::RebuildIo { .. } => "rebuild_io",
             TraceEvent::Shed { .. } => "shed",
+            TraceEvent::Redirect { .. } => "redirect",
+            TraceEvent::ShardReport { .. } => "shard_report",
         }
     }
 
@@ -262,7 +291,9 @@ impl TraceEvent {
             | TraceEvent::SectorRemap { now_us, .. }
             | TraceEvent::DegradedRead { now_us, .. }
             | TraceEvent::RebuildIo { now_us, .. }
-            | TraceEvent::Shed { now_us, .. } => now_us,
+            | TraceEvent::Shed { now_us, .. }
+            | TraceEvent::Redirect { now_us, .. }
+            | TraceEvent::ShardReport { now_us, .. } => now_us,
         }
     }
 
@@ -279,7 +310,8 @@ impl TraceEvent {
             | TraceEvent::RequestFailed { req, .. }
             | TraceEvent::SectorRemap { req, .. }
             | TraceEvent::DegradedRead { req, .. }
-            | TraceEvent::Shed { req, .. } => Some(req),
+            | TraceEvent::Shed { req, .. }
+            | TraceEvent::Redirect { req, .. } => Some(req),
             _ => None,
         }
     }
@@ -461,6 +493,32 @@ impl TraceEvent {
                     "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\"v\":\"{v}\"}}"
                 );
             }
+            TraceEvent::Redirect {
+                now_us,
+                req,
+                from_shard,
+                to_shard,
+                queue_depth,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"from_shard\":{from_shard},\"to_shard\":{to_shard},\
+                     \"queue_depth\":{queue_depth}}}"
+                );
+            }
+            TraceEvent::ShardReport {
+                now_us,
+                shard,
+                served,
+                sheds,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"shard\":{shard},\
+                     \"served\":{served},\"sheds\":{sheds}}}"
+                );
+            }
         }
     }
 
@@ -478,8 +536,10 @@ impl TraceEvent {
     /// (er_expand/er_reset), `batch` (queue_swap), `attempt`/`transient`
     /// (media_error), `attempt`/`slack_us` (retry), `attempts`
     /// (request_failed), `penalty_us` (sector_remap), `failed_member`
-    /// (degraded_read), `stripe`/`service_us` (rebuild_io), `v` (shed).
-    /// Unused cells are empty.
+    /// (degraded_read), `stripe`/`service_us` (rebuild_io), `v` (shed),
+    /// `to_shard`/`queue_depth` (redirect, with `from_shard` in the
+    /// `cylinder` column), `served`/`sheds` (shard_report, with the shard
+    /// index in the `cylinder` column). Unused cells are empty.
     pub fn write_csv(&self, out: &mut String) {
         let name = self.name();
         let now = self.now_us();
@@ -579,6 +639,26 @@ impl TraceEvent {
             TraceEvent::Shed { req, v, .. } => {
                 let _ = write!(out, "{name},{now},{req},,{v},");
             }
+            TraceEvent::Redirect {
+                req,
+                from_shard,
+                to_shard,
+                queue_depth,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    "{name},{now},{req},{from_shard},{to_shard},{queue_depth}"
+                );
+            }
+            TraceEvent::ShardReport {
+                shard,
+                served,
+                sheds,
+                ..
+            } => {
+                let _ = write!(out, "{name},{now},,{shard},{served},{sheds}");
+            }
         }
     }
 }
@@ -649,6 +729,19 @@ mod tests {
             TraceEvent::SweepReverse {
                 now_us: 6,
                 cylinder: 30,
+            },
+            TraceEvent::Redirect {
+                now_us: 7,
+                req: 4,
+                from_shard: 0,
+                to_shard: 2,
+                queue_depth: 16,
+            },
+            TraceEvent::ShardReport {
+                now_us: 8,
+                shard: 2,
+                served: 100,
+                sheds: 3,
             },
         ];
         for e in events {

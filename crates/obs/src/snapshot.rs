@@ -49,6 +49,10 @@ pub struct Counters {
     pub rebuild_ios: u64,
     /// `Shed` events (bounded-queue overload drops).
     pub sheds: u64,
+    /// `Redirect` events (farm router overload redirections).
+    pub redirects: u64,
+    /// `ShardReport` events (one per finished farm shard timeline).
+    pub shard_reports: u64,
 }
 
 impl Counters {
@@ -73,6 +77,8 @@ impl Counters {
         self.degraded_reads += other.degraded_reads;
         self.rebuild_ios += other.rebuild_ios;
         self.sheds += other.sheds;
+        self.redirects += other.redirects;
+        self.shard_reports += other.shard_reports;
     }
 }
 
@@ -160,6 +166,13 @@ impl Snapshot {
                 c.sheds
             );
         }
+        if c.redirects + c.shard_reports > 0 {
+            let _ = writeln!(
+                out,
+                "  redirects {}  shard-reports {}",
+                c.redirects, c.shard_reports
+            );
+        }
         let hist =
             |out: &mut String, name: &str, unit: &str, h: &Histogram| match (h.min(), h.max()) {
                 (Some(min), Some(max)) => {
@@ -228,6 +241,8 @@ impl TraceSink for Snapshot {
             TraceEvent::DegradedRead { .. } => c.degraded_reads += 1,
             TraceEvent::RebuildIo { .. } => c.rebuild_ios += 1,
             TraceEvent::Shed { .. } => c.sheds += 1,
+            TraceEvent::Redirect { .. } => c.redirects += 1,
+            TraceEvent::ShardReport { .. } => c.shard_reports += 1,
         }
     }
 }
@@ -326,6 +341,19 @@ mod tests {
             req: 6,
             v: 77,
         });
+        s.emit(&TraceEvent::Redirect {
+            now_us: 85,
+            req: 7,
+            from_shard: 0,
+            to_shard: 3,
+            queue_depth: 16,
+        });
+        s.emit(&TraceEvent::ShardReport {
+            now_us: 86,
+            shard: 3,
+            served: 42,
+            sheds: 1,
+        });
     }
 
     #[test]
@@ -353,6 +381,7 @@ mod tests {
             (c.sector_remaps, c.degraded_reads, c.rebuild_ios, c.sheds),
             (1, 1, 1, 1)
         );
+        assert_eq!((c.redirects, c.shard_reports), (1, 1));
         assert_eq!(s.response_us.count(), 1);
         assert_eq!(s.seek_cylinders.max(), Some(40));
         assert_eq!(s.queue_depth.max(), Some(3));
@@ -383,6 +412,7 @@ mod tests {
         assert!(r.contains("sweep-reversals 1"));
         assert!(r.contains("degraded-reads 1"));
         assert!(r.contains("sheds 1"));
+        assert!(r.contains("redirects 1"));
         // Empty histogram branch renders too — and a fault-free snapshot
         // omits the fault-counter line entirely.
         let empty = Snapshot::new().report();

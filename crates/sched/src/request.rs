@@ -117,6 +117,11 @@ pub struct Request {
     pub qos: QosVector,
     /// Read or write.
     pub kind: OpKind,
+    /// Stream (or user/session) the request belongs to. Requests of one
+    /// stream exhibit spatial locality and should land on the same disk
+    /// under affinity routing; generators that model streams set this to
+    /// the stream index, everything else defaults it to the request id.
+    pub stream: u64,
 }
 
 impl Request {
@@ -137,7 +142,14 @@ impl Request {
             bytes,
             qos,
             kind: OpKind::Read,
+            stream: id,
         }
+    }
+
+    /// Tag the request with the stream it belongs to.
+    pub fn with_stream(mut self, stream: u64) -> Self {
+        self.stream = stream;
+        self
     }
 
     /// Remaining slack until the deadline at time `now` (0 when already

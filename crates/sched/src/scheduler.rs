@@ -75,6 +75,18 @@ pub trait DiskScheduler {
     /// Visit every pending request (order unspecified). Metric code uses
     /// this to count priority inversions against the waiting set.
     fn for_each_pending(&self, f: &mut dyn FnMut(&Request));
+
+    /// Requests dropped by bounded-queue overload shedding so far.
+    /// Policies without a bounded queue report 0.
+    fn sheds(&self) -> u64 {
+        0
+    }
+
+    /// Capacity of the bounded pending queue, if the policy has one.
+    /// Routers use this to know when a shard is about to shed.
+    fn queue_capacity(&self) -> Option<usize> {
+        None
+    }
 }
 
 #[cfg(test)]

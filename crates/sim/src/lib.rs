@@ -34,6 +34,7 @@
 pub mod admission;
 pub mod analysis;
 mod engine;
+mod exec;
 mod metrics;
 mod service;
 mod striped;
@@ -41,12 +42,14 @@ mod striped;
 pub use engine::{
     simulate, simulate_logged, simulate_traced, RequestRecord, RetryPolicy, SimOptions,
 };
+pub use exec::{run_indexed, Parallelism};
 pub use metrics::{fifo_inversion_baseline, Metrics};
 pub use service::{
     DiskService, Raid5Service, ServiceFault, ServiceOutcome, ServiceProvider, TransferDominated,
 };
 pub use striped::{
-    simulate_striped, simulate_striped_faulted, simulate_striped_observed, StripedOutcome,
+    simulate_striped, simulate_striped_faulted, simulate_striped_observed,
+    simulate_striped_observed_on, simulate_striped_on, StripedOutcome,
 };
 
 pub use sched::Micros;

@@ -219,6 +219,41 @@ impl Metrics {
         cost
     }
 
+    /// Fold a set of per-member (or per-shard) runs into one group view —
+    /// [`Metrics::merge`] applied across the whole set.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a Metrics>) -> Metrics {
+        let mut total = Metrics::default();
+        for m in parts {
+            total.merge(m);
+        }
+        total
+    }
+
+    /// Requests served across a set of per-member runs.
+    pub fn total_served<'a>(parts: impl IntoIterator<Item = &'a Metrics>) -> u64 {
+        parts.into_iter().map(|m| m.served).sum()
+    }
+
+    /// Deadline losses (dropped + late + failed) across a set of runs.
+    pub fn total_losses<'a>(parts: impl IntoIterator<Item = &'a Metrics>) -> u64 {
+        parts.into_iter().map(|m| m.losses_total()).sum()
+    }
+
+    /// Requests seen across a set of runs.
+    pub fn total_requests<'a>(parts: impl IntoIterator<Item = &'a Metrics>) -> u64 {
+        parts.into_iter().map(|m| m.requests_total()).sum()
+    }
+
+    /// Loss ratio across a set of runs (0 when the set is empty).
+    pub fn group_loss_ratio<'a>(parts: impl IntoIterator<Item = &'a Metrics> + Clone) -> f64 {
+        let n = Self::total_requests(parts.clone());
+        if n == 0 {
+            0.0
+        } else {
+            Self::total_losses(parts) as f64 / n as f64
+        }
+    }
+
     /// Total disk busy time, µs.
     pub fn busy_us(&self) -> Micros {
         self.seek_us + self.rotation_us + self.transfer_us
@@ -346,6 +381,29 @@ mod tests {
         narrow.merge(&wide);
         assert_eq!(narrow.inversions_per_dim, vec![6, 2, 3]);
         assert_eq!(narrow.requests_by_dim_level[2][3], 9);
+    }
+
+    #[test]
+    fn aggregate_helpers_match_pairwise_merge() {
+        let mut a = Metrics::new(1, 2);
+        a.served = 8;
+        a.dropped = 2;
+        a.makespan_us = 500;
+        let mut b = Metrics::new(1, 2);
+        b.served = 4;
+        b.late = 1;
+        b.failed = 1;
+        b.makespan_us = 900;
+        let parts = [a.clone(), b.clone()];
+        assert_eq!(Metrics::total_served(&parts), 12);
+        assert_eq!(Metrics::total_losses(&parts), 4);
+        // requests = served + dropped + failed (late completions are
+        // already inside served).
+        assert_eq!(Metrics::total_requests(&parts), 15);
+        assert!((Metrics::group_loss_ratio(&parts) - 4.0 / 15.0).abs() < 1e-12);
+        let mut pairwise = a;
+        pairwise.merge(&b);
+        assert_eq!(Metrics::merged(&parts), pairwise);
     }
 
     #[test]

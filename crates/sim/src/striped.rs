@@ -11,8 +11,15 @@
 //! the group behaves like `members − 1` data disks in parallel — the
 //! throughput multiplier the workload crate's NewsByte stripe accounting
 //! assumes, verified here end-to-end.
+//!
+//! Member timelines execute through [`crate::run_indexed`], the same
+//! fan-out primitive the farm layer uses: [`Parallelism::auto`] runs them
+//! on scoped threads when cores are available, and because results merge
+//! in member order the outcome (metrics *and* traced event streams) is
+//! bit-identical to the serial fallback.
 
 use crate::engine::{simulate_traced, SimOptions};
+use crate::exec::{run_indexed, Parallelism};
 use crate::metrics::Metrics;
 use crate::service::DiskService;
 use diskmodel::{Disk, FaultPlan, Raid5};
@@ -31,33 +38,24 @@ pub struct StripedOutcome {
 impl StripedOutcome {
     /// Total requests served across members.
     pub fn served(&self) -> u64 {
-        self.per_member.iter().map(|m| m.served).sum()
+        Metrics::total_served(&self.per_member)
     }
 
     /// Total deadline losses across members.
     pub fn losses(&self) -> u64 {
-        self.per_member.iter().map(|m| m.losses_total()).sum()
+        Metrics::total_losses(&self.per_member)
     }
 
     /// Aggregate loss ratio.
     pub fn loss_ratio(&self) -> f64 {
-        let total: u64 = self.per_member.iter().map(|m| m.requests_total()).sum();
-        if total == 0 {
-            0.0
-        } else {
-            self.losses() as f64 / total as f64
-        }
+        Metrics::group_loss_ratio(&self.per_member)
     }
 
     /// The members folded into one group-level [`Metrics`] via
     /// [`Metrics::merge`] (counts add, `makespan_us` is the slowest
     /// member's).
     pub fn aggregate(&self) -> Metrics {
-        let mut total = Metrics::default();
-        for m in &self.per_member {
-            total.merge(m);
-        }
-        total
+        Metrics::merged(&self.per_member)
     }
 }
 
@@ -70,8 +68,20 @@ impl StripedOutcome {
 pub fn simulate_striped(
     trace: &[Request],
     members: usize,
-    make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
+    make_scheduler: impl Fn() -> Box<dyn DiskScheduler> + Sync,
     options: SimOptions,
+) -> StripedOutcome {
+    simulate_striped_on(trace, members, make_scheduler, options, Parallelism::auto())
+}
+
+/// [`simulate_striped`] with an explicit executor choice. The outcome is
+/// identical for every [`Parallelism`] value; only wall-clock differs.
+pub fn simulate_striped_on(
+    trace: &[Request],
+    members: usize,
+    make_scheduler: impl Fn() -> Box<dyn DiskScheduler> + Sync,
+    options: SimOptions,
+    parallelism: Parallelism,
 ) -> StripedOutcome {
     run_striped(
         trace,
@@ -80,6 +90,7 @@ pub fn simulate_striped(
         options,
         |_| DiskService::table1(),
         || NullSink,
+        parallelism,
     )
     .0
 }
@@ -102,7 +113,7 @@ pub fn simulate_striped(
 pub fn simulate_striped_faulted(
     trace: &[Request],
     members: usize,
-    make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
+    make_scheduler: impl Fn() -> Box<dyn DiskScheduler> + Sync,
     options: SimOptions,
     plan: &FaultPlan,
 ) -> (StripedOutcome, Snapshot) {
@@ -117,6 +128,7 @@ pub fn simulate_striped_faulted(
         options,
         |m| DiskService::with_faults_as_member(Disk::table1(), plan.clone(), m),
         Snapshot::new,
+        Parallelism::auto(),
     );
     let mut group = Snapshot::new();
     for member in &sinks {
@@ -132,8 +144,21 @@ pub fn simulate_striped_faulted(
 pub fn simulate_striped_observed(
     trace: &[Request],
     members: usize,
-    make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
+    make_scheduler: impl Fn() -> Box<dyn DiskScheduler> + Sync,
     options: SimOptions,
+) -> (StripedOutcome, Snapshot) {
+    simulate_striped_observed_on(trace, members, make_scheduler, options, Parallelism::auto())
+}
+
+/// [`simulate_striped_observed`] with an explicit executor choice. Member
+/// sinks merge in member order, so the group snapshot is bit-identical
+/// between [`Parallelism::Serial`] and any thread count.
+pub fn simulate_striped_observed_on(
+    trace: &[Request],
+    members: usize,
+    make_scheduler: impl Fn() -> Box<dyn DiskScheduler> + Sync,
+    options: SimOptions,
+    parallelism: Parallelism,
 ) -> (StripedOutcome, Snapshot) {
     let (outcome, sinks) = run_striped(
         trace,
@@ -142,6 +167,7 @@ pub fn simulate_striped_observed(
         options,
         |_| DiskService::table1(),
         Snapshot::new,
+        parallelism,
     );
     let mut group = Snapshot::new();
     for member in &sinks {
@@ -150,15 +176,16 @@ pub fn simulate_striped_observed(
     (outcome, group)
 }
 
-/// Shared member loop: route, sort, and simulate each member with its
-/// own scheduler, service model, and sink.
-fn run_striped<S: TraceSink>(
+/// Shared member fan-out: route, sort, and simulate each member with its
+/// own scheduler, service model, and sink, under the chosen executor.
+fn run_striped<S: TraceSink + Send>(
     trace: &[Request],
     members: usize,
-    make_scheduler: impl Fn() -> Box<dyn DiskScheduler>,
+    make_scheduler: impl Fn() -> Box<dyn DiskScheduler> + Sync,
     options: SimOptions,
-    make_service: impl Fn(usize) -> DiskService,
-    make_sink: impl Fn() -> S,
+    make_service: impl Fn(usize) -> DiskService + Sync,
+    make_sink: impl Fn() -> S + Sync,
+    parallelism: Parallelism,
 ) -> (StripedOutcome, Vec<S>) {
     assert!(members >= 3, "RAID-5 needs at least 3 members");
     let layout = Raid5::new(Disk::table1(), members);
@@ -173,24 +200,30 @@ fn run_striped<S: TraceSink>(
         routed.cylinder = ((loc.stripe * 37) % cylinders as u64) as u32;
         member_traces[loc.data_disk].push(routed);
     }
-
-    let mut per_member = Vec::with_capacity(members);
-    let mut sinks = Vec::with_capacity(members);
-    let mut makespan = 0u64;
-    for (member, member_trace) in member_traces.iter_mut().enumerate() {
-        // Re-assign dense ids per member (engine requirement is sorted
-        // arrivals; ids may be sparse, but dense keeps logs tidy).
+    for member_trace in member_traces.iter_mut() {
         member_trace.sort_by_key(|r| (r.arrival_us, r.id));
+    }
+
+    // Member timelines share nothing, so the fan-out result — metrics and
+    // traced events alike — does not depend on the executor.
+    let results = run_indexed(members, parallelism, |member| {
         let mut scheduler = make_scheduler();
         let mut service = make_service(member);
         let mut sink = make_sink();
         let m = simulate_traced(
             scheduler.as_mut(),
-            member_trace,
+            &member_traces[member],
             &mut service,
             options,
             &mut sink,
         );
+        (m, sink)
+    });
+
+    let mut per_member = Vec::with_capacity(members);
+    let mut sinks = Vec::with_capacity(members);
+    let mut makespan = 0u64;
+    for (m, sink) in results {
         makespan = makespan.max(m.makespan_us);
         per_member.push(m);
         sinks.push(sink);
@@ -330,6 +363,29 @@ mod tests {
         assert_eq!(c.late_completions, total.late);
         assert_eq!(snap.response_us.count(), total.served);
         assert_eq!(snap.response_us.max(), Some(total.max_response_us));
+    }
+
+    #[test]
+    fn parallel_executor_is_bit_identical_to_serial() {
+        let trace = batch(400);
+        let options = SimOptions::with_shape(1, 2);
+        let (serial, serial_snap) = simulate_striped_observed_on(
+            &trace,
+            5,
+            || Box::new(Fcfs::new()),
+            options,
+            Parallelism::Serial,
+        );
+        let (parallel, parallel_snap) = simulate_striped_observed_on(
+            &trace,
+            5,
+            || Box::new(Fcfs::new()),
+            options,
+            Parallelism::threads(4),
+        );
+        assert_eq!(serial.per_member, parallel.per_member);
+        assert_eq!(serial.makespan_us, parallel.makespan_us);
+        assert_eq!(serial_snap, parallel_snap);
     }
 
     #[test]

@@ -104,7 +104,7 @@ impl NewsByteConfig {
             if burst_base >= self.duration_us {
                 break;
             }
-            for user in &users {
+            for (uid, user) in users.iter().enumerate() {
                 let arrival = burst_base + user.offset;
                 if arrival >= self.duration_us {
                     continue;
@@ -126,6 +126,7 @@ impl NewsByteConfig {
                     bytes: self.block_bytes,
                     qos: QosVector::single(user.level),
                     kind,
+                    stream: uid as u64,
                 });
                 id += 1;
             }

@@ -86,19 +86,22 @@ impl VodConfig {
             if base >= self.duration_us {
                 break;
             }
-            for s in streams.iter_mut() {
+            for (sid, s) in streams.iter_mut().enumerate() {
                 let arrival = base + s.phase;
                 if arrival >= self.duration_us {
                     continue;
                 }
-                trace.push(Request::read(
-                    id,
-                    arrival,
-                    arrival + deadline_off,
-                    s.cylinder,
-                    self.block_bytes,
-                    QosVector::single(s.level),
-                ));
+                trace.push(
+                    Request::read(
+                        id,
+                        arrival,
+                        arrival + deadline_off,
+                        s.cylinder,
+                        self.block_bytes,
+                        QosVector::single(s.level),
+                    )
+                    .with_stream(sid as u64),
+                );
                 id += 1;
                 // Sequential layout: the next block sits a little inward.
                 s.cylinder = (s.cylinder + self.cylinders_per_block) % self.cylinders;

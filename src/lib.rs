@@ -11,7 +11,9 @@
 //! * [`workload`] — multimedia workload generators,
 //! * [`sim`] — the discrete-event simulator and QoS metrics,
 //! * [`obs`] — the zero-dependency event-trace and histogram
-//!   observability layer (sinks, log2 histograms, snapshots).
+//!   observability layer (sinks, log2 histograms, snapshots),
+//! * [`farm`] — the sharded multi-disk scheduling farm (routing
+//!   policies, parallel shard execution, redirect-on-overload).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -19,6 +21,7 @@
 
 pub use cascade;
 pub use diskmodel;
+pub use farm;
 pub use obs;
 pub use sched;
 pub use sfc;
