@@ -33,4 +33,17 @@ echo "==> farm smoke run"
 # violation).
 cargo run -q -p bench --release --bin farm -- --mode smoke --duration-ms 10000
 
+echo "==> oracle smoke gate"
+# Differential + metamorphic battery: optimized cascade, baselines and
+# farm routing vs naive references on seeded workloads, one fuzz case
+# per archetype, and the metamorphic quick pass (exits 1 on any
+# divergence).
+cargo run -q -p oracle --release --bin oracle -- --mode smoke
+
+echo "==> perf regression gate"
+# Fresh measurement against the committed BENCH_sched.json; exits 1
+# when dispatch throughput, routing rate or SFC mapping latency
+# regresses past 20%.
+cargo run -q -p bench --release --bin perf -- --mode check --baseline BENCH_sched.json --tolerance 0.2
+
 echo "ci.sh: all green"

@@ -1,0 +1,76 @@
+//! Perf-regression gate runner.
+//!
+//! ```text
+//! cargo run -p bench --release --bin perf -- --mode measure|baseline|check
+//!     [--seed N] [--samples N] [--baseline PATH] [--tolerance F]
+//! ```
+//!
+//! * `measure` (default) prints a fresh `BENCH_sched.json` to stdout.
+//! * `baseline` measures and writes it to `--baseline` (the file CI
+//!   compares against — commit it after deliberate perf changes).
+//! * `check` measures, loads `--baseline`, and exits 1 when any metric
+//!   regresses past `--tolerance` (default 0.2 = 20%). Run in release;
+//!   a debug build will always look like a regression.
+
+use bench::args::Args;
+use bench::perf::{check, measure, PerfReport};
+
+fn main() {
+    let args = Args::parse(&["mode", "seed", "samples", "baseline", "tolerance"]);
+    let seed = args.get("seed", bench::DEFAULT_SEED);
+    let samples: u32 = args.get("samples", 3u32);
+    let baseline_path: String = args.get("baseline", "BENCH_sched.json".to_string());
+    let tolerance: f64 = args.get("tolerance", 0.2f64);
+
+    match args.one_of("mode", &["measure", "baseline", "check"]) {
+        "measure" => print!("{}", measure(seed, samples).to_json()),
+        "baseline" => {
+            let report = measure(seed, samples);
+            if let Err(e) = std::fs::write(&baseline_path, report.to_json()) {
+                eprintln!("# cannot write {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("# wrote baseline {baseline_path}");
+            print!("{}", report.to_json());
+        }
+        "check" => {
+            let text = match std::fs::read_to_string(&baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("# perf check FAILED: cannot read {baseline_path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let baseline = match PerfReport::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("# perf check FAILED: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let current = measure(seed, samples);
+            match check(&current, &baseline, tolerance) {
+                Ok(lines) => {
+                    for line in lines {
+                        eprintln!("# {line}");
+                    }
+                    eprintln!(
+                        "# perf check OK: within {:.0}% of baseline",
+                        tolerance * 100.0
+                    );
+                }
+                Err(failures) => {
+                    for line in failures {
+                        eprintln!("# {line}");
+                    }
+                    eprintln!(
+                        "# perf check FAILED: regression past {:.0}% tolerance",
+                        tolerance * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => unreachable!("one_of limits the choices"),
+    }
+}

@@ -24,7 +24,8 @@
 //! errors, a degraded-RAID scenario, and the CI smoke gate — see
 //! [`fault`]), and `farm` (shard-count scaling under the three routing
 //! policies, executor bit-identity, and the farm smoke gate — see
-//! [`farm`]).
+//! [`farm`]), and `perf` (the CI perf-regression gate against the
+//! committed `BENCH_sched.json` — see [`perf`]).
 //!
 //! All experiments are deterministic given a seed; run any binary with
 //! `--seed N` to change it.
@@ -43,6 +44,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod perf;
 pub mod table1;
 pub mod trace;
 

@@ -1,0 +1,295 @@
+//! Perf-regression gate: three microbenchmark workloads measured
+//! best-of-N, reported as `BENCH_sched.json`, and checked against the
+//! committed baseline in CI.
+//!
+//! The three numbers cover the stack's hot paths:
+//!
+//! * **dispatch throughput** — enqueue/dequeue interleave through the
+//!   optimized [`CascadedSfc`] on the Figure-8 Poisson workload
+//!   (ops/s; higher is better),
+//! * **farm routing rate** — [`farm::route_trace`] with redirects over a
+//!   VoD trace on 8 shards (requests/s; higher is better),
+//! * **SFC mapping latency** — `Hilbert(3 dims, 2^7 side)` index
+//!   mapping (ns/op; lower is better).
+//!
+//! The JSON is hand-rolled (no serde in the tree): a flat object of
+//! `f64` fields plus a schema tag. [`check`] fails when any metric
+//! regresses past the tolerance (default 20%); improvements never fail,
+//! so the committed baseline only needs refreshing when the code gets
+//! deliberately faster.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cascade::{CascadeConfig, CascadedSfc};
+use farm::{route_trace, FarmConfig, RoutePolicy};
+use obs::NullSink;
+use sched::{DiskScheduler, HeadState};
+use sfc::{Hilbert, SpaceFillingCurve};
+use workload::{PoissonConfig, VodConfig};
+
+/// The measured (or baseline) perf numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfReport {
+    /// Cascaded-SFC enqueue+dequeue operations per second.
+    pub dispatch_ops_per_s: f64,
+    /// Farm routing pass throughput in requests per second.
+    pub routing_reqs_per_s: f64,
+    /// Hilbert index mapping latency in nanoseconds per op.
+    pub sfc_ns_per_op: f64,
+}
+
+/// Schema tag embedded in the JSON so a stale baseline file is rejected
+/// rather than silently mis-read.
+pub const SCHEMA: &str = "bench-sched-v1";
+
+impl PerfReport {
+    /// Serialize as the committed `BENCH_sched.json` format.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \
+             \"dispatch_ops_per_s\": {:.1},\n  \
+             \"routing_reqs_per_s\": {:.1},\n  \
+             \"sfc_ns_per_op\": {:.3}\n}}\n",
+            self.dispatch_ops_per_s, self.routing_reqs_per_s, self.sfc_ns_per_op
+        )
+    }
+
+    /// Parse the `BENCH_sched.json` format written by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<PerfReport, String> {
+        if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+            return Err(format!("baseline is not a {SCHEMA} file"));
+        }
+        Ok(PerfReport {
+            dispatch_ops_per_s: json_f64(text, "dispatch_ops_per_s")?,
+            routing_reqs_per_s: json_f64(text, "routing_reqs_per_s")?,
+            sfc_ns_per_op: json_f64(text, "sfc_ns_per_op")?,
+        })
+    }
+}
+
+/// Extract a numeric field from a flat hand-rolled JSON object.
+fn json_f64(text: &str, key: &str) -> Result<f64, String> {
+    let needle = format!("\"{key}\"");
+    let at = text
+        .find(&needle)
+        .ok_or_else(|| format!("baseline is missing {key}"))?;
+    let rest = &text[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("malformed baseline near {key}"))?;
+    let value: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    value
+        .parse()
+        .map_err(|_| format!("cannot parse {key} value {value:?}"))
+}
+
+/// Dispatch throughput: interleaved enqueue/dequeue bursts through the
+/// optimized cascade on the Figure-8 workload. Returns ops/s.
+fn bench_dispatch(seed: u64) -> f64 {
+    let trace = PoissonConfig::figure8(4_000).generate(seed);
+    let cfg = CascadeConfig::paper_default(3, 3832);
+    let mut s = CascadedSfc::new(cfg).expect("valid cascade config");
+    let head = HeadState::new(0, 0, 3832);
+    let pending = trace.clone();
+
+    let mut ops = 0u64;
+    let start = Instant::now();
+    for chunk in pending.chunks(8) {
+        for r in chunk {
+            s.enqueue(r.clone(), &head);
+            ops += 1;
+        }
+        for _ in 0..4 {
+            if let Some(r) = s.dequeue(&head) {
+                black_box(r.id);
+                ops += 1;
+            }
+        }
+    }
+    while let Some(r) = s.dequeue(&head) {
+        black_box(r.id);
+        ops += 1;
+    }
+    ops as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Farm routing rate: the serial model-driven placement pass with
+/// redirects over a VoD trace on 8 shards. Returns requests/s.
+fn bench_routing(seed: u64) -> f64 {
+    let mut wl = VodConfig::mpeg1(48);
+    wl.duration_us = 4_000_000;
+    let trace = wl.generate(seed);
+    let cfg = FarmConfig::new(8)
+        .with_policy(RoutePolicy::LeastLoaded)
+        .with_redirects();
+    let caps = vec![Some(64); 8];
+
+    let start = Instant::now();
+    let placement = route_trace(&trace, &cfg, &caps, &mut NullSink);
+    black_box(placement.redirects);
+    trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// SFC mapping latency: Hilbert index over 3 dims with side 128, on
+/// pseudo-random pre-generated points. Returns ns/op.
+fn bench_sfc(seed: u64) -> f64 {
+    let curve = Hilbert::new(3, 7).expect("valid hilbert shape");
+    let side = curve.side();
+    // splitmix64 point stream, generated outside the timed region.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let points: Vec<[u64; 3]> = (0..1 << 16)
+        .map(|_| [next() % side, next() % side, next() % side])
+        .collect();
+
+    let start = Instant::now();
+    for p in &points {
+        black_box(curve.index(p));
+    }
+    start.elapsed().as_nanos() as f64 / points.len() as f64
+}
+
+/// Measure all three workloads, best of `samples` runs each (best-of-N
+/// filters scheduler noise: the fastest run is the least perturbed).
+pub fn measure(seed: u64, samples: u32) -> PerfReport {
+    let samples = samples.max(1);
+    let best = |f: &dyn Fn() -> f64, higher_is_better: bool| {
+        (0..samples)
+            .map(|_| f())
+            .fold(None::<f64>, |acc, x| match acc {
+                None => Some(x),
+                Some(a) if higher_is_better => Some(a.max(x)),
+                Some(a) => Some(a.min(x)),
+            })
+            .unwrap_or(0.0)
+    };
+    PerfReport {
+        dispatch_ops_per_s: best(&|| bench_dispatch(seed), true),
+        routing_reqs_per_s: best(&|| bench_routing(seed), true),
+        sfc_ns_per_op: best(&|| bench_sfc(seed), false),
+    }
+}
+
+/// Compare a fresh measurement against the committed baseline. A
+/// throughput metric regresses when it falls below `(1 - tolerance)` of
+/// the baseline; a latency metric when it rises above `(1 + tolerance)`.
+/// Returns the per-metric report lines, or the list of regressions.
+pub fn check(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    let mut gauge = |name: &str, cur: f64, base: f64, higher_is_better: bool| {
+        let ratio = if base > 0.0 { cur / base } else { f64::NAN };
+        let ok = if higher_is_better {
+            cur >= base * (1.0 - tolerance)
+        } else {
+            cur <= base * (1.0 + tolerance)
+        };
+        let verdict = if ok { "ok" } else { "REGRESSED" };
+        let line = format!("{name}: {cur:.1} vs baseline {base:.1} (x{ratio:.2}) {verdict}");
+        if !ok {
+            failures.push(line.clone());
+        }
+        lines.push(line);
+    };
+    gauge(
+        "dispatch_ops_per_s",
+        current.dispatch_ops_per_s,
+        baseline.dispatch_ops_per_s,
+        true,
+    );
+    gauge(
+        "routing_reqs_per_s",
+        current.routing_reqs_per_s,
+        baseline.routing_reqs_per_s,
+        true,
+    );
+    gauge(
+        "sfc_ns_per_op",
+        current.sfc_ns_per_op,
+        baseline.sfc_ns_per_op,
+        false,
+    );
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips() {
+        let report = PerfReport {
+            dispatch_ops_per_s: 1_234_567.8,
+            routing_reqs_per_s: 98_765.4,
+            sfc_ns_per_op: 41.125,
+        };
+        let back = PerfReport::from_json(&report.to_json()).expect("roundtrip");
+        assert!((back.dispatch_ops_per_s - report.dispatch_ops_per_s).abs() < 0.1);
+        assert!((back.routing_reqs_per_s - report.routing_reqs_per_s).abs() < 0.1);
+        assert!((back.sfc_ns_per_op - report.sfc_ns_per_op).abs() < 0.001);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        assert!(PerfReport::from_json("{\"schema\": \"other\"}").is_err());
+        assert!(PerfReport::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn check_flags_only_true_regressions() {
+        let base = PerfReport {
+            dispatch_ops_per_s: 1000.0,
+            routing_reqs_per_s: 1000.0,
+            sfc_ns_per_op: 100.0,
+        };
+        // Improvements and in-tolerance dips pass.
+        let fine = PerfReport {
+            dispatch_ops_per_s: 850.0,
+            routing_reqs_per_s: 2000.0,
+            sfc_ns_per_op: 115.0,
+        };
+        assert!(check(&fine, &base, 0.2).is_ok());
+        // A past-tolerance throughput drop fails…
+        let slow = PerfReport {
+            dispatch_ops_per_s: 700.0,
+            ..fine
+        };
+        let failures = check(&slow, &base, 0.2).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("dispatch_ops_per_s"));
+        // …and so does a past-tolerance latency rise.
+        let laggy = PerfReport {
+            sfc_ns_per_op: 130.0,
+            ..fine
+        };
+        assert!(check(&laggy, &base, 0.2).is_err());
+    }
+
+    #[test]
+    fn measure_produces_positive_numbers() {
+        let report = measure(crate::DEFAULT_SEED, 1);
+        assert!(report.dispatch_ops_per_s > 0.0);
+        assert!(report.routing_reqs_per_s > 0.0);
+        assert!(report.sfc_ns_per_op > 0.0);
+    }
+}

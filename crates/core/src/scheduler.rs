@@ -119,7 +119,7 @@ impl<S: TraceSink> DiskScheduler for CascadedSfc<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{DispatchConfig, Stage2Combiner};
+    use crate::config::{DispatchConfig, PreemptionMode, Stage2Combiner};
     use sched::{Edf, Micros, MultiQueue, QosVector};
     use sfc::CurveKind;
 
@@ -188,6 +188,41 @@ mod tests {
                 mq.dequeue(&head()).unwrap().id
             );
         }
+    }
+
+    /// `queue_depths` exposes the `(q, q')` split of §3: arrivals that
+    /// beat the in-service value land in the active queue, the rest wait.
+    #[test]
+    fn queue_depths_track_active_and_waiting() {
+        let cfg =
+            CascadeConfig::priority_only(CurveKind::Diagonal, 1, 4).with_dispatch(DispatchConfig {
+                mode: PreemptionMode::Conditional { window: 0.0 },
+                serve_promote: false,
+                expand_factor: None,
+                refresh_on_swap: false,
+                max_queue: None,
+            });
+        let mut s = CascadedSfc::new(cfg).unwrap();
+        assert_eq!(s.queue_depths(), (0, 0));
+
+        // Idle: the arrival goes straight into the active queue.
+        s.enqueue(req(1, &[5], u64::MAX, 100), &head());
+        assert_eq!(s.queue_depths(), (1, 0));
+        assert_eq!(s.dequeue(&head()).unwrap().id, 1);
+        assert_eq!(s.queue_depths(), (0, 0));
+
+        // Worse than the in-service level 5: waits in q'.
+        s.enqueue(req(2, &[9], u64::MAX, 100), &head());
+        assert_eq!(s.queue_depths(), (0, 1));
+        // Better: preempts into the active queue.
+        s.enqueue(req(3, &[2], u64::MAX, 100), &head());
+        assert_eq!(s.queue_depths(), (1, 1));
+        assert_eq!(s.len(), 2);
+
+        // Draining serves the active queue first, then swaps q' in.
+        assert_eq!(s.dequeue(&head()).unwrap().id, 3);
+        assert_eq!(s.dequeue(&head()).unwrap().id, 2);
+        assert_eq!(s.queue_depths(), (0, 0));
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Seeded fuzz driver: adversarial workload generation, greedy failure
+//! minimization, and a replayable corpus file format.
+//!
+//! The vendored proptest shim has no shrinking, so the driver owns both
+//! halves itself: a [`Scenario`] (archetype + seed) deterministically
+//! generates an adversarial trace and knows how to check it against the
+//! differential oracles; when a check fails, [`minimize`] greedily
+//! removes chunks of the trace while the failure persists and the result
+//! is written as a `.case` file under `tests/corpus/` that
+//! [`replay_file`] re-runs byte-for-byte.
+
+use diskmodel::{Disk, FaultPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sched::{QosVector, Request};
+use sim::{DiskService, SimOptions};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::reference::{diff_baselines, diff_cascade};
+use cascade::{CascadeConfig, DispatchConfig};
+
+/// Families of adversarial workloads, each stressing a different part of
+/// the scheduler stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archetype {
+    /// Many requests whose deadlines collide in narrow bands — stresses
+    /// the (value, id) tie-breaks and SP promotion order.
+    DeadlineClusters,
+    /// Monotone cylinder ramps that flip direction — stresses SFC3's
+    /// scan partitions and the SCAN/SSTF references.
+    CylinderSweeps,
+    /// Same-instant arrival bursts against a bounded queue — stresses
+    /// shed victim selection under ties.
+    ShedBursts,
+    /// Poisson arrivals over a fault-injected disk with retries —
+    /// stresses the engine's retry/failure paths on both sides.
+    FaultPlans,
+}
+
+/// Every archetype, in the order the fuzz loop cycles through them.
+pub const ARCHETYPES: [Archetype; 4] = [
+    Archetype::DeadlineClusters,
+    Archetype::CylinderSweeps,
+    Archetype::ShedBursts,
+    Archetype::FaultPlans,
+];
+
+impl Archetype {
+    /// Stable name used in corpus files and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::DeadlineClusters => "deadline-clusters",
+            Archetype::CylinderSweeps => "cylinder-sweeps",
+            Archetype::ShedBursts => "shed-bursts",
+            Archetype::FaultPlans => "fault-plans",
+        }
+    }
+
+    /// Inverse of [`Archetype::name`].
+    pub fn parse(name: &str) -> Option<Self> {
+        ARCHETYPES.iter().copied().find(|a| a.name() == name)
+    }
+}
+
+impl fmt::Display for Archetype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fuzz case: an archetype plus the seed that deterministically
+/// expands into its trace, scheduler configuration and fault plan.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Workload family.
+    pub archetype: Archetype,
+    /// Seed for the trace (and, for [`Archetype::FaultPlans`], the fault
+    /// plan).
+    pub seed: u64,
+}
+
+fn finish(mut requests: Vec<Request>) -> Vec<Request> {
+    requests.sort_by_key(|r| r.arrival_us);
+    for (i, r) in requests.iter_mut().enumerate() {
+        r.id = i as u64;
+        r.stream = (i % 8) as u64;
+    }
+    requests
+}
+
+impl Scenario {
+    /// Deterministically generate this scenario's adversarial trace.
+    pub fn trace(&self) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut requests = Vec::new();
+        match self.archetype {
+            Archetype::DeadlineClusters => {
+                // 8 clusters; inside a cluster the deadlines collide in a
+                // band narrower than one slack-quantization cell.
+                for c in 0..8u64 {
+                    let base = c * 120_000;
+                    let cluster_deadline = base + rng.gen_range(150_000..400_000u64);
+                    for _ in 0..rng.gen_range(15..30usize) {
+                        let arrival = base + rng.gen_range(0..40_000u64);
+                        let qos = [rng.gen_range(0..16u8), rng.gen_range(0..16u8)];
+                        requests.push(Request::read(
+                            0,
+                            arrival,
+                            cluster_deadline + rng.gen_range(0..500u64),
+                            rng.gen_range(0..3832u32),
+                            65_536,
+                            QosVector::new(&qos),
+                        ));
+                    }
+                }
+            }
+            Archetype::CylinderSweeps => {
+                // Tight ramps up then down across the platter, with a few
+                // repeated cylinders to force distance ties.
+                let mut cyl: i64 = rng.gen_range(0..3832i64);
+                let mut step: i64 = rng.gen_range(20..90i64);
+                for i in 0..250u64 {
+                    if rng.gen_bool(0.06) {
+                        step = -step;
+                    }
+                    // Hold the cylinder still sometimes to force distance
+                    // ties between requests.
+                    if !rng.gen_bool(0.2) {
+                        cyl = (cyl + step).rem_euclid(3832);
+                    }
+                    let arrival = i * rng.gen_range(800..2_500u64);
+                    requests.push(Request::read(
+                        0,
+                        arrival,
+                        arrival + rng.gen_range(80_000..600_000u64),
+                        cyl as u32,
+                        65_536,
+                        QosVector::single(rng.gen_range(0..16u8)),
+                    ));
+                }
+            }
+            Archetype::ShedBursts => {
+                // Same-instant bursts well past the bounded queue, with
+                // duplicated QoS/deadline pairs so shed victims tie.
+                let mut now = 0u64;
+                for _ in 0..10 {
+                    now += rng.gen_range(5_000..60_000u64);
+                    let level = rng.gen_range(0..16u8);
+                    let deadline = now + rng.gen_range(100_000..300_000u64);
+                    for _ in 0..rng.gen_range(18..36usize) {
+                        let tie = rng.gen_bool(0.5);
+                        requests.push(Request::read(
+                            0,
+                            now,
+                            if tie {
+                                deadline
+                            } else {
+                                now + rng.gen_range(50_000..400_000u64)
+                            },
+                            rng.gen_range(0..3832u32),
+                            65_536,
+                            QosVector::new(&[
+                                if tie { level } else { rng.gen_range(0..16u8) },
+                                rng.gen_range(0..16u8),
+                            ]),
+                        ));
+                    }
+                }
+            }
+            Archetype::FaultPlans => {
+                let mut now = 0u64;
+                for _ in 0..220 {
+                    now += rng.gen_range(1_000..18_000u64);
+                    let relaxed = rng.gen_bool(0.15);
+                    requests.push(Request::read(
+                        0,
+                        now,
+                        if relaxed {
+                            u64::MAX
+                        } else {
+                            now + rng.gen_range(60_000..500_000u64)
+                        },
+                        rng.gen_range(0..3832u32),
+                        65_536,
+                        QosVector::single(rng.gen_range(0..16u8)),
+                    ));
+                }
+            }
+        }
+        finish(requests)
+    }
+
+    /// Check an explicit trace against this scenario's oracles. The
+    /// scenario fixes everything except the trace, so [`minimize`] can
+    /// shrink the trace while replaying the identical configuration.
+    pub fn check(&self, trace: &[Request]) -> Result<(), String> {
+        match self.archetype {
+            Archetype::DeadlineClusters => {
+                let options = SimOptions::with_shape(2, 16).dropping();
+                diff_cascade(
+                    &CascadeConfig::paper_default(2, 3832),
+                    trace,
+                    options,
+                    DiskService::table1,
+                )?;
+                diff_baselines(trace, options)
+            }
+            Archetype::CylinderSweeps => {
+                let options = SimOptions::with_shape(1, 16).dropping();
+                diff_cascade(
+                    &CascadeConfig::paper_default(1, 3832),
+                    trace,
+                    options,
+                    DiskService::table1,
+                )?;
+                diff_baselines(trace, options)
+            }
+            Archetype::ShedBursts => {
+                let config = CascadeConfig::paper_default(2, 3832)
+                    .with_dispatch(DispatchConfig::paper_default().with_max_queue(12));
+                diff_cascade(
+                    &config,
+                    trace,
+                    SimOptions::with_shape(2, 16).dropping(),
+                    DiskService::table1,
+                )
+                .map(|_| ())
+            }
+            Archetype::FaultPlans => {
+                let plan = FaultPlan::media(self.seed, 40_000, 8_000);
+                diff_cascade(
+                    &CascadeConfig::paper_default(1, 3832),
+                    trace,
+                    SimOptions::with_shape(1, 16).dropping().with_retries(3),
+                    move || DiskService::with_faults(Disk::table1(), plan.clone()),
+                )
+                .map(|_| ())
+            }
+        }
+    }
+
+    /// Generate the trace and check it.
+    pub fn run(&self) -> Result<(), String> {
+        self.check(&self.trace())
+    }
+}
+
+/// Greedily shrink `trace` while `is_failing` stays true: try dropping
+/// chunks of halving size, then single requests, keeping every removal
+/// that preserves the failure. Returns the 1-minimal trace (no single
+/// further removal keeps it failing).
+pub fn minimize_with(
+    mut trace: Vec<Request>,
+    is_failing: impl Fn(&[Request]) -> bool,
+) -> Vec<Request> {
+    let mut chunk = (trace.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < trace.len() {
+            let end = (i + chunk).min(trace.len());
+            let mut candidate = trace.clone();
+            candidate.drain(i..end);
+            if is_failing(&candidate) {
+                trace = candidate;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            return trace;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+/// Shrink a failing trace for `scenario` ([`minimize_with`] against the
+/// scenario's own oracle check).
+pub fn minimize(scenario: &Scenario, trace: Vec<Request>) -> Vec<Request> {
+    minimize_with(trace, |candidate| scenario.check(candidate).is_err())
+}
+
+/// Serialize a scenario + trace as a corpus `.case` file: a comment
+/// header naming the archetype and seed, then the 8-column CSV trace.
+pub fn case_text(scenario: &Scenario, trace: &[Request]) -> String {
+    format!(
+        "# cascaded-sfc oracle fuzz case\n# archetype = {}\n# seed = {}\n{}",
+        scenario.archetype,
+        scenario.seed,
+        workload::io::to_csv(&trace.to_vec())
+    )
+}
+
+/// Parse a corpus `.case` file back into its scenario and trace.
+pub fn parse_case(text: &str) -> Result<(Scenario, Vec<Request>), String> {
+    let mut archetype = None;
+    let mut seed = None;
+    let mut csv = String::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some((key, value)) = rest.split_once('=') {
+                match key.trim() {
+                    "archetype" => {
+                        archetype = Some(
+                            Archetype::parse(value.trim())
+                                .ok_or_else(|| format!("unknown archetype {:?}", value.trim()))?,
+                        );
+                    }
+                    "seed" => {
+                        seed = Some(
+                            value
+                                .trim()
+                                .parse::<u64>()
+                                .map_err(|_| format!("bad seed {:?}", value.trim()))?,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        } else {
+            csv.push_str(line);
+            csv.push('\n');
+        }
+    }
+    let scenario = Scenario {
+        archetype: archetype.ok_or("case file is missing '# archetype = ...'")?,
+        seed: seed.ok_or("case file is missing '# seed = ...'")?,
+    };
+    let trace = workload::io::from_csv(&csv).map_err(|e| format!("case trace: {e}"))?;
+    Ok((scenario, trace))
+}
+
+/// Replay one corpus file: parse it and re-run its scenario's oracle
+/// check on the stored trace.
+pub fn replay_file(path: &Path) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let (scenario, trace) = parse_case(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    scenario.check(&trace).map_err(|e| {
+        format!(
+            "{} ({} seed {}): {e}",
+            path.display(),
+            scenario.archetype,
+            scenario.seed
+        )
+    })
+}
+
+/// Replay every `.case` file in `dir` (sorted by name); returns how many
+/// were replayed.
+pub fn replay_dir(dir: &Path) -> Result<usize, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    for path in &paths {
+        replay_file(path)?;
+    }
+    Ok(paths.len())
+}
+
+/// Derive the case seed for fuzz iteration `i` from the base seed
+/// (SplitMix64 so nearby iterations get unrelated workloads).
+pub fn case_seed(base: u64, i: u64) -> u64 {
+    let mut x = base.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15));
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Run `cases` fuzz iterations from `base_seed`, cycling the archetypes.
+/// On the first failure, minimize it, write a replayable `.case` file
+/// into `corpus_dir` (when given), and return the failure. On success
+/// returns the number of cases run.
+pub fn fuzz(base_seed: u64, cases: u64, corpus_dir: Option<&Path>) -> Result<u64, String> {
+    for i in 0..cases {
+        let scenario = Scenario {
+            archetype: ARCHETYPES[(i % ARCHETYPES.len() as u64) as usize],
+            seed: case_seed(base_seed, i),
+        };
+        let trace = scenario.trace();
+        if let Err(e) = scenario.check(&trace) {
+            let minimized = minimize(&scenario, trace);
+            let mut saved = String::new();
+            if let Some(dir) = corpus_dir {
+                let path = dir.join(format!(
+                    "fail-{}-{}.case",
+                    scenario.archetype, scenario.seed
+                ));
+                std::fs::create_dir_all(dir)
+                    .and_then(|_| std::fs::write(&path, case_text(&scenario, &minimized)))
+                    .map_err(|io| format!("writing corpus file: {io}"))?;
+                saved = format!(", saved to {}", path.display());
+            }
+            return Err(format!(
+                "fuzz case {i} ({} seed {}): {e} — minimized to {} requests{saved}",
+                scenario.archetype,
+                scenario.seed,
+                minimized.len()
+            ));
+        }
+    }
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_archetype_generates_sorted_nonempty_traces() {
+        for archetype in ARCHETYPES {
+            let trace = Scenario { archetype, seed: 7 }.trace();
+            assert!(trace.len() >= 50, "{archetype}: {} requests", trace.len());
+            assert!(
+                trace.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us),
+                "{archetype}: trace not arrival-sorted"
+            );
+            // Same seed, same trace.
+            assert_eq!(trace, Scenario { archetype, seed: 7 }.trace());
+        }
+    }
+
+    #[test]
+    fn minimizer_shrinks_to_the_culprit() {
+        let trace = Scenario {
+            archetype: Archetype::CylinderSweeps,
+            seed: 3,
+        }
+        .trace();
+        let culprit = trace[17].id;
+        // An artificial failure triggered by one request: the minimizer
+        // must strip everything else.
+        let minimized = minimize_with(trace, |t| t.iter().any(|r| r.id == culprit));
+        assert_eq!(minimized.len(), 1);
+        assert_eq!(minimized[0].id, culprit);
+    }
+
+    #[test]
+    fn case_files_roundtrip() {
+        let scenario = Scenario {
+            archetype: Archetype::ShedBursts,
+            seed: 99,
+        };
+        let trace = scenario.trace();
+        let text = case_text(&scenario, &trace);
+        let (back_scenario, back_trace) = parse_case(&text).expect("case parses");
+        assert_eq!(back_scenario.archetype, scenario.archetype);
+        assert_eq!(back_scenario.seed, scenario.seed);
+        assert_eq!(back_trace, trace);
+    }
+
+    #[test]
+    fn short_fuzz_run_is_clean() {
+        fuzz(20040330, 4, None).expect("a short fuzz run finds no divergence");
+    }
+}

@@ -1,0 +1,43 @@
+//! # oracle — how do we know any of this is right?
+//!
+//! A verification harness that independently re-derives what the
+//! optimized schedulers, simulator and farm *should* have done, in three
+//! layers:
+//!
+//! * [`reference`] — **differential testing**: naive, obviously-correct
+//!   restatements of the Cascaded-SFC dispatcher (O(n²) re-sort per
+//!   dispatch), EDF, SSTF and SCAN, run through the same simulator on
+//!   the same seeded traces and required to match the optimized
+//!   implementations bit-for-bit (service logs, metrics, counters).
+//!   [`routing`] extends this to the farm: a single-threaded replay of
+//!   the routing pass checked against [`farm::route_trace`].
+//! * [`metamorphic`] — **metamorphic properties**: relations between
+//!   runs that need no reference — arrival-permutation invariance,
+//!   deadline monotonicity under SFC2's `f` scaling, CSV replay
+//!   idempotence, serial-vs-threaded executor equivalence.
+//! * [`fuzz`] — a **seeded fuzz driver**: adversarial workload
+//!   archetypes (deadline clusters, cylinder sweeps, shed-pressure
+//!   bursts, fault plans) generated from a seed, checked against the
+//!   oracles, with greedy trace minimization and a replayable `.case`
+//!   corpus format under `tests/corpus/`.
+//!
+//! [`smoke::run`] bundles a fixed battery of all three into the CI gate
+//! wired through `ci.sh` (`oracle --mode smoke`). The perf-regression
+//! half of the gate lives in `bench` (`perf --mode check` against the
+//! committed `BENCH_sched.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fuzz;
+pub mod metamorphic;
+pub mod reference;
+pub mod routing;
+pub mod smoke;
+
+pub use fuzz::{fuzz, minimize, replay_dir, replay_file, Archetype, Scenario};
+pub use reference::{
+    diff_baselines, diff_cascade, diff_pair, ReferenceCascade, ReferenceEdf, ReferenceScan,
+    ReferenceSstf,
+};
+pub use routing::{diff_routing, replay_route};

@@ -1,0 +1,592 @@
+//! Naive, obviously-correct reference schedulers and the differential
+//! harness that pits them against the optimized implementations.
+//!
+//! Every reference here trades all the data structures of the real code
+//! for a flat `Vec` that is linearly re-scanned (and, for the cascade,
+//! fully re-sorted) on every dispatch. The specification each one
+//! implements is written in terms the paper uses — "serve the smallest
+//! characterization value, ties to the oldest id" — not in terms of
+//! heaps, swap-removes or peek orders, so a bug in the optimized queue
+//! machinery cannot also hide here.
+//!
+//! The differential harness runs both implementations through
+//! [`sim::simulate_logged`] on the *same* trace against identical disk
+//! models and demands bit-identical metrics and per-request service logs.
+
+use cascade::{CascadeConfig, CascadedSfc, Encapsulator, PreemptionMode};
+use sched::{DiskScheduler, Edf, HeadState, Request, Scan, Sstf, SweepDirection};
+use sfc::SfcError;
+use sim::{simulate_logged, DiskService, Metrics, RequestRecord, SimOptions};
+
+/// O(n²) re-sort-per-dispatch reference for [`cascade::CascadedSfc`].
+///
+/// Same encapsulator (the three SFC stages are shared — they are the
+/// *subject* of the curve property tests, not of this oracle), but the
+/// dispatcher is restated naively: two plain `Vec`s for `q`/`q'`, a full
+/// sort before every dispatch, linear scans for SP promotion and shed
+/// victim selection. Mirrors the documented semantics of
+/// [`cascade::Dispatcher`] exactly: preemption window in absolute value
+/// units resolved per-mille, idle arrivals join `q` without counting a
+/// preemption, ER expansion `w ← max(w·e, w+1)`, window reset and
+/// optional re-characterization at every queue swap, and overload
+/// shedding that evicts the largest `(v, id)` among pending *and*
+/// incoming.
+pub struct ReferenceCascade {
+    enc: Encapsulator,
+    q: Vec<(u128, Request)>,
+    q_wait: Vec<(u128, Request)>,
+    base_window: u128,
+    window: u128,
+    current: Option<u128>,
+    preemptions: u64,
+    promotions: u64,
+    swaps: u64,
+    sheds: u64,
+}
+
+impl ReferenceCascade {
+    /// Build the reference from the same configuration the optimized
+    /// scheduler takes.
+    pub fn new(config: CascadeConfig) -> Result<Self, SfcError> {
+        let enc = Encapsulator::new(config)?;
+        let max_value = enc.max_value().max(1);
+        let base_window = match enc.config().dispatch.mode {
+            PreemptionMode::Conditional { window } => {
+                let w = window.clamp(0.0, 1.0);
+                let permille = (w * 1000.0).round() as u128;
+                max_value / 1000 * permille + (max_value % 1000) * permille / 1000
+            }
+            _ => 0,
+        };
+        Ok(ReferenceCascade {
+            enc,
+            q: Vec::new(),
+            q_wait: Vec::new(),
+            base_window,
+            window: base_window,
+            current: None,
+            preemptions: 0,
+            promotions: 0,
+            swaps: 0,
+            sheds: 0,
+        })
+    }
+
+    /// (preemptions, SP promotions, queue swaps) — comparable with
+    /// [`cascade::CascadedSfc::dispatch_counters`].
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.preemptions, self.promotions, self.swaps)
+    }
+
+    fn expand_window(&mut self) {
+        if let Some(e) = self.enc.config().dispatch.expand_factor {
+            let expanded = (self.window as f64 * e).min(u64::MAX as f64) as u128;
+            self.window = expanded.max(self.window.saturating_add(1));
+        }
+    }
+
+    /// Overload victim selection: the largest `(v, id)` among everything
+    /// pending and the arrival itself. Returns the arrival when a queued
+    /// request was evicted to make room, `None` when the arrival lost.
+    fn shed_worst(&mut self, v: u128, req: Request) -> Option<(u128, Request)> {
+        self.sheds += 1;
+        let worst_pending = self
+            .q
+            .iter()
+            .chain(self.q_wait.iter())
+            .map(|(pv, pr)| (*pv, pr.id))
+            .max();
+        match worst_pending {
+            Some(worst) if worst > (v, req.id) => {
+                let queue = if self.q.iter().any(|(pv, pr)| (*pv, pr.id) == worst) {
+                    &mut self.q
+                } else {
+                    &mut self.q_wait
+                };
+                let pos = queue
+                    .iter()
+                    .position(|(pv, pr)| (*pv, pr.id) == worst)
+                    .expect("victim is pending");
+                queue.remove(pos);
+                Some((v, req))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl DiskScheduler for ReferenceCascade {
+    fn name(&self) -> &'static str {
+        "reference-cascaded-sfc"
+    }
+
+    fn enqueue(&mut self, req: Request, head: &HeadState) {
+        let v = self.enc.characterize(&req, head);
+        let full = self
+            .enc
+            .config()
+            .dispatch
+            .max_queue
+            .is_some_and(|cap| self.len() >= cap);
+        let slot = if full {
+            match self.shed_worst(v, req) {
+                Some(slot) => slot,
+                None => return, // the arrival itself was the shed victim
+            }
+        } else {
+            (v, req)
+        };
+        match self.enc.config().dispatch.mode {
+            PreemptionMode::Fully => self.q.push(slot),
+            PreemptionMode::NonPreemptive => self.q_wait.push(slot),
+            PreemptionMode::Conditional { .. } => {
+                let significantly_higher = match self.current {
+                    None => true, // idle disk: nothing to preempt
+                    Some(cur) => slot.0 < cur.saturating_sub(self.window),
+                };
+                if significantly_higher {
+                    if self.current.is_some() {
+                        self.preemptions += 1;
+                        self.expand_window();
+                    }
+                    self.q.push(slot);
+                } else {
+                    self.q_wait.push(slot);
+                }
+            }
+        }
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        if self.q.is_empty() {
+            if self.q_wait.is_empty() {
+                self.current = None;
+                return None;
+            }
+            std::mem::swap(&mut self.q, &mut self.q_wait);
+            self.swaps += 1;
+            self.window = self.base_window;
+            if self.enc.config().dispatch.refresh_on_swap {
+                for slot in &mut self.q {
+                    slot.0 = self.enc.characterize(&slot.1, head);
+                }
+            }
+        }
+        if self.enc.config().dispatch.serve_promote {
+            // SP: promote any waiter that significantly beats the next
+            // candidate; both minima re-scanned from scratch every round.
+            loop {
+                let next_v = self
+                    .q
+                    .iter()
+                    .map(|(v, r)| (*v, r.id))
+                    .min()
+                    .expect("q non-empty")
+                    .0;
+                let Some(wait_best) = self.q_wait.iter().map(|(v, r)| (*v, r.id)).min() else {
+                    break;
+                };
+                if wait_best.0 < next_v.saturating_sub(self.window) {
+                    let pos = self
+                        .q_wait
+                        .iter()
+                        .position(|(v, r)| (*v, r.id) == wait_best)
+                        .expect("minimum is present");
+                    let slot = self.q_wait.remove(pos);
+                    self.promotions += 1;
+                    self.expand_window();
+                    self.q.push(slot);
+                } else {
+                    break;
+                }
+            }
+        }
+        // The naive dispatch itself: re-sort the whole active queue by
+        // (value, id) and serve the front.
+        self.q.sort_by_key(|a| (a.0, a.1.id));
+        let (v, req) = self.q.remove(0);
+        self.current = Some(v);
+        Some(req)
+    }
+
+    fn len(&self) -> usize {
+        self.q.len() + self.q_wait.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        for (_, r) in self.q.iter().chain(self.q_wait.iter()) {
+            f(r);
+        }
+    }
+
+    fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    fn queue_capacity(&self) -> Option<usize> {
+        self.enc.config().dispatch.max_queue
+    }
+}
+
+/// Brute-force EDF: scan the whole queue for the earliest deadline
+/// (ties to the lowest id) on every dispatch.
+#[derive(Default)]
+pub struct ReferenceEdf {
+    queue: Vec<Request>,
+}
+
+impl ReferenceEdf {
+    /// An empty reference EDF queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Brute-force SSTF: scan for the pending request closest to the head.
+#[derive(Default)]
+pub struct ReferenceSstf {
+    queue: Vec<Request>,
+}
+
+impl ReferenceSstf {
+    /// An empty reference SSTF queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Brute-force SCAN (elevator with LOOK): serve the nearest request in
+/// the sweep direction; reverse when nothing lies ahead.
+pub struct ReferenceScan {
+    queue: Vec<Request>,
+    direction: SweepDirection,
+}
+
+impl ReferenceScan {
+    /// An empty reference SCAN queue, initially sweeping up.
+    pub fn new() -> Self {
+        ReferenceScan {
+            queue: Vec::new(),
+            direction: SweepDirection::Up,
+        }
+    }
+}
+
+impl Default for ReferenceScan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Remove the queue element with the smallest `(key, id)`.
+fn take_best<K: Ord>(queue: &mut Vec<Request>, key: impl Fn(&Request) -> K) -> Option<Request> {
+    let best = queue
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| (key(a), a.id).cmp(&(key(b), b.id)))
+        .map(|(i, _)| i)?;
+    Some(queue.remove(best))
+}
+
+impl DiskScheduler for ReferenceEdf {
+    fn name(&self) -> &'static str {
+        "reference-edf"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, _head: &HeadState) -> Option<Request> {
+        take_best(&mut self.queue, |r| r.deadline_us)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+impl DiskScheduler for ReferenceSstf {
+    fn name(&self) -> &'static str {
+        "reference-sstf"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        take_best(&mut self.queue, |r| head.distance_to(r.cylinder))
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+impl ReferenceScan {
+    fn ahead(&self, head: &HeadState, r: &Request) -> bool {
+        match self.direction {
+            SweepDirection::Up => r.cylinder >= head.cylinder,
+            SweepDirection::Down => r.cylinder <= head.cylinder,
+        }
+    }
+
+    fn take_ahead(&mut self, head: &HeadState) -> Option<Request> {
+        let best = self
+            .queue
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| self.ahead(head, r))
+            .min_by_key(|(_, r)| (head.distance_to(r.cylinder), r.id))
+            .map(|(i, _)| i)?;
+        Some(self.queue.remove(best))
+    }
+}
+
+impl DiskScheduler for ReferenceScan {
+    fn name(&self) -> &'static str {
+        "reference-scan"
+    }
+
+    fn enqueue(&mut self, req: Request, _head: &HeadState) {
+        self.queue.push(req);
+    }
+
+    fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        if let Some(r) = self.take_ahead(head) {
+            return Some(r);
+        }
+        self.direction = self.direction.flip();
+        self.take_ahead(head)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+        self.queue.iter().for_each(f);
+    }
+}
+
+/// Report the first divergence between two per-request service logs.
+pub fn compare_logs(
+    what: &str,
+    optimized: &[RequestRecord],
+    reference: &[RequestRecord],
+) -> Result<(), String> {
+    if let Some(i) =
+        (0..optimized.len().min(reference.len())).find(|&i| optimized[i] != reference[i])
+    {
+        let (a, b) = (&optimized[i], &reference[i]);
+        return Err(format!(
+            "{what}: dispatch order diverges at position {i}: optimized served \
+             req {} (arrival {}, completion {:?}, lost {}) but reference served \
+             req {} (arrival {}, completion {:?}, lost {})",
+            a.id,
+            a.arrival_us,
+            a.completion_us,
+            a.lost,
+            b.id,
+            b.arrival_us,
+            b.completion_us,
+            b.lost
+        ));
+    }
+    if optimized.len() != reference.len() {
+        return Err(format!(
+            "{what}: log lengths diverge: optimized {} vs reference {}",
+            optimized.len(),
+            reference.len()
+        ));
+    }
+    Ok(())
+}
+
+fn run_one(
+    scheduler: &mut dyn DiskScheduler,
+    trace: &[Request],
+    options: SimOptions,
+    make_service: &impl Fn() -> DiskService,
+) -> (Metrics, Vec<RequestRecord>) {
+    let mut service = make_service();
+    simulate_logged(scheduler, trace, &mut service, options)
+}
+
+/// Differential oracle for one scheduler pair: run `optimized` and
+/// `reference` through [`sim::simulate_logged`] on the same trace against
+/// identical fresh disk models and demand bit-identical metrics and logs.
+pub fn diff_pair(
+    what: &str,
+    optimized: &mut dyn DiskScheduler,
+    reference: &mut dyn DiskScheduler,
+    trace: &[Request],
+    options: SimOptions,
+    make_service: impl Fn() -> DiskService,
+) -> Result<Metrics, String> {
+    let (m_opt, log_opt) = run_one(optimized, trace, options, &make_service);
+    let (m_ref, log_ref) = run_one(reference, trace, options, &make_service);
+    compare_logs(what, &log_opt, &log_ref)?;
+    if m_opt != m_ref {
+        return Err(format!(
+            "{what}: metrics diverge with identical logs: {m_opt:?} vs {m_ref:?}"
+        ));
+    }
+    Ok(m_opt)
+}
+
+/// Differential oracle for the cascade: optimized [`cascade::CascadedSfc`]
+/// vs [`ReferenceCascade`] built from the same configuration, compared on
+/// metrics, service logs, dispatcher counters and shed counts.
+pub fn diff_cascade(
+    config: &CascadeConfig,
+    trace: &[Request],
+    options: SimOptions,
+    make_service: impl Fn() -> DiskService,
+) -> Result<Metrics, String> {
+    let mut optimized =
+        CascadedSfc::new(config.clone()).map_err(|e| format!("cascade config rejected: {e}"))?;
+    let mut reference = ReferenceCascade::new(config.clone())
+        .map_err(|e| format!("cascade config rejected: {e}"))?;
+    let m = diff_pair(
+        "cascaded-sfc",
+        &mut optimized,
+        &mut reference,
+        trace,
+        options,
+        make_service,
+    )?;
+    if optimized.dispatch_counters() != reference.counters() {
+        return Err(format!(
+            "cascaded-sfc: (preemptions, promotions, swaps) diverge: {:?} vs {:?}",
+            optimized.dispatch_counters(),
+            reference.counters()
+        ));
+    }
+    if optimized.sheds() != DiskScheduler::sheds(&reference) {
+        return Err(format!(
+            "cascaded-sfc: shed counts diverge: {} vs {}",
+            optimized.sheds(),
+            DiskScheduler::sheds(&reference)
+        ));
+    }
+    Ok(m)
+}
+
+/// Differential oracle for the brute-force baselines: EDF, SSTF and SCAN
+/// against their optimized counterparts on the same trace.
+pub fn diff_baselines(trace: &[Request], options: SimOptions) -> Result<(), String> {
+    diff_pair(
+        "edf",
+        &mut Edf::new(),
+        &mut ReferenceEdf::new(),
+        trace,
+        options,
+        DiskService::table1,
+    )?;
+    diff_pair(
+        "sstf",
+        &mut Sstf::new(),
+        &mut ReferenceSstf::new(),
+        trace,
+        options,
+        DiskService::table1,
+    )?;
+    diff_pair(
+        "scan",
+        &mut Scan::new(),
+        &mut ReferenceScan::new(),
+        trace,
+        options,
+        DiskService::table1,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade::DispatchConfig;
+    use sched::QosVector;
+
+    fn head() -> HeadState {
+        HeadState::new(0, 0, 3832)
+    }
+
+    fn req(id: u64, v_level: u8) -> Request {
+        Request::read(id, 0, u64::MAX, 0, 512, QosVector::single(v_level))
+    }
+
+    /// The reference reproduces the paper's Figure-4 service order
+    /// (same scenario as the optimized dispatcher's unit test).
+    #[test]
+    fn reference_reproduces_figure4() {
+        let cfg = cascade::CascadeConfig::priority_only(sfc::CurveKind::Diagonal, 1, 4)
+            .with_dispatch(DispatchConfig {
+                mode: PreemptionMode::Conditional { window: 0.2 },
+                serve_promote: true,
+                expand_factor: None,
+                refresh_on_swap: false,
+                max_queue: None,
+            });
+        // Priority levels scaled onto 0..=15: the Figure-4 values
+        // 600/450/500/800/100/250/400 of 1000 become 9/6/7/12/1/3/5.
+        let level = |id: u64| match id {
+            1 => 9u8,
+            2 => 6,
+            3 => 7,
+            4 => 12,
+            5 => 1,
+            6 => 3,
+            7 => 5,
+            _ => unreachable!(),
+        };
+        let mut s = ReferenceCascade::new(cfg).unwrap();
+        s.enqueue(req(1, level(1)), &head());
+        assert_eq!(s.dequeue(&head()).unwrap().id, 1);
+        for id in [2, 3, 4] {
+            s.enqueue(req(id, level(id)), &head());
+        }
+        assert_eq!(s.dequeue(&head()).unwrap().id, 2);
+        for id in [5, 6, 7] {
+            s.enqueue(req(id, level(id)), &head());
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(&head()).map(|r| r.id)).collect();
+        assert_eq!(order, vec![5, 6, 3, 7, 4]);
+    }
+
+    #[test]
+    fn reference_sheds_worst_pending_or_arrival() {
+        let cfg = cascade::CascadeConfig::priority_only(sfc::CurveKind::Diagonal, 1, 4)
+            .with_dispatch(DispatchConfig::fully_preemptive().with_max_queue(2));
+        let mut s = ReferenceCascade::new(cfg).unwrap();
+        s.enqueue(req(1, 3), &head());
+        s.enqueue(req(2, 14), &head()); // the eventual victim
+        s.enqueue(req(3, 7), &head()); // evicts 2
+        assert_eq!(DiskScheduler::sheds(&s), 1);
+        s.enqueue(req(4, 15), &head()); // worse than everything: self-shed
+        assert_eq!(DiskScheduler::sheds(&s), 2);
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(&head()).map(|r| r.id)).collect();
+        assert_eq!(order, vec![1, 3]);
+    }
+
+    #[test]
+    fn take_best_breaks_ties_by_id() {
+        let mk = |id| Request::read(id, 0, 99, 10, 512, QosVector::none());
+        let mut q = vec![mk(9), mk(2), mk(5)];
+        assert_eq!(take_best(&mut q, |r| r.deadline_us).unwrap().id, 2);
+        assert_eq!(q.len(), 2);
+    }
+}

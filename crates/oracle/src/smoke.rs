@@ -1,0 +1,114 @@
+//! The CI smoke gate: a fixed battery of differential and metamorphic
+//! checks sized to run in seconds, exercised on every push.
+
+use cascade::{CascadeConfig, DispatchConfig};
+use farm::{FarmConfig, RoutePolicy};
+use sim::{DiskService, SimOptions};
+use workload::{PoissonConfig, VodConfig};
+
+use crate::fuzz::{Scenario, ARCHETYPES};
+use crate::metamorphic;
+use crate::reference::{diff_baselines, diff_cascade};
+use crate::routing::diff_routing;
+
+/// What the smoke gate verified, for the one-line report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmokeReport {
+    /// Differential runs (optimized vs reference) that agreed.
+    pub differential_runs: u64,
+    /// Requests covered across all differential runs.
+    pub requests_checked: u64,
+}
+
+/// Run the smoke battery. Covers: the cascade differential oracle on
+/// three seeded workload families under four dispatcher regimes, the
+/// brute-force baseline oracles, the farm routing replay under every
+/// policy (with and without redirects), one fuzz case per archetype, and
+/// the metamorphic quick pass. Any divergence is the error.
+pub fn run(seed: u64) -> Result<SmokeReport, String> {
+    let mut report = SmokeReport::default();
+
+    // Three seeded workloads for the headline claim: the optimized
+    // cascade's dispatch order is bit-identical to the naive reference.
+    let poisson = PoissonConfig::figure8(400).generate(seed);
+    let mut wl = VodConfig::mpeg1(24);
+    wl.duration_us = 4_000_000;
+    let vod = wl.generate(seed.wrapping_add(1));
+    let clusters = Scenario {
+        archetype: crate::fuzz::Archetype::DeadlineClusters,
+        seed: seed.wrapping_add(2),
+    }
+    .trace();
+
+    let dims = |trace: &str| if trace == "clusters" { 2u32 } else { 1 };
+    for (name, trace) in [
+        ("poisson", &poisson),
+        ("vod", &vod),
+        ("clusters", &clusters),
+    ] {
+        let d = dims(name);
+        let options = SimOptions::with_shape(d as usize, 16).dropping();
+        for (regime, dispatch) in [
+            ("paper", DispatchConfig::paper_default()),
+            ("fully", DispatchConfig::fully_preemptive()),
+            ("non-preemptive", DispatchConfig::non_preemptive()),
+            (
+                "bounded",
+                DispatchConfig::paper_default().with_max_queue(16),
+            ),
+        ] {
+            let config = CascadeConfig::paper_default(d, 3832).with_dispatch(dispatch);
+            diff_cascade(&config, trace, options, DiskService::table1)
+                .map_err(|e| format!("[{name}/{regime}] {e}"))?;
+            report.differential_runs += 1;
+            report.requests_checked += trace.len() as u64;
+        }
+        diff_baselines(trace, options).map_err(|e| format!("[{name}/baselines] {e}"))?;
+        report.differential_runs += 3;
+        report.requests_checked += 3 * trace.len() as u64;
+    }
+
+    // Farm routing replay: every policy, then redirect-on-overload.
+    for policy in [
+        RoutePolicy::HashStream,
+        RoutePolicy::CylinderRange,
+        RoutePolicy::LeastLoaded,
+    ] {
+        let cfg = FarmConfig::new(4).with_policy(policy);
+        diff_routing(&vod, &cfg, &[None; 4]).map_err(|e| format!("[routing] {e}"))?;
+        report.differential_runs += 1;
+        report.requests_checked += vod.len() as u64;
+    }
+    let cfg = FarmConfig::new(4).with_redirects();
+    diff_routing(&vod, &cfg, &[Some(8); 4]).map_err(|e| format!("[routing/redirects] {e}"))?;
+    report.differential_runs += 1;
+    report.requests_checked += vod.len() as u64;
+
+    // One fuzz case per archetype at the smoke seed.
+    for archetype in ARCHETYPES {
+        let scenario = Scenario {
+            archetype,
+            seed: seed.wrapping_add(3),
+        };
+        scenario.run().map_err(|e| format!("[{archetype}] {e}"))?;
+        report.differential_runs += 1;
+        report.requests_checked += scenario.trace().len() as u64;
+    }
+
+    // Metamorphic quick pass.
+    metamorphic::quick_pass(seed).map_err(|e| format!("[metamorphic] {e}"))?;
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_gate_passes() {
+        let report = run(bench::DEFAULT_SEED).expect("oracle smoke gate");
+        assert!(report.differential_runs >= 20);
+        assert!(report.requests_checked > 5_000);
+    }
+}

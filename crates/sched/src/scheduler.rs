@@ -105,4 +105,46 @@ mod tests {
         assert_eq!(h.distance_to(130), 30);
         assert_eq!(h.distance_to(70), 30);
     }
+
+    #[test]
+    fn trait_default_hooks() {
+        // A minimal policy that implements only the required methods
+        // must get the documented defaults: no sheds, unbounded queue,
+        // emptiness derived from len().
+        struct Bare(Vec<Request>);
+        impl DiskScheduler for Bare {
+            fn name(&self) -> &'static str {
+                "bare"
+            }
+            fn enqueue(&mut self, req: Request, _head: &HeadState) {
+                self.0.push(req);
+            }
+            fn dequeue(&mut self, _head: &HeadState) -> Option<Request> {
+                self.0.pop()
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
+                self.0.iter().for_each(f);
+            }
+        }
+
+        let head = HeadState::new(0, 0, 3832);
+        let mut s = Bare(Vec::new());
+        assert_eq!(s.sheds(), 0);
+        assert_eq!(s.queue_capacity(), None);
+        assert!(s.is_empty());
+        s.enqueue(
+            crate::Request::read(1, 0, 1_000, 10, 4_096, crate::QosVector::none()),
+            &head,
+        );
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 1);
+        // The hooks stay at their defaults even with work pending.
+        assert_eq!(s.sheds(), 0);
+        assert_eq!(s.queue_capacity(), None);
+        assert!(s.dequeue(&head).is_some());
+        assert!(s.is_empty());
+    }
 }

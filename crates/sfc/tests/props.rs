@@ -8,6 +8,22 @@
 use proptest::prelude::*;
 use sfc::{quality, CurveKind, InvertibleCurve, SpaceFillingCurve};
 
+/// Build a curve through its concrete constructor so the exact inverse
+/// is available (`CurveKind::build` erases it to `SpaceFillingCurve`).
+fn build_invertible(kind: CurveKind, dims: u32, order: u32) -> Box<dyn InvertibleCurve> {
+    match kind {
+        CurveKind::Sweep => Box::new(sfc::Sweep::new(dims, order).unwrap()),
+        CurveKind::CScan => Box::new(sfc::CScan::new(dims, order).unwrap()),
+        CurveKind::Scan => Box::new(sfc::Scan::new(dims, order).unwrap()),
+        CurveKind::Gray => Box::new(sfc::Gray::new(dims, order).unwrap()),
+        CurveKind::Hilbert => Box::new(sfc::Hilbert::new(dims, order).unwrap()),
+        CurveKind::Spiral => Box::new(sfc::Spiral::new(dims, order).unwrap()),
+        CurveKind::Diagonal => Box::new(sfc::Diagonal::new(dims, order).unwrap()),
+        CurveKind::Peano => Box::new(sfc::Peano::new(dims, order).unwrap()),
+        CurveKind::ZOrder => Box::new(sfc::ZOrder::new(dims, order).unwrap()),
+    }
+}
+
 /// Strategy: a curve kind, dimensionality and order small enough to test
 /// exhaustively.
 fn small_shape() -> impl Strategy<Value = (CurveKind, u32, u32)> {
@@ -178,6 +194,79 @@ proptest! {
             prop_assert!(w.value(x1, y1) < w.value(x2, y2),
                 "f={f}: ({x1},{y1}) vs ({x2},{y2})");
         }
+    }
+
+    #[test]
+    fn every_curve_roundtrips((kind, dims, order) in small_shape(), seed in 0u64..1000) {
+        // index ∘ point must be the identity for the whole catalogue,
+        // not just the curves with bespoke tests above.
+        let curve = build_invertible(kind, dims, order);
+        let idx = (seed as u128 * 2654435761) % curve.cells();
+        let mut p = vec![0u64; dims as usize];
+        curve.point(idx, &mut p);
+        prop_assert_eq!(curve.index(&p), idx, "{} dims={} order={}", kind, dims, order);
+
+        // And point itself must invert index on an arbitrary grid point.
+        let side = curve.side();
+        let raw: Vec<u64> = (0..dims as u64).map(|i| (seed.wrapping_mul(31).wrapping_add(i * 7)) % side).collect();
+        let mut back = vec![0u64; dims as usize];
+        curve.point(curve.index(&raw), &mut back);
+        prop_assert_eq!(back, raw, "{} dims={} order={}", kind, dims, order);
+    }
+
+    #[test]
+    fn walk_covers_grid_within_jump_bounds((kind, dims, order) in small_shape()) {
+        // quality::walk must enumerate every cell exactly once, and each
+        // consecutive step's Manhattan jump must stay within the largest
+        // move the grid geometry allows.
+        let curve = kind.build(dims, order).unwrap();
+        let walk = quality::walk(curve.as_ref()).unwrap();
+        prop_assert_eq!(walk.len() as u128, curve.cells());
+        let mut seen: Vec<&Vec<u64>> = walk.iter().collect();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len() as u128, curve.cells(), "{} revisits a cell", kind);
+
+        let side = curve.side();
+        let max_jump = dims as u64 * (side - 1);
+        let continuous = matches!(kind, CurveKind::Scan | CurveKind::Hilbert | CurveKind::Peano);
+        for pair in walk.windows(2) {
+            let jump: u64 = pair[0].iter().zip(&pair[1]).map(|(a, b)| a.abs_diff(*b)).sum();
+            prop_assert!(jump >= 1 && jump <= max_jump.max(1),
+                "{kind}: jump {jump} outside 1..={max_jump}");
+            if continuous {
+                prop_assert_eq!(jump, 1, "{} must take unit steps", kind);
+            }
+        }
+    }
+
+    #[test]
+    fn peano_roundtrips(
+        dims in 1u32..=3,
+        order in 1u32..=2,
+        seed in 0u64..1000,
+    ) {
+        // Radix-3: side 3^order, so the bit-twiddling shortcuts of the
+        // power-of-two curves don't apply.
+        let p = sfc::Peano::new(dims, order).unwrap();
+        prop_assert_eq!(p.side(), 3u64.pow(order));
+        let idx = (seed as u128 * 2654435761) % p.cells();
+        let mut point = vec![0u64; dims as usize];
+        p.point(idx, &mut point);
+        prop_assert_eq!(p.index(&point), idx);
+    }
+
+    #[test]
+    fn spiral_roundtrips(
+        dims in 2u32..=3,
+        order in 1u32..=3,
+        seed in 0u64..1000,
+    ) {
+        let s = sfc::Spiral::new(dims, order).unwrap();
+        let idx = (seed as u128 * 2654435761) % s.cells();
+        let mut point = vec![0u64; dims as usize];
+        s.point(idx, &mut point);
+        prop_assert_eq!(s.index(&point), idx);
     }
 
     #[test]

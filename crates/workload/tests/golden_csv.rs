@@ -1,0 +1,73 @@
+//! Golden snapshot of the trace CSV wire format.
+//!
+//! The `.case` corpus under `tests/corpus/` and any externally generated
+//! trace both depend on this exact byte layout, so a format drift must
+//! fail loudly here — not as a mysterious corpus parse error later.
+
+use sched::{Micros, OpKind, QosVector, Request};
+use workload::io::{from_csv, to_csv};
+
+fn fixture() -> Vec<Request> {
+    // One row per encoding corner: multi-dim QoS, relaxed deadline,
+    // empty QoS, a write, and a stream distinct from the id.
+    let mut relaxed = Request::read(
+        1,
+        12_500,
+        Micros::MAX,
+        1200,
+        65_536,
+        QosVector::new(&[2, 0]),
+    );
+    relaxed.stream = 17;
+    let plain = Request::read(2, 13_000, 512_500, 0, 4_096, QosVector::none());
+    let mut write = Request::read(
+        3,
+        14_250,
+        600_000,
+        3831,
+        131_072,
+        QosVector::new(&[7, 3, 15]),
+    );
+    write.kind = OpKind::Write;
+    write.stream = 4;
+    vec![relaxed, plain, write]
+}
+
+/// The 8-column output format, pinned byte-for-byte.
+#[test]
+fn golden_eight_column_snapshot() {
+    let golden = "\
+id,arrival_us,deadline_us,cylinder,bytes,kind,qos,stream\n\
+1,12500,inf,1200,65536,read,2|0,17\n\
+2,13000,512500,0,4096,read,,2\n\
+3,14250,600000,3831,131072,write,7|3|15,4\n";
+    assert_eq!(to_csv(&fixture()), golden);
+    // And the snapshot parses back to the identical trace.
+    assert_eq!(from_csv(golden).unwrap(), fixture());
+}
+
+/// The pre-`stream` 7-column format still parses, with `stream`
+/// defaulting to the request id.
+#[test]
+fn golden_legacy_seven_column_parse() {
+    let legacy = "\
+id,arrival_us,deadline_us,cylinder,bytes,kind,qos\n\
+9,100,inf,50,8192,read,1|2\n\
+10,200,900000,3000,65536,write,\n";
+    let trace = from_csv(legacy).unwrap();
+    assert_eq!(trace.len(), 2);
+
+    assert_eq!(trace[0].id, 9);
+    assert_eq!(trace[0].stream, 9, "legacy rows default stream to id");
+    assert_eq!(trace[0].deadline_us, Micros::MAX);
+    assert_eq!(trace[0].qos, QosVector::new(&[1, 2]));
+
+    assert_eq!(trace[1].stream, 10);
+    assert_eq!(trace[1].kind, OpKind::Write);
+    assert_eq!(trace[1].qos, QosVector::none());
+
+    // Re-serializing upgrades legacy rows to the 8-column format.
+    let upgraded = to_csv(&trace);
+    assert!(upgraded.starts_with("id,arrival_us,deadline_us,cylinder,bytes,kind,qos,stream\n"));
+    assert_eq!(from_csv(&upgraded).unwrap(), trace);
+}

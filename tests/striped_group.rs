@@ -93,3 +93,29 @@ fn group_members_share_the_load_evenly() {
         "parity rotation should balance members: {loads:?}"
     );
 }
+
+/// The per-member striped path cannot express a member failure (that
+/// needs the grouped RAID-5 timeline), so handing it such a plan must
+/// fail fast with the documented message — not silently ignore the
+/// failure and report healthy-looking numbers.
+#[test]
+#[should_panic(
+    expected = "member failure needs the grouped timeline: use Raid5Service::with_faults"
+)]
+fn striped_faulted_rejects_member_failure_plans() {
+    use cascaded_sfc::diskmodel::FaultPlan;
+    use cascaded_sfc::sim::simulate_striped_faulted;
+
+    let mut wl = NewsByteConfig::paper(10);
+    wl.stripe_width = 1;
+    wl.duration_us = 2_000_000;
+    let trace = wl.generate(11);
+    let plan = FaultPlan::none().with_member_failure(1, 0);
+    simulate_striped_faulted(
+        &trace,
+        5,
+        scheduler,
+        SimOptions::with_shape(1, 8).dropping(),
+        &plan,
+    );
+}
