@@ -11,8 +11,8 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy (perf lints, deny warnings)"
+cargo clippy --workspace --all-targets -- -W clippy::perf -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -40,10 +40,17 @@ echo "==> oracle smoke gate"
 # divergence).
 cargo run -q -p oracle --release --bin oracle -- --mode smoke
 
+echo "==> oracle perf-parity gate"
+# The optimized engine (LUT kernels, batched encapsulation, arena
+# dispatcher) diffed against the naive reference on every committed
+# corpus trace under all four dispatcher regimes (exits 1 on any
+# divergence).
+cargo run -q -p oracle --release --bin oracle -- --mode perf-parity --corpus tests/corpus
+
 echo "==> perf regression gate"
 # Fresh measurement against the committed BENCH_sched.json; exits 1
-# when dispatch throughput, routing rate or SFC mapping latency
-# regresses past 20%.
+# when dispatch throughput, engine rate, routing rate or SFC mapping
+# latency regresses past 20%.
 cargo run -q -p bench --release --bin perf -- --mode check --baseline BENCH_sched.json --tolerance 0.2
 
 echo "ci.sh: all green"

@@ -42,7 +42,12 @@ fn main() {
                 }
             };
             let baseline = match PerfReport::from_json(&text) {
-                Ok(b) => b,
+                Ok((b, warnings)) => {
+                    for w in warnings {
+                        eprintln!("# warning: {w}");
+                    }
+                    b
+                }
                 Err(e) => {
                     eprintln!("# perf check FAILED: {e}");
                     std::process::exit(1);

@@ -1,22 +1,28 @@
-//! Perf-regression gate: three microbenchmark workloads measured
+//! Perf-regression gate: four microbenchmark workloads measured
 //! best-of-N, reported as `BENCH_sched.json`, and checked against the
 //! committed baseline in CI.
 //!
-//! The three numbers cover the stack's hot paths:
+//! The four numbers cover the stack's hot paths:
 //!
 //! * **dispatch throughput** — enqueue/dequeue interleave through the
 //!   optimized [`CascadedSfc`] on the Figure-8 Poisson workload
 //!   (ops/s; higher is better),
+//! * **engine rate** — a full discrete-event simulation (arrivals,
+//!   cascade, disk model) of the Figure-8 workload end to end
+//!   (requests/s; higher is better),
 //! * **farm routing rate** — [`farm::route_trace`] with redirects over a
 //!   VoD trace on 8 shards (requests/s; higher is better),
 //! * **SFC mapping latency** — `Hilbert(3 dims, 2^7 side)` index
 //!   mapping (ns/op; lower is better).
 //!
 //! The JSON is hand-rolled (no serde in the tree): a flat object of
-//! `f64` fields plus a schema tag. [`check`] fails when any metric
-//! regresses past the tolerance (default 20%); improvements never fail,
-//! so the committed baseline only needs refreshing when the code gets
-//! deliberately faster.
+//! `f64` fields plus a schema tag. The parser is forward-compatible:
+//! unknown keys are ignored and a *missing* metric only produces a
+//! warning (the gate skips it), so an older baseline keeps gating the
+//! metrics it has while a new one is being established. [`check`] fails
+//! when any metric regresses past the tolerance (default 20%);
+//! improvements never fail, so the committed baseline only needs
+//! refreshing when the code gets deliberately faster.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -26,13 +32,18 @@ use farm::{route_trace, FarmConfig, RoutePolicy};
 use obs::NullSink;
 use sched::{DiskScheduler, HeadState};
 use sfc::{Hilbert, SpaceFillingCurve};
+use sim::{simulate, DiskService, SimOptions};
 use workload::{PoissonConfig, VodConfig};
 
-/// The measured (or baseline) perf numbers.
+/// The measured (or baseline) perf numbers. A `NaN` field in a parsed
+/// baseline means the metric was absent from the file (see
+/// [`PerfReport::from_json`]); [`check`] skips such metrics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfReport {
     /// Cascaded-SFC enqueue+dequeue operations per second.
     pub dispatch_ops_per_s: f64,
+    /// Full simulation-engine throughput in requests per second.
+    pub engine_reqs_per_s: f64,
     /// Farm routing pass throughput in requests per second.
     pub routing_reqs_per_s: f64,
     /// Hilbert index mapping latency in nanoseconds per op.
@@ -49,36 +60,54 @@ impl PerfReport {
         format!(
             "{{\n  \"schema\": \"{SCHEMA}\",\n  \
              \"dispatch_ops_per_s\": {:.1},\n  \
+             \"engine_reqs_per_s\": {:.1},\n  \
              \"routing_reqs_per_s\": {:.1},\n  \
              \"sfc_ns_per_op\": {:.3}\n}}\n",
-            self.dispatch_ops_per_s, self.routing_reqs_per_s, self.sfc_ns_per_op
+            self.dispatch_ops_per_s,
+            self.engine_reqs_per_s,
+            self.routing_reqs_per_s,
+            self.sfc_ns_per_op
         )
     }
 
     /// Parse the `BENCH_sched.json` format written by [`Self::to_json`].
-    pub fn from_json(text: &str) -> Result<PerfReport, String> {
+    ///
+    /// Forward-compatible by construction: keys this build does not know
+    /// are ignored, and a known key missing from the file yields a
+    /// warning plus a `NaN` field instead of an error, so baselines and
+    /// binaries can evolve independently. Only a schema-tag mismatch is
+    /// fatal.
+    pub fn from_json(text: &str) -> Result<(PerfReport, Vec<String>), String> {
         if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
             return Err(format!("baseline is not a {SCHEMA} file"));
         }
-        Ok(PerfReport {
-            dispatch_ops_per_s: json_f64(text, "dispatch_ops_per_s")?,
-            routing_reqs_per_s: json_f64(text, "routing_reqs_per_s")?,
-            sfc_ns_per_op: json_f64(text, "sfc_ns_per_op")?,
-        })
+        let mut warnings = Vec::new();
+        let mut field = |key: &str| match json_f64(text, key) {
+            Ok(v) => v,
+            Err(e) => {
+                warnings.push(format!("baseline: {e} — metric will be skipped"));
+                f64::NAN
+            }
+        };
+        let report = PerfReport {
+            dispatch_ops_per_s: field("dispatch_ops_per_s"),
+            engine_reqs_per_s: field("engine_reqs_per_s"),
+            routing_reqs_per_s: field("routing_reqs_per_s"),
+            sfc_ns_per_op: field("sfc_ns_per_op"),
+        };
+        Ok((report, warnings))
     }
 }
 
 /// Extract a numeric field from a flat hand-rolled JSON object.
 fn json_f64(text: &str, key: &str) -> Result<f64, String> {
     let needle = format!("\"{key}\"");
-    let at = text
-        .find(&needle)
-        .ok_or_else(|| format!("baseline is missing {key}"))?;
+    let at = text.find(&needle).ok_or_else(|| format!("missing {key}"))?;
     let rest = &text[at + needle.len()..];
     let rest = rest
         .trim_start()
         .strip_prefix(':')
-        .ok_or_else(|| format!("malformed baseline near {key}"))?;
+        .ok_or_else(|| format!("malformed value near {key}"))?;
     let value: String = rest
         .trim_start()
         .chars()
@@ -117,6 +146,23 @@ fn bench_dispatch(seed: u64) -> f64 {
         ops += 1;
     }
     ops as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Engine rate: run the whole discrete-event loop — batched arrival
+/// delivery, cascade scheduling, seek/rotation/transfer accounting —
+/// over a Figure-8 trace against the Table-1 disk. Returns requests/s.
+fn bench_engine(seed: u64) -> f64 {
+    let trace = PoissonConfig::figure8(6_000).generate(seed);
+    let mut s = CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).expect("valid config");
+    let mut service = DiskService::table1();
+    let options = SimOptions::with_shape(3, 16)
+        .dropping()
+        .without_inversions();
+
+    let start = Instant::now();
+    let m = simulate(&mut s, &trace, &mut service, options);
+    black_box(m.served);
+    trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
 }
 
 /// Farm routing rate: the serial model-driven placement pass with
@@ -177,6 +223,7 @@ pub fn measure(seed: u64, samples: u32) -> PerfReport {
     };
     PerfReport {
         dispatch_ops_per_s: best(&|| bench_dispatch(seed), true),
+        engine_reqs_per_s: best(&|| bench_engine(seed), true),
         routing_reqs_per_s: best(&|| bench_routing(seed), true),
         sfc_ns_per_op: best(&|| bench_sfc(seed), false),
     }
@@ -185,32 +232,45 @@ pub fn measure(seed: u64, samples: u32) -> PerfReport {
 /// Compare a fresh measurement against the committed baseline. A
 /// throughput metric regresses when it falls below `(1 - tolerance)` of
 /// the baseline; a latency metric when it rises above `(1 + tolerance)`.
-/// Returns the per-metric report lines, or the list of regressions.
+/// A `NaN` baseline field (metric absent from the file) is skipped, not
+/// failed. Returns the per-metric report lines; on failure, `Err` still
+/// carries *every* line — old value, new value, ratio and signed delta —
+/// so a CI log shows the whole picture, not just the regressed metric.
 pub fn check(
     current: &PerfReport,
     baseline: &PerfReport,
     tolerance: f64,
 ) -> Result<Vec<String>, Vec<String>> {
     let mut lines = Vec::new();
-    let mut failures = Vec::new();
+    let mut regressed = false;
     let mut gauge = |name: &str, cur: f64, base: f64, higher_is_better: bool| {
+        if base.is_nan() {
+            lines.push(format!("{name}: {cur:.1} (no baseline — skipped)"));
+            return;
+        }
         let ratio = if base > 0.0 { cur / base } else { f64::NAN };
+        let delta = (ratio - 1.0) * 100.0;
         let ok = if higher_is_better {
             cur >= base * (1.0 - tolerance)
         } else {
             cur <= base * (1.0 + tolerance)
         };
         let verdict = if ok { "ok" } else { "REGRESSED" };
-        let line = format!("{name}: {cur:.1} vs baseline {base:.1} (x{ratio:.2}) {verdict}");
-        if !ok {
-            failures.push(line.clone());
-        }
-        lines.push(line);
+        regressed |= !ok;
+        lines.push(format!(
+            "{name}: {cur:.1} vs baseline {base:.1} (x{ratio:.2}, {delta:+.1}%) {verdict}"
+        ));
     };
     gauge(
         "dispatch_ops_per_s",
         current.dispatch_ops_per_s,
         baseline.dispatch_ops_per_s,
+        true,
+    );
+    gauge(
+        "engine_reqs_per_s",
+        current.engine_reqs_per_s,
+        baseline.engine_reqs_per_s,
         true,
     );
     gauge(
@@ -225,10 +285,10 @@ pub fn check(
         baseline.sfc_ns_per_op,
         false,
     );
-    if failures.is_empty() {
-        Ok(lines)
+    if regressed {
+        Err(lines)
     } else {
-        Err(failures)
+        Ok(lines)
     }
 }
 
@@ -240,11 +300,14 @@ mod tests {
     fn json_roundtrips() {
         let report = PerfReport {
             dispatch_ops_per_s: 1_234_567.8,
+            engine_reqs_per_s: 456_789.1,
             routing_reqs_per_s: 98_765.4,
             sfc_ns_per_op: 41.125,
         };
-        let back = PerfReport::from_json(&report.to_json()).expect("roundtrip");
+        let (back, warnings) = PerfReport::from_json(&report.to_json()).expect("roundtrip");
+        assert!(warnings.is_empty(), "{warnings:?}");
         assert!((back.dispatch_ops_per_s - report.dispatch_ops_per_s).abs() < 0.1);
+        assert!((back.engine_reqs_per_s - report.engine_reqs_per_s).abs() < 0.1);
         assert!((back.routing_reqs_per_s - report.routing_reqs_per_s).abs() < 0.1);
         assert!((back.sfc_ns_per_op - report.sfc_ns_per_op).abs() < 0.001);
     }
@@ -256,27 +319,71 @@ mod tests {
     }
 
     #[test]
+    fn unknown_keys_are_ignored_and_missing_keys_warn() {
+        // A baseline from a *newer* build: an extra metric this build
+        // doesn't know about must not disturb parsing.
+        let newer = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \
+             \"dispatch_ops_per_s\": 10.0,\n  \
+             \"engine_reqs_per_s\": 20.0,\n  \
+             \"routing_reqs_per_s\": 30.0,\n  \
+             \"sfc_ns_per_op\": 40.0,\n  \
+             \"future_metric_per_s\": 50.0\n}}\n"
+        );
+        let (r, warnings) = PerfReport::from_json(&newer).expect("unknown keys are fine");
+        assert!(warnings.is_empty());
+        assert_eq!(r.dispatch_ops_per_s, 10.0);
+        // A baseline from an *older* build: the absent metric warns and
+        // parses as NaN; check() then skips it instead of failing.
+        let older = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \
+             \"dispatch_ops_per_s\": 1000.0,\n  \
+             \"routing_reqs_per_s\": 1000.0,\n  \
+             \"sfc_ns_per_op\": 100.0\n}}\n"
+        );
+        let (base, warnings) = PerfReport::from_json(&older).expect("missing key is a warning");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("engine_reqs_per_s"));
+        assert!(base.engine_reqs_per_s.is_nan());
+        let current = PerfReport {
+            dispatch_ops_per_s: 1000.0,
+            engine_reqs_per_s: 123.0, // would regress against any number
+            routing_reqs_per_s: 1000.0,
+            sfc_ns_per_op: 100.0,
+        };
+        let lines = check(&current, &base, 0.2).expect("NaN baseline is skipped");
+        assert!(lines.iter().any(|l| l.contains("skipped")));
+    }
+
+    #[test]
     fn check_flags_only_true_regressions() {
         let base = PerfReport {
             dispatch_ops_per_s: 1000.0,
+            engine_reqs_per_s: 1000.0,
             routing_reqs_per_s: 1000.0,
             sfc_ns_per_op: 100.0,
         };
         // Improvements and in-tolerance dips pass.
         let fine = PerfReport {
             dispatch_ops_per_s: 850.0,
+            engine_reqs_per_s: 1000.0,
             routing_reqs_per_s: 2000.0,
             sfc_ns_per_op: 115.0,
         };
         assert!(check(&fine, &base, 0.2).is_ok());
-        // A past-tolerance throughput drop fails…
+        // A past-tolerance throughput drop fails, and the failure report
+        // carries every metric's old/new/delta, not just the regressed one.
         let slow = PerfReport {
             dispatch_ops_per_s: 700.0,
             ..fine
         };
-        let failures = check(&slow, &base, 0.2).unwrap_err();
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("dispatch_ops_per_s"));
+        let lines = check(&slow, &base, 0.2).unwrap_err();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.iter().filter(|l| l.contains("REGRESSED")).count(), 1);
+        let bad = lines.iter().find(|l| l.contains("REGRESSED")).unwrap();
+        assert!(bad.contains("dispatch_ops_per_s"));
+        assert!(bad.contains("700.0") && bad.contains("1000.0"));
+        assert!(bad.contains("-30.0%"));
         // …and so does a past-tolerance latency rise.
         let laggy = PerfReport {
             sfc_ns_per_op: 130.0,
@@ -289,6 +396,7 @@ mod tests {
     fn measure_produces_positive_numbers() {
         let report = measure(crate::DEFAULT_SEED, 1);
         assert!(report.dispatch_ops_per_s > 0.0);
+        assert!(report.engine_reqs_per_s > 0.0);
         assert!(report.routing_reqs_per_s > 0.0);
         assert!(report.sfc_ns_per_op > 0.0);
     }

@@ -27,15 +27,25 @@ use sched::Request;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Queue entry: a request tagged with its characterization value.
+/// Queue entry: the characterization value, the request id (the ordering
+/// tie-break), and the request's arena slot. Requests themselves live once
+/// in the dispatcher's arena; the heaps sift these 32-byte entries instead
+/// of whole `Request` structs.
+#[derive(Clone, Copy)]
 struct Entry {
     v: u128,
-    req: Request,
+    id: u64,
+    /// Arena slot holding the request.
+    slot: u32,
+    /// Slot generation at insertion. A mismatch with the slot's current
+    /// generation marks the entry *stale* (its request was shed); stale
+    /// entries are skipped lazily instead of rebuilding the heap.
+    gen: u32,
 }
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.v == other.v && self.req.id == other.req.id
+        self.v == other.v && self.id == other.id
     }
 }
 impl Eq for Entry {}
@@ -48,18 +58,52 @@ impl Ord for Entry {
     /// Max-heap order inverted: the *smallest* (v, id) is the maximum, so
     /// `BinaryHeap::pop` yields the highest-priority request.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.v, other.req.id).cmp(&(self.v, self.req.id))
+        (other.v, other.id).cmp(&(self.v, self.id))
     }
+}
+
+/// One arena slot: the request (while pending) and the slot's generation,
+/// bumped every time the slot is vacated.
+struct Slot {
+    req: Option<Request>,
+    gen: u32,
+}
+
+/// Borrow the request an entry points at, or `None` if the entry is stale.
+#[inline]
+fn live_req<'a>(slots: &'a [Slot], e: &Entry) -> Option<&'a Request> {
+    let s = &slots[e.slot as usize];
+    if s.gen != e.gen {
+        return None;
+    }
+    s.req.as_ref()
 }
 
 /// The dispatcher. Generic over nothing: values are `u128`
 /// characterization values produced by the encapsulator.
+///
+/// Requests are stored once, in a slab arena (`slots` + `free` list); the
+/// queues hold `(v, id, slot)` entries. Shedding marks a slot stale instead
+/// of rebuilding the owning heap, and `q_live`/`qw_live` track the live
+/// entry counts the public accessors report.
 pub struct Dispatcher {
     config: DispatchConfig,
     /// Active queue `q`.
     q: BinaryHeap<Entry>,
     /// Waiting queue `q'`.
     q_wait: BinaryHeap<Entry>,
+    /// Request arena and its free list.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Live (non-stale) entries in `q` and `q_wait`.
+    q_live: usize,
+    qw_live: usize,
+    /// Stale entries still sitting in either heap. Staleness only arises
+    /// when a shed vacates a queued victim's slot, so while this is zero
+    /// (always, for unbounded queues) the pop path skips every
+    /// generation check — each one is a random-access load into the
+    /// arena, and they dominate dequeue cost when they miss cache.
+    stale: usize,
     /// Base window in absolute value units.
     base_window: u128,
     /// Current (possibly ER-expanded) window.
@@ -92,6 +136,11 @@ impl Dispatcher {
             config,
             q: BinaryHeap::new(),
             q_wait: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            q_live: 0,
+            qw_live: 0,
+            stale: 0,
             base_window,
             window: base_window,
             current: None,
@@ -104,7 +153,7 @@ impl Dispatcher {
 
     /// Number of pending requests.
     pub fn len(&self) -> usize {
-        self.q.len() + self.q_wait.len()
+        self.q_live + self.qw_live
     }
 
     /// `true` when no requests are pending.
@@ -115,7 +164,52 @@ impl Dispatcher {
     /// Depths of the active and waiting queues, `(q, q')`. Load-aware
     /// routers read this to steer arrivals toward lightly loaded shards.
     pub fn queue_depths(&self) -> (usize, usize) {
-        (self.q.len(), self.q_wait.len())
+        (self.q_live, self.qw_live)
+    }
+
+    /// Move a request into the arena, returning its slot and generation.
+    fn alloc(&mut self, req: Request) -> (u32, u32) {
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            s.req = Some(req);
+            (slot, s.gen)
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                req: Some(req),
+                gen: 0,
+            });
+            (slot, 0)
+        }
+    }
+
+    /// Take the request out of a live slot, vacating it.
+    fn take(&mut self, slot: u32) -> Request {
+        let s = &mut self.slots[slot as usize];
+        let req = s.req.take().expect("slot holds a live request");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        req
+    }
+
+    /// Vacate a shed victim's slot; its heap entry goes stale in place.
+    fn vacate(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.req = None;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.stale += 1;
+    }
+
+    /// Pop stale entries off the heap top so `peek` sees a live entry.
+    fn drop_stale_top(heap: &mut BinaryHeap<Entry>, slots: &[Slot], stale: &mut usize) {
+        while let Some(e) = heap.peek() {
+            if live_req(slots, e).is_some() {
+                break;
+            }
+            heap.pop();
+            *stale -= 1;
+        }
     }
 
     /// (preemptions, SP promotions, queue swaps) since construction.
@@ -148,21 +242,26 @@ impl Dispatcher {
         now_us: u64,
         sink: &mut S,
     ) {
-        let entry = Entry { v, req };
         // Bounded queue: a full dispatcher sheds the lowest-priority
         // pending request — possibly the arrival itself — before (or
         // instead of) inserting.
-        let entry = if matches!(self.config.max_queue, Some(cap) if self.len() >= cap) {
-            match self.shed_worst(entry, now_us, sink) {
-                Some(e) => e,
-                None => return, // the arrival itself was the victim
-            }
-        } else {
-            entry
-        };
+        if matches!(self.config.max_queue, Some(cap) if self.len() >= cap)
+            && !self.shed_worst(v, req.id, now_us, sink)
+        {
+            return; // the arrival itself was the victim
+        }
+        let id = req.id;
+        let (slot, gen) = self.alloc(req);
+        let entry = Entry { v, id, slot, gen };
         match self.config.mode {
-            PreemptionMode::Fully => self.q.push(entry),
-            PreemptionMode::NonPreemptive => self.q_wait.push(entry),
+            PreemptionMode::Fully => {
+                self.q.push(entry);
+                self.q_live += 1;
+            }
+            PreemptionMode::NonPreemptive => {
+                self.q_wait.push(entry);
+                self.qw_live += 1;
+            }
             PreemptionMode::Conditional { .. } => {
                 let significantly_higher = match self.current {
                     // Idle disk: nothing to preempt, join the active queue.
@@ -182,8 +281,10 @@ impl Dispatcher {
                         self.expand_window(now_us, sink);
                     }
                     self.q.push(entry);
+                    self.q_live += 1;
                 } else {
                     self.q_wait.push(entry);
+                    self.qw_live += 1;
                 }
             }
         }
@@ -209,17 +310,24 @@ impl Dispatcher {
         sink: &mut S,
     ) -> Option<Request> {
         // Swap empty active queue with the waiting queue.
-        if self.q.is_empty() {
-            if self.q_wait.is_empty() {
+        if self.q_live == 0 {
+            if self.qw_live == 0 {
+                // Fully drained: clear any stale residue so the heaps
+                // don't accumulate dead entries across idle periods.
+                self.q.clear();
+                self.q_wait.clear();
+                self.stale = 0;
                 self.current = None;
                 return None;
             }
+            self.q.clear();
             std::mem::swap(&mut self.q, &mut self.q_wait);
+            std::mem::swap(&mut self.q_live, &mut self.qw_live);
             self.swaps += 1;
             if S::ENABLED {
                 sink.emit(&TraceEvent::QueueSwap {
                     now_us,
-                    batch: self.q.len() as u64,
+                    batch: self.q_live as u64,
                 });
             }
             // ER: the active queue turned over — reset the window.
@@ -234,101 +342,127 @@ impl Dispatcher {
             if self.config.refresh_on_swap {
                 if let Some(f) = refresh.as_mut() {
                     let entries = std::mem::take(&mut self.q).into_vec();
-                    self.q = entries
-                        .into_iter()
-                        .map(|mut e| {
-                            e.v = f(&e.req);
-                            e
-                        })
-                        .collect();
+                    let mut rebuilt = Vec::with_capacity(self.q_live);
+                    for mut e in entries {
+                        let Some(req) = live_req(&self.slots, &e) else {
+                            self.stale -= 1; // dropped during the rebuild
+                            continue;
+                        };
+                        e.v = f(req);
+                        rebuilt.push(e);
+                    }
+                    self.q = rebuilt.into();
                 }
             }
         }
 
         // SP: promote waiting requests that now significantly beat the
         // next candidate.
-        if self.config.serve_promote {
+        if self.config.serve_promote && self.qw_live > 0 {
             loop {
+                if self.stale > 0 {
+                    Self::drop_stale_top(&mut self.q, &self.slots, &mut self.stale);
+                    Self::drop_stale_top(&mut self.q_wait, &self.slots, &mut self.stale);
+                }
                 let next_v = self.q.peek().expect("q non-empty").v;
                 let Some(wait_top) = self.q_wait.peek() else {
                     break;
                 };
                 if wait_top.v < next_v.saturating_sub(self.window) {
                     let e = self.q_wait.pop().expect("peeked");
+                    self.qw_live -= 1;
                     self.promotions += 1;
                     if S::ENABLED {
                         sink.emit(&TraceEvent::SpPromote { now_us, v: e.v });
                     }
                     self.expand_window(now_us, sink);
                     self.q.push(e);
+                    self.q_live += 1;
                 } else {
                     break;
                 }
             }
         }
 
-        let entry = self.q.pop().expect("q non-empty");
+        let entry = if self.stale == 0 {
+            self.q.pop().expect("q has a live entry")
+        } else {
+            loop {
+                let e = self.q.pop().expect("q has a live entry");
+                if live_req(&self.slots, &e).is_some() {
+                    break e;
+                }
+                self.stale -= 1;
+            }
+        };
+        self.q_live -= 1;
         self.current = Some(entry.v);
-        Some(entry.req)
+        Some(self.take(entry.slot))
     }
 
     /// Visit every pending request.
     pub fn for_each_pending(&self, f: &mut dyn FnMut(&Request)) {
         for e in self.q.iter().chain(self.q_wait.iter()) {
-            f(&e.req);
+            if let Some(r) = live_req(&self.slots, e) {
+                f(r);
+            }
         }
     }
 
-    /// Overload victim selection: find the globally *worst* pending
+    /// Overload victim selection: find the globally *worst* live pending
     /// request (largest `(v, id)` — SFC2's victim-selection order, ties
     /// broken against the newer request) across both queues and the
-    /// incoming entry. Returns `Some(incoming)` when a queued request was
-    /// evicted to make room, `None` when the incoming entry itself is the
-    /// victim. The eviction is O(queue) — shedding only happens under
-    /// overload, where losing a little dispatcher time to save a disk
-    /// service is the right trade.
-    fn shed_worst<S: TraceSink>(
-        &mut self,
-        incoming: Entry,
-        now_us: u64,
-        sink: &mut S,
-    ) -> Option<Entry> {
-        let worst_of = |h: &BinaryHeap<Entry>| h.iter().map(|e| (e.v, e.req.id)).max();
-        let worst_q = worst_of(&self.q);
-        let worst_wait = worst_of(&self.q_wait);
-        let worst_pending = worst_q.max(worst_wait);
-        let record = |d: &mut Self, s: &mut S, victim_v: u128, victim_id: u64| {
-            d.sheds += 1;
-            if S::ENABLED {
-                s.emit(&TraceEvent::Shed {
-                    now_us,
-                    req: victim_id,
-                    v: victim_v,
-                });
-            }
+    /// incoming `(v, id)`. Returns `true` when a queued request was
+    /// evicted to make room, `false` when the arrival itself is the
+    /// victim. Eviction just vacates the victim's arena slot — its heap
+    /// entry goes stale and is skipped lazily — so shedding is O(queue)
+    /// scan with no heap rebuild.
+    fn shed_worst<S: TraceSink>(&mut self, v: u128, id: u64, now_us: u64, sink: &mut S) -> bool {
+        let worst_of = |h: &BinaryHeap<Entry>, slots: &[Slot]| {
+            h.iter()
+                .filter(|e| live_req(slots, e).is_some())
+                .map(|e| (e.v, e.id, e.slot))
+                .max_by_key(|&(v, id, _)| (v, id))
         };
-        match worst_pending {
-            Some(worst) if worst > (incoming.v, incoming.req.id) => {
-                // Evict the queued victim from whichever queue holds it.
-                let heap = if worst_q == Some(worst) {
-                    &mut self.q
+        let worst_q = worst_of(&self.q, &self.slots);
+        let worst_wait = worst_of(&self.q_wait, &self.slots);
+        // On a cross-queue tie prefer the q victim (matches the historical
+        // eviction order; ties cannot actually occur — ids are unique).
+        let (victim, from_q) = match (worst_q, worst_wait) {
+            (Some(a), Some(b)) => {
+                if (a.0, a.1) >= (b.0, b.1) {
+                    (Some(a), true)
                 } else {
-                    &mut self.q_wait
-                };
-                let mut entries = std::mem::take(heap).into_vec();
-                let pos = entries
-                    .iter()
-                    .position(|e| (e.v, e.req.id) == worst)
-                    .expect("victim came from this heap");
-                entries.swap_remove(pos);
-                *heap = entries.into();
-                record(self, sink, worst.0, worst.1);
-                Some(incoming)
+                    (Some(b), false)
+                }
+            }
+            (Some(a), None) => (Some(a), true),
+            (None, b) => (b, false),
+        };
+        self.sheds += 1;
+        match victim {
+            Some((wv, wid, wslot)) if (wv, wid) > (v, id) => {
+                self.vacate(wslot);
+                if from_q {
+                    self.q_live -= 1;
+                } else {
+                    self.qw_live -= 1;
+                }
+                if S::ENABLED {
+                    sink.emit(&TraceEvent::Shed {
+                        now_us,
+                        req: wid,
+                        v: wv,
+                    });
+                }
+                true
             }
             _ => {
                 // The arrival is the worst of the lot: shed it unqueued.
-                record(self, sink, incoming.v, incoming.req.id);
-                None
+                if S::ENABLED {
+                    sink.emit(&TraceEvent::Shed { now_us, req: id, v });
+                }
+                false
             }
         }
     }

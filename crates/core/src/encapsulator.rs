@@ -8,20 +8,121 @@
 
 use crate::config::{CascadeConfig, DistanceMode, Stage2Combiner};
 use sched::{HeadState, Micros, Request};
-use sfc::{SfcError, SpaceFillingCurve, WeightedDiagonal};
+use sfc::{CurveKernel, SfcError, WeightedDiagonal};
 
 /// The encapsulator: request → characterization value `v_c`.
+///
+/// Everything that does not depend on the individual request — curve
+/// dispatch, stage maxima, quantization ranges, the SFC2 fixed-point
+/// factor, the SFC3 strip geometry — is resolved once here, so
+/// [`Encapsulator::characterize`] is straight-line integer arithmetic.
 pub struct Encapsulator {
     config: CascadeConfig,
-    /// SFC1 instance (when stage 1 is configured).
-    curve1: Option<Box<dyn SpaceFillingCurve>>,
+    /// SFC1 instance (when stage 1 is configured), devirtualized.
+    curve1: Option<CurveKernel>,
     /// SFC2 catalogue-curve instance (when stage 2 uses `Curve`).
-    curve2: Option<Box<dyn SpaceFillingCurve>>,
-    /// Maximum possible output of each stage, used for quantization and
-    /// for expressing the blocking window as a fraction of the space.
-    max_v1: u128,
-    max_v2: u128,
+    curve2: Option<CurveKernel>,
+    /// SFC2 weighted-diagonal order (when stage 2 uses `Weighted`), built
+    /// once instead of per request.
+    weighted2: Option<WeightedDiagonal>,
+    /// Maximum possible output of the full cascade (stage maxima feeding
+    /// the rescales live inside the precomputed quantizers below).
     max_vc: u128,
+    /// Stage-3 strip geometry: grid maximum, strip width `p_s`, strip
+    /// count `r`, and sweep height (`cylinders.max(2)`).
+    s3_max_x: u128,
+    s3_strip: u64,
+    s3_r: u64,
+    s3_height: u64,
+    /// `true` when the whole SFC3 formula fits 64-bit arithmetic for every
+    /// in-range input (the paper-default shapes by a wide margin).
+    s3_fits_u64: bool,
+    /// Precomputed quantizers (divisor reciprocals resolved once): stage-2
+    /// priority axis, stage-2 slack axis, stage-3 priority-deadline axis.
+    q2x: Quantizer,
+    q2y: Quantizer,
+    q3x: Quantizer,
+    /// Reciprocal of the stage-3 strip width for the partition index.
+    s3_strip_div: FixedDiv,
+    /// Scratch buffer reused by [`Encapsulator::map_batch`].
+    scratch: Vec<u128>,
+}
+
+/// Exact division by a fixed divisor via one widening multiply (the
+/// round-up reciprocal method): with `m = ⌊2^64/d⌋ + 1` and
+/// `e = m·d − 2^64 ∈ [1, d]`, `⌊n·m/2^64⌋ = ⌊n/d⌋` whenever `n·e < 2^64`.
+/// Numerators beyond that certified range fall back to hardware division.
+#[derive(Debug, Clone, Copy)]
+struct FixedDiv {
+    d: u64,
+    m: u64,
+    n_max: u64,
+}
+
+impl FixedDiv {
+    fn new(d: u64) -> FixedDiv {
+        let d = d.max(1);
+        if d == 1 {
+            return FixedDiv {
+                d,
+                m: 0,
+                n_max: u64::MAX,
+            };
+        }
+        let m = ((1u128 << 64) / d as u128 + 1) as u64;
+        let e = (m as u128) * (d as u128) - (1u128 << 64);
+        let n_max = ((1u128 << 64) / e).saturating_sub(1).min(u64::MAX as u128) as u64;
+        FixedDiv { d, m, n_max }
+    }
+
+    #[inline]
+    fn div(&self, n: u64) -> u64 {
+        if self.d == 1 {
+            n
+        } else if n <= self.n_max {
+            ((n as u128 * self.m as u128) >> 64) as u64
+        } else {
+            n / self.d
+        }
+    }
+}
+
+/// One stage's order-preserving rescale `[0, max_in] → [0, max_out]` with
+/// the division strength-reduced at construction. `apply` is bit-identical
+/// to [`quantize`] (pinned by the `quantizer_matches_quantize` test).
+#[derive(Debug, Clone, Copy)]
+struct Quantizer {
+    max_in: u128,
+    max_out: u128,
+    /// Both bounds fit `u64`, so the hot multiply-divide path applies.
+    fast: bool,
+    div: FixedDiv,
+}
+
+impl Quantizer {
+    fn new(max_in: u128, max_out: u128) -> Quantizer {
+        let fast = max_in > 0 && max_in <= u64::MAX as u128 && max_out <= u64::MAX as u128;
+        Quantizer {
+            max_in,
+            max_out,
+            fast,
+            div: FixedDiv::new(if fast { max_in as u64 } else { 1 }),
+        }
+    }
+
+    #[inline]
+    fn apply(&self, v: u128) -> u128 {
+        if self.max_in == 0 {
+            return 0;
+        }
+        let v = v.min(self.max_in);
+        if self.fast {
+            if let Some(prod) = (v as u64).checked_mul(self.max_out as u64) {
+                return self.div.div(prod) as u128;
+            }
+        }
+        quantize(v, self.max_in, self.max_out)
+    }
 }
 
 impl Encapsulator {
@@ -29,7 +130,7 @@ impl Encapsulator {
     pub fn new(config: CascadeConfig) -> Result<Self, SfcError> {
         let mut curve1 = None;
         let max_v1: u128 = if let Some(s1) = &config.stage1 {
-            let c = s1.curve.build(s1.dims, s1.level_bits)?;
+            let c = CurveKernel::build(s1.curve, s1.dims, s1.level_bits)?;
             let max = c.cells() - 1;
             curve1 = Some(c);
             max
@@ -39,15 +140,22 @@ impl Encapsulator {
         };
 
         let mut curve2 = None;
+        let mut weighted2 = None;
         let mut max_v2 = max_v1;
+        let mut s2_grid_max = 0u128;
+        let mut s2_horizon = 1u64;
         if let Some(s2) = &config.stage2 {
-            let grid_max = (1u128 << s2.resolution_bits) - 1;
+            s2_grid_max = (1u128 << s2.resolution_bits) - 1;
+            s2_horizon = s2.horizon_us.max(1);
             max_v2 = match s2.combiner {
                 Stage2Combiner::Weighted { f } => {
-                    WeightedDiagonal::new(f).value(grid_max as u64, grid_max as u64)
+                    let w = WeightedDiagonal::new(f);
+                    let max = w.value(s2_grid_max as u64, s2_grid_max as u64);
+                    weighted2 = Some(w);
+                    max
                 }
                 Stage2Combiner::Curve(kind) => {
-                    let c = kind.build(2, s2.resolution_bits)?;
+                    let c = CurveKernel::build(kind, 2, s2.resolution_bits)?;
                     let cells = c.cells();
                     curve2 = Some(c);
                     cells - 1
@@ -55,10 +163,25 @@ impl Encapsulator {
             };
         }
 
+        let mut s3_max_x = 0u128;
+        let mut s3_strip = 1u64;
+        let mut s3_r = 1u64;
+        let mut s3_height = 2u64;
+        let mut s3_fits_u64 = false;
         let max_vc = if let Some(s3) = &config.stage3 {
             let max_x = (1u128 << s3.resolution_bits) - 1;
             let max_y = (s3.cylinders.max(2) - 1) as u128;
-            stage3_value(max_x, max_y, max_x + 1, max_y + 1, s3.partitions)
+            let max = stage3_value(max_x, max_y, max_x + 1, max_y + 1, s3.partitions);
+            s3_max_x = max_x;
+            let r = s3.partitions.max(1) as u128;
+            s3_strip = (((max_x + 1) / r).max(1)) as u64;
+            s3_r = r as u64;
+            s3_height = s3.cylinders.max(2) as u64;
+            // Every term of the formula is bounded by the full-corner value,
+            // so `max <= u64::MAX` makes 64-bit evaluation exact for all
+            // in-range (x, y).
+            s3_fits_u64 = max <= u64::MAX as u128;
+            max
         } else {
             max_v2
         };
@@ -67,9 +190,18 @@ impl Encapsulator {
             config,
             curve1,
             curve2,
-            max_v1,
-            max_v2,
+            weighted2,
             max_vc,
+            s3_max_x,
+            s3_strip,
+            s3_r,
+            s3_height,
+            s3_fits_u64,
+            q2x: Quantizer::new(max_v1, s2_grid_max),
+            q2y: Quantizer::new(s2_horizon as u128, s2_grid_max),
+            q3x: Quantizer::new(max_v2, s3_max_x),
+            s3_strip_div: FixedDiv::new(s3_strip),
+            scratch: Vec::new(),
         })
     }
 
@@ -89,6 +221,23 @@ impl Encapsulator {
         let v1 = self.stage1_value(req);
         let v2 = self.stage2_value(v1, req, head.now_us);
         self.stage3_value_of(v2, req, head)
+    }
+
+    /// Characterize a batch of arrivals in one pass, reusing an internal
+    /// scratch buffer: `map_batch(batch, head)[i]` is bit-identical to
+    /// `characterize(&batch[i], head_i)` where `head_i` is `head`
+    /// re-anchored to `batch[i].arrival_us` (the convention of
+    /// [`sched::DiskScheduler::enqueue_batch`]). The returned slice is
+    /// valid until the next call.
+    pub fn map_batch(&mut self, batch: &[Request], head: &HeadState) -> &[u128] {
+        self.scratch.clear();
+        self.scratch.reserve(batch.len());
+        for req in batch {
+            let at_arrival = HeadState::new(head.cylinder, req.arrival_us, head.cylinders);
+            let v = self.characterize(req, &at_arrival);
+            self.scratch.push(v);
+        }
+        &self.scratch
     }
 
     /// Stage 1: priority vector → scalar.
@@ -125,13 +274,12 @@ impl Encapsulator {
         let Some(s2) = &self.config.stage2 else {
             return v1;
         };
-        let grid_max = (1u128 << s2.resolution_bits) - 1;
-        let x = quantize(v1, self.max_v1, grid_max) as u64;
+        let x = self.q2x.apply(v1) as u64;
         let slack = req.slack_us(now).min(s2.horizon_us);
-        let y = quantize(slack as u128, s2.horizon_us.max(1) as u128, grid_max) as u64;
-        match s2.combiner {
-            Stage2Combiner::Weighted { f } => WeightedDiagonal::new(f).value(x, y),
-            Stage2Combiner::Curve(_) => self
+        let y = self.q2y.apply(slack as u128) as u64;
+        match &self.weighted2 {
+            Some(w) => w.value(x, y),
+            None => self
                 .curve2
                 .as_ref()
                 .expect("curve2 built for Curve combiner")
@@ -145,8 +293,7 @@ impl Encapsulator {
         let Some(s3) = &self.config.stage3 else {
             return v2;
         };
-        let max_x = (1u128 << s3.resolution_bits) - 1;
-        let x = quantize(v2, self.max_v2, max_x);
+        let x = self.q3x.apply(v2);
         let y = match s3.distance {
             DistanceMode::Absolute => head.distance_to(req.cylinder) as u128,
             DistanceMode::Circular => {
@@ -154,7 +301,24 @@ impl Encapsulator {
                 (((req.cylinder as i64 - head.cylinder as i64) % n + n) % n) as u128
             }
         };
-        stage3_value(x, y, max_x + 1, s3.cylinders.max(2) as u128, s3.partitions)
+        // 64-bit evaluation of the same formula when the corner value fits
+        // (in-range y only: a cylinder beyond the configured disk keeps the
+        // wide path).
+        if self.s3_fits_u64 && y < self.s3_height as u128 {
+            let x = x as u64;
+            let strip = self.s3_strip;
+            let p_n = self.s3_strip_div.div(x).min(self.s3_r - 1);
+            // `strip * p_n` first: every partial product stays below the
+            // corner value the fits-u64 flag certified.
+            return (strip * p_n * self.s3_height + y as u64 * strip + (x - strip * p_n)) as u128;
+        }
+        stage3_value(
+            x,
+            y,
+            self.s3_max_x + 1,
+            self.s3_height as u128,
+            s3.partitions,
+        )
     }
 }
 
@@ -182,6 +346,17 @@ fn quantize(v: u128, max_in: u128, max_out: u128) -> u128 {
         return 0;
     }
     let v = v.min(max_in);
+    // All-64-bit operands (the common scheduling shapes): one hardware
+    // multiply and divide instead of the soft u128 division.
+    if let (Ok(v64), Ok(in64), Ok(out64)) = (
+        u64::try_from(v),
+        u64::try_from(max_in),
+        u64::try_from(max_out),
+    ) {
+        if let Some(prod) = v64.checked_mul(out64) {
+            return (prod / in64) as u128;
+        }
+    }
     // (v * max_out) may exceed u128 for extreme configs; split the scale.
     if let Some(prod) = v.checked_mul(max_out) {
         prod / max_in
@@ -362,6 +537,60 @@ mod tests {
                     let v = e.characterize(&req(&qos, deadline, cyl), &head());
                     assert!(v <= e.max_value());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_div_is_exact_division() {
+        let mut s = 0x9e37u64;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        };
+        for _ in 0..20_000 {
+            let d = (next() % (1 << 21)).max(1);
+            let fd = FixedDiv::new(d);
+            // Numerators across the whole range, including around n_max.
+            for n in [
+                next() % (1 << 22),
+                next(),
+                fd.n_max,
+                fd.n_max.wrapping_add(1),
+                fd.n_max.saturating_sub(1),
+                u64::MAX,
+            ] {
+                assert_eq!(fd.div(n), n / d, "d={d} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantizer_matches_quantize() {
+        let mut s = 0xdeadu64;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        };
+        for _ in 0..5_000 {
+            let max_in = next() as u128 % (1u128 << 70);
+            let max_out = next() as u128 % 4096;
+            let q = Quantizer::new(max_in, max_out);
+            for v in [
+                0u128,
+                next() as u128 % (max_in + 1),
+                max_in,
+                max_in + next() as u128, // clamped region
+            ] {
+                assert_eq!(
+                    q.apply(v),
+                    quantize(v, max_in, max_out),
+                    "max_in={max_in} max_out={max_out} v={v}"
+                );
             }
         }
     }

@@ -87,6 +87,18 @@ impl<S: TraceSink> DiskScheduler for CascadedSfc<S> {
             .insert_traced(req, v, head.now_us, &mut self.sink);
     }
 
+    fn enqueue_batch(&mut self, batch: &[Request], head: &HeadState) {
+        // Characterize the whole chunk through the encapsulator's scratch
+        // buffer (per-request stage invariants hoisted), then insert. Each
+        // request is anchored at its own arrival time, exactly like the
+        // trait's default loop.
+        let vs = self.encapsulator.map_batch(batch, head);
+        for (r, &v) in batch.iter().zip(vs) {
+            self.dispatcher
+                .insert_traced(r.clone(), v, r.arrival_us, &mut self.sink);
+        }
+    }
+
     fn dequeue(&mut self, head: &HeadState) -> Option<Request> {
         let enc = &self.encapsulator;
         if enc.config().dispatch.refresh_on_swap {
@@ -246,6 +258,43 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_enqueue_matches_per_request_enqueue() {
+        let cfg = CascadeConfig::paper_default(3, 3832);
+        let mut one = CascadedSfc::new(cfg.clone()).unwrap();
+        let mut batched = CascadedSfc::new(cfg).unwrap();
+        let batch: Vec<Request> = (0..60u64)
+            .map(|i| {
+                Request::read(
+                    i,
+                    i * 250,
+                    300_000 + i * 2_000,
+                    (i * 97 % 3832) as u32,
+                    65536,
+                    QosVector::new(&[(i % 16) as u8, ((i * 11) % 16) as u8, 5]),
+                )
+            })
+            .collect();
+        let h = HeadState::new(1700, batch[0].arrival_us, 3832);
+        for r in &batch {
+            one.enqueue(
+                r.clone(),
+                &HeadState::new(h.cylinder, r.arrival_us, h.cylinders),
+            );
+        }
+        batched.enqueue_batch(&batch, &h);
+        assert_eq!(one.len(), batched.len());
+        loop {
+            let a = one.dequeue(&h);
+            let b = batched.dequeue(&h);
+            assert_eq!(a.as_ref().map(|r| r.id), b.as_ref().map(|r| r.id));
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(one.dispatch_counters(), batched.dispatch_counters());
     }
 
     #[test]

@@ -201,7 +201,12 @@ pub fn route_trace<S: TraceSink>(
     assert_eq!(capacities.len(), cfg.shards);
     let mut router = cfg.policy.build(cfg.cylinders);
     let mut model = LoadModel::new(cfg.shards, cfg.est_service_us);
-    let mut shard_traces: Vec<Vec<Request>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+    // Routing is stateful (load-model feedback), so exact per-shard counts
+    // can't be precomputed; seed each shard near the balanced share to
+    // avoid the early doubling churn.
+    let mut shard_traces: Vec<Vec<Request>> = (0..cfg.shards)
+        .map(|_| Vec::with_capacity(trace.len() / cfg.shards + 16))
+        .collect();
     let mut routed_per_shard = vec![0u64; cfg.shards];
     let mut redirects = 0u64;
 

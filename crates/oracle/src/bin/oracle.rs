@@ -2,7 +2,7 @@
 //! driver, and corpus replay/regeneration.
 //!
 //! ```text
-//! cargo run -p oracle --release --bin oracle -- --mode smoke|fuzz|replay|corpus
+//! cargo run -p oracle --release --bin oracle -- --mode smoke|fuzz|replay|corpus|perf-parity
 //!     [--seed N] [--cases N] [--corpus DIR]
 //! ```
 //!
@@ -15,6 +15,9 @@
 //! * `replay` re-runs every `.case` file in `--corpus`.
 //! * `corpus` regenerates the committed regression corpus: one `.case`
 //!   per archetype at the given seed (each verified to pass).
+//! * `perf-parity` diffs the optimized engine against the naive
+//!   reference on every corpus trace under all four dispatcher regimes —
+//!   the quick semantic gate to run after a hot-path optimization.
 
 use bench::args::Args;
 use oracle::fuzz::{self, Scenario, ARCHETYPES};
@@ -26,7 +29,10 @@ fn main() {
     let cases: u64 = args.get("cases", 24u64);
     let corpus: PathBuf = PathBuf::from(args.get("corpus", "tests/corpus".to_string()));
 
-    match args.one_of("mode", &["smoke", "fuzz", "replay", "corpus"]) {
+    match args.one_of(
+        "mode",
+        &["smoke", "fuzz", "replay", "corpus", "perf-parity"],
+    ) {
         "smoke" => match oracle::smoke::run(seed) {
             Ok(report) => {
                 eprintln!(
@@ -51,6 +57,19 @@ fn main() {
             Ok(n) => eprintln!("# oracle replay OK: {n} corpus cases re-checked clean"),
             Err(e) => {
                 eprintln!("# oracle replay FAILED: {e}");
+                std::process::exit(1);
+            }
+        },
+        "perf-parity" => match oracle::smoke::perf_parity(&corpus) {
+            Ok(report) => {
+                eprintln!(
+                    "# oracle perf-parity OK: {} differential runs agreed across {} \
+                     requests on the corpus",
+                    report.differential_runs, report.requests_checked
+                );
+            }
+            Err(e) => {
+                eprintln!("# oracle perf-parity FAILED: {e}");
                 std::process::exit(1);
             }
         },

@@ -6,7 +6,7 @@ use farm::{FarmConfig, RoutePolicy};
 use sim::{DiskService, SimOptions};
 use workload::{PoissonConfig, VodConfig};
 
-use crate::fuzz::{Scenario, ARCHETYPES};
+use crate::fuzz::{Archetype, Scenario, ARCHETYPES};
 use crate::metamorphic;
 use crate::reference::{diff_baselines, diff_cascade};
 use crate::routing::diff_routing;
@@ -101,6 +101,58 @@ pub fn run(seed: u64) -> Result<SmokeReport, String> {
     Ok(report)
 }
 
+/// Perf-parity gate: after a hot-path optimization (LUT kernels, batched
+/// encapsulation, the arena dispatcher), prove the optimized engine is
+/// still *semantically* identical by diffing it against the naive
+/// reference on every committed corpus trace, under all four dispatcher
+/// regimes — plus each case's own archetype oracle via replay.
+pub fn perf_parity(corpus: &std::path::Path) -> Result<SmokeReport, String> {
+    let mut report = SmokeReport::default();
+
+    // Each case first replays under its archetype-specific oracle…
+    let replayed = crate::fuzz::replay_dir(corpus)?;
+    if replayed == 0 {
+        return Err(format!("no .case files under {}", corpus.display()));
+    }
+    report.differential_runs += replayed as u64;
+
+    // …then its trace is run through the optimized cascade vs the
+    // reference under every dispatcher regime.
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(corpus)
+        .map_err(|e| format!("read {}: {e}", corpus.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    for path in &paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let (scenario, trace) =
+            crate::fuzz::parse_case(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let dims = match scenario.archetype {
+            Archetype::DeadlineClusters | Archetype::ShedBursts => 2u32,
+            Archetype::CylinderSweeps | Archetype::FaultPlans => 1,
+        };
+        let options = SimOptions::with_shape(dims as usize, 16).dropping();
+        for (regime, dispatch) in [
+            ("paper", DispatchConfig::paper_default()),
+            ("fully", DispatchConfig::fully_preemptive()),
+            ("non-preemptive", DispatchConfig::non_preemptive()),
+            (
+                "bounded",
+                DispatchConfig::paper_default().with_max_queue(16),
+            ),
+        ] {
+            let config = CascadeConfig::paper_default(dims, 3832).with_dispatch(dispatch);
+            diff_cascade(&config, &trace, options, DiskService::table1)
+                .map_err(|e| format!("[{}/{regime}] {e}", path.display()))?;
+            report.differential_runs += 1;
+            report.requests_checked += trace.len() as u64;
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +162,15 @@ mod tests {
         let report = run(bench::DEFAULT_SEED).expect("oracle smoke gate");
         assert!(report.differential_runs >= 20);
         assert!(report.requests_checked > 5_000);
+    }
+
+    #[test]
+    fn perf_parity_gate_passes_on_the_committed_corpus() {
+        let corpus =
+            std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus"));
+        let report = perf_parity(corpus).expect("perf-parity gate");
+        // 4 corpus cases: 4 replays + 4 regimes each.
+        assert!(report.differential_runs >= 20);
+        assert!(report.requests_checked > 0);
     }
 }

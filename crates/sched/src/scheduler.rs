@@ -60,6 +60,17 @@ pub trait DiskScheduler {
     /// A request arrived.
     fn enqueue(&mut self, req: Request, head: &HeadState);
 
+    /// A chunk of requests arrived together (already in arrival order).
+    /// `head` carries the servo position; each request is enqueued at its
+    /// own arrival time. Policies with a batch-aware fast path override
+    /// this; the default just loops over [`DiskScheduler::enqueue`].
+    fn enqueue_batch(&mut self, batch: &[Request], head: &HeadState) {
+        for r in batch {
+            let h = HeadState::new(head.cylinder, r.arrival_us, head.cylinders);
+            self.enqueue(r.clone(), &h);
+        }
+    }
+
     /// The disk is idle: pick the next request to serve, removing it from
     /// the queue. `None` when no request is pending.
     fn dequeue(&mut self, head: &HeadState) -> Option<Request>;
@@ -146,5 +157,12 @@ mod tests {
         assert_eq!(s.queue_capacity(), None);
         assert!(s.dequeue(&head).is_some());
         assert!(s.is_empty());
+        // The default batch hook is a plain loop over enqueue.
+        let batch = [
+            crate::Request::read(2, 5, 1_000, 10, 4_096, crate::QosVector::none()),
+            crate::Request::read(3, 9, 1_000, 11, 4_096, crate::QosVector::none()),
+        ];
+        s.enqueue_batch(&batch, &head);
+        assert_eq!(s.len(), 2);
     }
 }

@@ -242,6 +242,10 @@ impl InvertibleCurve for Diagonal {
 #[derive(Debug, Clone, Copy)]
 pub struct WeightedDiagonal {
     f: f64,
+    /// `round(f * SCALE)`, fixed at construction so `value` is pure integer
+    /// arithmetic (the float multiply + round per call was a measurable
+    /// share of the encapsulator's stage-2 cost).
+    fx: u128,
 }
 
 impl WeightedDiagonal {
@@ -258,7 +262,8 @@ impl WeightedDiagonal {
             f.is_finite() && f >= 0.0,
             "balance factor must be finite and >= 0"
         );
-        WeightedDiagonal { f }
+        let fx = (f * Self::SCALE as f64).round() as u128;
+        WeightedDiagonal { f, fx }
     }
 
     /// The balance factor.
@@ -271,8 +276,7 @@ impl WeightedDiagonal {
     /// deadline, i.e. smaller `y`; since `x + f·y` equal and `f = 0` make
     /// `x` equal, ordering on the composite achieves both conventions).
     pub fn value(&self, x: u64, y: u64) -> u128 {
-        let fx = (self.f * Self::SCALE as f64).round() as u128;
-        let main = (x as u128) * Self::SCALE + fx * y as u128;
+        let main = (x as u128) * Self::SCALE + self.fx * y as u128;
         // Tie-break on x: shift the main term and append x.
         main << 32 | (x as u128 & 0xFFFF_FFFF)
     }

@@ -107,6 +107,17 @@ impl Hilbert {
         h
     }
 
+    /// The dimension-generic Skilling transform. With `bits >= 2`,
+    /// `dims * bits <= 128` bounds `dims` by 64, so the working copy lives
+    /// in a fixed stack buffer instead of a per-call `Vec`.
+    fn index_generic(&self, point: &[u64]) -> u128 {
+        let mut buf = [0u64; 64];
+        let x = &mut buf[..point.len()];
+        x.copy_from_slice(point);
+        self.axes_to_transpose(x);
+        self.transpose_to_index(x)
+    }
+
     fn index_to_transpose(&self, h: u128, x: &mut [u64]) {
         x.iter_mut().for_each(|xi| *xi = 0);
         let mut pos = self.bits * self.dims;
@@ -142,9 +153,11 @@ impl SpaceFillingCurve for Hilbert {
             // bits >= 2; order-1 Hilbert is the Gray-code walk.
             return crate::gray::gray_inverse(self.transpose_to_index(point));
         }
-        let mut x: Vec<u64> = point.to_vec();
-        self.axes_to_transpose(&mut x);
-        self.transpose_to_index(&x)
+        match *point {
+            [x, y] => crate::kernels::hilbert2(x, y, self.bits),
+            [x, y, z] => crate::kernels::hilbert3(x, y, z, self.bits),
+            _ => self.index_generic(point),
+        }
     }
 }
 
@@ -170,11 +183,10 @@ mod tests {
     use super::*;
 
     fn walk(curve: &Hilbert) -> Vec<Vec<u64>> {
-        let mut pts = Vec::new();
-        let mut p = vec![0u64; curve.dims() as usize];
-        for i in 0..curve.cells() {
-            curve.point(i, &mut p);
-            pts.push(p.clone());
+        // Decode straight into pre-sized rows: no per-cell clone.
+        let mut pts = vec![vec![0u64; curve.dims() as usize]; curve.cells() as usize];
+        for (i, p) in pts.iter_mut().enumerate() {
+            curve.point(i as u128, p);
         }
         pts
     }
@@ -223,6 +235,57 @@ mod tests {
                 c.point(i, &mut p);
                 assert_eq!(c.index(&p), i, "dims={dims} bits={bits} i={i}");
                 i += stride;
+            }
+        }
+    }
+
+    #[test]
+    fn lut_kernels_match_the_generic_skilling_path() {
+        // Exhaustive at small orders, sampled at deep ones; this pins the
+        // 2-D/3-D state-table kernels to the dimension-generic transform
+        // they were derived from.
+        for bits in 2..=6u32 {
+            let c = Hilbert::new(2, bits).unwrap();
+            for x in 0..c.side() {
+                for y in 0..c.side() {
+                    assert_eq!(c.index(&[x, y]), c.index_generic(&[x, y]), "2d bits={bits}");
+                }
+            }
+        }
+        for bits in 2..=3u32 {
+            let c = Hilbert::new(3, bits).unwrap();
+            for x in 0..c.side() {
+                for y in 0..c.side() {
+                    for z in 0..c.side() {
+                        let p = [x, y, z];
+                        assert_eq!(c.index(&p), c.index_generic(&p), "3d bits={bits}");
+                    }
+                }
+            }
+        }
+        // Deep orders, pseudo-random sample (SplitMix64).
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for bits in [7u32, 10, 16, 31, 63] {
+            let c = Hilbert::new(2, bits).unwrap();
+            let mask = c.side() - 1;
+            for _ in 0..200 {
+                let p = [next() & mask, next() & mask];
+                assert_eq!(c.index(&p), c.index_generic(&p), "2d deep bits={bits}");
+            }
+        }
+        for bits in [5u32, 10, 21, 42] {
+            let c = Hilbert::new(3, bits).unwrap();
+            let mask = c.side() - 1;
+            for _ in 0..200 {
+                let p = [next() & mask, next() & mask, next() & mask];
+                assert_eq!(c.index(&p), c.index_generic(&p), "3d deep bits={bits}");
             }
         }
     }

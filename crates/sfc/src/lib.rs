@@ -51,8 +51,10 @@
 
 mod curve;
 mod diagonal;
+mod fast;
 mod gray;
 mod hilbert;
+mod kernels;
 mod lexicographic;
 mod peano;
 pub mod quality;
@@ -61,6 +63,7 @@ mod zorder;
 
 pub use curve::{CurveKind, InvertibleCurve, SfcError, SpaceFillingCurve};
 pub use diagonal::{Diagonal, WeightedDiagonal};
+pub use fast::{CurveKernel, KernelGrid};
 pub use gray::Gray;
 pub use hilbert::Hilbert;
 pub use lexicographic::{CScan, Scan, Sweep};

@@ -43,15 +43,20 @@ pub fn walk(curve: &dyn SpaceFillingCurve) -> Result<Vec<Vec<u64>>, GridTooLarge
     }
     let d = curve.dims() as usize;
     let side = curve.side();
-    let mut order: Vec<(u128, Vec<u64>)> = Vec::with_capacity(cells as usize);
+    // Tag each cell with its odometer ordinal (last dimension fastest) and
+    // materialize points only after the sort: the pre-sort pass stays
+    // allocation-free instead of cloning every point.
+    let mut order: Vec<(u128, u64)> = Vec::with_capacity(cells as usize);
     let mut p = vec![0u64; d];
+    let mut ordinal = 0u64;
     loop {
-        order.push((curve.index(&p), p.clone()));
+        order.push((curve.index(&p), ordinal));
+        ordinal += 1;
         // Odometer increment.
         let mut j = d;
         loop {
             if j == 0 {
-                return finish(order, cells);
+                return finish(order, cells, d, side);
             }
             j -= 1;
             p[j] += 1;
@@ -63,12 +68,25 @@ pub fn walk(curve: &dyn SpaceFillingCurve) -> Result<Vec<Vec<u64>>, GridTooLarge
     }
 
     fn finish(
-        mut order: Vec<(u128, Vec<u64>)>,
+        mut order: Vec<(u128, u64)>,
         cells: u128,
+        d: usize,
+        side: u64,
     ) -> Result<Vec<Vec<u64>>, GridTooLarge> {
         order.sort_unstable_by_key(|(i, _)| *i);
         debug_assert_eq!(order.len() as u128, cells);
-        Ok(order.into_iter().map(|(_, p)| p).collect())
+        Ok(order
+            .into_iter()
+            .map(|(_, ordinal)| {
+                let mut p = vec![0u64; d];
+                let mut o = ordinal;
+                for c in p.iter_mut().rev() {
+                    *c = o % side;
+                    o /= side;
+                }
+                p
+            })
+            .collect())
     }
 }
 

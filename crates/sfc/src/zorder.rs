@@ -42,13 +42,20 @@ impl SpaceFillingCurve for ZOrder {
 
     fn index(&self, point: &[u64]) -> u128 {
         check_point("z-order", self.dims, self.side, point);
-        let mut w: u128 = 0;
-        for level in (0..self.bits).rev() {
-            for &c in point {
-                w = (w << 1) | ((c >> level) & 1) as u128;
+        match *point {
+            // Byte-wise spread tables for the shapes the scheduler builds.
+            [x, y] => crate::kernels::morton2(x, y, self.bits),
+            [x, y, z] => crate::kernels::morton3(x, y, z, self.bits),
+            _ => {
+                let mut w: u128 = 0;
+                for level in (0..self.bits).rev() {
+                    for &c in point {
+                        w = (w << 1) | ((c >> level) & 1) as u128;
+                    }
+                }
+                w
             }
         }
-        w
     }
 }
 

@@ -42,6 +42,20 @@ fn small_shape() -> impl Strategy<Value = (CurveKind, u32, u32)> {
         })
 }
 
+/// Strategy: shapes with a monomorphized kernel fast path, up to the
+/// largest orders the scheduler builds (dims * order capped at 62 bits so
+/// indices stay easy to sample).
+fn fast_shape() -> impl Strategy<Value = (CurveKind, u32, u32)> {
+    (
+        prop::sample::select(vec![CurveKind::Hilbert, CurveKind::ZOrder, CurveKind::Gray]),
+        2u32..=3,
+        1u32..=31,
+    )
+        .prop_filter("index must fit comfortably", |(_, dims, order)| {
+            dims * order <= 62
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -238,6 +252,34 @@ proptest! {
                 prop_assert_eq!(jump, 1, "{} must take unit steps", kind);
             }
         }
+    }
+
+    #[test]
+    fn fast_kernels_match_dyn_on_full_domain_roundtrips(
+        (kind, dims, order) in fast_shape(),
+        seed in 0u64..u64::MAX,
+    ) {
+        // The monomorphized LUT kernels must agree with the generic
+        // catalogue curve over the *whole* domain, not just the small
+        // grids the exhaustive unit tests walk: draw a curve index from
+        // the full range, invert it through the generic point(), and map
+        // back through the kernel.
+        let kernel = sfc::CurveKernel::build(kind, dims, order).unwrap();
+        let curve = build_invertible(kind, dims, order);
+        let idx = (seed as u128).wrapping_mul(0x9e37_79b9_7f4a_7c15) % curve.cells();
+        let mut p = vec![0u64; dims as usize];
+        curve.point(idx, &mut p);
+        prop_assert_eq!(kernel.index(&p), idx, "{} dims={} order={} p={:?}", kind, dims, order, p);
+        // And on an arbitrary grid point the kernel equals the dyn path.
+        let side = kernel.side();
+        let q: Vec<u64> = (0..dims as u64)
+            .map(|i| seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i.wrapping_mul(1442695040888963407))
+                % side)
+            .collect();
+        prop_assert_eq!(kernel.index(&q), curve.index(&q),
+            "{} dims={} order={} q={:?}", kind, dims, order, q);
     }
 
     #[test]

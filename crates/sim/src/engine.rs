@@ -189,11 +189,14 @@ fn simulate_inner<S: TraceSink>(
     }
 
     loop {
-        // Deliver every arrival up to `now`.
+        // Deliver every arrival up to `now` as one chunk. The head does
+        // not move between arrivals (no service in between), so the whole
+        // chunk shares one head position; the scheduler anchors each
+        // request at its own arrival time.
+        let first_arrival = next_arrival;
         while next_arrival < trace.len() && trace[next_arrival].arrival_us <= now {
-            let r = trace[next_arrival].clone();
-            let head = HeadState::new(service.head(), r.arrival_us, cylinders);
             if S::ENABLED {
+                let r = &trace[next_arrival];
                 sink.emit(&TraceEvent::Arrival {
                     now_us: r.arrival_us,
                     req: r.id,
@@ -201,8 +204,11 @@ fn simulate_inner<S: TraceSink>(
                     deadline_us: r.deadline_us,
                 });
             }
-            scheduler.enqueue(r, &head);
             next_arrival += 1;
+        }
+        if first_arrival < next_arrival {
+            let head = HeadState::new(service.head(), trace[first_arrival].arrival_us, cylinders);
+            scheduler.enqueue_batch(&trace[first_arrival..next_arrival], &head);
         }
 
         let head = HeadState::new(service.head(), now, cylinders);
