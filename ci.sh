@@ -53,4 +53,17 @@ echo "==> perf regression gate"
 # latency regresses past 20%.
 cargo run -q -p bench --release --bin perf -- --mode check --baseline BENCH_sched.json --tolerance 0.2
 
+echo "==> telemetry smoke gate"
+# Seeded overloaded farm run: windowed-vs-plain snapshots bit-for-bit,
+# per-shard delta streams summing to the cumulative aggregate, and the
+# flight recorder firing on the shed burst with every dump reconciling
+# exactly against its delta counters (exits 1 on violation).
+cargo run -q -p bench --release --bin obsreport -- --mode smoke
+
+echo "==> telemetry overhead gate"
+# Off-vs-on measurement in one process (NullSink vs live windowed
+# sinks) on a near-saturation trace; exits 1 when instrumentation
+# costs more than 5% of engine or dispatch throughput.
+cargo run -q -p bench --release --bin perf -- --mode overhead --budget 0.05
+
 echo "ci.sh: all green"

@@ -11,19 +11,49 @@
 //! * `check` measures, loads `--baseline`, and exits 1 when any metric
 //!   regresses past `--tolerance` (default 0.2 = 20%). Run in release;
 //!   a debug build will always look like a regression.
+//! * `overhead` measures telemetry-off vs telemetry-on throughput on
+//!   the engine and dispatch hot paths (interleaved best-of pairs) and
+//!   exits 1 when the live sink costs more than `--budget` (default
+//!   0.05 = 5%) of the NullSink baseline. Self-relative: no baseline
+//!   file involved.
 
 use bench::args::Args;
-use bench::perf::{check, measure, PerfReport};
+use bench::perf::{check, check_overhead, measure, measure_overhead, PerfReport};
 
 fn main() {
-    let args = Args::parse(&["mode", "seed", "samples", "baseline", "tolerance"]);
+    let args = Args::parse(&["mode", "seed", "samples", "baseline", "tolerance", "budget"]);
     let seed = args.get("seed", bench::DEFAULT_SEED);
     let samples: u32 = args.get("samples", 3u32);
     let baseline_path: String = args.get("baseline", "BENCH_sched.json".to_string());
     let tolerance: f64 = args.get("tolerance", 0.2f64);
+    let budget: f64 = args.get("budget", 0.05f64);
 
-    match args.one_of("mode", &["measure", "baseline", "check"]) {
+    match args.one_of("mode", &["measure", "baseline", "check", "overhead"]) {
         "measure" => print!("{}", measure(seed, samples).to_json()),
+        "overhead" => {
+            let report = measure_overhead(seed, samples.max(9));
+            match check_overhead(&report, budget) {
+                Ok(lines) => {
+                    for line in lines {
+                        eprintln!("# {line}");
+                    }
+                    eprintln!(
+                        "# telemetry overhead OK: within {:.1}% budget",
+                        budget * 100.0
+                    );
+                }
+                Err(failures) => {
+                    for line in failures {
+                        eprintln!("# {line}");
+                    }
+                    eprintln!(
+                        "# telemetry overhead FAILED: live sink costs more than {:.1}%",
+                        budget * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
         "baseline" => {
             let report = measure(seed, samples);
             if let Err(e) = std::fs::write(&baseline_path, report.to_json()) {

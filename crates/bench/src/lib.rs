@@ -25,7 +25,10 @@
 //! [`fault`]), and `farm` (shard-count scaling under the three routing
 //! policies, executor bit-identity, and the farm smoke gate — see
 //! [`farm`]), and `perf` (the CI perf-regression gate against the
-//! committed `BENCH_sched.json` — see [`perf`]).
+//! committed `BENCH_sched.json` plus the telemetry overhead gate — see
+//! [`perf`]), and `obsreport` (the live telemetry plane's exposition:
+//! streaming per-window JSONL, Prometheus text format, and the
+//! telemetry smoke gate — see [`obsreport`]).
 //!
 //! All experiments are deterministic given a seed; run any binary with
 //! `--seed N` to change it.
@@ -44,6 +47,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod obsreport;
 pub mod perf;
 pub mod table1;
 pub mod trace;

@@ -1,0 +1,368 @@
+//! Telemetry exposition harness — the `obsreport` binary.
+//!
+//! Not a paper figure: this is the operational face of the live
+//! telemetry plane. One seeded overloaded farm run (bounded-queue
+//! cascades, hash routing with redirect-on-overload) is executed with
+//! one windowed live sink per shard, and the results are reported in
+//! three modes:
+//!
+//! * **stream** — drain the per-shard [`MetricsRegistry`] and print one
+//!   JSONL line per completed window per shard (epoch, start, width,
+//!   exact counters, and response p50/p99 when the window saw
+//!   completions), followed by one `summary` line. This is the feed a
+//!   control plane would poll mid-run via
+//!   [`MetricsRegistry::take_deltas`].
+//! * **prom** — print the end-of-run registry in the Prometheus text
+//!   exposition format (`# TYPE` lines, `_total` counters and
+//!   cumulative-bucket histograms, one sample per `shard` label).
+//! * **smoke** — the CI gate. Checks, on seeded runs: the merged
+//!   per-shard windowed cumulatives reproduce a plain [`Snapshot`] farm
+//!   run bit-for-bit; every shard's drained window deltas sum to its
+//!   cumulative; an overload run through a shared
+//!   [`FlightRecorder`] fires at least one shed-burst dump; and every
+//!   dump (anomaly-triggered and forced) passes exact event-vs-counter
+//!   reconciliation. Exits 1 on any violation.
+//!
+//! All modes are deterministic given `--seed` (span timing is off, so
+//! no wall-clock enters the event stream).
+
+use cascade::{CascadeConfig, CascadedSfc, DispatchConfig};
+use farm::{simulate_farm, simulate_farm_traced, FarmConfig, FarmOutcome, RoutePolicy};
+use obs::{
+    Anomaly, FlightRecorder, MetricsRegistry, ShardDelta, SharedSink, Snapshot, TelemetryConfig,
+    TriggerConfig,
+};
+use sched::DiskScheduler;
+use sim::{simulate_traced, DiskService, SimOptions};
+use std::fmt::Write as _;
+use workload::VodConfig;
+
+/// Scenario parameters shared by all three modes.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// RNG seed (workload generation).
+    pub seed: u64,
+    /// Farm shards.
+    pub shards: usize,
+    /// Concurrent MPEG-1 streams feeding the farm.
+    pub streams: u32,
+    /// Simulated duration (µs).
+    pub duration_us: u64,
+    /// Bounded-queue capacity per shard scheduler.
+    pub max_queue: usize,
+    /// log₂ of the telemetry window width (µs of simulated time).
+    pub window_log2: u32,
+    /// Histogram decimation stride shift (0 = exact).
+    pub sample_shift: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: crate::DEFAULT_SEED,
+            shards: 4,
+            // Just past the aggregate capacity of four Table-1 disks, so
+            // the stream carries sheds and redirects, not just happy-path
+            // service events.
+            streams: 90,
+            duration_us: 10_000_000,
+            max_queue: 24,
+            // 2^19 µs ≈ 0.52 s windows: ~19 completed windows over the
+            // run, enough to make the stream a stream.
+            window_log2: 19,
+            sample_shift: obs::DEFAULT_SAMPLE_SHIFT,
+        }
+    }
+}
+
+impl Config {
+    fn telemetry(&self) -> TelemetryConfig {
+        TelemetryConfig::default()
+            .window_log2(self.window_log2)
+            .sample_shift(self.sample_shift)
+    }
+
+    fn farm(&self) -> FarmConfig {
+        FarmConfig::new(self.shards)
+            .with_policy(RoutePolicy::HashStream)
+            .with_redirects()
+    }
+
+    fn trace(&self) -> Vec<sched::Request> {
+        let mut wl = VodConfig::mpeg1(self.streams.max(1));
+        wl.duration_us = self.duration_us;
+        wl.generate(self.seed)
+    }
+}
+
+fn bounded_scheduler(max_queue: usize) -> Box<dyn DiskScheduler> {
+    let cascade = CascadeConfig::paper_default(1, 3832)
+        .with_dispatch(DispatchConfig::paper_default().with_max_queue(max_queue));
+    Box::new(CascadedSfc::new(cascade).expect("valid cascade config"))
+}
+
+fn options() -> SimOptions {
+    SimOptions::with_shape(1, 4).dropping()
+}
+
+/// Run the scenario with one windowed sink per shard and stitch the
+/// registry. The registry still holds every shard's cumulative and live
+/// state; call [`MetricsRegistry::flush`] to drain the window deltas.
+pub fn run(cfg: &Config) -> (FarmOutcome, MetricsRegistry) {
+    let telemetry = cfg.telemetry();
+    let (outcome, sinks) = simulate_farm_traced(
+        &cfg.trace(),
+        &cfg.farm(),
+        |_| bounded_scheduler(cfg.max_queue),
+        options(),
+        |_| DiskService::table1(),
+        |_| telemetry.sink(),
+    );
+    (outcome, MetricsRegistry::from_shards(telemetry, sinks))
+}
+
+/// Render drained window deltas as JSONL, one line per window.
+pub fn render_windows_jsonl(deltas: &[ShardDelta]) -> String {
+    let mut out = String::with_capacity(deltas.len() * 256);
+    for d in deltas {
+        let w = &d.delta;
+        let _ = write!(
+            out,
+            "{{\"record\":\"window\",\"shard\":{},\"epoch\":{},\"start_us\":{},\
+             \"window_us\":{},\"partial\":{}",
+            d.shard, w.epoch, w.start_us, w.window_us, w.partial
+        );
+        if let (Some(p50), Some(p99)) = (w.snapshot.response_us.p50(), w.snapshot.response_us.p99())
+        {
+            let _ = write!(out, ",\"response_p50_us\":{p50},\"response_p99_us\":{p99}");
+        }
+        out.push_str(",\"counters\":{");
+        for (i, (name, value)) in w.snapshot.counters.items().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Render the end-of-run summary line appended to the stream output.
+pub fn render_summary_jsonl(outcome: &FarmOutcome, registry: &MetricsRegistry) -> String {
+    let total = registry.cumulative();
+    format!(
+        "{{\"record\":\"summary\",\"shards\":{},\"served\":{},\"losses\":{},\
+         \"sheds\":{},\"redirects\":{},\"makespan_us\":{},\"events\":{}}}\n",
+        registry.len(),
+        outcome.served(),
+        outcome.losses(),
+        outcome.sheds(),
+        outcome.redirects,
+        outcome.makespan_us,
+        total.counters.total_events(),
+    )
+}
+
+/// Render the registry in the Prometheus text exposition format.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    obs::encode_registry(&mut out, obs::DEFAULT_PREFIX, registry);
+    out
+}
+
+/// Drive the single-disk overload scenario through one shared
+/// [`FlightRecorder`]: the bounded cascade (shed events) and the engine
+/// (arrival/dispatch/service events) interleave into the same ring.
+fn record_overload(cfg: &Config) -> FlightRecorder {
+    // Sized so a full run never evicts: every dump must be able to
+    // reconcile, making any unclean dump a real defect.
+    let recorder = FlightRecorder::new(1 << 17, TelemetryConfig::exact(), TriggerConfig::default());
+    let shared = SharedSink::new(recorder);
+    let mut scheduler = CascadedSfc::with_sink(
+        CascadeConfig::paper_default(1, 3832)
+            .with_dispatch(DispatchConfig::paper_default().with_max_queue(cfg.max_queue)),
+        shared.clone(),
+    )
+    .expect("valid cascade config");
+    let mut service = DiskService::table1();
+    let trace = cfg.trace();
+    let mut engine_handle = shared.clone();
+    let m = simulate_traced(
+        &mut scheduler,
+        &trace,
+        &mut service,
+        options(),
+        &mut engine_handle,
+    );
+    drop(engine_handle);
+    drop(scheduler.into_sink());
+    let mut recorder = shared
+        .try_unwrap()
+        .expect("all sink handles dropped after the run");
+    recorder.force_dump(m.makespan_us);
+    recorder
+}
+
+/// The telemetry CI gate (see the module docs for the checklist).
+/// Returns one report line per passed check; `Err` carries the report
+/// up to and including the failed check.
+pub fn smoke(seed: u64) -> Result<Vec<String>, Vec<String>> {
+    let cfg = Config {
+        seed,
+        ..Config::default()
+    };
+    let mut lines = Vec::new();
+    let fail = |mut lines: Vec<String>, msg: String| {
+        lines.push(format!("FAIL: {msg}"));
+        lines
+    };
+
+    // 1. Windowed farm telemetry vs the plain Snapshot path, bit for bit.
+    //    Decimation off so histograms must agree exactly too.
+    let exact_cfg = Config {
+        sample_shift: 0,
+        ..cfg.clone()
+    };
+    let (plain_out, plain_snap) = simulate_farm(
+        &exact_cfg.trace(),
+        &exact_cfg.farm(),
+        |_| bounded_scheduler(exact_cfg.max_queue),
+        options(),
+    );
+    let (out, mut registry) = run(&exact_cfg);
+    if out.per_shard != plain_out.per_shard || out.redirects != plain_out.redirects {
+        return Err(fail(
+            lines,
+            "windowed and plain farm runs diverged in metrics".into(),
+        ));
+    }
+    if registry.cumulative() != plain_snap {
+        return Err(fail(
+            lines,
+            "merged windowed cumulative != plain farm snapshot".into(),
+        ));
+    }
+    lines.push(format!(
+        "windowed farm run reproduces the plain snapshot bit-for-bit \
+         ({} events across {} shards)",
+        plain_snap.counters.total_events(),
+        registry.len(),
+    ));
+
+    // 2. Delta-sum invariant per shard: everything ever drained sums to
+    //    the cumulative aggregate.
+    let per_shard_cumulative: Vec<Snapshot> = (0..registry.len())
+        .map(|i| registry.shard_cumulative(i))
+        .collect();
+    let deltas = registry.flush();
+    let mut sums: Vec<Snapshot> = (0..registry.len()).map(|_| Snapshot::new()).collect();
+    let mut windows = 0usize;
+    for d in &deltas {
+        sums[d.shard].merge(&d.delta.snapshot);
+        windows += 1;
+    }
+    for (i, (sum, cumulative)) in sums.iter().zip(&per_shard_cumulative).enumerate() {
+        if sum != cumulative {
+            return Err(fail(
+                lines,
+                format!("shard {i}: window delta sum != cumulative snapshot"),
+            ));
+        }
+    }
+    lines.push(format!(
+        "per-shard window deltas sum to the cumulative snapshots \
+         ({windows} windows, {} shards)",
+        registry.len(),
+    ));
+
+    // 3. Flight recorder under overload: the shed burst must fire, and
+    //    every dump — triggered and forced — must reconcile exactly.
+    let recorder = record_overload(&cfg);
+    let dumps = recorder.dumps();
+    if !dumps.iter().any(|d| d.anomaly == Anomaly::ShedBurst) {
+        return Err(fail(
+            lines,
+            format!(
+                "overload run fired no shed-burst dump ({} dumps total)",
+                dumps.len()
+            ),
+        ));
+    }
+    if let Some(bad) = dumps.iter().find(|d| !d.clean) {
+        return Err(fail(
+            lines,
+            format!(
+                "{} dump at t={}µs failed event-vs-counter reconciliation \
+                 ({} evictions since previous dump)",
+                bad.anomaly.name(),
+                bad.now_us,
+                bad.evicted_since_dump
+            ),
+        ));
+    }
+    let last = dumps.last().expect("force_dump always captures");
+    if last.anomaly != Anomaly::Manual {
+        return Err(fail(lines, "final forced dump missing".into()));
+    }
+    let mut rendered = String::new();
+    last.write_jsonl(&mut rendered);
+    if !rendered.starts_with("{\"record\":\"flight_dump\"") {
+        return Err(fail(lines, "dump JSONL header malformed".into()));
+    }
+    lines.push(format!(
+        "flight recorder fired {} dump(s) under overload, all reconciled \
+         exactly (cumulative sheds {})",
+        dumps.len(),
+        last.cumulative.sheds,
+    ));
+
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config {
+            streams: 40,
+            duration_us: 2_000_000,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn stream_output_has_windows_and_a_summary() {
+        let cfg = quick();
+        let (outcome, mut registry) = run(&cfg);
+        let deltas = registry.flush();
+        assert!(!deltas.is_empty());
+        let jsonl = render_windows_jsonl(&deltas);
+        assert!(jsonl.lines().count() >= deltas.len());
+        assert!(jsonl.starts_with("{\"record\":\"window\",\"shard\":0,"));
+        assert!(jsonl.contains("\"counters\":{\"arrivals\":"));
+        let summary = render_summary_jsonl(&outcome, &registry);
+        assert!(summary.starts_with("{\"record\":\"summary\""));
+        assert!(summary.contains("\"shards\":4"));
+    }
+
+    #[test]
+    fn prometheus_output_covers_every_shard() {
+        let (_, registry) = run(&quick());
+        let prom = render_prometheus(&registry);
+        assert!(prom.contains("# TYPE sched_arrivals_total counter"));
+        for shard in 0..4 {
+            assert!(prom.contains(&format!("sched_arrivals_total{{shard=\"{shard}\"}}")));
+        }
+        assert!(prom.contains("# TYPE sched_response_us histogram"));
+    }
+
+    #[test]
+    fn smoke_passes_on_the_default_seed() {
+        let lines = smoke(crate::DEFAULT_SEED).expect("telemetry smoke must pass");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("bit-for-bit"));
+        assert!(lines[2].contains("reconciled"));
+    }
+}

@@ -4,7 +4,7 @@
 use crate::config::CascadeConfig;
 use crate::dispatcher::Dispatcher;
 use crate::encapsulator::Encapsulator;
-use obs::{NullSink, TraceSink};
+use obs::{NullSink, Stage, StageSampler, TraceEvent, TraceSink};
 use sched::{DiskScheduler, HeadState, Request};
 use sfc::SfcError;
 
@@ -19,6 +19,13 @@ pub struct CascadedSfc<S: TraceSink = NullSink> {
     encapsulator: Encapsulator,
     dispatcher: Dispatcher,
     sink: S,
+    spans: Option<SchedulerSpans>,
+}
+
+/// Per-stage samplers for the scheduler's opt-in wall-clock spans.
+struct SchedulerSpans {
+    characterize: StageSampler,
+    encapsulate: StageSampler,
 }
 
 impl CascadedSfc {
@@ -40,7 +47,36 @@ impl<S: TraceSink> CascadedSfc<S> {
             encapsulator,
             dispatcher,
             sink,
+            spans: None,
         })
+    }
+
+    /// Emit sampled wall-clock [`TraceEvent::StageSpan`]s (1-in-`2^shift`
+    /// per stage) over the characterize (SFC mapping) and encapsulate
+    /// (dispatcher insert) stages. Span durations are wall-clock and thus
+    /// nondeterministic; span counts are a deterministic function of the
+    /// request stream. A no-op with a [`NullSink`].
+    pub fn with_stage_spans(mut self, shift: u32) -> Self {
+        self.spans = Some(SchedulerSpans {
+            characterize: StageSampler::every_pow2(shift),
+            encapsulate: StageSampler::every_pow2(shift),
+        });
+        self
+    }
+
+    /// Start a wall clock for this stage occurrence if tracing is live
+    /// and the sampler picks it.
+    #[inline]
+    fn span_clock(sampler: Option<&mut StageSampler>) -> Option<std::time::Instant> {
+        if !S::ENABLED {
+            return None;
+        }
+        let s = sampler?;
+        if s.tick() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
     }
 
     /// The encapsulator (e.g. to characterize hypothetical requests).
@@ -82,9 +118,25 @@ impl<S: TraceSink> DiskScheduler for CascadedSfc<S> {
     }
 
     fn enqueue(&mut self, req: Request, head: &HeadState) {
+        let clock = Self::span_clock(self.spans.as_mut().map(|s| &mut s.characterize));
         let v = self.encapsulator.characterize(&req, head);
+        if let Some(t0) = clock {
+            self.sink.emit(&TraceEvent::StageSpan {
+                now_us: head.now_us,
+                stage: Stage::Characterize,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        let clock = Self::span_clock(self.spans.as_mut().map(|s| &mut s.encapsulate));
         self.dispatcher
             .insert_traced(req, v, head.now_us, &mut self.sink);
+        if let Some(t0) = clock {
+            self.sink.emit(&TraceEvent::StageSpan {
+                now_us: head.now_us,
+                stage: Stage::Encapsulate,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
     }
 
     fn enqueue_batch(&mut self, batch: &[Request], head: &HeadState) {
@@ -92,10 +144,26 @@ impl<S: TraceSink> DiskScheduler for CascadedSfc<S> {
         // buffer (per-request stage invariants hoisted), then insert. Each
         // request is anchored at its own arrival time, exactly like the
         // trait's default loop.
+        let clock = Self::span_clock(self.spans.as_mut().map(|s| &mut s.characterize));
         let vs = self.encapsulator.map_batch(batch, head);
+        if let Some(t0) = clock {
+            self.sink.emit(&TraceEvent::StageSpan {
+                now_us: head.now_us,
+                stage: Stage::Characterize,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        let clock = Self::span_clock(self.spans.as_mut().map(|s| &mut s.encapsulate));
         for (r, &v) in batch.iter().zip(vs) {
             self.dispatcher
                 .insert_traced(r.clone(), v, r.arrival_us, &mut self.sink);
+        }
+        if let Some(t0) = clock {
+            self.sink.emit(&TraceEvent::StageSpan {
+                now_us: head.now_us,
+                stage: Stage::Encapsulate,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
         }
     }
 
@@ -325,6 +393,41 @@ mod tests {
         assert_eq!(count("sp_promote"), promotions);
         assert_eq!(count("queue_swap"), swaps);
         assert!(swaps > 0, "no dispatch activity traced");
+    }
+
+    #[test]
+    fn stage_spans_cover_characterize_and_encapsulate() {
+        use obs::{RingSink, Stage};
+        let mut s =
+            CascadedSfc::with_sink(CascadeConfig::paper_default(2, 3832), RingSink::new(4096))
+                .unwrap()
+                .with_stage_spans(0);
+        let batch: Vec<Request> = (0..20u64)
+            .map(|i| {
+                req(
+                    i,
+                    &[(i % 16) as u8, ((i * 5) % 16) as u8],
+                    200_000,
+                    (i * 131 % 3832) as u32,
+                )
+            })
+            .collect();
+        let h = head();
+        for r in &batch[..10] {
+            s.enqueue(r.clone(), &h);
+        }
+        s.enqueue_batch(&batch[10..], &h);
+        let ring = s.into_sink();
+        let stage_count = |want: Stage| {
+            ring.events()
+                .filter(|e| matches!(e, TraceEvent::StageSpan { stage, .. } if *stage == want))
+                .count()
+        };
+        // Shift 0 samples every occurrence: one characterize + one
+        // encapsulate span per enqueue call, and one of each for the
+        // batch as a whole.
+        assert_eq!(stage_count(Stage::Characterize), 11);
+        assert_eq!(stage_count(Stage::Encapsulate), 11);
     }
 
     #[test]

@@ -315,17 +315,78 @@ pub fn simulate_farm_with(
     options: SimOptions,
     make_service: impl Fn(usize) -> DiskService + Sync,
 ) -> (FarmOutcome, Snapshot) {
+    let (outcome, sinks) =
+        simulate_farm_traced(trace, cfg, make_scheduler, options, make_service, |_| {
+            Snapshot::new()
+        });
+    // Snapshot accumulation is commutative, so folding per-shard sinks in
+    // shard order reproduces the single-sink totals bit for bit.
+    let mut group = Snapshot::new();
+    for sink in &sinks {
+        group.merge(sink);
+    }
+    (outcome, group)
+}
+
+/// Demultiplexes the routing pass's [`TraceEvent::Redirect`] events into
+/// the per-shard sink of the shard the arrival was steered *away from*,
+/// so each shard's telemetry carries its own overload evidence.
+struct RouterDemux<'a, S> {
+    sinks: &'a mut [S],
+}
+
+impl<S: TraceSink> TraceSink for RouterDemux<'_, S> {
+    const ENABLED: bool = S::ENABLED;
+
+    fn emit(&mut self, event: &TraceEvent) {
+        if let TraceEvent::Redirect { from_shard, .. } = event {
+            self.sinks[*from_shard as usize].emit(event);
+        }
+    }
+}
+
+/// [`simulate_farm_with`] with one caller-built [`TraceSink`] per shard.
+///
+/// `make_sink(shard)` runs serially up front; each sink then receives, in
+/// order: the routing pass's [`TraceEvent::Redirect`] events whose
+/// `from_shard` is that shard, the shard engine's full event stream, and
+/// one closing [`TraceEvent::ShardReport`]. Sinks cross into the shard
+/// workers (hence `S: Send`) and come back in shard order, so per-shard
+/// telemetry — e.g. an [`obs::WindowedSnapshot`] or a flight recorder per
+/// shard — stays deterministic for every [`Parallelism`] choice.
+pub fn simulate_farm_traced<S: TraceSink + Send>(
+    trace: &[Request],
+    cfg: &FarmConfig,
+    make_scheduler: impl Fn(usize) -> Box<dyn DiskScheduler> + Sync,
+    options: SimOptions,
+    make_service: impl Fn(usize) -> DiskService + Sync,
+    make_sink: impl Fn(usize) -> S,
+) -> (FarmOutcome, Vec<S>) {
     let capacities: Vec<Option<usize>> = (0..cfg.shards)
         .map(|s| make_scheduler(s).queue_capacity())
         .collect();
 
-    let mut group = Snapshot::new();
-    let placement = route_trace(trace, cfg, &capacities, &mut group);
+    let mut sinks: Vec<S> = (0..cfg.shards).map(make_sink).collect();
+    let placement = {
+        let mut demux = RouterDemux { sinks: &mut sinks };
+        route_trace(trace, cfg, &capacities, &mut demux)
+    };
+
+    // Hand each worker ownership of its shard's sink; the cells are only
+    // ever locked once each, by the worker running that shard index.
+    let cells: Vec<std::sync::Mutex<Option<S>>> = sinks
+        .into_iter()
+        .map(|s| std::sync::Mutex::new(Some(s)))
+        .collect();
 
     let results = run_indexed(cfg.shards, cfg.parallelism, |shard| {
+        let mut sink = cells[shard]
+            .lock()
+            .expect("shard sink lock poisoned")
+            .take()
+            .expect("shard sink taken twice");
         let mut scheduler = make_scheduler(shard);
         let mut service = make_service(shard);
-        let mut sink = Snapshot::new();
         let m = simulate_traced(
             scheduler.as_mut(),
             &placement.shard_traces[shard],
@@ -334,23 +395,26 @@ pub fn simulate_farm_with(
             &mut sink,
         );
         let sheds = scheduler.sheds();
-        sink.emit(&TraceEvent::ShardReport {
-            now_us: m.makespan_us,
-            shard: shard as u32,
-            served: m.served,
-            sheds,
-        });
+        if S::ENABLED {
+            sink.emit(&TraceEvent::ShardReport {
+                now_us: m.makespan_us,
+                shard: shard as u32,
+                served: m.served,
+                sheds,
+            });
+        }
         (m, sheds, sink)
     });
 
     let mut per_shard = Vec::with_capacity(cfg.shards);
     let mut sheds_per_shard = Vec::with_capacity(cfg.shards);
+    let mut sinks = Vec::with_capacity(cfg.shards);
     let mut makespan = 0u64;
     for (m, sheds, sink) in results {
         makespan = makespan.max(m.makespan_us);
-        group.merge(&sink);
         per_shard.push(m);
         sheds_per_shard.push(sheds);
+        sinks.push(sink);
     }
 
     (
@@ -361,7 +425,7 @@ pub fn simulate_farm_with(
             redirects: placement.redirects,
             makespan_us: makespan,
         },
-        group,
+        sinks,
     )
 }
 

@@ -181,6 +181,77 @@ fn redirect_counter_reconciles_with_traced_events() {
 }
 
 #[test]
+fn per_shard_windowed_sinks_reconcile_with_the_merged_snapshot() {
+    let trace = overload_trace();
+    let cfg = FarmConfig::new(4)
+        .with_policy(RoutePolicy::HashStream)
+        .with_redirects();
+    let (plain_out, plain_snap) = simulate_farm(
+        &trace,
+        &cfg,
+        |_| bounded_cascade(24),
+        SimOptions::with_shape(1, 4),
+    );
+    let (out, sinks) = farm::simulate_farm_traced(
+        &trace,
+        &cfg,
+        |_| bounded_cascade(24),
+        SimOptions::with_shape(1, 4),
+        |_| sim::DiskService::table1(),
+        |_| obs::WindowedSnapshot::new(19, 4),
+    );
+    assert_eq!(plain_out.per_shard, out.per_shard);
+    assert_eq!(plain_out.redirects, out.redirects);
+    assert_eq!(sinks.len(), 4);
+    let mut merged = obs::Snapshot::new();
+    for mut w in sinks {
+        let deltas = w.flush();
+        assert!(deltas.len() > 1, "a 10 s shard run spans several windows");
+        let mut delta_sum = obs::Snapshot::new();
+        for d in &deltas {
+            delta_sum.merge(&d.snapshot);
+        }
+        let cumulative = w.cumulative();
+        assert_eq!(
+            delta_sum, cumulative,
+            "window deltas must sum to the shard's cumulative snapshot"
+        );
+        merged.merge(&cumulative);
+    }
+    assert_eq!(
+        merged, plain_snap,
+        "windowed per-shard telemetry must reproduce the plain farm snapshot"
+    );
+}
+
+#[test]
+fn traced_farm_is_executor_independent() {
+    let trace = overload_trace();
+    let base = FarmConfig::new(4)
+        .with_policy(RoutePolicy::LeastLoaded)
+        .with_redirects();
+    let run = |parallelism| {
+        let cfg = base.clone().with_parallelism(parallelism);
+        farm::simulate_farm_traced(
+            &trace,
+            &cfg,
+            |_| bounded_cascade(24),
+            SimOptions::with_shape(1, 4),
+            |_| sim::DiskService::table1(),
+            |_| obs::WindowedSnapshot::new(19, 4),
+        )
+    };
+    let (o1, s1) = run(Parallelism::Serial);
+    let (o2, s2) = run(Parallelism::threads(4));
+    assert_eq!(o1.per_shard, o2.per_shard);
+    assert_eq!(o1.redirects, o2.redirects);
+    for (a, b) in s1.iter().zip(&s2) {
+        assert_eq!(a.cumulative(), b.cumulative());
+        assert_eq!(a.current_epoch(), b.current_epoch());
+    }
+}
+
+#[test]
 fn redirects_reduce_sheds_for_hash_routing() {
     let trace = overload_trace();
     let run = |redirect: bool| {

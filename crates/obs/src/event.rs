@@ -241,6 +241,17 @@ pub enum TraceEvent {
         /// Requests the shard's bounded queue shed.
         sheds: u64,
     },
+    /// A sampled wall-clock timing of one pipeline stage (opt-in; see
+    /// [`crate::Stage`]). Span values come from the host clock, so they
+    /// are nondeterministic and never emitted unless explicitly enabled.
+    StageSpan {
+        /// Simulation time (µs) at which the timed operation ran.
+        now_us: u64,
+        /// The pipeline stage that was timed.
+        stage: crate::Stage,
+        /// Wall-clock cost of the operation (ns).
+        elapsed_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -268,10 +279,12 @@ impl TraceEvent {
             TraceEvent::Shed { .. } => "shed",
             TraceEvent::Redirect { .. } => "redirect",
             TraceEvent::ShardReport { .. } => "shard_report",
+            TraceEvent::StageSpan { .. } => "stage_span",
         }
     }
 
     /// The simulation time the event carries (µs).
+    #[inline(always)]
     pub fn now_us(&self) -> u64 {
         match *self {
             TraceEvent::Arrival { now_us, .. }
@@ -293,7 +306,8 @@ impl TraceEvent {
             | TraceEvent::RebuildIo { now_us, .. }
             | TraceEvent::Shed { now_us, .. }
             | TraceEvent::Redirect { now_us, .. }
-            | TraceEvent::ShardReport { now_us, .. } => now_us,
+            | TraceEvent::ShardReport { now_us, .. }
+            | TraceEvent::StageSpan { now_us, .. } => now_us,
         }
     }
 
@@ -519,6 +533,18 @@ impl TraceEvent {
                      \"served\":{served},\"sheds\":{sheds}}}"
                 );
             }
+            TraceEvent::StageSpan {
+                now_us,
+                stage,
+                elapsed_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\
+                     \"stage\":\"{}\",\"elapsed_ns\":{elapsed_ns}}}",
+                    stage.name()
+                );
+            }
         }
     }
 
@@ -539,7 +565,8 @@ impl TraceEvent {
     /// (degraded_read), `stripe`/`service_us` (rebuild_io), `v` (shed),
     /// `to_shard`/`queue_depth` (redirect, with `from_shard` in the
     /// `cylinder` column), `served`/`sheds` (shard_report, with the shard
-    /// index in the `cylinder` column). Unused cells are empty.
+    /// index in the `cylinder` column), the stage's pipeline
+    /// index/`elapsed_ns` (stage_span). Unused cells are empty.
     pub fn write_csv(&self, out: &mut String) {
         let name = self.name();
         let now = self.now_us();
@@ -659,6 +686,11 @@ impl TraceEvent {
             } => {
                 let _ = write!(out, "{name},{now},,{shard},{served},{sheds}");
             }
+            TraceEvent::StageSpan {
+                stage, elapsed_ns, ..
+            } => {
+                let _ = write!(out, "{name},{now},,,{},{elapsed_ns}", stage.index());
+            }
         }
     }
 }
@@ -707,6 +739,24 @@ mod tests {
     }
 
     #[test]
+    fn stage_span_renders_stage_by_name() {
+        let mut s = String::new();
+        let e = TraceEvent::StageSpan {
+            now_us: 4,
+            stage: crate::Stage::Characterize,
+            elapsed_ns: 85,
+        };
+        e.write_json(&mut s);
+        assert_eq!(
+            s,
+            "{\"event\":\"stage_span\",\"now_us\":4,\
+             \"stage\":\"characterize\",\"elapsed_ns\":85}"
+        );
+        assert_eq!(e.name(), "stage_span");
+        assert_eq!(e.req(), None);
+    }
+
+    #[test]
     fn csv_rows_match_the_header_width() {
         let header_cols = TraceEvent::csv_header().split(',').count();
         let events = [
@@ -742,6 +792,11 @@ mod tests {
                 shard: 2,
                 served: 100,
                 sheds: 3,
+            },
+            TraceEvent::StageSpan {
+                now_us: 9,
+                stage: crate::Stage::Dispatch,
+                elapsed_ns: 120,
             },
         ];
         for e in events {

@@ -120,7 +120,11 @@ impl Histogram {
 
     /// Nearest-rank quantile at bucket resolution: the upper bound of the
     /// bucket containing the `⌈q·count⌉`-th smallest sample, clamped to
-    /// the observed `[min, max]`. `None` when empty.
+    /// the observed `[min, max]`. The extremes are exact: any `q` that
+    /// resolves to rank 1 returns the observed minimum and any `q` that
+    /// resolves to the last rank returns the observed maximum, so
+    /// `quantile(0.0)` and `quantile(1.0)` never suffer bucket rounding.
+    /// `None` when empty.
     ///
     /// # Panics
     ///
@@ -131,6 +135,12 @@ impl Histogram {
             return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -220,9 +230,9 @@ mod tests {
         assert_eq!(h.p50(), Some(15)); // upper edge of bucket 4
         assert_eq!(h.p95(), Some(1000)); // bucket 10 edge clamped to max
         assert_eq!(h.p999(), Some(1000));
-        assert_eq!(h.quantile(0.0), Some(15)); // q=0 resolves to min's bucket edge
-        assert_eq!(h.quantile(1.0), Some(1000));
-        // The bucket edge never strays more than 2x from the true value.
+        assert_eq!(h.quantile(0.0), Some(10)); // rank 1 is the exact min
+        assert_eq!(h.quantile(1.0), Some(1000)); // last rank is the exact max
+                                                 // The bucket edge never strays more than 2x from the true value.
         let mut exact: Vec<u64> = [10u64; 90].into_iter().chain([1000u64; 10]).collect();
         exact.sort_unstable();
         for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
@@ -238,7 +248,23 @@ mod tests {
     #[test]
     fn empty_quantile_is_none() {
         assert_eq!(Histogram::new().quantile(0.5), None);
+        assert_eq!(Histogram::new().quantile(0.0), None);
+        assert_eq!(Histogram::new().quantile(1.0), None);
         assert_eq!(Histogram::new().p999(), None);
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(100); // bucket 7 (64..=127): the edge would be 127
+        assert_eq!(h.quantile(0.0), Some(100));
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(1.0), Some(100));
+        h.record(9000); // bucket 14: the edge would be 16383
+        assert_eq!(h.quantile(0.0), Some(100));
+        assert_eq!(h.quantile(1.0), Some(9000));
+        // q small enough to resolve to rank 1 stays exact too.
+        assert_eq!(h.quantile(0.4), Some(100));
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! The flight recorder: a bounded ring of recent events plus anomaly
+//! triggers that capture the moments worth a post-mortem.
+//!
+//! A [`FlightRecorder`] sits on a shard's event stream like any other
+//! sink. It keeps the last `capacity` raw events, a windowed live
+//! aggregate for baselines, and an exact since-last-dump [`Snapshot`].
+//! When an anomaly fires — a shed burst, a redirect storm, a
+//! degraded-read storm, or a deadline-miss p99 spike against the recent
+//! baseline — it freezes a [`DumpRecord`]: the ring contents, the delta
+//! since the previous dump, and cumulative counters, with **exact
+//! event-vs-counter reconciliation**: the retained events are replayed
+//! into a fresh snapshot and must reproduce the delta bit-for-bit
+//! (`clean` records whether they did; ring evictions since the last dump
+//! are the one legitimate reason they cannot).
+
+use crate::event::TraceEvent;
+use crate::registry::TelemetryConfig;
+use crate::sink::{RingSink, TraceSink};
+use crate::snapshot::{Counters, Snapshot};
+use crate::window::WindowedSnapshot;
+use std::fmt::Write as _;
+
+/// What fired a flight-recorder dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anomaly {
+    /// Sheds in the current window crossed the threshold.
+    ShedBurst = 0,
+    /// Redirects in the current window crossed the threshold.
+    RedirectStorm = 1,
+    /// Degraded reads in the current window crossed the threshold.
+    DegradedStorm = 2,
+    /// The current window's response p99 spiked against the recent
+    /// completed-window baseline.
+    P99Spike = 3,
+    /// An explicit [`FlightRecorder::force_dump`] call.
+    Manual = 4,
+}
+
+impl Anomaly {
+    const COUNT: usize = 5;
+
+    /// Stable `snake_case` name, used in dump renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Anomaly::ShedBurst => "shed_burst",
+            Anomaly::RedirectStorm => "redirect_storm",
+            Anomaly::DegradedStorm => "degraded_storm",
+            Anomaly::P99Spike => "p99_spike",
+            Anomaly::Manual => "manual",
+        }
+    }
+}
+
+/// Trigger thresholds; a threshold of 0 (or factor of 0.0) disables
+/// that trigger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriggerConfig {
+    /// Sheds within the current window that constitute a burst.
+    pub shed_burst: u64,
+    /// Redirects within the current window that constitute a storm.
+    pub redirect_storm: u64,
+    /// Degraded reads within the current window that constitute a storm.
+    pub degraded_storm: u64,
+    /// Fire when the current window's response p99 exceeds the recent
+    /// completed-window baseline p99 by this factor.
+    pub p99_spike_factor: f64,
+    /// Completions required (in the current window and in the baseline)
+    /// before the p99 comparison is trusted.
+    pub p99_min_completes: u64,
+    /// Windows an anomaly stays quiet after firing, so one sustained
+    /// incident yields one dump, not hundreds.
+    pub cooldown_windows: u64,
+}
+
+impl Default for TriggerConfig {
+    fn default() -> Self {
+        TriggerConfig {
+            shed_burst: 32,
+            redirect_storm: 64,
+            degraded_storm: 32,
+            p99_spike_factor: 4.0,
+            p99_min_completes: 64,
+            cooldown_windows: 4,
+        }
+    }
+}
+
+/// One frozen post-mortem capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DumpRecord {
+    /// What fired.
+    pub anomaly: Anomaly,
+    /// Simulation time of the triggering event (µs).
+    pub now_us: u64,
+    /// Window epoch of the triggering event.
+    pub epoch: u64,
+    /// The ring contents at the dump, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Exact aggregate of everything since the previous dump (or the
+    /// start of the run).
+    pub delta: Snapshot,
+    /// Cumulative counters over the whole run so far.
+    pub cumulative: Counters,
+    /// Whether replaying the retained since-dump events reproduced
+    /// `delta` bit-for-bit.
+    pub clean: bool,
+    /// Ring evictions since the previous dump — when nonzero, the oldest
+    /// since-dump events are gone and `clean` cannot hold.
+    pub evicted_since_dump: u64,
+}
+
+impl DumpRecord {
+    /// Render the dump as JSONL: one header object, then one line per
+    /// retained event.
+    pub fn write_jsonl(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"record\":\"flight_dump\",\"anomaly\":\"{}\",\"now_us\":{},\
+             \"epoch\":{},\"clean\":{},\"evicted_since_dump\":{},\"events\":{}",
+            self.anomaly.name(),
+            self.now_us,
+            self.epoch,
+            self.clean,
+            self.evicted_since_dump,
+            self.events.len(),
+        );
+        out.push_str(",\"delta\":");
+        write_counters_json(&self.delta.counters, out);
+        out.push_str(",\"cumulative\":");
+        write_counters_json(&self.cumulative, out);
+        out.push_str("}\n");
+        for e in &self.events {
+            e.write_json(out);
+            out.push('\n');
+        }
+    }
+}
+
+fn write_counters_json(c: &Counters, out: &mut String) {
+    out.push('{');
+    for (i, (name, value)) in c.items().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{value}");
+    }
+    out.push('}');
+}
+
+/// A per-shard flight recorder (see the module docs).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: RingSink,
+    windows: WindowedSnapshot,
+    since_dump: Snapshot,
+    evicted_at_dump: u64,
+    triggers: TriggerConfig,
+    last_fired_epoch: [Option<u64>; Anomaly::COUNT],
+    dumps: Vec<DumpRecord>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining `capacity` events, aggregating over
+    /// `telemetry`-shaped windows, firing on `triggers`.
+    pub fn new(capacity: usize, telemetry: TelemetryConfig, triggers: TriggerConfig) -> Self {
+        FlightRecorder {
+            ring: RingSink::new(capacity),
+            windows: telemetry.sink(),
+            since_dump: Snapshot::new(),
+            evicted_at_dump: 0,
+            triggers,
+            last_fired_epoch: [None; Anomaly::COUNT],
+            dumps: Vec::new(),
+        }
+    }
+
+    /// A recorder with the default window shape (decimation off, so p99
+    /// baselines are exact) and default triggers.
+    pub fn paper_default(capacity: usize) -> Self {
+        FlightRecorder::new(capacity, TelemetryConfig::exact(), TriggerConfig::default())
+    }
+
+    /// The windowed live aggregate the triggers consult.
+    pub fn windows(&self) -> &WindowedSnapshot {
+        &self.windows
+    }
+
+    /// Dumps captured so far, oldest first.
+    pub fn dumps(&self) -> &[DumpRecord] {
+        &self.dumps
+    }
+
+    /// Take ownership of the captured dumps.
+    pub fn take_dumps(&mut self) -> Vec<DumpRecord> {
+        std::mem::take(&mut self.dumps)
+    }
+
+    /// Capture a dump right now, bypassing triggers and cooldowns.
+    pub fn force_dump(&mut self, now_us: u64) -> &DumpRecord {
+        self.capture(Anomaly::Manual, now_us);
+        self.dumps.last().expect("capture just pushed a dump")
+    }
+
+    fn fire(&mut self, anomaly: Anomaly, now_us: u64) {
+        let epoch = self.windows.epoch_of(now_us);
+        if let Some(last) = self.last_fired_epoch[anomaly as usize] {
+            if epoch.saturating_sub(last) < self.triggers.cooldown_windows.max(1) {
+                return;
+            }
+        }
+        self.last_fired_epoch[anomaly as usize] = Some(epoch);
+        self.capture(anomaly, now_us);
+    }
+
+    fn capture(&mut self, anomaly: Anomaly, now_us: u64) {
+        let delta = std::mem::take(&mut self.since_dump);
+        let evicted_since_dump = self.ring.evicted() - self.evicted_at_dump;
+        self.evicted_at_dump = self.ring.evicted();
+        let events = self.ring.to_vec();
+        let clean = evicted_since_dump == 0 && reconciles(&events, &delta);
+        self.dumps.push(DumpRecord {
+            anomaly,
+            now_us,
+            epoch: self.windows.epoch_of(now_us),
+            events,
+            delta,
+            cumulative: self.windows.cumulative().counters,
+            clean,
+            evicted_since_dump,
+        });
+    }
+
+    /// The current window's response p99 against the completed recent
+    /// windows' p99, when both sides have enough samples.
+    fn p99_spiked(&self) -> bool {
+        let t = &self.triggers;
+        if t.p99_spike_factor <= 0.0 {
+            return false;
+        }
+        let cur = self.windows.current();
+        if cur.counters.service_completes < t.p99_min_completes {
+            return false;
+        }
+        let cur_epoch = self.windows.current_epoch();
+        let mut baseline = Snapshot::new();
+        for (epoch, s) in self.windows.windows() {
+            if Some(epoch) != cur_epoch {
+                baseline.merge(s);
+            }
+        }
+        if baseline.response_us.count() < t.p99_min_completes {
+            return false;
+        }
+        match (cur.response_us.p99(), baseline.response_us.p99()) {
+            (Some(cur_p99), Some(base_p99)) => {
+                cur_p99 as f64 > base_p99 as f64 * t.p99_spike_factor
+            }
+            _ => false,
+        }
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.ring.emit(event);
+        self.windows.emit(event);
+        self.since_dump.emit(event);
+        let t = self.triggers;
+        let cur = self.windows.current().counters;
+        match *event {
+            TraceEvent::Shed { now_us, .. } if t.shed_burst > 0 && cur.sheds >= t.shed_burst => {
+                self.fire(Anomaly::ShedBurst, now_us);
+            }
+            TraceEvent::Redirect { now_us, .. }
+                if t.redirect_storm > 0 && cur.redirects >= t.redirect_storm =>
+            {
+                self.fire(Anomaly::RedirectStorm, now_us);
+            }
+            TraceEvent::DegradedRead { now_us, .. }
+                if t.degraded_storm > 0 && cur.degraded_reads >= t.degraded_storm =>
+            {
+                self.fire(Anomaly::DegradedStorm, now_us);
+            }
+            TraceEvent::ServiceComplete { now_us, .. }
+                if cur.service_completes == t.p99_min_completes && self.p99_spiked() =>
+            {
+                self.fire(Anomaly::P99Spike, now_us);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Replay `events`' tail into a fresh snapshot and check it reproduces
+/// `delta` exactly. The tail length is the event count the delta's own
+/// counters claim — the reconciliation is event-vs-counter on both
+/// axes.
+fn reconciles(events: &[TraceEvent], delta: &Snapshot) -> bool {
+    let n = delta.counters.total_events() as usize;
+    if n > events.len() {
+        return false;
+    }
+    let mut replayed = Snapshot::new();
+    for e in &events[events.len() - n..] {
+        replayed.emit(e);
+    }
+    replayed == *delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shed(now_us: u64, req: u64) -> TraceEvent {
+        TraceEvent::Shed { now_us, req, v: 1 }
+    }
+
+    fn recorder(ring: usize) -> FlightRecorder {
+        // 16 µs windows so tests cross window boundaries easily.
+        FlightRecorder::new(
+            ring,
+            TelemetryConfig::exact().window_log2(4).depth(4),
+            TriggerConfig {
+                shed_burst: 4,
+                redirect_storm: 3,
+                degraded_storm: 3,
+                p99_spike_factor: 3.0,
+                p99_min_completes: 8,
+                cooldown_windows: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn shed_burst_fires_once_per_cooldown_and_reconciles() {
+        let mut r = recorder(256);
+        for i in 0..6u64 {
+            r.emit(&shed(i, i));
+        }
+        assert_eq!(r.dumps().len(), 1, "one dump despite repeated crossing");
+        let d = &r.dumps()[0];
+        assert_eq!(d.anomaly, Anomaly::ShedBurst);
+        assert!(d.clean, "retained events must replay into the delta");
+        assert_eq!(d.delta.counters.sheds, 4);
+        assert_eq!(d.evicted_since_dump, 0);
+        // Past the cooldown the trigger rearms.
+        for i in 0..40u64 {
+            r.emit(&shed(100 + i, i));
+        }
+        assert!(r.dumps().len() >= 2);
+        // Captured cumulative counts everything up to the second firing:
+        // the first burst of 6 plus the 4 sheds that re-crossed.
+        assert_eq!(r.dumps()[1].cumulative.sheds, 10);
+    }
+
+    #[test]
+    fn second_dump_delta_covers_only_the_gap() {
+        let mut r = recorder(256);
+        for i in 0..4u64 {
+            r.emit(&shed(i, i));
+        }
+        assert_eq!(r.dumps().len(), 1);
+        // Cooldown is 2 windows of 16 µs; jump past it.
+        for i in 0..4u64 {
+            r.emit(&shed(64 + i, i));
+        }
+        let dumps = r.take_dumps();
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(dumps[1].delta.counters.sheds, 4);
+        assert_eq!(dumps[1].cumulative.sheds, 8);
+        assert!(dumps[1].clean);
+        assert!(r.dumps().is_empty());
+    }
+
+    #[test]
+    fn eviction_is_reported_not_hidden() {
+        let mut r = recorder(2);
+        for i in 0..6u64 {
+            r.emit(&shed(i, i));
+        }
+        let d = &r.dumps()[0];
+        assert!(!d.clean);
+        assert!(d.evicted_since_dump > 0);
+    }
+
+    #[test]
+    fn p99_spike_fires_against_recent_baseline() {
+        let mut r = recorder(1024);
+        let complete = |now_us: u64, response_us: u64| TraceEvent::ServiceComplete {
+            now_us,
+            req: now_us,
+            response_us,
+            late: false,
+        };
+        // Two calm windows of baseline (epochs 0 and 1), then a spiked one.
+        for i in 0..8u64 {
+            r.emit(&complete(i, 100));
+        }
+        for i in 0..8u64 {
+            r.emit(&complete(16 + i, 100));
+        }
+        assert!(r.dumps().is_empty());
+        for i in 0..8u64 {
+            r.emit(&complete(32 + i, 50_000));
+        }
+        assert_eq!(r.dumps().len(), 1);
+        assert_eq!(r.dumps()[0].anomaly, Anomaly::P99Spike);
+        assert!(r.dumps()[0].clean);
+    }
+
+    #[test]
+    fn forced_dump_renders_jsonl() {
+        let mut r = recorder(16);
+        r.emit(&shed(3, 9));
+        let d = r.force_dump(5).clone();
+        assert_eq!(d.anomaly, Anomaly::Manual);
+        assert!(d.clean);
+        let mut out = String::new();
+        d.write_jsonl(&mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"record\":\"flight_dump\",\"anomaly\":\"manual\""));
+        assert!(lines[0].contains("\"delta\":{\"arrivals\":0"));
+        assert!(lines[0].contains("\"sheds\":1"));
+        assert!(lines[1].starts_with("{\"event\":\"shed\""));
+    }
+}

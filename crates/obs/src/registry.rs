@@ -1,0 +1,305 @@
+//! The per-shard metrics registry: one windowed live aggregate per farm
+//! shard (or RAID member, or standalone run), plus the delta-polling
+//! surface a reporter or control plane drains at its own cadence.
+//!
+//! The registry is deliberately assembly-friendly: shard timelines run
+//! on worker threads owning their own [`WindowedSnapshot`] sinks, and
+//! the registry is stitched from those sinks in shard order afterwards
+//! ([`MetricsRegistry::from_shards`]) — or built up front
+//! ([`MetricsRegistry::with_shards`]) when the run is serial and the
+//! caller wants to poll deltas mid-run.
+
+use crate::snapshot::Snapshot;
+use crate::window::{
+    WindowDelta, WindowedSnapshot, DEFAULT_DEPTH, DEFAULT_PENDING_CAP, DEFAULT_WINDOW_LOG2,
+};
+
+/// Shape of the live telemetry plane: window width, live-range depth,
+/// histogram decimation, and delta-queue bound.
+///
+/// The default is the **live** configuration the overhead gate measures:
+/// 65.5 ms windows, an 8-window live range, and histogram samples
+/// decimated to a deterministic 1-in-8 stride (counters are always
+/// exact). [`TelemetryConfig::exact`] turns decimation off for
+/// verification runs where bit-for-bit equality with a plain
+/// [`Snapshot`] sink is asserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// log₂ of the window width in µs of simulated time.
+    pub window_log2: u32,
+    /// Live-range depth in windows (current window included).
+    pub depth: usize,
+    /// Histogram decimation: distribution samples are taken on a
+    /// 1-in-`2^sample_shift` stride per event kind (0 = exact).
+    pub sample_shift: u32,
+    /// Cap on undrained deltas per shard before coalescing.
+    pub pending_cap: usize,
+}
+
+/// The live-plane default stride: 1-in-8 histogram samples.
+pub const DEFAULT_SAMPLE_SHIFT: u32 = 3;
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            window_log2: DEFAULT_WINDOW_LOG2,
+            depth: DEFAULT_DEPTH,
+            sample_shift: DEFAULT_SAMPLE_SHIFT,
+            pending_cap: DEFAULT_PENDING_CAP,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The default shape with decimation off: every histogram sample is
+    /// recorded, so the cumulative view is bit-for-bit a plain
+    /// [`Snapshot`] sink's.
+    pub fn exact() -> Self {
+        TelemetryConfig {
+            sample_shift: 0,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// This shape with `2^window_log2` µs windows.
+    pub fn window_log2(mut self, window_log2: u32) -> Self {
+        self.window_log2 = window_log2;
+        self
+    }
+
+    /// This shape with a `depth`-window live range.
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// This shape with a 1-in-`2^shift` histogram stride.
+    pub fn sample_shift(mut self, shift: u32) -> Self {
+        self.sample_shift = shift;
+        self
+    }
+
+    /// This shape with an undrained-delta cap of `cap`.
+    pub fn pending_cap(mut self, cap: usize) -> Self {
+        self.pending_cap = cap;
+        self
+    }
+
+    /// One recording sink of this shape, ready to hand to a shard
+    /// timeline.
+    pub fn sink(&self) -> WindowedSnapshot {
+        WindowedSnapshot::new(self.window_log2, self.depth)
+            .with_sample_shift(self.sample_shift)
+            .with_pending_cap(self.pending_cap)
+    }
+}
+
+/// One shard's drained window, tagged with its shard index — the unit
+/// of the streaming telemetry feed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardDelta {
+    /// Shard index within the registry.
+    pub shard: usize,
+    /// The drained window.
+    pub delta: WindowDelta,
+}
+
+/// Per-shard windowed live aggregates, keyed by shard index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRegistry {
+    config: TelemetryConfig,
+    shards: Vec<WindowedSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry of the given shape.
+    pub fn new(config: TelemetryConfig) -> Self {
+        MetricsRegistry {
+            config,
+            shards: Vec::new(),
+        }
+    }
+
+    /// A registry with `n` fresh shard sinks.
+    pub fn with_shards(config: TelemetryConfig, n: usize) -> Self {
+        MetricsRegistry {
+            config,
+            shards: (0..n).map(|_| config.sink()).collect(),
+        }
+    }
+
+    /// Stitch a registry from per-shard sinks returned by a traced run
+    /// (index order = shard order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a sink's shape disagrees with `config` — that would
+    /// silently misattribute windows.
+    pub fn from_shards(config: TelemetryConfig, shards: Vec<WindowedSnapshot>) -> Self {
+        for s in &shards {
+            assert_eq!(
+                (s.window_log2(), s.depth(), s.sample_mask()),
+                (
+                    config.window_log2,
+                    config.depth,
+                    (1u64 << config.sample_shift.min(63)) - 1
+                ),
+                "shard sink shape disagrees with the registry config"
+            );
+        }
+        MetricsRegistry { config, shards }
+    }
+
+    /// The registry's shape.
+    pub fn config(&self) -> TelemetryConfig {
+        self.config
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` when the registry holds no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// One shard's live aggregate.
+    pub fn shard(&self, i: usize) -> &WindowedSnapshot {
+        &self.shards[i]
+    }
+
+    /// Mutable access to one shard's live aggregate (e.g. to use it as a
+    /// sink in a serial run).
+    pub fn shard_mut(&mut self, i: usize) -> &mut WindowedSnapshot {
+        &mut self.shards[i]
+    }
+
+    /// Iterate the shards in index order.
+    pub fn shards(&self) -> impl Iterator<Item = &WindowedSnapshot> {
+        self.shards.iter()
+    }
+
+    /// Drain every shard's completed-window deltas, shard-major and
+    /// oldest-first within a shard. Polling at any cadence yields the
+    /// same totals.
+    pub fn take_deltas(&mut self) -> Vec<ShardDelta> {
+        self.collect_deltas(WindowedSnapshot::take_deltas)
+    }
+
+    /// Close every shard's books ([`WindowedSnapshot::flush`]) and drain
+    /// everything, final partial windows included. After this, the sum
+    /// of every delta the registry ever produced equals
+    /// [`MetricsRegistry::cumulative`].
+    pub fn flush(&mut self) -> Vec<ShardDelta> {
+        self.collect_deltas(WindowedSnapshot::flush)
+    }
+
+    fn collect_deltas(
+        &mut self,
+        drain: impl Fn(&mut WindowedSnapshot) -> Vec<WindowDelta>,
+    ) -> Vec<ShardDelta> {
+        let mut out = Vec::new();
+        for (shard, sink) in self.shards.iter_mut().enumerate() {
+            out.extend(
+                drain(sink)
+                    .into_iter()
+                    .map(|delta| ShardDelta { shard, delta }),
+            );
+        }
+        out
+    }
+
+    /// One shard's exact cumulative aggregate.
+    pub fn shard_cumulative(&self, i: usize) -> Snapshot {
+        self.shards[i].cumulative()
+    }
+
+    /// The whole farm's exact cumulative aggregate, merged in shard
+    /// order.
+    pub fn cumulative(&self) -> Snapshot {
+        let mut out = Snapshot::new();
+        for s in &self.shards {
+            out.merge(&s.cumulative());
+        }
+        out
+    }
+
+    /// Every shard's live (current + recent windows) aggregate merged —
+    /// the farm-wide control-plane view of "now".
+    pub fn recent(&self) -> Snapshot {
+        let mut out = Snapshot::new();
+        for s in &self.shards {
+            out.merge(&s.recent());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::sink::TraceSink;
+
+    fn complete(now_us: u64, response_us: u64) -> TraceEvent {
+        TraceEvent::ServiceComplete {
+            now_us,
+            req: now_us,
+            response_us,
+            late: false,
+        }
+    }
+
+    #[test]
+    fn registry_polls_per_shard_deltas_and_sums_to_cumulative() {
+        let cfg = TelemetryConfig::exact().window_log2(4).depth(2);
+        let mut reg = MetricsRegistry::with_shards(cfg, 3);
+        let mut drained: Vec<Snapshot> = (0..3).map(|_| Snapshot::new()).collect();
+        for t in 0..500u64 {
+            let shard = (t % 3) as usize;
+            reg.shard_mut(shard).emit(&complete(t * 7, t));
+            if t % 111 == 0 {
+                for d in reg.take_deltas() {
+                    drained[d.shard].merge(&d.delta.snapshot);
+                }
+            }
+        }
+        for d in reg.flush() {
+            drained[d.shard].merge(&d.delta.snapshot);
+        }
+        for (i, got) in drained.iter().enumerate() {
+            assert_eq!(*got, reg.shard_cumulative(i), "shard {i}");
+        }
+        let mut total = Snapshot::new();
+        for d in &drained {
+            total.merge(d);
+        }
+        assert_eq!(total, reg.cumulative());
+    }
+
+    #[test]
+    fn from_shards_accepts_matching_shapes() {
+        let cfg = TelemetryConfig::default();
+        let sinks = vec![cfg.sink(), cfg.sink()];
+        let reg = MetricsRegistry::from_shards(cfg, sinks);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.config().sample_shift, DEFAULT_SAMPLE_SHIFT);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard sink shape disagrees")]
+    fn from_shards_rejects_mismatched_shapes() {
+        let cfg = TelemetryConfig::default();
+        let wrong = TelemetryConfig::default().window_log2(4).sink();
+        MetricsRegistry::from_shards(cfg, vec![wrong]);
+    }
+
+    #[test]
+    fn exact_config_turns_decimation_off() {
+        assert_eq!(TelemetryConfig::exact().sample_shift, 0);
+        assert_eq!(TelemetryConfig::exact().sink().sample_mask(), 0);
+    }
+}

@@ -331,6 +331,35 @@ mod tests {
     }
 
     #[test]
+    fn ring_smaller_than_stream_keeps_exactly_the_last_cap_events() {
+        // Regression guard for the wraparound boundary: drive a long
+        // stream through small rings and require that each one holds
+        // exactly its last `cap` events, oldest first, with every other
+        // event counted as evicted — no off-by-one at the fill/evict
+        // transition, no reordering across many wraps.
+        for cap in [1usize, 2, 3, 7, 64] {
+            let mut ring = RingSink::new(cap);
+            let total = 1000u64;
+            for t in 0..total {
+                ring.emit(&swap(t));
+                assert!(ring.len() <= cap, "cap {cap} exceeded at t={t}");
+            }
+            assert_eq!(ring.len(), cap);
+            assert_eq!(ring.evicted(), total - cap as u64);
+            let times: Vec<u64> = ring.events().map(|e| e.now_us()).collect();
+            let expected: Vec<u64> = (total - cap as u64..total).collect();
+            assert_eq!(times, expected, "cap {cap}");
+        }
+        // Zero capacity is clamped to one slot, never to an empty ring.
+        let mut clamped = RingSink::new(0);
+        clamped.emit(&swap(1));
+        clamped.emit(&swap(2));
+        assert_eq!(clamped.capacity(), 1);
+        assert_eq!(clamped.to_vec()[0].now_us(), 2);
+        assert_eq!(clamped.evicted(), 1);
+    }
+
+    #[test]
     fn jsonl_writes_one_line_per_event() {
         let mut sink = JsonlSink::new(Vec::new());
         sink.emit(&swap(1));

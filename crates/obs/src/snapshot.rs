@@ -53,6 +53,8 @@ pub struct Counters {
     pub redirects: u64,
     /// `ShardReport` events (one per finished farm shard timeline).
     pub shard_reports: u64,
+    /// `StageSpan` events (sampled pipeline-stage timings).
+    pub stage_spans: u64,
 }
 
 impl Counters {
@@ -79,6 +81,48 @@ impl Counters {
         self.sheds += other.sheds;
         self.redirects += other.redirects;
         self.shard_reports += other.shard_reports;
+        self.stage_spans += other.stage_spans;
+    }
+
+    /// Every counter as a `(stable_name, value)` pair, in declaration
+    /// order — the iteration base for exposition encoders and dump
+    /// renderers.
+    pub fn items(&self) -> [(&'static str, u64); 22] {
+        [
+            ("arrivals", self.arrivals),
+            ("dispatches", self.dispatches),
+            ("service_starts", self.service_starts),
+            ("service_completes", self.service_completes),
+            ("late_completions", self.late_completions),
+            ("drops", self.drops),
+            ("preemptions", self.preemptions),
+            ("sp_promotions", self.sp_promotions),
+            ("er_expands", self.er_expands),
+            ("er_resets", self.er_resets),
+            ("queue_swaps", self.queue_swaps),
+            ("sweep_reversals", self.sweep_reversals),
+            ("media_errors", self.media_errors),
+            ("retries", self.retries),
+            ("request_failures", self.request_failures),
+            ("sector_remaps", self.sector_remaps),
+            ("degraded_reads", self.degraded_reads),
+            ("rebuild_ios", self.rebuild_ios),
+            ("sheds", self.sheds),
+            ("redirects", self.redirects),
+            ("shard_reports", self.shard_reports),
+            ("stage_spans", self.stage_spans),
+        ]
+    }
+
+    /// Total events these counters witnessed. Every event increments
+    /// exactly one counter; `late_completions` is excluded because it is
+    /// a sub-count of `service_completes`, not an event kind of its own.
+    pub fn total_events(&self) -> u64 {
+        self.items()
+            .into_iter()
+            .filter(|(name, _)| *name != "late_completions")
+            .map(|(_, v)| v)
+            .sum()
     }
 }
 
@@ -101,6 +145,9 @@ pub struct Snapshot {
     /// Slack at dispatch (µs, from `Dispatch`), clamped at 0: past-due
     /// dispatches record 0.
     pub slack_us: Histogram,
+    /// Sampled wall-clock cost per pipeline stage (ns, from `StageSpan`),
+    /// indexed by [`Stage::index`](crate::Stage::index).
+    pub stage_ns: [Histogram; crate::Stage::COUNT],
 }
 
 impl Snapshot {
@@ -117,6 +164,92 @@ impl Snapshot {
         self.seek_cylinders.merge(&other.seek_cylinders);
         self.queue_depth.merge(&other.queue_depth);
         self.slack_us.merge(&other.slack_us);
+        for (mine, theirs) in self.stage_ns.iter_mut().zip(other.stage_ns.iter()) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Every distribution as a `(stable_name, histogram)` pair: the four
+    /// paper-analysis distributions followed by one `stage_<name>_ns`
+    /// entry per pipeline stage.
+    pub fn histograms(&self) -> [(&'static str, &Histogram); 4 + crate::Stage::COUNT] {
+        [
+            ("response_us", &self.response_us),
+            ("seek_cylinders", &self.seek_cylinders),
+            ("queue_depth", &self.queue_depth),
+            ("slack_us", &self.slack_us),
+            ("stage_characterize_ns", &self.stage_ns[0]),
+            ("stage_encapsulate_ns", &self.stage_ns[1]),
+            ("stage_enqueue_ns", &self.stage_ns[2]),
+            ("stage_dispatch_ns", &self.stage_ns[3]),
+            ("stage_service_ns", &self.stage_ns[4]),
+        ]
+    }
+
+    /// Record one event with the histogram updates gated by `mask`: the
+    /// counters stay **exact** while distribution samples are taken on a
+    /// deterministic 1-in-`mask + 1` stride of the per-kind count
+    /// (`mask` must be `2^k - 1`; 0 records every sample and is exactly
+    /// [`TraceSink::emit`]). This is the hot-path variant the windowed
+    /// live sinks use to stay inside the telemetry overhead budget.
+    #[inline(always)]
+    pub fn emit_sampled(&mut self, event: &TraceEvent, mask: u64) {
+        let c = &mut self.counters;
+        match *event {
+            TraceEvent::Arrival { .. } => c.arrivals += 1,
+            TraceEvent::Dispatch {
+                queue_depth,
+                slack_us,
+                ..
+            } => {
+                if c.dispatches & mask == 0 {
+                    self.queue_depth.record(queue_depth);
+                    self.slack_us.record(slack_us.max(0) as u64);
+                }
+                c.dispatches += 1;
+            }
+            TraceEvent::ServiceStart { seek_cylinders, .. } => {
+                if c.service_starts & mask == 0 {
+                    self.seek_cylinders.record(seek_cylinders as u64);
+                }
+                c.service_starts += 1;
+            }
+            TraceEvent::ServiceComplete {
+                response_us, late, ..
+            } => {
+                if c.service_completes & mask == 0 {
+                    self.response_us.record(response_us);
+                }
+                c.service_completes += 1;
+                if late {
+                    c.late_completions += 1;
+                }
+            }
+            TraceEvent::Drop { .. } => c.drops += 1,
+            TraceEvent::Preempt { .. } => c.preemptions += 1,
+            TraceEvent::SpPromote { .. } => c.sp_promotions += 1,
+            TraceEvent::ErExpand { .. } => c.er_expands += 1,
+            TraceEvent::ErReset { .. } => c.er_resets += 1,
+            TraceEvent::QueueSwap { .. } => c.queue_swaps += 1,
+            TraceEvent::SweepReverse { .. } => c.sweep_reversals += 1,
+            TraceEvent::MediaError { .. } => c.media_errors += 1,
+            TraceEvent::Retry { .. } => c.retries += 1,
+            TraceEvent::RequestFailed { .. } => c.request_failures += 1,
+            TraceEvent::SectorRemap { .. } => c.sector_remaps += 1,
+            TraceEvent::DegradedRead { .. } => c.degraded_reads += 1,
+            TraceEvent::RebuildIo { .. } => c.rebuild_ios += 1,
+            TraceEvent::Shed { .. } => c.sheds += 1,
+            TraceEvent::Redirect { .. } => c.redirects += 1,
+            TraceEvent::ShardReport { .. } => c.shard_reports += 1,
+            TraceEvent::StageSpan {
+                stage, elapsed_ns, ..
+            } => {
+                if c.stage_spans & mask == 0 {
+                    self.stage_ns[stage.index()].record(elapsed_ns);
+                }
+                c.stage_spans += 1;
+            }
+        }
     }
 
     /// A human-readable multi-line report of the snapshot.
@@ -196,54 +329,20 @@ impl Snapshot {
         hist(&mut out, "seek_cylinders", "cyl", &self.seek_cylinders);
         hist(&mut out, "queue_depth", "", &self.queue_depth);
         hist(&mut out, "slack_us", "µs", &self.slack_us);
+        if c.stage_spans > 0 {
+            for stage in crate::Stage::ALL {
+                let name = format!("stage_{}_ns", stage.name());
+                hist(&mut out, &name, "ns", &self.stage_ns[stage.index()]);
+            }
+        }
         out
     }
 }
 
 impl TraceSink for Snapshot {
+    #[inline]
     fn emit(&mut self, event: &TraceEvent) {
-        let c = &mut self.counters;
-        match *event {
-            TraceEvent::Arrival { .. } => c.arrivals += 1,
-            TraceEvent::Dispatch {
-                queue_depth,
-                slack_us,
-                ..
-            } => {
-                c.dispatches += 1;
-                self.queue_depth.record(queue_depth);
-                self.slack_us.record(slack_us.max(0) as u64);
-            }
-            TraceEvent::ServiceStart { seek_cylinders, .. } => {
-                c.service_starts += 1;
-                self.seek_cylinders.record(seek_cylinders as u64);
-            }
-            TraceEvent::ServiceComplete {
-                response_us, late, ..
-            } => {
-                c.service_completes += 1;
-                if late {
-                    c.late_completions += 1;
-                }
-                self.response_us.record(response_us);
-            }
-            TraceEvent::Drop { .. } => c.drops += 1,
-            TraceEvent::Preempt { .. } => c.preemptions += 1,
-            TraceEvent::SpPromote { .. } => c.sp_promotions += 1,
-            TraceEvent::ErExpand { .. } => c.er_expands += 1,
-            TraceEvent::ErReset { .. } => c.er_resets += 1,
-            TraceEvent::QueueSwap { .. } => c.queue_swaps += 1,
-            TraceEvent::SweepReverse { .. } => c.sweep_reversals += 1,
-            TraceEvent::MediaError { .. } => c.media_errors += 1,
-            TraceEvent::Retry { .. } => c.retries += 1,
-            TraceEvent::RequestFailed { .. } => c.request_failures += 1,
-            TraceEvent::SectorRemap { .. } => c.sector_remaps += 1,
-            TraceEvent::DegradedRead { .. } => c.degraded_reads += 1,
-            TraceEvent::RebuildIo { .. } => c.rebuild_ios += 1,
-            TraceEvent::Shed { .. } => c.sheds += 1,
-            TraceEvent::Redirect { .. } => c.redirects += 1,
-            TraceEvent::ShardReport { .. } => c.shard_reports += 1,
-        }
+        self.emit_sampled(event, 0);
     }
 }
 
@@ -354,6 +453,11 @@ mod tests {
             served: 42,
             sheds: 1,
         });
+        s.emit(&TraceEvent::StageSpan {
+            now_us: 87,
+            stage: crate::Stage::Dispatch,
+            elapsed_ns: 250,
+        });
     }
 
     #[test]
@@ -382,11 +486,34 @@ mod tests {
             (1, 1, 1, 1)
         );
         assert_eq!((c.redirects, c.shard_reports), (1, 1));
+        assert_eq!(c.stage_spans, 1);
+        assert_eq!(c.total_events(), 21);
+        assert_eq!(s.stage_ns[crate::Stage::Dispatch.index()].max(), Some(250));
         assert_eq!(s.response_us.count(), 1);
         assert_eq!(s.seek_cylinders.max(), Some(40));
         assert_eq!(s.queue_depth.max(), Some(3));
         // Negative slack clamps to 0.
         assert_eq!(s.slack_us.max(), Some(0));
+    }
+
+    #[test]
+    fn sampled_emit_keeps_counters_exact() {
+        let mut exact = Snapshot::new();
+        let mut sampled = Snapshot::new();
+        for i in 0..100u64 {
+            let e = TraceEvent::ServiceComplete {
+                now_us: i,
+                req: i,
+                response_us: 10 + i,
+                late: i % 2 == 0,
+            };
+            exact.emit(&e);
+            sampled.emit_sampled(&e, 7);
+        }
+        assert_eq!(sampled.counters, exact.counters);
+        assert_eq!(exact.response_us.count(), 100);
+        // Pre-increment stride: samples at counts 0, 8, …, 96.
+        assert_eq!(sampled.response_us.count(), 13);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Pipeline stages and the sampling gate for stage timing spans.
+//!
+//! A stage span measures the **wall-clock** cost of one step of the
+//! request pipeline (characterize → encapsulate → enqueue → dispatch →
+//! service) and is emitted as a
+//! [`TraceEvent::StageSpan`](crate::TraceEvent::StageSpan). Because span
+//! values come from the host clock they are inherently nondeterministic,
+//! so every emission site keeps them **opt-in and off by default** —
+//! reproducible event streams stay reproducible unless the caller
+//! explicitly asks for timing attribution.
+//!
+//! Timing every operation would perturb the thing being measured (two
+//! monotonic-clock reads per span), so spans pass through a
+//! [`StageSampler`]: a deterministic 1-in-2^k gate that keeps the
+//! overhead bounded while still collecting thousands of samples per
+//! second of simulated work.
+
+/// One step of the request pipeline, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// QoS vector → characterization value (the SFC kernel).
+    Characterize = 0,
+    /// Characterization value → dispatcher insertion (queue encapsulation).
+    Encapsulate = 1,
+    /// Engine-side arrival delivery into the scheduler.
+    Enqueue = 2,
+    /// Scheduler pop: picking the next request to serve.
+    Dispatch = 3,
+    /// The service-model call for the dispatched request.
+    Service = 4,
+}
+
+impl Stage {
+    /// Number of pipeline stages.
+    pub const COUNT: usize = 5;
+
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Characterize,
+        Stage::Encapsulate,
+        Stage::Enqueue,
+        Stage::Dispatch,
+        Stage::Service,
+    ];
+
+    /// Stable `snake_case` name, used in JSONL renderings and metric
+    /// names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Characterize => "characterize",
+            Stage::Encapsulate => "encapsulate",
+            Stage::Enqueue => "enqueue",
+            Stage::Dispatch => "dispatch",
+            Stage::Service => "service",
+        }
+    }
+
+    /// The stage's index into per-stage arrays (its pipeline position).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stage at pipeline position `index`, when in range.
+    pub fn from_index(index: usize) -> Option<Stage> {
+        Stage::ALL.get(index).copied()
+    }
+}
+
+/// A deterministic 1-in-2^k sampling gate for stage spans.
+///
+/// `tick` returns `true` on the first call and every 2^k-th call after
+/// it, so a shift of 0 samples everything and the decision sequence is a
+/// pure function of the call count — reruns of the same workload time
+/// the same operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageSampler {
+    mask: u64,
+    n: u64,
+}
+
+impl StageSampler {
+    /// A gate passing one in `2^shift` ticks (shift is clamped to 63).
+    pub fn every_pow2(shift: u32) -> Self {
+        StageSampler {
+            mask: (1u64 << shift.min(63)) - 1,
+            n: 0,
+        }
+    }
+
+    /// Advance the gate; `true` means "time this one".
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        let sample = self.n & self.mask == 0;
+        self.n = self.n.wrapping_add(1);
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_round_trip_and_stay_in_pipeline_order() {
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(Stage::from_index(i), Some(s));
+        }
+        assert_eq!(Stage::from_index(Stage::COUNT), None);
+        assert_eq!(Stage::Characterize.name(), "characterize");
+        assert_eq!(Stage::Service.name(), "service");
+    }
+
+    #[test]
+    fn sampler_passes_one_in_2k() {
+        let mut s = StageSampler::every_pow2(3);
+        let hits: Vec<bool> = (0..24).map(|_| s.tick()).collect();
+        let expected: Vec<bool> = (0..24).map(|i| i % 8 == 0).collect();
+        assert_eq!(hits, expected);
+        let mut all = StageSampler::every_pow2(0);
+        assert!((0..10).all(|_| all.tick()));
+    }
+}

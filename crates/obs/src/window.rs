@@ -1,0 +1,611 @@
+//! Rotating time-window aggregation: the live view of a run.
+//!
+//! A [`WindowedSnapshot`] partitions simulated time into fixed
+//! power-of-two windows (`epoch = now_us >> window_log2`) and keeps one
+//! [`Snapshot`] per window: the **current** window, the last
+//! `depth - 1` **completed** windows (together the live range a control
+//! plane watches), and a **retired** accumulator absorbing everything
+//! older, so the cumulative view is never lost. Completed windows are
+//! additionally queued as [`WindowDelta`]s — the streaming feed a
+//! reporter drains at its own cadence — and the whole structure merges
+//! across shards exactly like [`Snapshot`] does.
+//!
+//! Two invariants hold bit-for-bit, by construction, and are enforced by
+//! property tests:
+//!
+//! 1. retired + completed + current == the [`Snapshot`] a plain
+//!    cumulative sink would have produced from the same event stream
+//!    (when sampling is off), and
+//! 2. the sum of every drained [`WindowDelta`] over a run (with a final
+//!    [`WindowedSnapshot::flush`]) equals that same cumulative snapshot —
+//!    window rotation never loses a count.
+//!
+//! The hot path is engineered for the telemetry overhead budget: one
+//! shift + compare reaches the current window, counters stay exact, and
+//! distribution samples can be decimated by a deterministic 1-in-2^k
+//! stride ([`WindowedSnapshot::with_sample_shift`]) — the same
+//! counters-exact/histograms-sampled split production metric pipelines
+//! use.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+use crate::snapshot::Snapshot;
+use std::collections::VecDeque;
+
+/// Default window width: 2²² µs ≈ 4.2 s of simulated time — coarse
+/// enough that rotation cost amortizes over many events at the disk
+/// request rates the paper models, fine enough to localize QoS shifts.
+pub const DEFAULT_WINDOW_LOG2: u32 = 22;
+
+/// Default live-range depth (current window + 7 completed).
+pub const DEFAULT_DEPTH: usize = 8;
+
+/// Default cap on undrained [`WindowDelta`]s before the oldest pair is
+/// coalesced.
+pub const DEFAULT_PENDING_CAP: usize = 1024;
+
+/// One completed (or flushed) window, queued for a streaming reporter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDelta {
+    /// The window's epoch (`start_us >> window_log2`).
+    pub epoch: u64,
+    /// Simulated time at which the window opened (µs).
+    pub start_us: u64,
+    /// Window width (µs).
+    pub window_us: u64,
+    /// `true` when the delta is not one whole completed window: the
+    /// final window drained by [`WindowedSnapshot::flush`], or a
+    /// coalesced pair evicted from an undrained queue.
+    pub partial: bool,
+    /// The window's aggregate.
+    pub snapshot: Snapshot,
+}
+
+/// A rotating-window live aggregate of one event stream (see the module
+/// docs for the scheme and its invariants).
+#[derive(Debug, Clone)]
+pub struct WindowedSnapshot {
+    window_log2: u32,
+    depth: usize,
+    sample_mask: u64,
+    started: bool,
+    cur_epoch: u64,
+    cur: Snapshot,
+    /// Completed live windows, epoch-ascending, all within
+    /// `(cur_epoch - depth, cur_epoch)`. Boxed so rotation and
+    /// retirement shuffle pointers, not multi-KB snapshots.
+    recent: VecDeque<(u64, Box<Snapshot>)>,
+    retired: Snapshot,
+    pending: VecDeque<Box<WindowDelta>>,
+    pending_cap: usize,
+    coalesced: u64,
+}
+
+impl WindowedSnapshot {
+    /// A windowed aggregate with `2^window_log2` µs windows and a live
+    /// range of `depth` windows (both clamped to sane minimums), with
+    /// exact histograms.
+    pub fn new(window_log2: u32, depth: usize) -> Self {
+        WindowedSnapshot {
+            window_log2: window_log2.clamp(1, 63),
+            depth: depth.max(1),
+            sample_mask: 0,
+            started: false,
+            // Sentinel no real epoch can reach (epochs are
+            // `now_us >> log2` with log2 >= 1): the hot path needs only
+            // one compare to cover both "same window" and "started".
+            cur_epoch: u64::MAX,
+            cur: Snapshot::new(),
+            recent: VecDeque::new(),
+            retired: Snapshot::new(),
+            pending: VecDeque::new(),
+            pending_cap: DEFAULT_PENDING_CAP,
+            coalesced: 0,
+        }
+    }
+
+    /// The workspace default shape: [`DEFAULT_WINDOW_LOG2`] windows,
+    /// [`DEFAULT_DEPTH`] live range, exact histograms.
+    pub fn paper_default() -> Self {
+        WindowedSnapshot::new(DEFAULT_WINDOW_LOG2, DEFAULT_DEPTH)
+    }
+
+    /// Decimate histogram samples to a deterministic 1-in-`2^shift`
+    /// stride of each per-kind count. Counters are **always exact**;
+    /// only distribution samples are thinned. Shift 0 restores exact
+    /// histograms.
+    pub fn with_sample_shift(mut self, shift: u32) -> Self {
+        self.sample_mask = (1u64 << shift.min(63)) - 1;
+        self
+    }
+
+    /// Cap the undrained [`WindowDelta`] queue at `cap` entries (at
+    /// least 2); beyond it the two oldest deltas are coalesced so memory
+    /// stays bounded while the delta-sum invariant keeps holding.
+    pub fn with_pending_cap(mut self, cap: usize) -> Self {
+        self.pending_cap = cap.max(2);
+        self
+    }
+
+    /// log₂ of the window width in µs.
+    pub fn window_log2(&self) -> u32 {
+        self.window_log2
+    }
+
+    /// Window width (µs).
+    pub fn window_us(&self) -> u64 {
+        1u64 << self.window_log2
+    }
+
+    /// Live-range depth in windows (current window included).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The histogram decimation stride minus one (0 = exact).
+    pub fn sample_mask(&self) -> u64 {
+        self.sample_mask
+    }
+
+    /// The window index `now_us` falls into.
+    #[inline]
+    pub fn epoch_of(&self, now_us: u64) -> u64 {
+        now_us >> self.window_log2
+    }
+
+    /// Whether any event has been recorded.
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// The current window's epoch, once anything has been recorded.
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.started.then_some(self.cur_epoch)
+    }
+
+    /// The current (still-open) window's aggregate.
+    pub fn current(&self) -> &Snapshot {
+        &self.cur
+    }
+
+    /// Times coalescing folded an undrained delta pair together.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Live windows oldest-first: completed windows still in range, then
+    /// the current window.
+    pub fn windows(&self) -> impl Iterator<Item = (u64, &Snapshot)> {
+        self.recent
+            .iter()
+            .map(|(e, s)| (*e, &**s))
+            .chain(self.started.then_some((self.cur_epoch, &self.cur)))
+    }
+
+    /// The decaying N-window aggregate: every live window merged
+    /// (current included), excluding everything retired.
+    pub fn recent(&self) -> Snapshot {
+        let mut out = Snapshot::new();
+        for (_, s) in self.windows() {
+            out.merge(s);
+        }
+        out
+    }
+
+    /// Everything that aged out of the live range.
+    pub fn retired(&self) -> &Snapshot {
+        &self.retired
+    }
+
+    /// The exact cumulative aggregate: retired + every live window. With
+    /// sampling off this is bit-for-bit the [`Snapshot`] a plain
+    /// cumulative sink would have produced from the same stream.
+    pub fn cumulative(&self) -> Snapshot {
+        let mut out = self.retired.clone();
+        for (_, s) in self.windows() {
+            out.merge(s);
+        }
+        out
+    }
+
+    /// Drain the completed-window delta queue (oldest first). Draining
+    /// at any cadence — every window, every N windows, or only at the
+    /// end — yields the same totals.
+    pub fn take_deltas(&mut self) -> Vec<WindowDelta> {
+        std::mem::take(&mut self.pending)
+            .into_iter()
+            .map(|d| *d)
+            .collect()
+    }
+
+    /// Close the books: retire every live window (current included),
+    /// emitting each one as a delta, and drain the whole queue. The
+    /// cumulative view is unchanged, the live range comes back empty,
+    /// and the sum of every delta the sink ever produced now equals
+    /// [`WindowedSnapshot::cumulative`]. Recording may continue
+    /// afterwards; reopened windows simply yield further deltas.
+    pub fn flush(&mut self) -> Vec<WindowDelta> {
+        while let Some((epoch, snap)) = self.recent.pop_front() {
+            self.retired.merge(&snap);
+            self.push_delta(epoch, snap, false);
+        }
+        if self.started && self.cur != Snapshot::new() {
+            let done = Box::new(std::mem::take(&mut self.cur));
+            self.retired.merge(&done);
+            self.push_delta(self.cur_epoch, done, true);
+        }
+        self.take_deltas()
+    }
+
+    /// Fold another windowed aggregate into this one, window by window:
+    /// same-epoch windows merge, the live range advances to the younger
+    /// of the two current epochs, and anything falling out of it
+    /// retires. Associative and commutative like [`Snapshot::merge`];
+    /// the recording-side delta queue is deliberately untouched (deltas
+    /// stream per recording sink, merges serve read-side fan-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two sinks disagree on window width, depth, or
+    /// sampling stride — merging differently-shaped windows would
+    /// silently misattribute counts.
+    pub fn merge(&mut self, other: &WindowedSnapshot) {
+        assert_eq!(
+            (self.window_log2, self.depth, self.sample_mask),
+            (other.window_log2, other.depth, other.sample_mask),
+            "windowed snapshots must share window shape to merge"
+        );
+        self.retired.merge(&other.retired);
+        if !other.started {
+            return;
+        }
+        if !self.started {
+            self.started = true;
+            self.cur_epoch = other.cur_epoch;
+            self.cur = other.cur.clone();
+            for (e, s) in &other.recent {
+                Self::fold_into_recent(&mut self.recent, *e, s.clone());
+            }
+            return;
+        }
+        if other.cur_epoch > self.cur_epoch {
+            let done = Box::new(std::mem::take(&mut self.cur));
+            Self::fold_into_recent(&mut self.recent, self.cur_epoch, done);
+            self.cur_epoch = other.cur_epoch;
+            self.cur = other.cur.clone();
+        } else if other.cur_epoch == self.cur_epoch {
+            self.cur.merge(&other.cur);
+        } else {
+            self.absorb_window(other.cur_epoch, &other.cur);
+        }
+        for (e, s) in &other.recent {
+            self.absorb_window(*e, s);
+        }
+        self.retire_out_of_range(false);
+    }
+
+    /// The oldest epoch still inside the live range.
+    fn min_live_epoch(&self) -> u64 {
+        self.cur_epoch.saturating_sub(self.depth as u64 - 1)
+    }
+
+    /// Route a completed window from a merge: retire it when it is
+    /// older than the live range, merge it into the right slot
+    /// otherwise.
+    fn absorb_window(&mut self, epoch: u64, snap: &Snapshot) {
+        if epoch < self.min_live_epoch() {
+            self.retired.merge(snap);
+        } else if epoch == self.cur_epoch {
+            self.cur.merge(snap);
+        } else {
+            Self::fold_into_recent(&mut self.recent, epoch, Box::new(snap.clone()));
+        }
+    }
+
+    /// Insert a window into the epoch-sorted completed set, merging with
+    /// an existing same-epoch entry.
+    fn fold_into_recent(
+        recent: &mut VecDeque<(u64, Box<Snapshot>)>,
+        epoch: u64,
+        snap: Box<Snapshot>,
+    ) {
+        let at = recent.partition_point(|(e, _)| *e < epoch);
+        match recent.get_mut(at) {
+            Some((e, s)) if *e == epoch => s.merge(&snap),
+            _ => recent.insert(at, (epoch, snap)),
+        }
+    }
+
+    /// Move windows older than the live range into `retired`. Recording
+    /// paths pass `with_deltas` so each retiring window also joins the
+    /// delta stream; merge paths keep the stream untouched.
+    fn retire_out_of_range(&mut self, with_deltas: bool) {
+        let min_keep = self.min_live_epoch();
+        while let Some((e, _)) = self.recent.front() {
+            if *e >= min_keep {
+                break;
+            }
+            let (epoch, snap) = self.recent.pop_front().expect("front exists");
+            self.retired.merge(&snap);
+            if with_deltas {
+                self.push_delta(epoch, snap, false);
+            }
+        }
+    }
+
+    fn push_delta(&mut self, epoch: u64, snapshot: Box<Snapshot>, partial: bool) {
+        if self.pending.len() >= self.pending_cap {
+            let mut first = self.pending.pop_front().expect("cap is at least 2");
+            let second = self.pending.pop_front().expect("cap is at least 2");
+            first.snapshot.merge(&second.snapshot);
+            first.partial = true;
+            self.pending.push_front(first);
+            self.coalesced += 1;
+        }
+        self.pending.push_back(Box::new(WindowDelta {
+            epoch,
+            start_us: epoch << self.window_log2,
+            window_us: 1u64 << self.window_log2,
+            partial,
+            snapshot: *snapshot,
+        }));
+    }
+
+    /// Out-of-line slow path: first event, window rotation, or an event
+    /// older than the current window.
+    #[cold]
+    fn emit_slow(&mut self, epoch: u64, event: &TraceEvent) {
+        if !self.started {
+            self.started = true;
+            self.cur_epoch = epoch;
+            self.cur.emit_sampled(event, self.sample_mask);
+            return;
+        }
+        if epoch > self.cur_epoch {
+            // Rotate: the current window is complete.
+            let done = Box::new(std::mem::take(&mut self.cur));
+            Self::fold_into_recent(&mut self.recent, self.cur_epoch, done);
+            self.cur_epoch = epoch;
+            self.retire_out_of_range(true);
+            self.cur.emit_sampled(event, self.sample_mask);
+            return;
+        }
+        // A late event (the engine's batched delivery can replay stamps
+        // slightly in the past). Attribute it to its own window when that
+        // window is still live; fold it into the oldest live window
+        // otherwise, so no count is ever lost from the delta stream.
+        if epoch >= self.min_live_epoch() {
+            let at = self.recent.partition_point(|(e, _)| *e < epoch);
+            match self.recent.get_mut(at) {
+                Some((e, s)) if *e == epoch => s.emit_sampled(event, self.sample_mask),
+                _ => {
+                    let mut snap = Box::new(Snapshot::new());
+                    snap.emit_sampled(event, self.sample_mask);
+                    self.recent.insert(at, (epoch, snap));
+                }
+            }
+        } else {
+            match self.recent.front_mut() {
+                Some((_, s)) => s.emit_sampled(event, self.sample_mask),
+                None => self.cur.emit_sampled(event, self.sample_mask),
+            }
+        }
+    }
+}
+
+impl TraceSink for WindowedSnapshot {
+    #[inline(always)]
+    fn emit(&mut self, event: &TraceEvent) {
+        let epoch = event.now_us() >> self.window_log2;
+        if epoch == self.cur_epoch {
+            self.cur.emit_sampled(event, self.sample_mask);
+        } else {
+            self.emit_slow(epoch, event);
+        }
+    }
+}
+
+impl Default for WindowedSnapshot {
+    fn default() -> Self {
+        WindowedSnapshot::paper_default()
+    }
+}
+
+/// Canonical-content equality: two windowed aggregates are equal when
+/// they agree on shape, current epoch, retired aggregate, and the
+/// per-epoch live windows — regardless of how rotation, merging, or
+/// flushing arrived there. Delta-queue bookkeeping is excluded: it
+/// tracks what a reporter has already consumed, not what was observed.
+impl PartialEq for WindowedSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        if (self.window_log2, self.depth, self.sample_mask, self.started)
+            != (
+                other.window_log2,
+                other.depth,
+                other.sample_mask,
+                other.started,
+            )
+        {
+            return false;
+        }
+        if self.started && self.cur_epoch != other.cur_epoch {
+            return false;
+        }
+        if self.retired != other.retired {
+            return false;
+        }
+        let empty = Snapshot::new();
+        let mut mine = self.windows().filter(|(_, s)| **s != empty);
+        let mut theirs = other.windows().filter(|(_, s)| **s != empty);
+        loop {
+            match (mine.next(), theirs.next()) {
+                (None, None) => return true,
+                (Some((ea, sa)), Some((eb, sb))) if ea == eb && sa == sb => continue,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(now_us: u64, response_us: u64) -> TraceEvent {
+        TraceEvent::ServiceComplete {
+            now_us,
+            req: now_us,
+            response_us,
+            late: false,
+        }
+    }
+
+    #[test]
+    fn windows_rotate_and_retire() {
+        // 16 µs windows, 3-window live range.
+        let mut w = WindowedSnapshot::new(4, 3);
+        assert_eq!(w.window_us(), 16);
+        assert!(!w.started());
+        for t in [0u64, 5, 17, 40, 70] {
+            w.emit(&complete(t, 10));
+        }
+        // Epochs hit: 0, 0, 1, 2, 4 → live range (2, 4] = {2.., cur 4};
+        // epochs 0 and 1 retired.
+        assert_eq!(w.current_epoch(), Some(4));
+        let live: Vec<u64> = w.windows().map(|(e, _)| e).collect();
+        assert_eq!(live, vec![2, 4]);
+        assert_eq!(w.retired().counters.service_completes, 3);
+        assert_eq!(w.recent().counters.service_completes, 2);
+        assert_eq!(w.cumulative().counters.service_completes, 5);
+    }
+
+    #[test]
+    fn cumulative_matches_plain_snapshot_bit_for_bit() {
+        let mut w = WindowedSnapshot::new(4, 2);
+        let mut plain = Snapshot::new();
+        let mut t = 0u64;
+        let mut x = 7u64;
+        for _ in 0..5_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t += x % 37;
+            let e = complete(t, x % 100_000);
+            w.emit(&e);
+            plain.emit(&e);
+        }
+        assert_eq!(w.cumulative(), plain);
+    }
+
+    #[test]
+    fn deltas_sum_to_cumulative() {
+        let mut w = WindowedSnapshot::new(6, 4);
+        let mut drained = Snapshot::new();
+        let mut t = 0u64;
+        for i in 0..2_000u64 {
+            t += 13 + (i % 29);
+            w.emit(&complete(t, i));
+            if i % 257 == 0 {
+                for d in w.take_deltas() {
+                    drained.merge(&d.snapshot);
+                }
+            }
+        }
+        for d in w.flush() {
+            drained.merge(&d.snapshot);
+        }
+        assert_eq!(drained, w.cumulative());
+    }
+
+    #[test]
+    fn late_events_stay_in_the_stream() {
+        let mut w = WindowedSnapshot::new(4, 2);
+        w.emit(&complete(100, 1)); // epoch 6
+        w.emit(&complete(40, 1)); // epoch 2: older than the live range
+        w.emit(&complete(85, 1)); // epoch 5: live, completed window
+        assert_eq!(w.cumulative().counters.service_completes, 3);
+        let mut drained = Snapshot::new();
+        for d in w.flush() {
+            drained.merge(&d.snapshot);
+        }
+        assert_eq!(drained.counters.service_completes, 3);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_tracks_the_younger_current_window() {
+        let mut a = WindowedSnapshot::new(4, 3);
+        let mut b = WindowedSnapshot::new(4, 3);
+        for t in [0u64, 20, 35] {
+            a.emit(&complete(t, 5));
+        }
+        for t in [50u64, 90, 130] {
+            b.emit(&complete(t, 7));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.current_epoch(), Some(8));
+        assert_eq!(ab.cumulative().counters.service_completes, 6);
+        assert_eq!(ab.cumulative(), {
+            let mut s = a.cumulative();
+            s.merge(&b.cumulative());
+            s
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "share window shape")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = WindowedSnapshot::new(4, 3);
+        let b = WindowedSnapshot::new(5, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn sampling_thins_histograms_but_not_counters() {
+        let mut exact = WindowedSnapshot::new(8, 4);
+        let mut thin = WindowedSnapshot::new(8, 4).with_sample_shift(3);
+        for t in 0..1_000u64 {
+            exact.emit(&complete(t * 3, 50));
+            thin.emit(&complete(t * 3, 50));
+        }
+        assert_eq!(
+            thin.cumulative().counters.service_completes,
+            exact.cumulative().counters.service_completes
+        );
+        assert!(thin.cumulative().response_us.count() < exact.cumulative().response_us.count());
+        assert!(thin.cumulative().response_us.count() > 0);
+    }
+
+    #[test]
+    fn pending_cap_coalesces_but_conserves_counts() {
+        let mut w = WindowedSnapshot::new(2, 1).with_pending_cap(4);
+        for t in 0..400u64 {
+            w.emit(&complete(t * 4, 1)); // one event per window
+        }
+        assert!(w.coalesced() > 0);
+        let mut drained = Snapshot::new();
+        for d in w.flush() {
+            drained.merge(&d.snapshot);
+        }
+        assert_eq!(drained, w.cumulative());
+    }
+
+    #[test]
+    fn flush_then_continue_reopens_the_window() {
+        let mut w = WindowedSnapshot::new(4, 2);
+        w.emit(&complete(5, 1));
+        let first = w.flush();
+        assert_eq!(first.len(), 1);
+        assert!(first[0].partial);
+        w.emit(&complete(6, 1));
+        let mut drained = Snapshot::new();
+        for d in first.into_iter().chain(w.flush()) {
+            drained.merge(&d.snapshot);
+        }
+        assert_eq!(drained, w.cumulative());
+        assert_eq!(drained.counters.service_completes, 2);
+    }
+}

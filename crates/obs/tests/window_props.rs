@@ -1,0 +1,195 @@
+//! Property-based tests of the windowed-telemetry invariants.
+//!
+//! A [`WindowedSnapshot`] partitions one event stream by time but must
+//! never lose or duplicate anything: its cumulative view has to equal a
+//! plain [`Snapshot`] of the same stream bit-for-bit, draining deltas at
+//! any cadence has to sum back to the whole, and read-side merging has
+//! to behave like addition (associative and commutative). The
+//! properties are exercised over randomly drawn event streams —
+//! including out-of-order timestamps, which rotation must tolerate —
+//! and randomly drawn window shapes.
+
+use obs::{Snapshot, Stage, TraceEvent, TraceSink, WindowedSnapshot};
+use proptest::prelude::*;
+
+/// Strategy: one trace event with an arbitrary timestamp. Covers the
+/// variants that exercise every aggregation path: counters only
+/// (`Arrival`, `Shed`, `Redirect`), histogram feeders (`ServiceComplete`
+/// for response/lateness, `Dispatch` for queue depth and slack,
+/// `ServiceStart` for seeks, `StageSpan` for stage timings), and the
+/// farm roll-up (`ShardReport`).
+fn event() -> impl Strategy<Value = TraceEvent> {
+    (0u8..7, 0u64..200_000, any::<u64>(), any::<u32>()).prop_map(
+        |(kind, now_us, a, b)| match kind {
+            0 => TraceEvent::Arrival {
+                now_us,
+                req: a,
+                cylinder: b,
+                deadline_us: now_us + 1000,
+            },
+            1 => TraceEvent::Dispatch {
+                now_us,
+                req: a,
+                cylinder: b,
+                queue_depth: a % 64,
+                slack_us: (a % 10_000) as i64 - 5000,
+            },
+            2 => TraceEvent::ServiceStart {
+                now_us,
+                req: a,
+                cylinder: b,
+                seek_cylinders: b % 4000,
+            },
+            3 => TraceEvent::ServiceComplete {
+                now_us,
+                req: a,
+                response_us: a % 100_000,
+                late: a % 3 == 0,
+            },
+            4 => TraceEvent::Shed {
+                now_us,
+                req: a,
+                v: a as u128,
+            },
+            5 => TraceEvent::Redirect {
+                now_us,
+                req: a,
+                from_shard: b % 8,
+                to_shard: (b + 1) % 8,
+                queue_depth: a % 64,
+            },
+            _ => TraceEvent::StageSpan {
+                now_us,
+                stage: Stage::ALL[(b as usize) % Stage::ALL.len()],
+                elapsed_ns: a % 1_000_000,
+            },
+        },
+    )
+}
+
+/// Strategy: an event stream long enough to force several rotations at
+/// small window widths, with no ordering guarantee on timestamps.
+fn stream() -> impl Strategy<Value = Vec<TraceEvent>> {
+    prop::collection::vec(event(), 0..200)
+}
+
+fn feed<S: TraceSink>(sink: &mut S, events: &[TraceEvent]) {
+    for e in events {
+        sink.emit(e);
+    }
+}
+
+/// The read-side view of a windowed sink, for equality assertions:
+/// everything [`WindowedSnapshot::merge`] is contracted to preserve.
+fn view(w: &WindowedSnapshot) -> (Snapshot, Option<u64>, Vec<(u64, Snapshot)>) {
+    (
+        w.cumulative(),
+        w.current_epoch(),
+        w.windows().map(|(e, s)| (e, s.clone())).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Rotation, retirement and pending-queue coalescing never lose
+    /// counts: with decimation off, the windowed cumulative equals a
+    /// plain snapshot of the same stream, and so does the sum of every
+    /// flushed delta.
+    #[test]
+    fn rotation_never_loses_counts(
+        events in stream(),
+        window_log2 in 4u32..24,
+        depth in 1usize..5,
+        pending_cap in 1usize..8,
+    ) {
+        let mut plain = Snapshot::new();
+        feed(&mut plain, &events);
+
+        let mut windowed =
+            WindowedSnapshot::new(window_log2, depth).with_pending_cap(pending_cap);
+        feed(&mut windowed, &events);
+        prop_assert_eq!(windowed.cumulative(), plain.clone());
+
+        let mut summed = Snapshot::new();
+        for d in windowed.flush() {
+            summed.merge(&d.snapshot);
+        }
+        prop_assert_eq!(summed, plain);
+    }
+
+    /// Draining deltas mid-stream at any cadence, then flushing the
+    /// tail, reproduces the cumulative aggregate exactly — no event is
+    /// lost or double-counted across a `take_deltas` boundary.
+    #[test]
+    fn polling_cadence_is_invariant(
+        events in stream(),
+        window_log2 in 4u32..20,
+        poll_every in 1usize..40,
+    ) {
+        let mut windowed = WindowedSnapshot::new(window_log2, 3);
+        let mut polled = Snapshot::new();
+        for chunk in events.chunks(poll_every) {
+            feed(&mut windowed, chunk);
+            for d in windowed.take_deltas() {
+                polled.merge(&d.snapshot);
+            }
+        }
+        for d in windowed.flush() {
+            polled.merge(&d.snapshot);
+        }
+        prop_assert_eq!(polled, windowed.cumulative());
+    }
+
+    /// Read-side merge is commutative: `a ∪ b` and `b ∪ a` agree on the
+    /// cumulative aggregate, the current epoch, and every live window.
+    #[test]
+    fn windowed_merge_is_commutative(
+        a_events in stream(),
+        b_events in stream(),
+        window_log2 in 4u32..20,
+        depth in 1usize..5,
+    ) {
+        let build = |events: &[TraceEvent]| {
+            let mut w = WindowedSnapshot::new(window_log2, depth);
+            feed(&mut w, events);
+            w
+        };
+        let (a, b) = (build(&a_events), build(&b_events));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(view(&ab), view(&ba));
+    }
+
+    /// Read-side merge is associative: `(a ∪ b) ∪ c` equals
+    /// `a ∪ (b ∪ c)`, so farm fan-in can fold shard sinks in any shape.
+    #[test]
+    fn windowed_merge_is_associative(
+        a_events in stream(),
+        b_events in stream(),
+        c_events in stream(),
+        window_log2 in 4u32..20,
+        depth in 1usize..5,
+    ) {
+        let build = |events: &[TraceEvent]| {
+            let mut w = WindowedSnapshot::new(window_log2, depth);
+            feed(&mut w, events);
+            w
+        };
+        let (a, b, c) = (build(&a_events), build(&b_events), build(&c_events));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(view(&left), view(&right));
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`metamorphic`] — **metamorphic properties**: relations between
 //!   runs that need no reference — arrival-permutation invariance,
 //!   deadline monotonicity under SFC2's `f` scaling, CSV replay
-//!   idempotence, serial-vs-threaded executor equivalence.
+//!   idempotence, serial-vs-threaded executor equivalence. [`telemetry`]
+//!   adds the live-plane relations: windowed cumulative equivalence with
+//!   a plain snapshot, window-width invariance, and delta-polling
+//!   cadence invariance.
 //! * [`fuzz`] — a **seeded fuzz driver**: adversarial workload
 //!   archetypes (deadline clusters, cylinder sweeps, shed-pressure
 //!   bursts, fault plans) generated from a seed, checked against the
@@ -34,6 +37,7 @@ pub mod metamorphic;
 pub mod reference;
 pub mod routing;
 pub mod smoke;
+pub mod telemetry;
 
 pub use fuzz::{fuzz, minimize, replay_dir, replay_file, Archetype, Scenario};
 pub use reference::{
@@ -41,3 +45,4 @@ pub use reference::{
     ReferenceSstf,
 };
 pub use routing::{diff_routing, replay_route};
+pub use telemetry::diff_telemetry;

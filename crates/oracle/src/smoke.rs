@@ -23,8 +23,9 @@ pub struct SmokeReport {
 /// Run the smoke battery. Covers: the cascade differential oracle on
 /// three seeded workload families under four dispatcher regimes, the
 /// brute-force baseline oracles, the farm routing replay under every
-/// policy (with and without redirects), one fuzz case per archetype, and
-/// the metamorphic quick pass. Any divergence is the error.
+/// policy (with and without redirects), one fuzz case per archetype,
+/// the live-telemetry relations, and the metamorphic quick pass. Any
+/// divergence is the error.
 pub fn run(seed: u64) -> Result<SmokeReport, String> {
     let mut report = SmokeReport::default();
 
@@ -94,6 +95,14 @@ pub fn run(seed: u64) -> Result<SmokeReport, String> {
         report.differential_runs += 1;
         report.requests_checked += scenario.trace().len() as u64;
     }
+
+    // Telemetry relations: windowed-vs-plain equivalence, window-width
+    // invariance, and delta-polling cadence invariance on the Poisson
+    // trace.
+    crate::telemetry::diff_telemetry(&poisson, SimOptions::with_shape(1, 16).dropping(), 64)
+        .map_err(|e| format!("[telemetry] {e}"))?;
+    report.differential_runs += 1;
+    report.requests_checked += poisson.len() as u64;
 
     // Metamorphic quick pass.
     metamorphic::quick_pass(seed).map_err(|e| format!("[metamorphic] {e}"))?;

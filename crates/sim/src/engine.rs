@@ -53,6 +53,13 @@ pub struct SimOptions {
     pub warmup_us: Micros,
     /// Retry policy for transient media errors (default: never retry).
     pub retry: RetryPolicy,
+    /// Emit wall-clock [`TraceEvent::StageSpan`]s over the engine's
+    /// enqueue/dispatch/service stages, sampled 1-in-`2^shift` per stage
+    /// (`None` = off, the default). Span *durations* are wall-clock and
+    /// therefore nondeterministic; span *counts* are a deterministic
+    /// function of the trace, so event-reconciliation invariants still
+    /// hold. Ignored when the sink is [`obs::NullSink`].
+    pub stage_spans: Option<u32>,
 }
 
 impl Default for SimOptions {
@@ -64,6 +71,7 @@ impl Default for SimOptions {
             levels: 16,
             warmup_us: 0,
             retry: RetryPolicy::default(),
+            stage_spans: None,
         }
     }
 }
@@ -100,6 +108,13 @@ impl SimOptions {
     /// (retries stop early once the deadline has passed).
     pub fn with_retries(mut self, max_attempts: u32) -> Self {
         self.retry.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Emit sampled wall-clock stage spans (1-in-`2^shift` per stage)
+    /// into the trace sink. See [`SimOptions::stage_spans`].
+    pub fn with_stage_spans(mut self, shift: u32) -> Self {
+        self.stage_spans = Some(shift);
         self
     }
 }
@@ -170,6 +185,35 @@ pub fn simulate_traced<S: TraceSink>(
     simulate_inner(scheduler, trace, service, options, None, sink)
 }
 
+/// Per-stage samplers for the engine's wall-clock spans; `None` unless
+/// [`SimOptions::stage_spans`] is set *and* the sink is live.
+struct EngineSpans {
+    enqueue: obs::StageSampler,
+    dispatch: obs::StageSampler,
+    service: obs::StageSampler,
+}
+
+impl EngineSpans {
+    fn new(shift: u32) -> Self {
+        EngineSpans {
+            enqueue: obs::StageSampler::every_pow2(shift),
+            dispatch: obs::StageSampler::every_pow2(shift),
+            service: obs::StageSampler::every_pow2(shift),
+        }
+    }
+}
+
+/// Start a wall clock for this stage occurrence if the sampler picks it.
+#[inline]
+fn span_clock(sampler: Option<&mut obs::StageSampler>) -> Option<std::time::Instant> {
+    let s = sampler?;
+    if s.tick() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
 fn simulate_inner<S: TraceSink>(
     scheduler: &mut dyn DiskScheduler,
     trace: &[Request],
@@ -182,6 +226,11 @@ fn simulate_inner<S: TraceSink>(
     let cylinders = service.cylinders();
     let mut now: Micros = 0;
     let mut next_arrival = 0usize;
+    let mut spans = if S::ENABLED {
+        options.stage_spans.map(EngineSpans::new)
+    } else {
+        None
+    };
 
     let measured = |r: &Request| r.arrival_us >= options.warmup_us;
     for r in trace.iter().filter(|r| measured(r)) {
@@ -208,11 +257,28 @@ fn simulate_inner<S: TraceSink>(
         }
         if first_arrival < next_arrival {
             let head = HeadState::new(service.head(), trace[first_arrival].arrival_us, cylinders);
+            let clock = span_clock(spans.as_mut().map(|s| &mut s.enqueue));
             scheduler.enqueue_batch(&trace[first_arrival..next_arrival], &head);
+            if let Some(t0) = clock {
+                sink.emit(&TraceEvent::StageSpan {
+                    now_us: head.now_us,
+                    stage: obs::Stage::Enqueue,
+                    elapsed_ns: t0.elapsed().as_nanos() as u64,
+                });
+            }
         }
 
         let head = HeadState::new(service.head(), now, cylinders);
-        match scheduler.dequeue(&head) {
+        let clock = span_clock(spans.as_mut().map(|s| &mut s.dispatch));
+        let picked = scheduler.dequeue(&head);
+        if let Some(t0) = clock {
+            sink.emit(&TraceEvent::StageSpan {
+                now_us: now,
+                stage: obs::Stage::Dispatch,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        match picked {
             Some(req) => {
                 let in_window = measured(&req);
                 if S::ENABLED {
@@ -268,6 +334,7 @@ fn simulate_inner<S: TraceSink>(
                 // whole failure path.
                 let max_attempts = options.retry.max_attempts.max(1);
                 let mut attempt: u32 = 1;
+                let service_clock = span_clock(spans.as_mut().map(|s| &mut s.service));
                 let outcome = loop {
                     let o = service.service_checked(&req, now);
                     now += o.breakdown.total_us();
@@ -315,6 +382,13 @@ fn simulate_inner<S: TraceSink>(
                         });
                     }
                 };
+                if let Some(t0) = service_clock {
+                    sink.emit(&TraceEvent::StageSpan {
+                        now_us: now,
+                        stage: obs::Stage::Service,
+                        elapsed_ns: t0.elapsed().as_nanos() as u64,
+                    });
+                }
                 match outcome {
                     Some(o) => {
                         if o.remap_penalty_us > 0 {
@@ -869,6 +943,40 @@ mod tests {
             limping.busy_us(),
             healthy.busy_us()
         );
+    }
+
+    #[test]
+    fn stage_spans_populate_stage_histograms_deterministically() {
+        use obs::{Snapshot, Stage};
+        let trace: Vec<Request> = (0..40)
+            .map(|i| req(i, i * 700, u64::MAX, ((i * 433) % 3832) as u32, &[0]))
+            .collect();
+        let options = SimOptions::with_shape(1, 2).with_stage_spans(0);
+        let run = || {
+            let mut snap = Snapshot::new();
+            let mut service = TransferDominated::uniform(1_000, 3832);
+            let m = simulate_traced(&mut Fcfs::new(), &trace, &mut service, options, &mut snap);
+            (m, snap)
+        };
+        let (m, snap) = run();
+        assert!(snap.counters.stage_spans > 0);
+        // Shift 0 samples every occurrence: one dispatch span per
+        // dequeue attempt, one service span per service.
+        let engine_stages = [Stage::Enqueue, Stage::Dispatch, Stage::Service];
+        let span_total: u64 = engine_stages
+            .iter()
+            .map(|s| snap.stage_ns[s.index()].count())
+            .sum();
+        assert_eq!(span_total, snap.counters.stage_spans);
+        assert_eq!(snap.stage_ns[Stage::Service.index()].count(), m.served);
+        assert!(snap.stage_ns[Stage::Enqueue.index()].count() > 0);
+        // Span counts (not durations) are deterministic across runs.
+        let (_, again) = run();
+        assert_eq!(again.counters.stage_spans, snap.counters.stage_spans);
+        // Untraced metrics are untouched by span emission.
+        let mut service = TransferDominated::uniform(1_000, 3832);
+        let plain = simulate(&mut Fcfs::new(), &trace, &mut service, options);
+        assert_eq!(plain, m);
     }
 
     #[test]
