@@ -33,6 +33,15 @@ echo "==> farm smoke run"
 # violation).
 cargo run -q -p bench --release --bin farm -- --mode smoke --duration-ms 10000
 
+echo "==> daemon smoke run"
+# Seeded churn script at the overloaded operating point: the daemon's
+# quiescent prefix bit-identical to the batch farm, a mid-run drain
+# migrating its backlog with the ledger still closed, the limping
+# member quarantined by the supervisor, traced events reconciled
+# against the daemon's counters, and two identical runs bit-identical
+# (exits 1 on violation).
+cargo run -q -p bench --release --bin daemon -- --mode smoke
+
 echo "==> oracle smoke gate"
 # Differential + metamorphic battery: optimized cascade, baselines and
 # farm routing vs naive references on seeded workloads, one fuzz case

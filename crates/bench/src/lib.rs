@@ -24,7 +24,10 @@
 //! errors, a degraded-RAID scenario, and the CI smoke gate — see
 //! [`fault`]), and `farm` (shard-count scaling under the three routing
 //! policies, executor bit-identity, and the farm smoke gate — see
-//! [`farm`]), and `perf` (the CI perf-regression gate against the
+//! [`farm`]), and `daemon` (the continuous-operation smoke gate:
+//! quiescent-prefix parity with the batch farm, drain/quarantine churn
+//! with a closed ledger, and run-to-run bit-identity — see [`daemon`]),
+//! and `perf` (the CI perf-regression gate against the
 //! committed `BENCH_sched.json` plus the telemetry overhead gate — see
 //! [`perf`]), and `obsreport` (the live telemetry plane's exposition:
 //! streaming per-window JSONL, Prometheus text format, and the
@@ -38,6 +41,7 @@
 
 pub mod ablation;
 pub mod args;
+pub mod daemon;
 pub mod farm;
 pub mod fault;
 pub mod fig10;

@@ -1,8 +1,8 @@
-//! Perf-regression gate: four microbenchmark workloads measured
+//! Perf-regression gate: five microbenchmark workloads measured
 //! best-of-N, reported as `BENCH_sched.json`, and checked against the
 //! committed baseline in CI.
 //!
-//! The four numbers cover the stack's hot paths:
+//! The five numbers cover the stack's hot paths:
 //!
 //! * **dispatch throughput** — enqueue/dequeue interleave through the
 //!   optimized [`CascadedSfc`] on the Figure-8 Poisson workload
@@ -12,6 +12,10 @@
 //!   (requests/s; higher is better),
 //! * **farm routing rate** — [`farm::route_trace`] with redirects over a
 //!   VoD trace on 8 shards (requests/s; higher is better),
+//! * **daemon rate** — the continuous-operation [`farm::FarmDaemon`]
+//!   (online routing, admission, per-member steppers, supervision
+//!   bookkeeping) fed an arrivals-only VoD event stream end to end
+//!   (requests/s; higher is better),
 //! * **SFC mapping latency** — `Hilbert(3 dims, 2^7 side)` index
 //!   mapping (ns/op; lower is better).
 //!
@@ -28,9 +32,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use cascade::{CascadeConfig, CascadedSfc};
-use farm::{route_trace, FarmConfig, RoutePolicy};
+use farm::{route_trace, DaemonConfig, DaemonEvent, FarmConfig, FarmDaemon, RoutePolicy};
 use obs::{NullSink, TelemetryConfig, TraceSink};
-use sched::{DiskScheduler, HeadState, Request};
+use sched::{DiskScheduler, Fcfs, HeadState, Request};
 use sfc::{Hilbert, SpaceFillingCurve};
 use sim::{simulate, simulate_traced, DiskService, SimOptions};
 use workload::{PoissonConfig, VodConfig};
@@ -46,6 +50,8 @@ pub struct PerfReport {
     pub engine_reqs_per_s: f64,
     /// Farm routing pass throughput in requests per second.
     pub routing_reqs_per_s: f64,
+    /// Continuous-operation daemon throughput in requests per second.
+    pub daemon_reqs_per_s: f64,
     /// Hilbert index mapping latency in nanoseconds per op.
     pub sfc_ns_per_op: f64,
 }
@@ -62,10 +68,12 @@ impl PerfReport {
              \"dispatch_ops_per_s\": {:.1},\n  \
              \"engine_reqs_per_s\": {:.1},\n  \
              \"routing_reqs_per_s\": {:.1},\n  \
+             \"daemon_reqs_per_s\": {:.1},\n  \
              \"sfc_ns_per_op\": {:.3}\n}}\n",
             self.dispatch_ops_per_s,
             self.engine_reqs_per_s,
             self.routing_reqs_per_s,
+            self.daemon_reqs_per_s,
             self.sfc_ns_per_op
         )
     }
@@ -93,6 +101,7 @@ impl PerfReport {
             dispatch_ops_per_s: field("dispatch_ops_per_s"),
             engine_reqs_per_s: field("engine_reqs_per_s"),
             routing_reqs_per_s: field("routing_reqs_per_s"),
+            daemon_reqs_per_s: field("daemon_reqs_per_s"),
             sfc_ns_per_op: field("sfc_ns_per_op"),
         };
         Ok((report, warnings))
@@ -182,6 +191,28 @@ fn bench_routing(seed: u64) -> f64 {
     trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
 }
 
+/// Daemon rate: the whole continuous-operation stack — online routing,
+/// the admission gate, per-member engine steppers and supervision
+/// bookkeeping — fed an arrivals-only VoD event stream on 4 shards.
+/// Returns requests/s.
+fn bench_daemon(seed: u64) -> f64 {
+    let mut wl = VodConfig::mpeg1(48);
+    wl.duration_us = 4_000_000;
+    let trace = wl.generate(seed);
+    let cfg = FarmConfig::new(4).with_policy(RoutePolicy::LeastLoaded);
+    let options = SimOptions::with_shape(1, 8).dropping().without_inversions();
+    let daemon = FarmDaemon::new(
+        DaemonConfig::new(cfg, options),
+        |_, _| Box::new(Fcfs::new()),
+        |_| DiskService::table1(),
+    );
+
+    let start = Instant::now();
+    let report = daemon.run(trace.iter().cloned().map(DaemonEvent::Arrival));
+    black_box(report.served());
+    trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
 /// SFC mapping latency: Hilbert index over 3 dims with side 128, on
 /// pseudo-random pre-generated points. Returns ns/op.
 fn bench_sfc(seed: u64) -> f64 {
@@ -225,6 +256,7 @@ pub fn measure(seed: u64, samples: u32) -> PerfReport {
         dispatch_ops_per_s: best(&|| bench_dispatch(seed), true),
         engine_reqs_per_s: best(&|| bench_engine(seed), true),
         routing_reqs_per_s: best(&|| bench_routing(seed), true),
+        daemon_reqs_per_s: best(&|| bench_daemon(seed), true),
         sfc_ns_per_op: best(&|| bench_sfc(seed), false),
     }
 }
@@ -436,6 +468,12 @@ pub fn check(
         true,
     );
     gauge(
+        "daemon_reqs_per_s",
+        current.daemon_reqs_per_s,
+        baseline.daemon_reqs_per_s,
+        true,
+    );
+    gauge(
         "sfc_ns_per_op",
         current.sfc_ns_per_op,
         baseline.sfc_ns_per_op,
@@ -458,6 +496,7 @@ mod tests {
             dispatch_ops_per_s: 1_234_567.8,
             engine_reqs_per_s: 456_789.1,
             routing_reqs_per_s: 98_765.4,
+            daemon_reqs_per_s: 54_321.9,
             sfc_ns_per_op: 41.125,
         };
         let (back, warnings) = PerfReport::from_json(&report.to_json()).expect("roundtrip");
@@ -465,6 +504,7 @@ mod tests {
         assert!((back.dispatch_ops_per_s - report.dispatch_ops_per_s).abs() < 0.1);
         assert!((back.engine_reqs_per_s - report.engine_reqs_per_s).abs() < 0.1);
         assert!((back.routing_reqs_per_s - report.routing_reqs_per_s).abs() < 0.1);
+        assert!((back.daemon_reqs_per_s - report.daemon_reqs_per_s).abs() < 0.1);
         assert!((back.sfc_ns_per_op - report.sfc_ns_per_op).abs() < 0.001);
     }
 
@@ -483,6 +523,7 @@ mod tests {
              \"dispatch_ops_per_s\": 10.0,\n  \
              \"engine_reqs_per_s\": 20.0,\n  \
              \"routing_reqs_per_s\": 30.0,\n  \
+             \"daemon_reqs_per_s\": 35.0,\n  \
              \"sfc_ns_per_op\": 40.0,\n  \
              \"future_metric_per_s\": 50.0\n}}\n"
         );
@@ -495,6 +536,7 @@ mod tests {
             "{{\n  \"schema\": \"{SCHEMA}\",\n  \
              \"dispatch_ops_per_s\": 1000.0,\n  \
              \"routing_reqs_per_s\": 1000.0,\n  \
+             \"daemon_reqs_per_s\": 1000.0,\n  \
              \"sfc_ns_per_op\": 100.0\n}}\n"
         );
         let (base, warnings) = PerfReport::from_json(&older).expect("missing key is a warning");
@@ -505,6 +547,7 @@ mod tests {
             dispatch_ops_per_s: 1000.0,
             engine_reqs_per_s: 123.0, // would regress against any number
             routing_reqs_per_s: 1000.0,
+            daemon_reqs_per_s: 1000.0,
             sfc_ns_per_op: 100.0,
         };
         let lines = check(&current, &base, 0.2).expect("NaN baseline is skipped");
@@ -517,6 +560,7 @@ mod tests {
             dispatch_ops_per_s: 1000.0,
             engine_reqs_per_s: 1000.0,
             routing_reqs_per_s: 1000.0,
+            daemon_reqs_per_s: 1000.0,
             sfc_ns_per_op: 100.0,
         };
         // Improvements and in-tolerance dips pass.
@@ -524,6 +568,7 @@ mod tests {
             dispatch_ops_per_s: 850.0,
             engine_reqs_per_s: 1000.0,
             routing_reqs_per_s: 2000.0,
+            daemon_reqs_per_s: 900.0,
             sfc_ns_per_op: 115.0,
         };
         assert!(check(&fine, &base, 0.2).is_ok());
@@ -534,7 +579,7 @@ mod tests {
             ..fine
         };
         let lines = check(&slow, &base, 0.2).unwrap_err();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert_eq!(lines.iter().filter(|l| l.contains("REGRESSED")).count(), 1);
         let bad = lines.iter().find(|l| l.contains("REGRESSED")).unwrap();
         assert!(bad.contains("dispatch_ops_per_s"));
@@ -594,6 +639,7 @@ mod tests {
         assert!(report.dispatch_ops_per_s > 0.0);
         assert!(report.engine_reqs_per_s > 0.0);
         assert!(report.routing_reqs_per_s > 0.0);
+        assert!(report.daemon_reqs_per_s > 0.0);
         assert!(report.sfc_ns_per_op > 0.0);
     }
 }

@@ -1,0 +1,1014 @@
+//! Continuous-operation farm daemon: online routing, live membership
+//! churn, and failure-aware supervision.
+//!
+//! The batch entry points ([`crate::simulate_farm`]) assume a closed
+//! world: the whole trace and the full shard set are known up front. A
+//! production farm is never that lucky — streams arrive for as long as
+//! the service is up, shards are added and retired while requests are in
+//! flight, and a limping disk has to be routed around before it melts
+//! the tail. [`FarmDaemon`] runs the *same* decision code under those
+//! conditions:
+//!
+//! * **Online routing** — one [`crate::OnlineRouter`] (the exact core
+//!   the batch pass wraps) places each admitted arrival; with no
+//!   membership events the placements are bit-identical to
+//!   [`crate::route_trace`], which the oracle's replay gate enforces.
+//! * **Admission at ingest** — a [`StreamGate`] caps concurrently
+//!   active streams; rejected requests never reach a scheduler queue
+//!   and are accounted in the ledger as admission rejections.
+//! * **Live membership** — [`DaemonEvent::AddShard`] grows the farm
+//!   without stopping it; [`DaemonEvent::DrainShard`] takes a shard out
+//!   of rotation, lets it serve residents for a bounded handoff window,
+//!   then migrates the leftover backlog (emitting one
+//!   [`TraceEvent::Migrate`] per request) and closes the drain.
+//! * **Supervision** — each member runs behind its own
+//!   [`FlightRecorder`]; when a fresh dump carries an actionable
+//!   anomaly (shed burst, degraded-read storm, or p99 spike) the
+//!   supervisor quarantines the member with a strike-scaled, seeded,
+//!   jittered exponential cooldown ([`sim::jittered_backoff_us`]) and
+//!   reinstates it when the cooldown expires. Quarantined members keep
+//!   draining their residents; only *new* arrivals route around them.
+//!
+//! The daemon is a deterministic event-loop: feed it a time-ordered
+//! stream of [`DaemonEvent`]s (a `Vec`, an iterator, or an
+//! [`std::sync::mpsc::Receiver`] — any `IntoIterator` works, so a
+//! channel is the natural streaming front-end) and it produces a
+//! [`DaemonReport`] whose request ledger closes exactly:
+//!
+//! ```text
+//! served + dropped + failed + shed + migrated + rejected == arrivals
+//! ```
+//!
+//! Internally each member pairs a [`sim::EngineStepper`] with its
+//! scheduler and service model. Before an event at time `t` is applied,
+//! every member is pumped to `t` ([`EngineStepper::run_until`] excludes
+//! the horizon itself), so no engine ever dispatches at an instant whose
+//! arrivals it has not seen — the property that keeps the daemon
+//! bit-identical to the batch engines.
+
+use obs::{
+    Anomaly, FlightRecorder, SharedSink, TelemetryConfig, TraceEvent, TraceSink, TriggerConfig,
+};
+use sched::{DiskScheduler, HeadState, Request};
+use sim::admission::StreamGate;
+use sim::{jittered_backoff_us, DiskService, EngineStepper, Metrics, ServiceProvider, SimOptions};
+
+use crate::{FarmConfig, OnlineRouter};
+
+/// Builds a shard's scheduler. The [`SharedSink`] handle is a clone of
+/// the member's flight-recorder sink: pass it to sink-carrying
+/// constructors (cascade's `CascadedSfc::with_sink`) so bounded-queue
+/// shed events land in the same ring the engine writes — the
+/// supervisor's shed-burst trigger (and the event-vs-counter
+/// reconciliation) depends on that wiring. Factories for sink-less
+/// policies may ignore the handle.
+pub type SchedulerFactory =
+    Box<dyn FnMut(usize, SharedSink<FlightRecorder>) -> Box<dyn DiskScheduler>>;
+
+/// Builds a shard's service model (e.g. a fault-injected
+/// [`DiskService`] for a limping member).
+pub type ServiceFactory = Box<dyn FnMut(usize) -> DiskService>;
+
+/// One input to the daemon's event loop. Events must be fed in
+/// non-decreasing time order (arrivals carry their own
+/// [`Request::arrival_us`]).
+#[derive(Debug, Clone)]
+pub enum DaemonEvent {
+    /// A request arrived at the farm's front door.
+    Arrival(Request),
+    /// Grow the farm by one fresh, idle, eligible shard.
+    AddShard {
+        /// Event time (µs).
+        at_us: u64,
+    },
+    /// Take `shard` out of rotation: it stops receiving new arrivals
+    /// immediately, serves residents until `at_us + handoff_window_us`,
+    /// then migrates whatever is still queued and closes.
+    DrainShard {
+        /// Event time (µs).
+        at_us: u64,
+        /// The shard to retire.
+        shard: usize,
+        /// How long the shard may keep serving residents (µs).
+        handoff_window_us: u64,
+    },
+    /// Operator-forced quarantine of `shard` (the supervisor path uses
+    /// the same mechanism driven by flight-recorder anomalies).
+    Quarantine {
+        /// Event time (µs).
+        at_us: u64,
+        /// The shard to quarantine.
+        shard: usize,
+    },
+}
+
+impl DaemonEvent {
+    /// The event's time (µs) — arrivals use their `arrival_us`.
+    pub fn at_us(&self) -> u64 {
+        match self {
+            DaemonEvent::Arrival(r) => r.arrival_us,
+            DaemonEvent::AddShard { at_us }
+            | DaemonEvent::DrainShard { at_us, .. }
+            | DaemonEvent::Quarantine { at_us, .. } => *at_us,
+        }
+    }
+}
+
+/// A member's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberStatus {
+    /// In rotation: receives new arrivals.
+    Active,
+    /// Out of rotation, serving residents until the handoff window
+    /// closes.
+    Draining {
+        /// When the handoff window closes and leftovers migrate (µs).
+        close_at_us: u64,
+    },
+    /// Retired: backlog migrated, ledger closed, engine stopped.
+    Drained,
+    /// Out of rotation after an anomaly; reinstated at `until_us`.
+    Quarantined {
+        /// Earliest re-probe time (µs).
+        until_us: u64,
+    },
+}
+
+/// Supervisor cooldown policy: how long a quarantined member sits out.
+///
+/// The cooldown is `jittered_backoff_us(cooldown_us, strikes, ...)` —
+/// exponential in the member's lifetime strike count, with seeded
+/// deterministic jitter (salted by the shard index) so repeated
+/// re-probes across members decorrelate instead of thundering back in
+/// lock-step.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Base quarantine cooldown (µs); doubles per strike.
+    pub cooldown_us: u64,
+    /// Jitter span in permille of the backoff (0 = deterministic).
+    pub jitter_permille: u32,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            cooldown_us: 2_000_000,
+            jitter_permille: 250,
+            seed: 0x5ca1_ab1e,
+        }
+    }
+}
+
+/// Full daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Shard count, routing policy and load model (the same
+    /// configuration the batch pass takes).
+    pub farm: FarmConfig,
+    /// Engine options for every member. `warmup_us` must be 0: the
+    /// daemon's ledger needs every delivered request measured.
+    pub options: SimOptions,
+    /// Admission cap: concurrently active streams (`u32::MAX` = open).
+    pub max_streams: u32,
+    /// A stream's slot is reclaimed after this much idle time (µs).
+    pub stream_idle_timeout_us: u64,
+    /// Flight-recorder ring capacity per member (events).
+    pub recorder_capacity: usize,
+    /// Windowed-telemetry shape per member recorder.
+    pub telemetry: TelemetryConfig,
+    /// Anomaly trigger thresholds per member recorder.
+    pub triggers: TriggerConfig,
+    /// Quarantine cooldown policy.
+    pub supervisor: SupervisorConfig,
+}
+
+impl DaemonConfig {
+    /// Defaults: open admission gate, 4096-event rings, exact telemetry,
+    /// paper-default triggers, 2 s base cooldown.
+    pub fn new(farm: FarmConfig, options: SimOptions) -> Self {
+        DaemonConfig {
+            farm,
+            options,
+            max_streams: u32::MAX,
+            stream_idle_timeout_us: u64::MAX,
+            recorder_capacity: 1 << 12,
+            telemetry: TelemetryConfig::exact(),
+            triggers: TriggerConfig::default(),
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+
+    /// Cap admission at `max_streams` concurrently active streams, a
+    /// stream going idle for `idle_timeout_us` frees its slot.
+    pub fn with_admission(mut self, max_streams: u32, idle_timeout_us: u64) -> Self {
+        self.max_streams = max_streams;
+        self.stream_idle_timeout_us = idle_timeout_us;
+        self
+    }
+
+    /// Set the per-member telemetry shape and anomaly triggers.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig, triggers: TriggerConfig) -> Self {
+        self.telemetry = telemetry;
+        self.triggers = triggers;
+        self
+    }
+
+    /// Set the supervisor cooldown policy.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Set the per-member flight-recorder ring capacity.
+    pub fn with_recorder_capacity(mut self, capacity: usize) -> Self {
+        self.recorder_capacity = capacity;
+        self
+    }
+}
+
+/// One shard of the running farm: its engine, scheduler, service model
+/// and telemetry, plus the lifecycle/supervision state.
+struct Member {
+    scheduler: Box<dyn DiskScheduler>,
+    service: DiskService,
+    stepper: EngineStepper,
+    recorder: SharedSink<FlightRecorder>,
+    status: MemberStatus,
+    /// Flight-recorder dumps already inspected by the supervisor.
+    dumps_seen: usize,
+    /// Lifetime anomaly strikes (scales the quarantine backoff).
+    strikes: u32,
+}
+
+/// The continuous-operation farm daemon. See the module docs for the
+/// architecture; drive it with [`FarmDaemon::handle`] /
+/// [`FarmDaemon::run`] and collect the [`DaemonReport`] via
+/// [`FarmDaemon::shutdown`].
+pub struct FarmDaemon {
+    cfg: DaemonConfig,
+    router: OnlineRouter,
+    gate: StreamGate,
+    members: Vec<Member>,
+    routed_per_shard: Vec<u64>,
+    make_scheduler: SchedulerFactory,
+    make_service: ServiceFactory,
+    arrivals: u64,
+    migrated: u64,
+    migrated_undelivered: u64,
+    quarantines: u64,
+    refused_events: u64,
+    now_us: u64,
+}
+
+impl FarmDaemon {
+    /// Build the daemon: one member per `cfg.farm.shards`, every member
+    /// active and eligible.
+    ///
+    /// `make_scheduler(shard, sink)` builds each shard's scheduler — wire
+    /// the provided sink into bounded schedulers so their shed events
+    /// reach the member's flight recorder (see [`SchedulerFactory`]).
+    /// `make_service(shard)` builds its service model. Both factories are
+    /// retained for [`DaemonEvent::AddShard`].
+    ///
+    /// # Panics
+    /// If `cfg.options.warmup_us != 0` — a warmup window would exclude
+    /// requests from the metrics and the ledger could not close.
+    pub fn new(
+        cfg: DaemonConfig,
+        make_scheduler: impl FnMut(usize, SharedSink<FlightRecorder>) -> Box<dyn DiskScheduler>
+            + 'static,
+        make_service: impl FnMut(usize) -> DiskService + 'static,
+    ) -> Self {
+        assert_eq!(
+            cfg.options.warmup_us, 0,
+            "the daemon ledger requires warmup_us == 0"
+        );
+        let mut make_scheduler: SchedulerFactory = Box::new(make_scheduler);
+        let mut make_service: ServiceFactory = Box::new(make_service);
+        let members: Vec<Member> = (0..cfg.farm.shards)
+            .map(|i| Self::build_member(&mut make_scheduler, &mut make_service, i, &cfg))
+            .collect();
+        let capacities: Vec<Option<usize>> = members
+            .iter()
+            .map(|m| m.scheduler.queue_capacity())
+            .collect();
+        let router = OnlineRouter::new(&cfg.farm, &capacities);
+        let gate = StreamGate::new(cfg.max_streams, cfg.stream_idle_timeout_us);
+        let routed_per_shard = vec![0; cfg.farm.shards];
+        FarmDaemon {
+            cfg,
+            router,
+            gate,
+            members,
+            routed_per_shard,
+            make_scheduler,
+            make_service,
+            arrivals: 0,
+            migrated: 0,
+            migrated_undelivered: 0,
+            quarantines: 0,
+            refused_events: 0,
+            now_us: 0,
+        }
+    }
+
+    fn build_member(
+        make_scheduler: &mut SchedulerFactory,
+        make_service: &mut ServiceFactory,
+        idx: usize,
+        cfg: &DaemonConfig,
+    ) -> Member {
+        let recorder = SharedSink::new(FlightRecorder::new(
+            cfg.recorder_capacity,
+            cfg.telemetry,
+            cfg.triggers,
+        ));
+        let scheduler = make_scheduler(idx, recorder.clone());
+        let service = make_service(idx);
+        let stepper = EngineStepper::new(cfg.options, service.cylinders());
+        Member {
+            scheduler,
+            service,
+            stepper,
+            recorder,
+            status: MemberStatus::Active,
+            dumps_seen: 0,
+            strikes: 0,
+        }
+    }
+
+    /// Current farm size, including drained members.
+    pub fn shards(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member's lifecycle state.
+    pub fn status(&self, shard: usize) -> MemberStatus {
+        self.members[shard].status
+    }
+
+    /// Time of the last handled event (µs).
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// The routing core (e.g. to inspect eligibility or counters).
+    pub fn router(&self) -> &OnlineRouter {
+        &self.router
+    }
+
+    /// Arrivals seen so far (admitted or not).
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Pump every live member's engine to `t`, closing any drain whose
+    /// handoff window ends at or before `t`.
+    fn advance_to(&mut self, t: u64) {
+        for idx in 0..self.members.len() {
+            match self.members[idx].status {
+                MemberStatus::Drained => {}
+                MemberStatus::Draining { close_at_us } if close_at_us <= t => {
+                    self.pump(idx, close_at_us);
+                    self.close_drain(idx, close_at_us);
+                }
+                _ => self.pump(idx, t),
+            }
+        }
+    }
+
+    fn pump(&mut self, idx: usize, horizon_us: u64) {
+        let m = &mut self.members[idx];
+        m.stepper.run_until(
+            horizon_us,
+            m.scheduler.as_mut(),
+            &mut m.service,
+            &mut m.recorder,
+        );
+    }
+
+    /// The handoff window closed: migrate whatever the member still
+    /// holds (queued in its scheduler or submitted but undelivered) to
+    /// the least-loaded eligible shard and retire the member. Migrated
+    /// requests are terminal in this farm's ledger — the Migrate event
+    /// records the designated target for the next tier to replay.
+    fn close_drain(&mut self, idx: usize, close_at_us: u64) {
+        let to_shard = self.router.least_loaded_eligible() as u32;
+        let cylinders = self.cfg.farm.cylinders;
+        let m = &mut self.members[idx];
+        let head = HeadState::new(0, close_at_us, cylinders);
+        let mut leftovers = m.scheduler.drain_pending(&head);
+        let undelivered = m.stepper.take_pending();
+        self.migrated_undelivered += undelivered.len() as u64;
+        leftovers.extend(undelivered);
+        leftovers.sort_by_key(|r| (r.arrival_us, r.id));
+        for r in &leftovers {
+            m.recorder.emit(&TraceEvent::Migrate {
+                now_us: close_at_us,
+                req: r.id,
+                from_shard: idx as u32,
+                to_shard,
+            });
+        }
+        self.migrated += leftovers.len() as u64;
+        m.status = MemberStatus::Drained;
+    }
+
+    /// Reinstate expired quarantines, then scan each member's fresh
+    /// flight-recorder dumps for actionable anomalies and quarantine the
+    /// offenders.
+    fn supervise(&mut self, t: u64) {
+        for idx in 0..self.members.len() {
+            if let MemberStatus::Quarantined { until_us } = self.members[idx].status {
+                if t >= until_us {
+                    self.members[idx].status = MemberStatus::Active;
+                    self.router.set_eligible(idx, true);
+                }
+            }
+        }
+        for idx in 0..self.members.len() {
+            let seen = self.members[idx].dumps_seen;
+            let (total, actionable) = self.members[idx].recorder.with(|r| {
+                let dumps = r.dumps();
+                let actionable = dumps[seen.min(dumps.len())..].iter().any(|d| {
+                    matches!(
+                        d.anomaly,
+                        Anomaly::ShedBurst | Anomaly::DegradedStorm | Anomaly::P99Spike
+                    )
+                });
+                (dumps.len(), actionable)
+            });
+            self.members[idx].dumps_seen = total;
+            if actionable && self.members[idx].status == MemberStatus::Active {
+                self.quarantine_member(idx, t);
+            }
+        }
+    }
+
+    /// Quarantine `idx` at time `t` with the strike-scaled jittered
+    /// cooldown. Refused (returning `false` and counting a refused
+    /// event) when the member is not active or is the last shard in
+    /// rotation — the farm never quarantines itself to a standstill.
+    fn quarantine_member(&mut self, idx: usize, t: u64) -> bool {
+        if self.members[idx].status != MemberStatus::Active
+            || !self.router.is_eligible(idx)
+            || self.router.eligible_count() <= 1
+        {
+            self.refused_events += 1;
+            return false;
+        }
+        let sup = self.cfg.supervisor;
+        let m = &mut self.members[idx];
+        m.strikes += 1;
+        let until_us = t.saturating_add(jittered_backoff_us(
+            sup.cooldown_us,
+            m.strikes,
+            sup.jitter_permille,
+            sup.seed,
+            idx as u64,
+        ));
+        m.status = MemberStatus::Quarantined { until_us };
+        m.recorder.emit(&TraceEvent::Quarantine {
+            now_us: t,
+            shard: idx as u32,
+            until_us,
+        });
+        self.router.set_eligible(idx, false);
+        self.quarantines += 1;
+        true
+    }
+
+    /// Apply one event: pump every member to the event's time, run the
+    /// supervisor, then act.
+    ///
+    /// # Panics
+    /// If events go backwards in time, or an arrival regresses a
+    /// member's submission order (both orchestration bugs).
+    pub fn handle(&mut self, event: DaemonEvent) {
+        let t = event.at_us();
+        assert!(
+            t >= self.now_us,
+            "daemon events must be time-ordered: {t} after {}",
+            self.now_us
+        );
+        self.now_us = t;
+        self.advance_to(t);
+        self.supervise(t);
+        match event {
+            DaemonEvent::Arrival(r) => {
+                self.arrivals += 1;
+                if !self.gate.admit(r.stream, r.arrival_us) {
+                    return;
+                }
+                let decision = self.router.route(&r);
+                if let Some(ev) = decision.redirect_event(&r) {
+                    // Same demux as the batch farm: the overload evidence
+                    // belongs to the shard the arrival was steered from.
+                    self.members[decision.redirect_from].recorder.emit(&ev);
+                }
+                self.routed_per_shard[decision.shard] += 1;
+                self.members[decision.shard].stepper.submit(r);
+            }
+            DaemonEvent::AddShard { .. } => {
+                let idx = self.members.len();
+                let member = Self::build_member(
+                    &mut self.make_scheduler,
+                    &mut self.make_service,
+                    idx,
+                    &self.cfg,
+                );
+                self.router.add_shard(member.scheduler.queue_capacity());
+                self.members.push(member);
+                self.routed_per_shard.push(0);
+            }
+            DaemonEvent::DrainShard {
+                at_us,
+                shard,
+                handoff_window_us,
+            } => {
+                if shard >= self.members.len()
+                    || self.members[shard].status != MemberStatus::Active
+                    || self.router.eligible_count() <= 1
+                {
+                    self.refused_events += 1;
+                    return;
+                }
+                self.router.set_eligible(shard, false);
+                self.members[shard].status = MemberStatus::Draining {
+                    close_at_us: at_us.saturating_add(handoff_window_us),
+                };
+            }
+            DaemonEvent::Quarantine { at_us, shard } => {
+                if shard >= self.members.len() {
+                    self.refused_events += 1;
+                    return;
+                }
+                self.quarantine_member(shard, at_us);
+            }
+        }
+    }
+
+    /// Feed every event through [`FarmDaemon::handle`], then shut down.
+    /// Accepts any `IntoIterator` — including an
+    /// [`std::sync::mpsc::Receiver`], which blocks until senders hang
+    /// up, making this the channel front-end for a live arrival source.
+    pub fn run(mut self, events: impl IntoIterator<Item = DaemonEvent>) -> DaemonReport {
+        for event in events {
+            self.handle(event);
+        }
+        self.shutdown()
+    }
+
+    /// Stop accepting events: close any still-open drains at their
+    /// window, let every other live member run its backlog out, and
+    /// collect the report.
+    pub fn shutdown(mut self) -> DaemonReport {
+        for idx in 0..self.members.len() {
+            match self.members[idx].status {
+                MemberStatus::Drained => {}
+                MemberStatus::Draining { close_at_us } => {
+                    self.pump(idx, close_at_us);
+                    self.close_drain(idx, close_at_us);
+                }
+                _ => {
+                    let m = &mut self.members[idx];
+                    m.stepper
+                        .finish(m.scheduler.as_mut(), &mut m.service, &mut m.recorder);
+                }
+            }
+        }
+        let mut per_shard = Vec::with_capacity(self.members.len());
+        let mut sheds_per_shard = Vec::with_capacity(self.members.len());
+        let mut recorders = Vec::with_capacity(self.members.len());
+        let mut statuses = Vec::with_capacity(self.members.len());
+        for member in self.members {
+            sheds_per_shard.push(member.scheduler.sheds());
+            statuses.push(member.status);
+            // The scheduler may hold a clone of the recorder handle
+            // (bounded cascades do); dropping it frees the sink for
+            // recovery.
+            drop(member.scheduler);
+            per_shard.push(member.stepper.into_metrics());
+            recorders.push(
+                member
+                    .recorder
+                    .try_unwrap()
+                    .expect("factories must not retain recorder handles"),
+            );
+        }
+        let makespan_us = per_shard.iter().map(|m| m.makespan_us).max().unwrap_or(0);
+        DaemonReport {
+            per_shard,
+            routed_per_shard: self.routed_per_shard,
+            sheds_per_shard,
+            statuses,
+            recorders,
+            arrivals: self.arrivals,
+            admission_rejections: self.gate.rejections(),
+            migrated: self.migrated,
+            migrated_undelivered: self.migrated_undelivered,
+            redirects: self.router.redirects(),
+            reroutes: self.router.reroutes(),
+            quarantines: self.quarantines,
+            refused_events: self.refused_events,
+            makespan_us,
+        }
+    }
+}
+
+/// Everything a daemon run produced, with the closed-ledger and
+/// event-reconciliation checks the CI gates assert.
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// Engine metrics per member (index = shard id).
+    pub per_shard: Vec<Metrics>,
+    /// Admitted arrivals placed on each shard.
+    pub routed_per_shard: Vec<u64>,
+    /// Bounded-queue sheds per shard.
+    pub sheds_per_shard: Vec<u64>,
+    /// Final lifecycle state per member.
+    pub statuses: Vec<MemberStatus>,
+    /// Each member's flight recorder (dumps + windowed telemetry).
+    pub recorders: Vec<FlightRecorder>,
+    /// Requests offered to the farm (admitted or not).
+    pub arrivals: u64,
+    /// Requests rejected at the admission gate.
+    pub admission_rejections: u64,
+    /// Requests migrated off draining shards (terminal here).
+    pub migrated: u64,
+    /// The subset of `migrated` never delivered to a scheduler (still
+    /// in the stepper's submission backlog at drain close).
+    pub migrated_undelivered: u64,
+    /// Overload redirects taken by the router.
+    pub redirects: u64,
+    /// Arrivals rerouted off ineligible shards.
+    pub reroutes: u64,
+    /// Quarantines imposed (supervisor or operator).
+    pub quarantines: u64,
+    /// Membership/quarantine events refused (unknown shard, wrong
+    /// state, or last shard in rotation).
+    pub refused_events: u64,
+    /// Slowest member's makespan (µs).
+    pub makespan_us: u64,
+}
+
+impl DaemonReport {
+    /// Total requests served.
+    pub fn served(&self) -> u64 {
+        Metrics::total_served(&self.per_shard)
+    }
+
+    /// Total bounded-queue sheds.
+    pub fn sheds(&self) -> u64 {
+        self.sheds_per_shard.iter().sum()
+    }
+
+    /// All members folded into one farm-level [`Metrics`].
+    pub fn aggregate(&self) -> Metrics {
+        Metrics::merged(&self.per_shard)
+    }
+
+    /// The request ledger: every arrival must be terminal in exactly one
+    /// bucket — served/dropped/failed in some engine, shed by a bounded
+    /// queue, migrated off a drained shard, or rejected at admission.
+    pub fn ledger(&self) -> Result<(), String> {
+        let total = self.aggregate();
+        let accounted =
+            total.requests_total() + self.sheds() + self.migrated + self.admission_rejections;
+        if accounted != self.arrivals {
+            return Err(format!(
+                "daemon ledger: {accounted} accounted of {} \
+                 (served {} dropped {} failed {} shed {} migrated {} rejected {})",
+                self.arrivals,
+                total.served,
+                total.dropped,
+                total.failed,
+                self.sheds(),
+                self.migrated,
+                self.admission_rejections
+            ));
+        }
+        Ok(())
+    }
+
+    /// `true` when [`DaemonReport::ledger`] closes.
+    pub fn ledger_closed(&self) -> bool {
+        self.ledger().is_ok()
+    }
+
+    /// Event-vs-counter reconciliation across every member's telemetry:
+    /// traced Arrival/Shed/Redirect/Migrate/Quarantine events must match
+    /// the daemon's own counters exactly. (Requires scheduler factories
+    /// to wire the provided sink, so shed events are traced.)
+    pub fn reconcile_events(&self) -> Result<(), String> {
+        let mut c = obs::Snapshot::new();
+        for r in &self.recorders {
+            c.merge(&r.windows().cumulative());
+        }
+        let counters = c.counters;
+        let delivered = self.arrivals - self.admission_rejections - self.migrated_undelivered;
+        let checks = [
+            ("arrival", counters.arrivals, delivered),
+            ("shed", counters.sheds, self.sheds()),
+            ("redirect", counters.redirects, self.redirects),
+            ("migrate", counters.migrations, self.migrated),
+            ("quarantine", counters.quarantines, self.quarantines),
+        ];
+        for (name, events, counter) in checks {
+            if events != counter {
+                return Err(format!(
+                    "{name} events vs daemon counter: {events} != {counter}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_farm, RoutePolicy};
+    use sched::{Fcfs, QosVector};
+
+    fn vod(streams: u64, n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::read(
+                    i,
+                    i * 900,
+                    i * 900 + 120_000,
+                    (i * 37 % 3832) as u32,
+                    64 * 1024,
+                    QosVector::single((i % 5) as u8),
+                )
+                .with_stream(i % streams)
+            })
+            .collect()
+    }
+
+    fn fcfs_factory() -> impl FnMut(usize, SharedSink<FlightRecorder>) -> Box<dyn DiskScheduler> {
+        |_, _| Box::new(Fcfs::new())
+    }
+
+    fn table1_services() -> impl FnMut(usize) -> DiskService {
+        |_| DiskService::table1()
+    }
+
+    #[test]
+    fn quiet_daemon_matches_the_batch_farm() {
+        // No membership events: placements and per-shard metrics must be
+        // bit-identical to the batch pass, for every policy.
+        let trace = vod(16, 400);
+        let options = SimOptions::with_shape(1, 5).dropping();
+        for policy in [
+            RoutePolicy::HashStream,
+            RoutePolicy::CylinderRange,
+            RoutePolicy::LeastLoaded,
+        ] {
+            let farm_cfg = FarmConfig::new(4).with_policy(policy);
+            let (batch, _) = simulate_farm(&trace, &farm_cfg, |_| Box::new(Fcfs::new()), options);
+            let daemon = FarmDaemon::new(
+                DaemonConfig::new(farm_cfg, options),
+                fcfs_factory(),
+                table1_services(),
+            );
+            let report = daemon.run(trace.iter().cloned().map(DaemonEvent::Arrival));
+            assert_eq!(report.per_shard, batch.per_shard, "{policy:?}");
+            assert_eq!(
+                report.routed_per_shard, batch.routed_per_shard,
+                "{policy:?}"
+            );
+            assert_eq!(report.redirects, batch.redirects, "{policy:?}");
+            assert_eq!(report.reroutes, 0, "{policy:?}");
+            report.ledger().expect("ledger must close");
+            report.reconcile_events().expect("events must reconcile");
+        }
+    }
+
+    #[test]
+    fn drain_migrates_the_backlog_and_closes_the_ledger() {
+        // A dense burst swamps the farm; draining a shard mid-burst with
+        // a short handoff window must leave a backlog to migrate.
+        let trace = vod(8, 300);
+        let options = SimOptions::with_shape(1, 5);
+        let farm_cfg = FarmConfig::new(3).with_policy(RoutePolicy::LeastLoaded);
+        let mut daemon = FarmDaemon::new(
+            DaemonConfig::new(farm_cfg, options),
+            fcfs_factory(),
+            table1_services(),
+        );
+        for r in &trace[..200] {
+            daemon.handle(DaemonEvent::Arrival(r.clone()));
+        }
+        let t = trace[199].arrival_us;
+        daemon.handle(DaemonEvent::DrainShard {
+            at_us: t,
+            shard: 1,
+            handoff_window_us: 10_000,
+        });
+        for r in &trace[200..] {
+            daemon.handle(DaemonEvent::Arrival(r.clone()));
+        }
+        let before = daemon.router().reroutes();
+        assert!(before > 0, "the drained shard's arrivals must reroute");
+        let report = daemon.run(std::iter::empty());
+        assert_eq!(report.statuses[1], MemberStatus::Drained);
+        assert!(
+            report.migrated > 0,
+            "a 10 ms window cannot drain the backlog"
+        );
+        assert_eq!(report.refused_events, 0);
+        report.ledger().expect("ledger must close across the drain");
+        report.reconcile_events().expect("migrate events reconcile");
+        // Migrate events live in the drained member's recorder.
+        let migrations = report.recorders[1]
+            .windows()
+            .cumulative()
+            .counters
+            .migrations;
+        assert_eq!(migrations, report.migrated);
+    }
+
+    #[test]
+    fn added_shard_attracts_new_arrivals() {
+        let trace = vod(12, 240);
+        let options = SimOptions::with_shape(1, 5);
+        let farm_cfg = FarmConfig::new(2).with_policy(RoutePolicy::LeastLoaded);
+        let mut daemon = FarmDaemon::new(
+            DaemonConfig::new(farm_cfg, options),
+            fcfs_factory(),
+            table1_services(),
+        );
+        for r in &trace[..120] {
+            daemon.handle(DaemonEvent::Arrival(r.clone()));
+        }
+        daemon.handle(DaemonEvent::AddShard {
+            at_us: trace[119].arrival_us,
+        });
+        assert_eq!(daemon.shards(), 3);
+        for r in &trace[120..] {
+            daemon.handle(DaemonEvent::Arrival(r.clone()));
+        }
+        let report = daemon.shutdown();
+        assert_eq!(report.per_shard.len(), 3);
+        assert!(
+            report.routed_per_shard[2] > 0,
+            "the idle newcomer must attract load: {:?}",
+            report.routed_per_shard
+        );
+        report.ledger().expect("ledger must close across the add");
+        report.reconcile_events().expect("events reconcile");
+    }
+
+    #[test]
+    fn admission_gate_rejections_stay_in_the_ledger() {
+        let trace = vod(10, 200);
+        let options = SimOptions::with_shape(1, 5);
+        let cfg = DaemonConfig::new(FarmConfig::new(2), options).with_admission(4, 50_000);
+        let daemon = FarmDaemon::new(cfg, fcfs_factory(), table1_services());
+        let report = daemon.run(trace.iter().cloned().map(DaemonEvent::Arrival));
+        assert!(
+            report.admission_rejections > 0,
+            "10 streams through a 4-slot gate must reject"
+        );
+        report.ledger().expect("rejections are a ledger bucket");
+        report.reconcile_events().expect("events reconcile");
+    }
+
+    #[test]
+    fn operator_quarantine_is_refused_for_the_last_shard_in_rotation() {
+        let options = SimOptions::with_shape(1, 5);
+        let mut daemon = FarmDaemon::new(
+            DaemonConfig::new(FarmConfig::new(1), options),
+            fcfs_factory(),
+            table1_services(),
+        );
+        daemon.handle(DaemonEvent::Quarantine { at_us: 0, shard: 0 });
+        assert_eq!(daemon.status(0), MemberStatus::Active);
+        let trace = vod(4, 50);
+        let report = daemon.run(trace.iter().cloned().map(DaemonEvent::Arrival));
+        assert_eq!(report.refused_events, 1);
+        assert_eq!(report.quarantines, 0);
+        assert_eq!(report.served(), 50);
+        report.ledger().expect("ledger closes");
+    }
+
+    #[test]
+    fn operator_quarantine_reroutes_and_reinstates_after_cooldown() {
+        let trace = vod(6, 300);
+        let options = SimOptions::with_shape(1, 5);
+        let sup = SupervisorConfig {
+            cooldown_us: 40_000,
+            jitter_permille: 0,
+            seed: 7,
+        };
+        let cfg = DaemonConfig::new(
+            FarmConfig::new(2).with_policy(RoutePolicy::LeastLoaded),
+            options,
+        )
+        .with_supervisor(sup);
+        let mut daemon = FarmDaemon::new(cfg, fcfs_factory(), table1_services());
+        for r in &trace[..50] {
+            daemon.handle(DaemonEvent::Arrival(r.clone()));
+        }
+        let t = trace[49].arrival_us;
+        daemon.handle(DaemonEvent::Quarantine { at_us: t, shard: 0 });
+        let until = match daemon.status(0) {
+            MemberStatus::Quarantined { until_us } => until_us,
+            other => panic!("expected quarantine, got {other:?}"),
+        };
+        assert_eq!(until, t + 40_000, "first strike = base cooldown, no jitter");
+        // While quarantined, everything routes to shard 1.
+        let routed_before = daemon.router().reroutes();
+        for r in trace[50..].iter().take_while(|r| r.arrival_us < until) {
+            daemon.handle(DaemonEvent::Arrival(r.clone()));
+        }
+        assert!(daemon.router().reroutes() > routed_before);
+        // Past the cooldown the member is reinstated on the next event.
+        for r in trace.iter().filter(|r| r.arrival_us >= until) {
+            daemon.handle(DaemonEvent::Arrival(r.clone()));
+        }
+        assert_eq!(daemon.status(0), MemberStatus::Active);
+        let report = daemon.shutdown();
+        assert_eq!(report.quarantines, 1);
+        report.ledger().expect("ledger closes");
+        report
+            .reconcile_events()
+            .expect("quarantine event reconciles");
+    }
+
+    #[test]
+    fn supervisor_quarantines_a_shedding_member() {
+        use cascade::{CascadeConfig, CascadedSfc, DispatchConfig};
+        // One sticky stream hammers its hash shard through a tiny bounded
+        // queue: shed events stream into the member's flight recorder,
+        // the shed-burst dump fires, and the supervisor takes the shard
+        // out of rotation — all without any operator event.
+        let trace = vod(1, 400);
+        let options = SimOptions::with_shape(1, 5);
+        let triggers = TriggerConfig {
+            shed_burst: 4,
+            redirect_storm: 0,
+            degraded_storm: 0,
+            p99_spike_factor: 0.0,
+            p99_min_completes: 0,
+            cooldown_windows: 1,
+        };
+        let cfg = DaemonConfig::new(
+            FarmConfig::new(2).with_policy(RoutePolicy::HashStream),
+            options,
+        )
+        .with_telemetry(TelemetryConfig::exact().window_log2(20).depth(4), triggers)
+        .with_supervisor(SupervisorConfig {
+            cooldown_us: 60_000_000,
+            jitter_permille: 0,
+            seed: 11,
+        });
+        let daemon = FarmDaemon::new(
+            cfg,
+            |_, sink| {
+                let cascade = CascadeConfig::paper_default(1, 3832)
+                    .with_dispatch(DispatchConfig::paper_default().with_max_queue(8));
+                Box::new(CascadedSfc::with_sink(cascade, sink).expect("valid cascade config"))
+            },
+            table1_services(),
+        );
+        let report = daemon.run(trace.iter().cloned().map(DaemonEvent::Arrival));
+        assert_eq!(report.quarantines, 1, "the shed burst must strike once");
+        // The victim is whichever member ended up quarantined; the other
+        // shard may shed too once the sticky stream reroutes onto it.
+        let victim = (0..2)
+            .find(|&s| matches!(report.statuses[s], MemberStatus::Quarantined { .. }))
+            .expect("one member must be quarantined");
+        assert!(
+            report.sheds_per_shard[victim] > 0,
+            "the quarantined member must be the shedder"
+        );
+        assert!(
+            report.reroutes > 0,
+            "post-quarantine arrivals must route around the victim"
+        );
+        assert!(report.recorders[victim]
+            .dumps()
+            .iter()
+            .any(|d| d.anomaly == Anomaly::ShedBurst));
+        report.ledger().expect("ledger closes under supervision");
+        report.reconcile_events().expect("shed events reconcile");
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_events_panic() {
+        let options = SimOptions::with_shape(1, 5);
+        let mut daemon = FarmDaemon::new(
+            DaemonConfig::new(FarmConfig::new(1), options),
+            fcfs_factory(),
+            table1_services(),
+        );
+        daemon.handle(DaemonEvent::AddShard { at_us: 1_000 });
+        daemon.handle(DaemonEvent::AddShard { at_us: 999 });
+    }
+}

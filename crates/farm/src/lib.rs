@@ -48,17 +48,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
+mod online;
 mod router;
 
-pub use router::{least_loaded, HashRouter, LeastLoadedRouter, RangeRouter};
+pub use daemon::{
+    DaemonConfig, DaemonEvent, DaemonReport, FarmDaemon, MemberStatus, SupervisorConfig,
+};
+pub use online::{OnlineRouter, RouteDecision};
+pub use router::{least_loaded, least_loaded_among, HashRouter, LeastLoadedRouter, RangeRouter};
 pub use router::{RoutePolicy, Router, ShardLoad};
 pub use sim::Parallelism;
 
 use obs::{Snapshot, TraceEvent, TraceSink};
 use sched::{DiskScheduler, Request};
 use sim::{run_indexed, simulate_traced, DiskService, Metrics, SimOptions};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Configuration of a farm run.
 #[derive(Debug, Clone)]
@@ -120,59 +124,6 @@ impl FarmConfig {
     }
 }
 
-/// Modeled shard occupancy during the routing pass: each assignment books
-/// `est_service_us` of work onto the shard; bookings completed by the
-/// current arrival time fall out of the depth.
-struct LoadModel {
-    est_service_us: u64,
-    /// Min-heap of modeled completion times per shard.
-    completions: Vec<BinaryHeap<Reverse<u64>>>,
-    /// Modeled drain horizon per shard.
-    busy_until: Vec<u64>,
-}
-
-impl LoadModel {
-    fn new(shards: usize, est_service_us: u64) -> Self {
-        LoadModel {
-            est_service_us: est_service_us.max(1),
-            completions: (0..shards).map(|_| BinaryHeap::new()).collect(),
-            busy_until: vec![0; shards],
-        }
-    }
-
-    /// Retire bookings completed by `now`.
-    fn advance_to(&mut self, now: u64) {
-        for heap in &mut self.completions {
-            while heap.peek().is_some_and(|Reverse(t)| *t <= now) {
-                heap.pop();
-            }
-        }
-    }
-
-    /// Current loads, one per shard, decorated with the shards' queue
-    /// capacities.
-    fn loads(&self, capacities: &[Option<usize>]) -> Vec<ShardLoad> {
-        self.completions
-            .iter()
-            .zip(&self.busy_until)
-            .zip(capacities)
-            .map(|((heap, &busy), &capacity)| ShardLoad {
-                queue_depth: heap.len(),
-                busy_until_us: busy,
-                capacity,
-            })
-            .collect()
-    }
-
-    /// Book one request arriving at `now` onto `shard`.
-    fn assign(&mut self, shard: usize, now: u64) {
-        let start = self.busy_until[shard].max(now);
-        let done = start + self.est_service_us;
-        self.busy_until[shard] = done;
-        self.completions[shard].push(Reverse(done));
-    }
-}
-
 /// The routing pass's output: per-shard sub-traces plus placement
 /// accounting.
 #[derive(Debug)]
@@ -190,17 +141,17 @@ pub struct Placement {
 /// `capacities[i]` is shard `i`'s bounded-queue capacity (probed from its
 /// scheduler). Redirect decisions emit [`TraceEvent::Redirect`] into
 /// `sink`. The pass is serial and model-driven, so placements are a pure
-/// function of the trace and configuration.
+/// function of the trace and configuration — and it is a thin loop over
+/// [`OnlineRouter`] with every shard eligible, so the farm daemon's
+/// incremental placements coincide with this pass by construction
+/// whenever no membership event fires (the oracle's parity gate).
 pub fn route_trace<S: TraceSink>(
     trace: &[Request],
     cfg: &FarmConfig,
     capacities: &[Option<usize>],
     sink: &mut S,
 ) -> Placement {
-    assert!(cfg.shards >= 1, "a farm needs at least one shard");
-    assert_eq!(capacities.len(), cfg.shards);
-    let mut router = cfg.policy.build(cfg.cylinders);
-    let mut model = LoadModel::new(cfg.shards, cfg.est_service_us);
+    let mut router = OnlineRouter::new(cfg, capacities);
     // Routing is stateful (load-model feedback), so exact per-shard counts
     // can't be precomputed; seed each shard near the balanced share to
     // avoid the early doubling churn.
@@ -208,39 +159,22 @@ pub fn route_trace<S: TraceSink>(
         .map(|_| Vec::with_capacity(trace.len() / cfg.shards + 16))
         .collect();
     let mut routed_per_shard = vec![0u64; cfg.shards];
-    let mut redirects = 0u64;
 
     for r in trace {
-        model.advance_to(r.arrival_us);
-        let loads = model.loads(capacities);
-        let chosen = router.route(r, &loads);
-        assert!(chosen < cfg.shards, "router returned shard {chosen}");
-        let mut target = chosen;
-        if cfg.redirect_on_overload && loads[chosen].projected_full() {
-            let alt = least_loaded(&loads);
-            if alt != chosen && !loads[alt].projected_full() {
-                redirects += 1;
-                if S::ENABLED {
-                    sink.emit(&TraceEvent::Redirect {
-                        now_us: r.arrival_us,
-                        req: r.id,
-                        from_shard: chosen as u32,
-                        to_shard: alt as u32,
-                        queue_depth: loads[chosen].queue_depth as u64,
-                    });
-                }
-                target = alt;
+        let decision = router.route(r);
+        if S::ENABLED {
+            if let Some(event) = decision.redirect_event(r) {
+                sink.emit(&event);
             }
         }
-        model.assign(target, r.arrival_us);
-        routed_per_shard[target] += 1;
-        shard_traces[target].push(r.clone());
+        routed_per_shard[decision.shard] += 1;
+        shard_traces[decision.shard].push(r.clone());
     }
 
     Placement {
         shard_traces,
         routed_per_shard,
-        redirects,
+        redirects: router.redirects(),
     }
 }
 

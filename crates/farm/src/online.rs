@@ -1,0 +1,337 @@
+//! The incremental routing core: one arrival in, one decision out.
+//!
+//! [`OnlineRouter`] owns exactly the state the batch routing pass
+//! ([`crate::route_trace`]) kept on its stack — the policy router and
+//! the modeled per-shard load — and exposes it one request at a time, so
+//! a long-running daemon can interleave routing with membership changes.
+//! The batch pass is a thin loop over this type, which is what makes the
+//! offline/online parity gate hold *by construction*: with every shard
+//! eligible, [`OnlineRouter::route`] runs the very same code the batch
+//! pass always ran.
+//!
+//! On top of the batch semantics it adds an **eligibility mask** for the
+//! daemon: a draining or quarantined shard stays in the load model (its
+//! residents still drain) but receives no new arrivals — the policy's
+//! choice is then rerouted to the least-loaded eligible shard.
+
+use obs::TraceEvent;
+use sched::Request;
+
+use crate::router::{least_loaded_among, Router, ShardLoad};
+use crate::FarmConfig;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Modeled shard occupancy during routing: each assignment books
+/// `est_service_us` of work onto the shard; bookings completed by the
+/// current arrival time fall out of the depth.
+pub(crate) struct LoadModel {
+    est_service_us: u64,
+    /// Min-heap of modeled completion times per shard.
+    completions: Vec<BinaryHeap<Reverse<u64>>>,
+    /// Modeled drain horizon per shard.
+    busy_until: Vec<u64>,
+}
+
+impl LoadModel {
+    pub(crate) fn new(shards: usize, est_service_us: u64) -> Self {
+        LoadModel {
+            est_service_us: est_service_us.max(1),
+            completions: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            busy_until: vec![0; shards],
+        }
+    }
+
+    /// Retire bookings completed by `now`.
+    pub(crate) fn advance_to(&mut self, now: u64) {
+        for heap in &mut self.completions {
+            while heap.peek().is_some_and(|Reverse(t)| *t <= now) {
+                heap.pop();
+            }
+        }
+    }
+
+    /// Current loads, one per shard, decorated with the shards' queue
+    /// capacities.
+    pub(crate) fn loads(&self, capacities: &[Option<usize>]) -> Vec<ShardLoad> {
+        self.completions
+            .iter()
+            .zip(&self.busy_until)
+            .zip(capacities)
+            .map(|((heap, &busy), &capacity)| ShardLoad {
+                queue_depth: heap.len(),
+                busy_until_us: busy,
+                capacity,
+            })
+            .collect()
+    }
+
+    /// Book one request arriving at `now` onto `shard`.
+    pub(crate) fn assign(&mut self, shard: usize, now: u64) {
+        let start = self.busy_until[shard].max(now);
+        let done = start + self.est_service_us;
+        self.busy_until[shard] = done;
+        self.completions[shard].push(Reverse(done));
+    }
+
+    /// Grow the model by one idle shard.
+    pub(crate) fn add_shard(&mut self) {
+        self.completions.push(BinaryHeap::new());
+        self.busy_until.push(0);
+    }
+}
+
+/// One routing decision: where the request goes and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// The shard the request was placed on.
+    pub shard: usize,
+    /// What the routing policy picked before eligibility and overload
+    /// corrections.
+    pub policy_choice: usize,
+    /// The shard the overload redirect (if any) steered away *from* —
+    /// equals `policy_choice` unless an eligibility reroute intervened.
+    pub redirect_from: usize,
+    /// Modeled queue depth of `redirect_from` at decision time.
+    pub queue_depth: usize,
+    /// An overload redirect fired (`shard != redirect_from`).
+    pub redirected: bool,
+    /// The policy chose an ineligible (draining/quarantined) shard and
+    /// the decision fell back to the least-loaded eligible one.
+    pub rerouted: bool,
+}
+
+impl RouteDecision {
+    /// The [`TraceEvent::Redirect`] this decision owes the telemetry
+    /// plane, if its overload redirect fired — identical to the event
+    /// the batch routing pass emits.
+    pub fn redirect_event(&self, r: &Request) -> Option<TraceEvent> {
+        self.redirected.then_some(TraceEvent::Redirect {
+            now_us: r.arrival_us,
+            req: r.id,
+            from_shard: self.redirect_from as u32,
+            to_shard: self.shard as u32,
+            queue_depth: self.queue_depth as u64,
+        })
+    }
+}
+
+/// The event-driven router: feed it arrival-ordered requests, get
+/// placements that — absent membership events — are bit-identical to
+/// the batch routing pass.
+pub struct OnlineRouter {
+    router: Box<dyn Router>,
+    model: LoadModel,
+    capacities: Vec<Option<usize>>,
+    eligible: Vec<bool>,
+    redirect_on_overload: bool,
+    redirects: u64,
+    reroutes: u64,
+}
+
+impl OnlineRouter {
+    /// A router over `cfg.shards` shards with the given bounded-queue
+    /// capacities (one per shard, [`None`] for unbounded), every shard
+    /// eligible.
+    pub fn new(cfg: &FarmConfig, capacities: &[Option<usize>]) -> Self {
+        assert!(cfg.shards >= 1, "a farm needs at least one shard");
+        assert_eq!(capacities.len(), cfg.shards);
+        OnlineRouter {
+            router: cfg.policy.build(cfg.cylinders),
+            model: LoadModel::new(cfg.shards, cfg.est_service_us),
+            capacities: capacities.to_vec(),
+            eligible: vec![true; cfg.shards],
+            redirect_on_overload: cfg.redirect_on_overload,
+            redirects: 0,
+            reroutes: 0,
+        }
+    }
+
+    /// Current shard count (including ineligible members).
+    pub fn shards(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Shards currently accepting new arrivals.
+    pub fn eligible_count(&self) -> usize {
+        self.eligible.iter().filter(|&&e| e).count()
+    }
+
+    /// Whether `shard` accepts new arrivals.
+    pub fn is_eligible(&self, shard: usize) -> bool {
+        self.eligible[shard]
+    }
+
+    /// Mark `shard` eligible (reinstated) or ineligible (draining or
+    /// quarantined). Ineligible shards stay in the load model — their
+    /// residents are still draining — but receive no new arrivals.
+    ///
+    /// # Panics
+    /// If this would leave no eligible shard: new arrivals would have
+    /// nowhere to go, which is an orchestration bug, not a decision.
+    pub fn set_eligible(&mut self, shard: usize, eligible: bool) {
+        self.eligible[shard] = eligible;
+        assert!(
+            self.eligible.iter().any(|&e| e),
+            "the last eligible shard cannot be removed"
+        );
+    }
+
+    /// Add a fresh, idle, eligible shard; returns its index.
+    pub fn add_shard(&mut self, capacity: Option<usize>) -> usize {
+        self.model.add_shard();
+        self.capacities.push(capacity);
+        self.eligible.push(true);
+        self.capacities.len() - 1
+    }
+
+    /// The least-loaded eligible shard right now — the migration target
+    /// a closing drain hands its backlog to.
+    pub fn least_loaded_eligible(&self) -> usize {
+        let loads = self.model.loads(&self.capacities);
+        least_loaded_among(&loads, &self.eligible).expect("at least one eligible shard")
+    }
+
+    /// Overload redirects taken so far (same counter the batch pass
+    /// reports in [`crate::Placement::redirects`]).
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Eligibility reroutes taken so far (always 0 without membership
+    /// events).
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// Route one arrival. Requests must come in arrival order (the same
+    /// contract the batch pass's trace argument carries).
+    pub fn route(&mut self, r: &Request) -> RouteDecision {
+        self.model.advance_to(r.arrival_us);
+        let loads = self.model.loads(&self.capacities);
+        let chosen = self.router.route(r, &loads);
+        assert!(
+            chosen < self.capacities.len(),
+            "router returned shard {chosen}"
+        );
+        let mut target = chosen;
+        let mut rerouted = false;
+        if !self.eligible[chosen] {
+            target =
+                least_loaded_among(&loads, &self.eligible).expect("at least one eligible shard");
+            rerouted = true;
+            self.reroutes += 1;
+        }
+        // Overload redirect — the exact batch-pass decision applied to
+        // the (possibly rerouted) target, constrained to eligible shards.
+        let redirect_from = target;
+        let mut redirected = false;
+        if self.redirect_on_overload && loads[target].projected_full() {
+            let alt =
+                least_loaded_among(&loads, &self.eligible).expect("at least one eligible shard");
+            if alt != target && !loads[alt].projected_full() {
+                redirected = true;
+                self.redirects += 1;
+                target = alt;
+            }
+        }
+        self.model.assign(target, r.arrival_us);
+        RouteDecision {
+            shard: target,
+            policy_choice: chosen,
+            redirect_from,
+            queue_depth: loads[redirect_from].queue_depth,
+            redirected,
+            rerouted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutePolicy;
+    use sched::QosVector;
+
+    fn req(id: u64, arrival: u64, stream: u64, cyl: u32) -> Request {
+        Request::read(id, arrival, u64::MAX, cyl, 65536, QosVector::none()).with_stream(stream)
+    }
+
+    #[test]
+    fn ineligible_shards_receive_no_new_arrivals() {
+        let cfg = FarmConfig::new(4);
+        let mut router = OnlineRouter::new(&cfg, &[None; 4]);
+        // Find a stream the hash policy sends to some shard, then mark
+        // that shard ineligible: every later arrival must land elsewhere.
+        let victim = router.route(&req(0, 0, 7, 0)).shard;
+        router.set_eligible(victim, false);
+        for i in 1..50 {
+            let d = router.route(&req(i, i * 100, 7, 0));
+            assert_ne!(d.shard, victim);
+            assert_eq!(d.policy_choice, victim, "hash stays sticky");
+            assert!(d.rerouted);
+        }
+        assert_eq!(router.reroutes(), 49);
+        // Reinstate: the sticky stream comes home.
+        router.set_eligible(victim, true);
+        let d = router.route(&req(99, 10_000_000, 7, 0));
+        assert_eq!(d.shard, victim);
+        assert!(!d.rerouted);
+    }
+
+    #[test]
+    fn added_shard_starts_idle_and_attracts_load() {
+        let cfg = FarmConfig::new(2).with_policy(RoutePolicy::LeastLoaded);
+        let mut router = OnlineRouter::new(&cfg, &[None, None]);
+        for i in 0..10 {
+            router.route(&req(i, 0, i, 0));
+        }
+        let new = router.add_shard(None);
+        assert_eq!(new, 2);
+        assert_eq!(router.shards(), 3);
+        // The idle newcomer is now the least-loaded choice.
+        assert_eq!(router.route(&req(10, 0, 10, 0)).shard, new);
+    }
+
+    #[test]
+    #[should_panic(expected = "last eligible shard")]
+    fn cannot_remove_the_last_eligible_shard() {
+        let cfg = FarmConfig::new(2);
+        let mut router = OnlineRouter::new(&cfg, &[None, None]);
+        router.set_eligible(0, false);
+        router.set_eligible(1, false);
+    }
+
+    #[test]
+    fn redirect_decision_carries_the_batch_event_fields() {
+        let cfg = FarmConfig::new(2)
+            .with_policy(RoutePolicy::HashStream)
+            .with_redirects()
+            .with_est_service_us(1_000_000);
+        // Tiny bounded queues: the sticky stream overloads its shard.
+        let mut router = OnlineRouter::new(&cfg, &[Some(2), Some(2)]);
+        let mut redirected = None;
+        for i in 0..8 {
+            let r = req(i, 0, 3, 0);
+            let d = router.route(&r);
+            if let Some(ev) = d.redirect_event(&r) {
+                redirected = Some((d, ev));
+                break;
+            }
+        }
+        let (d, ev) = redirected.expect("overload must trigger a redirect");
+        match ev {
+            TraceEvent::Redirect {
+                from_shard,
+                to_shard,
+                queue_depth,
+                ..
+            } => {
+                assert_eq!(from_shard as usize, d.policy_choice);
+                assert_eq!(to_shard as usize, d.shard);
+                assert_eq!(queue_depth as usize, d.queue_depth);
+            }
+            other => panic!("expected redirect, got {other:?}"),
+        }
+    }
+}

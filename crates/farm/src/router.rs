@@ -138,6 +138,21 @@ pub fn least_loaded(loads: &[ShardLoad]) -> usize {
         .expect("at least one shard")
 }
 
+/// [`least_loaded`] restricted to the shards `eligible` marks `true` —
+/// the selection the online router uses when membership events have
+/// taken shards out of rotation. `None` when nothing is eligible. With
+/// every shard eligible this is exactly [`least_loaded`] (same tie
+/// breaks), which the parity tests pin down.
+pub fn least_loaded_among(loads: &[ShardLoad], eligible: &[bool]) -> Option<usize> {
+    debug_assert_eq!(loads.len(), eligible.len());
+    loads
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| eligible.get(*i).copied().unwrap_or(false))
+        .min_by_key(|(i, l)| (l.queue_depth, l.busy_until_us, *i))
+        .map(|(i, _)| i)
+}
+
 impl Router for LeastLoadedRouter {
     fn name(&self) -> &'static str {
         "least-loaded"
@@ -211,6 +226,21 @@ mod tests {
         assert_eq!(LeastLoadedRouter.route(&req(0, 0), &loads), 1);
         loads[1].queue_depth = 9;
         assert_eq!(LeastLoadedRouter.route(&req(0, 0), &loads), 2);
+    }
+
+    #[test]
+    fn least_loaded_among_matches_unrestricted_when_all_eligible() {
+        let mut loads = idle(5);
+        for (i, l) in loads.iter_mut().enumerate() {
+            l.queue_depth = (i * 13 + 7) % 5;
+            l.busy_until_us = (i as u64 * 31) % 3;
+        }
+        let all = vec![true; 5];
+        assert_eq!(least_loaded_among(&loads, &all), Some(least_loaded(&loads)));
+        // Restricting to one shard picks it, and to none picks nothing.
+        let only3 = vec![false, false, false, true, false];
+        assert_eq!(least_loaded_among(&loads, &only3), Some(3));
+        assert_eq!(least_loaded_among(&loads, &[false; 5]), None);
     }
 
     #[test]

@@ -34,7 +34,11 @@ use std::fmt::Write as _;
 ///   [`DegradedRead`](TraceEvent::DegradedRead) and
 ///   [`RebuildIo`](TraceEvent::RebuildIo);
 /// * the **farm router** emits [`Redirect`](TraceEvent::Redirect) and,
-///   once per shard timeline, [`ShardReport`](TraceEvent::ShardReport).
+///   once per shard timeline, [`ShardReport`](TraceEvent::ShardReport);
+/// * the **farm daemon** emits [`Migrate`](TraceEvent::Migrate) when a
+///   drained shard hands off a resident request and
+///   [`Quarantine`](TraceEvent::Quarantine) when the health supervisor
+///   (or an operator) pulls a shard out of the routing pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A request reached the scheduler queue.
@@ -241,6 +245,30 @@ pub enum TraceEvent {
         /// Requests the shard's bounded queue shed.
         sheds: u64,
     },
+    /// A drained shard's bounded in-flight handoff window closed with
+    /// this request still resident; the daemon hands it off to a peer and
+    /// retires it from the farm's ledger as migrated-in-flight.
+    Migrate {
+        /// Handoff-window close time (µs).
+        now_us: u64,
+        /// Request id.
+        req: u64,
+        /// The shard being drained.
+        from_shard: u32,
+        /// The designated handoff target (least-loaded eligible shard).
+        to_shard: u32,
+    },
+    /// The health supervisor (or an operator event) quarantined a shard:
+    /// new arrivals are routed around it until the cooldown expires.
+    Quarantine {
+        /// Quarantine decision time (µs).
+        now_us: u64,
+        /// The quarantined shard.
+        shard: u32,
+        /// Earliest re-probe time (µs): decision time plus the
+        /// strike-scaled, jittered cooldown.
+        until_us: u64,
+    },
     /// A sampled wall-clock timing of one pipeline stage (opt-in; see
     /// [`crate::Stage`]). Span values come from the host clock, so they
     /// are nondeterministic and never emitted unless explicitly enabled.
@@ -279,6 +307,8 @@ impl TraceEvent {
             TraceEvent::Shed { .. } => "shed",
             TraceEvent::Redirect { .. } => "redirect",
             TraceEvent::ShardReport { .. } => "shard_report",
+            TraceEvent::Migrate { .. } => "migrate",
+            TraceEvent::Quarantine { .. } => "quarantine",
             TraceEvent::StageSpan { .. } => "stage_span",
         }
     }
@@ -307,6 +337,8 @@ impl TraceEvent {
             | TraceEvent::Shed { now_us, .. }
             | TraceEvent::Redirect { now_us, .. }
             | TraceEvent::ShardReport { now_us, .. }
+            | TraceEvent::Migrate { now_us, .. }
+            | TraceEvent::Quarantine { now_us, .. }
             | TraceEvent::StageSpan { now_us, .. } => now_us,
         }
     }
@@ -325,7 +357,8 @@ impl TraceEvent {
             | TraceEvent::SectorRemap { req, .. }
             | TraceEvent::DegradedRead { req, .. }
             | TraceEvent::Shed { req, .. }
-            | TraceEvent::Redirect { req, .. } => Some(req),
+            | TraceEvent::Redirect { req, .. }
+            | TraceEvent::Migrate { req, .. } => Some(req),
             _ => None,
         }
     }
@@ -533,6 +566,29 @@ impl TraceEvent {
                      \"served\":{served},\"sheds\":{sheds}}}"
                 );
             }
+            TraceEvent::Migrate {
+                now_us,
+                req,
+                from_shard,
+                to_shard,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"req\":{req},\
+                     \"from_shard\":{from_shard},\"to_shard\":{to_shard}}}"
+                );
+            }
+            TraceEvent::Quarantine {
+                now_us,
+                shard,
+                until_us,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"shard\":{shard},\
+                     \"until_us\":{until_us}}}"
+                );
+            }
             TraceEvent::StageSpan {
                 now_us,
                 stage,
@@ -565,8 +621,10 @@ impl TraceEvent {
     /// (degraded_read), `stripe`/`service_us` (rebuild_io), `v` (shed),
     /// `to_shard`/`queue_depth` (redirect, with `from_shard` in the
     /// `cylinder` column), `served`/`sheds` (shard_report, with the shard
-    /// index in the `cylinder` column), the stage's pipeline
-    /// index/`elapsed_ns` (stage_span). Unused cells are empty.
+    /// index in the `cylinder` column), `to_shard` (migrate, with
+    /// `from_shard` in the `cylinder` column), `until_us` (quarantine,
+    /// with the shard index in the `cylinder` column), the stage's
+    /// pipeline index/`elapsed_ns` (stage_span). Unused cells are empty.
     pub fn write_csv(&self, out: &mut String) {
         let name = self.name();
         let now = self.now_us();
@@ -686,6 +744,19 @@ impl TraceEvent {
             } => {
                 let _ = write!(out, "{name},{now},,{shard},{served},{sheds}");
             }
+            TraceEvent::Migrate {
+                req,
+                from_shard,
+                to_shard,
+                ..
+            } => {
+                let _ = write!(out, "{name},{now},{req},{from_shard},{to_shard},");
+            }
+            TraceEvent::Quarantine {
+                shard, until_us, ..
+            } => {
+                let _ = write!(out, "{name},{now},,{shard},{until_us},");
+            }
             TraceEvent::StageSpan {
                 stage, elapsed_ns, ..
             } => {
@@ -792,6 +863,17 @@ mod tests {
                 shard: 2,
                 served: 100,
                 sheds: 3,
+            },
+            TraceEvent::Migrate {
+                now_us: 9,
+                req: 5,
+                from_shard: 1,
+                to_shard: 0,
+            },
+            TraceEvent::Quarantine {
+                now_us: 10,
+                shard: 2,
+                until_us: 90,
             },
             TraceEvent::StageSpan {
                 now_us: 9,

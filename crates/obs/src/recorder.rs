@@ -354,6 +354,31 @@ mod tests {
     }
 
     #[test]
+    fn cooldown_rearms_at_exactly_last_plus_cooldown_windows() {
+        // cooldown_windows = 2, 16 µs windows. A trigger that last fired
+        // in epoch E must stay suppressed through epoch E+1 and rearm at
+        // exactly E+2 — not E+3. The farm daemon's supervisor leans on
+        // this boundary: a limping member that keeps shedding re-strikes
+        // on the first window the cooldown permits.
+        let mut r = recorder(256);
+        for i in 0..4u64 {
+            r.emit(&shed(i, i)); // epoch 0: fires
+        }
+        assert_eq!(r.dumps().len(), 1);
+        assert_eq!(r.dumps()[0].epoch, 0);
+        for i in 0..4u64 {
+            r.emit(&shed(16 + i, i)); // epoch 1: delta 1 < 2, suppressed
+        }
+        assert_eq!(r.dumps().len(), 1, "epoch E+1 is inside the cooldown");
+        for i in 0..4u64 {
+            r.emit(&shed(32 + i, i)); // epoch 2: delta == 2, rearmed
+        }
+        assert_eq!(r.dumps().len(), 2, "epoch E+2 is the first rearmed window");
+        assert_eq!(r.dumps()[1].epoch, 2);
+        assert_eq!(r.dumps()[1].anomaly, Anomaly::ShedBurst);
+    }
+
+    #[test]
     fn second_dump_delta_covers_only_the_gap() {
         let mut r = recorder(256);
         for i in 0..4u64 {

@@ -53,6 +53,10 @@ pub struct Counters {
     pub redirects: u64,
     /// `ShardReport` events (one per finished farm shard timeline).
     pub shard_reports: u64,
+    /// `Migrate` events (drained-shard in-flight handoffs).
+    pub migrations: u64,
+    /// `Quarantine` events (supervisor pulled a shard from routing).
+    pub quarantines: u64,
     /// `StageSpan` events (sampled pipeline-stage timings).
     pub stage_spans: u64,
 }
@@ -81,13 +85,15 @@ impl Counters {
         self.sheds += other.sheds;
         self.redirects += other.redirects;
         self.shard_reports += other.shard_reports;
+        self.migrations += other.migrations;
+        self.quarantines += other.quarantines;
         self.stage_spans += other.stage_spans;
     }
 
     /// Every counter as a `(stable_name, value)` pair, in declaration
     /// order — the iteration base for exposition encoders and dump
     /// renderers.
-    pub fn items(&self) -> [(&'static str, u64); 22] {
+    pub fn items(&self) -> [(&'static str, u64); 24] {
         [
             ("arrivals", self.arrivals),
             ("dispatches", self.dispatches),
@@ -110,6 +116,8 @@ impl Counters {
             ("sheds", self.sheds),
             ("redirects", self.redirects),
             ("shard_reports", self.shard_reports),
+            ("migrations", self.migrations),
+            ("quarantines", self.quarantines),
             ("stage_spans", self.stage_spans),
         ]
     }
@@ -241,6 +249,8 @@ impl Snapshot {
             TraceEvent::Shed { .. } => c.sheds += 1,
             TraceEvent::Redirect { .. } => c.redirects += 1,
             TraceEvent::ShardReport { .. } => c.shard_reports += 1,
+            TraceEvent::Migrate { .. } => c.migrations += 1,
+            TraceEvent::Quarantine { .. } => c.quarantines += 1,
             TraceEvent::StageSpan {
                 stage, elapsed_ns, ..
             } => {
@@ -299,11 +309,11 @@ impl Snapshot {
                 c.sheds
             );
         }
-        if c.redirects + c.shard_reports > 0 {
+        if c.redirects + c.shard_reports + c.migrations + c.quarantines > 0 {
             let _ = writeln!(
                 out,
-                "  redirects {}  shard-reports {}",
-                c.redirects, c.shard_reports
+                "  redirects {}  shard-reports {}  migrations {}  quarantines {}",
+                c.redirects, c.shard_reports, c.migrations, c.quarantines
             );
         }
         let hist =
@@ -453,6 +463,17 @@ mod tests {
             served: 42,
             sheds: 1,
         });
+        s.emit(&TraceEvent::Migrate {
+            now_us: 86,
+            req: 8,
+            from_shard: 1,
+            to_shard: 2,
+        });
+        s.emit(&TraceEvent::Quarantine {
+            now_us: 87,
+            shard: 2,
+            until_us: 187,
+        });
         s.emit(&TraceEvent::StageSpan {
             now_us: 87,
             stage: crate::Stage::Dispatch,
@@ -486,8 +507,9 @@ mod tests {
             (1, 1, 1, 1)
         );
         assert_eq!((c.redirects, c.shard_reports), (1, 1));
+        assert_eq!((c.migrations, c.quarantines), (1, 1));
         assert_eq!(c.stage_spans, 1);
-        assert_eq!(c.total_events(), 21);
+        assert_eq!(c.total_events(), 23);
         assert_eq!(s.stage_ns[crate::Stage::Dispatch.index()].max(), Some(250));
         assert_eq!(s.response_us.count(), 1);
         assert_eq!(s.seek_cylinders.max(), Some(40));

@@ -36,14 +36,20 @@ pub enum Archetype {
     /// Poisson arrivals over a fault-injected disk with retries —
     /// stresses the engine's retry/failure paths on both sides.
     FaultPlans,
+    /// A steady request train interleaved with a seed-derived membership
+    /// script (drain + add + quarantine) — stresses the farm daemon's
+    /// ledger, event reconciliation, determinism, and its quiescent
+    /// parity with the batch farm.
+    MembershipChurn,
 }
 
 /// Every archetype, in the order the fuzz loop cycles through them.
-pub const ARCHETYPES: [Archetype; 4] = [
+pub const ARCHETYPES: [Archetype; 5] = [
     Archetype::DeadlineClusters,
     Archetype::CylinderSweeps,
     Archetype::ShedBursts,
     Archetype::FaultPlans,
+    Archetype::MembershipChurn,
 ];
 
 impl Archetype {
@@ -54,6 +60,7 @@ impl Archetype {
             Archetype::CylinderSweeps => "cylinder-sweeps",
             Archetype::ShedBursts => "shed-bursts",
             Archetype::FaultPlans => "fault-plans",
+            Archetype::MembershipChurn => "membership-churn",
         }
     }
 
@@ -187,6 +194,30 @@ impl Scenario {
                     ));
                 }
             }
+            Archetype::MembershipChurn => {
+                // A steady train with occasional same-instant flurries,
+                // spanning the seed-derived churn script's 0.2–1.6 s
+                // event times so drains close with live backlogs.
+                let mut now = 0u64;
+                for _ in 0..240 {
+                    now += rng.gen_range(2_000..14_000u64);
+                    let flurry = if rng.gen_bool(0.1) {
+                        rng.gen_range(2..6usize)
+                    } else {
+                        1
+                    };
+                    for _ in 0..flurry {
+                        requests.push(Request::read(
+                            0,
+                            now,
+                            now + rng.gen_range(80_000..400_000u64),
+                            rng.gen_range(0..3832u32),
+                            65_536,
+                            QosVector::single(rng.gen_range(0..16u8)),
+                        ));
+                    }
+                }
+            }
         }
         finish(requests)
     }
@@ -237,6 +268,7 @@ impl Scenario {
                 )
                 .map(|_| ())
             }
+            Archetype::MembershipChurn => crate::daemon::check_churn(self.seed, trace),
         }
     }
 

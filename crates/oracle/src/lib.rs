@@ -10,7 +10,11 @@
 //!   the same seeded traces and required to match the optimized
 //!   implementations bit-for-bit (service logs, metrics, counters).
 //!   [`routing`] extends this to the farm: a single-threaded replay of
-//!   the routing pass checked against [`farm::route_trace`].
+//!   the routing pass checked against [`farm::route_trace`]. [`daemon`]
+//!   extends it again to continuous operation: the farm daemon fed only
+//!   arrivals must match the batch farm bit-for-bit, and under a
+//!   membership-churn script it must stay deterministic with a closed
+//!   request ledger and reconciled events.
 //! * [`metamorphic`] — **metamorphic properties**: relations between
 //!   runs that need no reference — arrival-permutation invariance,
 //!   deadline monotonicity under SFC2's `f` scaling, CSV replay
@@ -20,9 +24,9 @@
 //!   cadence invariance.
 //! * [`fuzz`] — a **seeded fuzz driver**: adversarial workload
 //!   archetypes (deadline clusters, cylinder sweeps, shed-pressure
-//!   bursts, fault plans) generated from a seed, checked against the
-//!   oracles, with greedy trace minimization and a replayable `.case`
-//!   corpus format under `tests/corpus/`.
+//!   bursts, fault plans, membership churn) generated from a seed,
+//!   checked against the oracles, with greedy trace minimization and a
+//!   replayable `.case` corpus format under `tests/corpus/`.
 //!
 //! [`smoke::run`] bundles a fixed battery of all three into the CI gate
 //! wired through `ci.sh` (`oracle --mode smoke`). The perf-regression
@@ -32,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
 pub mod fuzz;
 pub mod metamorphic;
 pub mod reference;
@@ -39,6 +44,7 @@ pub mod routing;
 pub mod smoke;
 pub mod telemetry;
 
+pub use daemon::{check_churn, diff_daemon};
 pub use fuzz::{fuzz, minimize, replay_dir, replay_file, Archetype, Scenario};
 pub use reference::{
     diff_baselines, diff_cascade, diff_pair, ReferenceCascade, ReferenceEdf, ReferenceScan,

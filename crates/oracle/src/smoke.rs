@@ -6,6 +6,7 @@ use farm::{FarmConfig, RoutePolicy};
 use sim::{DiskService, SimOptions};
 use workload::{PoissonConfig, VodConfig};
 
+use crate::daemon::diff_daemon;
 use crate::fuzz::{Archetype, Scenario, ARCHETYPES};
 use crate::metamorphic;
 use crate::reference::{diff_baselines, diff_cascade};
@@ -23,9 +24,11 @@ pub struct SmokeReport {
 /// Run the smoke battery. Covers: the cascade differential oracle on
 /// three seeded workload families under four dispatcher regimes, the
 /// brute-force baseline oracles, the farm routing replay under every
-/// policy (with and without redirects), one fuzz case per archetype,
-/// the live-telemetry relations, and the metamorphic quick pass. Any
-/// divergence is the error.
+/// policy (with and without redirects), the daemon replay gate (the
+/// online daemon bit-identical to the batch farm on churn-free
+/// streams), one fuzz case per archetype, the live-telemetry
+/// relations, and the metamorphic quick pass. Any divergence is the
+/// error.
 pub fn run(seed: u64) -> Result<SmokeReport, String> {
     let mut report = SmokeReport::default();
 
@@ -85,6 +88,26 @@ pub fn run(seed: u64) -> Result<SmokeReport, String> {
     report.differential_runs += 1;
     report.requests_checked += vod.len() as u64;
 
+    // Daemon replay gate: the continuous-operation daemon fed only
+    // arrivals must be bit-identical to the batch farm — every policy,
+    // then bounded queues with redirect-on-overload.
+    for policy in [
+        RoutePolicy::HashStream,
+        RoutePolicy::CylinderRange,
+        RoutePolicy::LeastLoaded,
+    ] {
+        let cfg = FarmConfig::new(4).with_policy(policy);
+        diff_daemon(&vod, &cfg, SimOptions::with_shape(1, 8).dropping(), None)
+            .map_err(|e| format!("[daemon] {e}"))?;
+        report.differential_runs += 1;
+        report.requests_checked += vod.len() as u64;
+    }
+    let cfg = FarmConfig::new(3).with_redirects();
+    diff_daemon(&vod, &cfg, SimOptions::with_shape(1, 8).dropping(), Some(8))
+        .map_err(|e| format!("[daemon/redirects] {e}"))?;
+    report.differential_runs += 1;
+    report.requests_checked += vod.len() as u64;
+
     // One fuzz case per archetype at the smoke seed.
     for archetype in ARCHETYPES {
         let scenario = Scenario {
@@ -140,7 +163,7 @@ pub fn perf_parity(corpus: &std::path::Path) -> Result<SmokeReport, String> {
             crate::fuzz::parse_case(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         let dims = match scenario.archetype {
             Archetype::DeadlineClusters | Archetype::ShedBursts => 2u32,
-            Archetype::CylinderSweeps | Archetype::FaultPlans => 1,
+            Archetype::CylinderSweeps | Archetype::FaultPlans | Archetype::MembershipChurn => 1,
         };
         let options = SimOptions::with_shape(dims as usize, 16).dropping();
         for (regime, dispatch) in [
@@ -178,8 +201,8 @@ mod tests {
         let corpus =
             std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus"));
         let report = perf_parity(corpus).expect("perf-parity gate");
-        // 4 corpus cases: 4 replays + 4 regimes each.
-        assert!(report.differential_runs >= 20);
+        // 5 corpus cases: 5 replays + 4 regimes each.
+        assert!(report.differential_runs >= 25);
         assert!(report.requests_checked > 0);
     }
 }

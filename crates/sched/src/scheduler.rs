@@ -98,6 +98,20 @@ pub trait DiskScheduler {
     fn queue_capacity(&self) -> Option<usize> {
         None
     }
+
+    /// Remove and return every pending request, emptying the queue — the
+    /// migration hook a draining farm shard uses to hand its resident
+    /// backlog off. The default repeatedly dequeues at `head` and then
+    /// sorts by `(arrival_us, id)`, so the handoff order is deterministic
+    /// and independent of the policy's internal service order.
+    fn drain_pending(&mut self, head: &HeadState) -> Vec<Request> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(r) = self.dequeue(head) {
+            out.push(r);
+        }
+        out.sort_by_key(|r| (r.arrival_us, r.id));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -164,5 +178,10 @@ mod tests {
         ];
         s.enqueue_batch(&batch, &head);
         assert_eq!(s.len(), 2);
+        // The default drain empties the queue and returns the backlog in
+        // (arrival, id) order, even though Bare dequeues LIFO.
+        let drained = s.drain_pending(&head);
+        assert!(s.is_empty());
+        assert_eq!(drained.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2, 3]);
     }
 }

@@ -95,6 +95,99 @@ pub fn admissible_streams(
     max_streams(geometry, seek, block_bytes, period_ms)
 }
 
+/// The *online* side of admission control: the offline bound above says
+/// how many concurrent streams a disk sustains; this gate enforces that
+/// number at ingest, request by request, as the farm daemon sees
+/// arrivals. A stream occupies a slot from its first admitted request
+/// until it has been idle for `idle_timeout_us`; requests from streams
+/// beyond the capacity are rejected at the door (never reaching a
+/// scheduler queue). Entirely deterministic: the decision depends only
+/// on the arrival sequence, never on wall-clock or iteration order.
+#[derive(Debug, Clone)]
+pub struct StreamGate {
+    max_streams: u32,
+    idle_timeout_us: u64,
+    last_seen: std::collections::HashMap<u64, u64>,
+    // Min-heap of (candidate expiry, stream); stale entries are skipped
+    // lazily when a stream refreshes — each admit is amortized O(log n).
+    expiries: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    rejections: u64,
+}
+
+impl StreamGate {
+    /// A gate admitting at most `max_streams` concurrently active
+    /// streams, where a stream stays active until idle for
+    /// `idle_timeout_us`.
+    pub fn new(max_streams: u32, idle_timeout_us: u64) -> Self {
+        StreamGate {
+            max_streams,
+            idle_timeout_us,
+            last_seen: std::collections::HashMap::new(),
+            expiries: std::collections::BinaryHeap::new(),
+            rejections: 0,
+        }
+    }
+
+    /// An unbounded gate: admits everything, tracks nothing.
+    pub fn open() -> Self {
+        StreamGate::new(u32::MAX, u64::MAX)
+    }
+
+    /// Decide a request from `stream` arriving at `now_us`. `true`
+    /// admits (and occupies/refreshes the stream's slot); `false`
+    /// rejects.
+    pub fn admit(&mut self, stream: u64, now_us: u64) -> bool {
+        if self.max_streams == u32::MAX {
+            return true; // open gate: admit without tracking
+        }
+        // Retire streams idle past the timeout, lazily skipping entries
+        // superseded by a later refresh (an entry is current only if it
+        // matches the stream's latest activity).
+        while let Some(&std::cmp::Reverse((expiry, s))) = self.expiries.peek() {
+            if expiry > now_us {
+                break;
+            }
+            self.expiries.pop();
+            let current = self
+                .last_seen
+                .get(&s)
+                .map(|t| t.saturating_add(self.idle_timeout_us))
+                == Some(expiry);
+            if current {
+                self.last_seen.remove(&s);
+            }
+        }
+        if let Some(seen) = self.last_seen.get_mut(&stream) {
+            *seen = now_us;
+            self.expiries.push(std::cmp::Reverse((
+                now_us.saturating_add(self.idle_timeout_us),
+                stream,
+            )));
+            return true;
+        }
+        if self.last_seen.len() as u64 >= self.max_streams as u64 {
+            self.rejections += 1;
+            return false;
+        }
+        self.last_seen.insert(stream, now_us);
+        self.expiries.push(std::cmp::Reverse((
+            now_us.saturating_add(self.idle_timeout_us),
+            stream,
+        )));
+        true
+    }
+
+    /// Streams currently holding a slot.
+    pub fn active_streams(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Requests turned away so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +299,47 @@ mod tests {
     #[should_panic]
     fn rejects_nonpositive_period() {
         max_streams(&DiskGeometry::table1(), &SeekModel::table1(), 65536, 0.0);
+    }
+
+    #[test]
+    fn gate_caps_concurrent_streams() {
+        let mut g = StreamGate::new(2, 1_000);
+        assert!(g.admit(10, 0));
+        assert!(g.admit(11, 10));
+        // A third stream is over capacity; existing ones keep flowing.
+        assert!(!g.admit(12, 20));
+        assert!(g.admit(10, 30));
+        assert_eq!(g.active_streams(), 2);
+        assert_eq!(g.rejections(), 1);
+    }
+
+    #[test]
+    fn gate_retires_idle_streams_at_the_timeout() {
+        let mut g = StreamGate::new(1, 1_000);
+        assert!(g.admit(1, 0));
+        // Stream 2 is blocked until stream 1 has idled a full timeout —
+        // the boundary instant itself retires it.
+        assert!(!g.admit(2, 999));
+        assert!(g.admit(2, 1_000));
+        assert_eq!(g.active_streams(), 1);
+    }
+
+    #[test]
+    fn gate_refresh_extends_the_slot() {
+        let mut g = StreamGate::new(1, 1_000);
+        assert!(g.admit(1, 0));
+        assert!(g.admit(1, 900)); // refresh: idle clock restarts
+        assert!(!g.admit(2, 1_500)); // 1 only idle 600 µs — still active
+        assert!(g.admit(2, 1_900)); // now idle a full timeout
+    }
+
+    #[test]
+    fn open_gate_admits_everything_statelessly() {
+        let mut g = StreamGate::open();
+        for s in 0..10_000u64 {
+            assert!(g.admit(s, s));
+        }
+        assert_eq!(g.active_streams(), 0);
+        assert_eq!(g.rejections(), 0);
     }
 }

@@ -19,15 +19,54 @@ use sched::{DiskScheduler, HeadState, Micros, Request};
 /// has not yet passed — a retry that cannot possibly meet the deadline is
 /// pointless disk work, so the request is abandoned as a loss instead.
 /// An exhausted budget is a loss ([`Metrics::failed`]), never a hang.
+///
+/// Retries are immediate by default. With `backoff_base_us > 0` the
+/// engine waits a seeded-deterministic jittered exponential delay before
+/// each retry (see [`crate::jittered_backoff_us`]): the k-th retry of a
+/// request waits `base · 2^(k-1)` µs plus up to `jitter_permille`‰ of
+/// that, keyed by `(seed, request id, k)`. The deadline check accounts
+/// for the delay, so a retry is only taken when it can still *start*
+/// within the deadline. With `backoff_base_us == 0` the engine is
+/// bit-identical to the immediate-retry behavior regardless of the
+/// jitter and seed fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts allowed per request (1 = never retry).
     pub max_attempts: u32,
+    /// Base backoff delay before the first retry (µs); 0 = retry
+    /// immediately (the default, bit-identical to the pre-backoff
+    /// engine).
+    pub backoff_base_us: u64,
+    /// Jitter amplitude in permille of the exponential delay (0 = pure
+    /// exponential).
+    pub jitter_permille: u32,
+    /// Seed keying the deterministic jitter stream.
+    pub seed: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 1 }
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_us: 0,
+            jitter_permille: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay (µs) to wait before retry number `retry` (1-based) of
+    /// request `req_id`; 0 when backoff is disabled.
+    #[inline]
+    pub fn backoff_us(&self, retry: u32, req_id: u64) -> u64 {
+        crate::backoff::jittered_backoff_us(
+            self.backoff_base_us,
+            retry,
+            self.jitter_permille,
+            self.seed,
+            req_id,
+        )
     }
 }
 
@@ -108,6 +147,15 @@ impl SimOptions {
     /// (retries stop early once the deadline has passed).
     pub fn with_retries(mut self, max_attempts: u32) -> Self {
         self.retry.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Wait a seeded-deterministic jittered exponential backoff before
+    /// each retry instead of retrying immediately. See [`RetryPolicy`].
+    pub fn with_retry_backoff(mut self, base_us: u64, jitter_permille: u32, seed: u64) -> Self {
+        self.retry.backoff_base_us = base_us;
+        self.retry.jitter_permille = jitter_permille;
+        self.retry.seed = seed;
         self
     }
 
@@ -214,6 +262,327 @@ fn span_clock(sampler: Option<&mut obs::StageSampler>) -> Option<std::time::Inst
     }
 }
 
+/// The engine's mutable spine, shared between the batch loop
+/// ([`simulate`] and friends) and the incremental stepper
+/// ([`crate::EngineStepper`]): policy knobs, accumulated metrics, the
+/// simulation clock and the span samplers. Both drivers funnel arrival
+/// delivery through [`EngineCore::enqueue_chunk`] and service through
+/// [`EngineCore::step`], so a stepper-driven run over the same arrivals
+/// is bit-identical to a batch run.
+pub(crate) struct EngineCore {
+    pub(crate) options: SimOptions,
+    pub(crate) metrics: Metrics,
+    pub(crate) now: Micros,
+    pub(crate) cylinders: u32,
+    spans: Option<EngineSpans>,
+}
+
+impl EngineCore {
+    pub(crate) fn new(options: SimOptions, cylinders: u32, sink_live: bool) -> Self {
+        EngineCore {
+            metrics: Metrics::new(options.dims, options.levels),
+            now: 0,
+            cylinders,
+            spans: if sink_live {
+                options.stage_spans.map(EngineSpans::new)
+            } else {
+                None
+            },
+            options,
+        }
+    }
+
+    /// Whether `r` falls inside the measurement window (past warm-up).
+    #[inline]
+    pub(crate) fn measured(&self, r: &Request) -> bool {
+        r.arrival_us >= self.options.warmup_us
+    }
+
+    /// Deliver one arrival chunk. The head does not move between the
+    /// arrivals of a chunk (no service runs in between), so the whole
+    /// chunk shares one head position anchored at its first arrival; the
+    /// scheduler anchors each request at its own arrival time.
+    pub(crate) fn enqueue_chunk<S: TraceSink>(
+        &mut self,
+        chunk: &[Request],
+        scheduler: &mut dyn DiskScheduler,
+        service: &dyn ServiceProvider,
+        sink: &mut S,
+    ) {
+        if chunk.is_empty() {
+            return;
+        }
+        if S::ENABLED {
+            for r in chunk {
+                sink.emit(&TraceEvent::Arrival {
+                    now_us: r.arrival_us,
+                    req: r.id,
+                    cylinder: r.cylinder,
+                    deadline_us: r.deadline_us,
+                });
+            }
+        }
+        let head = HeadState::new(service.head(), chunk[0].arrival_us, self.cylinders);
+        let clock = span_clock(self.spans.as_mut().map(|s| &mut s.enqueue));
+        scheduler.enqueue_batch(chunk, &head);
+        if let Some(t0) = clock {
+            sink.emit(&TraceEvent::StageSpan {
+                now_us: head.now_us,
+                stage: obs::Stage::Enqueue,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+
+    /// One dequeue-and-serve step at the current clock. Returns `false`
+    /// when the scheduler had nothing to dispatch (the driver decides
+    /// whether to idle-jump or stop).
+    pub(crate) fn step<S: TraceSink>(
+        &mut self,
+        scheduler: &mut dyn DiskScheduler,
+        service: &mut dyn ServiceProvider,
+        log: Option<&mut Vec<RequestRecord>>,
+        sink: &mut S,
+    ) -> bool {
+        let head = HeadState::new(service.head(), self.now, self.cylinders);
+        let clock = span_clock(self.spans.as_mut().map(|s| &mut s.dispatch));
+        let picked = scheduler.dequeue(&head);
+        if let Some(t0) = clock {
+            sink.emit(&TraceEvent::StageSpan {
+                now_us: self.now,
+                stage: obs::Stage::Dispatch,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        match picked {
+            Some(req) => {
+                self.serve(req, scheduler, service, log, sink);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drive one dispatched request to its terminal fate — completed,
+    /// dropped or failed — advancing the clock past every service
+    /// attempt.
+    fn serve<S: TraceSink>(
+        &mut self,
+        req: Request,
+        scheduler: &mut dyn DiskScheduler,
+        service: &mut dyn ServiceProvider,
+        mut log: Option<&mut Vec<RequestRecord>>,
+        sink: &mut S,
+    ) {
+        let in_window = self.measured(&req);
+        if S::ENABLED {
+            let slack = (req.deadline_us as i128 - self.now as i128)
+                .clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+            sink.emit(&TraceEvent::Dispatch {
+                now_us: self.now,
+                req: req.id,
+                cylinder: req.cylinder,
+                // The dispatched request itself still counts.
+                queue_depth: scheduler.len() as u64 + 1,
+                slack_us: slack,
+            });
+        }
+        if self.options.drop_past_due && req.is_late(self.now) {
+            if in_window {
+                self.metrics.dropped += 1;
+                self.metrics.record_loss(&req);
+            }
+            if S::ENABLED {
+                sink.emit(&TraceEvent::Drop {
+                    now_us: self.now,
+                    req: req.id,
+                    missed_by_us: self.now.saturating_sub(req.deadline_us),
+                });
+            }
+            if let Some(log) = log.as_mut() {
+                log.push(RequestRecord {
+                    id: req.id,
+                    arrival_us: req.arrival_us,
+                    completion_us: None,
+                    lost: true,
+                });
+            }
+            return;
+        }
+        if self.options.count_inversions && in_window {
+            count_inversions(scheduler, &req, &mut self.metrics);
+        }
+        if S::ENABLED {
+            sink.emit(&TraceEvent::ServiceStart {
+                now_us: self.now,
+                req: req.id,
+                cylinder: req.cylinder,
+                seek_cylinders: service.head().abs_diff(req.cylinder),
+            });
+        }
+        // Serve, retrying transient media errors within the bounded,
+        // deadline-aware budget. Every attempt — failed or not — pays
+        // its disk time (the head moved, the platter turned), so
+        // busy-time accounting covers the whole failure path.
+        let max_attempts = self.options.retry.max_attempts.max(1);
+        let mut attempt: u32 = 1;
+        let service_clock = span_clock(self.spans.as_mut().map(|s| &mut s.service));
+        let outcome = loop {
+            let o = service.service_checked(&req, self.now);
+            self.now += o.breakdown.total_us();
+            if in_window {
+                self.metrics.seek_us += o.breakdown.seek_us;
+                self.metrics.rotation_us += o.breakdown.rotation_us;
+                self.metrics.transfer_us += o.breakdown.transfer_us;
+            }
+            let Some(fault) = o.fault else {
+                break Some(o);
+            };
+            if S::ENABLED {
+                sink.emit(&TraceEvent::MediaError {
+                    now_us: self.now,
+                    req: req.id,
+                    attempt,
+                    transient: fault == ServiceFault::Transient,
+                });
+            }
+            if in_window {
+                self.metrics.media_errors += 1;
+            }
+            // Never retry past the deadline: a retry that cannot
+            // complete in time only steals bandwidth from requests that
+            // still can. An opt-in backoff wait counts against the same
+            // budget — the retry must still *start* in time.
+            let mut delay = 0u64;
+            let retryable = fault == ServiceFault::Transient && attempt < max_attempts && {
+                delay = self.options.retry.backoff_us(attempt, req.id);
+                !req.is_late(self.now.saturating_add(delay))
+            };
+            if !retryable {
+                break None;
+            }
+            self.now += delay;
+            attempt += 1;
+            if in_window {
+                self.metrics.retries += 1;
+            }
+            if S::ENABLED {
+                let slack = (req.deadline_us as i128 - self.now as i128)
+                    .clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+                sink.emit(&TraceEvent::Retry {
+                    now_us: self.now,
+                    req: req.id,
+                    attempt,
+                    slack_us: slack,
+                });
+            }
+        };
+        if let Some(t0) = service_clock {
+            sink.emit(&TraceEvent::StageSpan {
+                now_us: self.now,
+                stage: obs::Stage::Service,
+                elapsed_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        match outcome {
+            Some(o) => {
+                if o.remap_penalty_us > 0 {
+                    if S::ENABLED {
+                        sink.emit(&TraceEvent::SectorRemap {
+                            now_us: self.now,
+                            req: req.id,
+                            penalty_us: o.remap_penalty_us,
+                        });
+                    }
+                    if in_window {
+                        self.metrics.sector_remaps += 1;
+                    }
+                }
+                if let Some(member) = o.degraded {
+                    if S::ENABLED {
+                        sink.emit(&TraceEvent::DegradedRead {
+                            now_us: self.now,
+                            req: req.id,
+                            failed_member: member,
+                        });
+                    }
+                    if in_window {
+                        self.metrics.degraded_reads += 1;
+                    }
+                }
+                let late = req.is_late(self.now);
+                if S::ENABLED {
+                    sink.emit(&TraceEvent::ServiceComplete {
+                        now_us: self.now,
+                        req: req.id,
+                        response_us: self.now - req.arrival_us,
+                        late,
+                    });
+                }
+                if in_window {
+                    self.metrics.served += 1;
+                    let response = self.now - req.arrival_us;
+                    self.metrics.response_total_us += response as u128;
+                    self.metrics.max_response_us = self.metrics.max_response_us.max(response);
+                    self.metrics.makespan_us = self.now;
+                    if late {
+                        self.metrics.late += 1;
+                        self.metrics.record_loss(&req);
+                    }
+                }
+                if let Some(log) = log.as_mut() {
+                    log.push(RequestRecord {
+                        id: req.id,
+                        arrival_us: req.arrival_us,
+                        completion_us: Some(self.now),
+                        lost: late,
+                    });
+                }
+                // A background rebuild I/O towed behind this request
+                // occupies the member after the foreground completion.
+                if let Some((stripe, service_us)) = o.rebuild {
+                    self.now += service_us;
+                    if S::ENABLED {
+                        sink.emit(&TraceEvent::RebuildIo {
+                            now_us: self.now,
+                            stripe,
+                            service_us,
+                        });
+                    }
+                    if in_window {
+                        self.metrics.rebuild_ios += 1;
+                        self.metrics.rebuild_us += service_us;
+                    }
+                }
+            }
+            None => {
+                // Retry budget exhausted (or the error was not
+                // recoverable): the request is abandoned — a loss, never
+                // a hang.
+                if S::ENABLED {
+                    sink.emit(&TraceEvent::RequestFailed {
+                        now_us: self.now,
+                        req: req.id,
+                        attempts: attempt,
+                    });
+                }
+                if in_window {
+                    self.metrics.failed += 1;
+                    self.metrics.record_loss(&req);
+                }
+                if let Some(log) = log.as_mut() {
+                    log.push(RequestRecord {
+                        id: req.id,
+                        arrival_us: req.arrival_us,
+                        completion_us: None,
+                        lost: true,
+                    });
+                }
+            }
+        }
+    }
+}
+
 fn simulate_inner<S: TraceSink>(
     scheduler: &mut dyn DiskScheduler,
     trace: &[Request],
@@ -222,284 +591,39 @@ fn simulate_inner<S: TraceSink>(
     mut log: Option<&mut Vec<RequestRecord>>,
     sink: &mut S,
 ) -> Metrics {
-    let mut metrics = Metrics::new(options.dims, options.levels);
-    let cylinders = service.cylinders();
-    let mut now: Micros = 0;
-    let mut next_arrival = 0usize;
-    let mut spans = if S::ENABLED {
-        options.stage_spans.map(EngineSpans::new)
-    } else {
-        None
-    };
-
-    let measured = |r: &Request| r.arrival_us >= options.warmup_us;
-    for r in trace.iter().filter(|r| measured(r)) {
-        metrics.record_request(r);
+    let mut core = EngineCore::new(options, service.cylinders(), S::ENABLED);
+    for r in trace {
+        if core.measured(r) {
+            core.metrics.record_request(r);
+        }
     }
 
+    let mut next_arrival = 0usize;
     loop {
-        // Deliver every arrival up to `now` as one chunk. The head does
-        // not move between arrivals (no service in between), so the whole
-        // chunk shares one head position; the scheduler anchors each
-        // request at its own arrival time.
+        // Deliver every arrival up to `now` as one chunk.
         let first_arrival = next_arrival;
-        while next_arrival < trace.len() && trace[next_arrival].arrival_us <= now {
-            if S::ENABLED {
-                let r = &trace[next_arrival];
-                sink.emit(&TraceEvent::Arrival {
-                    now_us: r.arrival_us,
-                    req: r.id,
-                    cylinder: r.cylinder,
-                    deadline_us: r.deadline_us,
-                });
-            }
+        while next_arrival < trace.len() && trace[next_arrival].arrival_us <= core.now {
             next_arrival += 1;
         }
-        if first_arrival < next_arrival {
-            let head = HeadState::new(service.head(), trace[first_arrival].arrival_us, cylinders);
-            let clock = span_clock(spans.as_mut().map(|s| &mut s.enqueue));
-            scheduler.enqueue_batch(&trace[first_arrival..next_arrival], &head);
-            if let Some(t0) = clock {
-                sink.emit(&TraceEvent::StageSpan {
-                    now_us: head.now_us,
-                    stage: obs::Stage::Enqueue,
-                    elapsed_ns: t0.elapsed().as_nanos() as u64,
-                });
-            }
-        }
+        core.enqueue_chunk(
+            &trace[first_arrival..next_arrival],
+            scheduler,
+            &*service,
+            sink,
+        );
 
-        let head = HeadState::new(service.head(), now, cylinders);
-        let clock = span_clock(spans.as_mut().map(|s| &mut s.dispatch));
-        let picked = scheduler.dequeue(&head);
-        if let Some(t0) = clock {
-            sink.emit(&TraceEvent::StageSpan {
-                now_us: now,
-                stage: obs::Stage::Dispatch,
-                elapsed_ns: t0.elapsed().as_nanos() as u64,
-            });
-        }
-        match picked {
-            Some(req) => {
-                let in_window = measured(&req);
-                if S::ENABLED {
-                    let slack = (req.deadline_us as i128 - now as i128)
-                        .clamp(i64::MIN as i128, i64::MAX as i128)
-                        as i64;
-                    sink.emit(&TraceEvent::Dispatch {
-                        now_us: now,
-                        req: req.id,
-                        cylinder: req.cylinder,
-                        // The dispatched request itself still counts.
-                        queue_depth: scheduler.len() as u64 + 1,
-                        slack_us: slack,
-                    });
-                }
-                if options.drop_past_due && req.is_late(now) {
-                    if in_window {
-                        metrics.dropped += 1;
-                        metrics.record_loss(&req);
-                    }
-                    if S::ENABLED {
-                        sink.emit(&TraceEvent::Drop {
-                            now_us: now,
-                            req: req.id,
-                            missed_by_us: now.saturating_sub(req.deadline_us),
-                        });
-                    }
-                    if let Some(log) = log.as_mut() {
-                        log.push(RequestRecord {
-                            id: req.id,
-                            arrival_us: req.arrival_us,
-                            completion_us: None,
-                            lost: true,
-                        });
-                    }
-                    continue;
-                }
-                if options.count_inversions && in_window {
-                    count_inversions(scheduler, &req, &mut metrics);
-                }
-                if S::ENABLED {
-                    sink.emit(&TraceEvent::ServiceStart {
-                        now_us: now,
-                        req: req.id,
-                        cylinder: req.cylinder,
-                        seek_cylinders: service.head().abs_diff(req.cylinder),
-                    });
-                }
-                // Serve, retrying transient media errors within the
-                // bounded, deadline-aware budget. Every attempt — failed
-                // or not — pays its disk time (the head moved, the
-                // platter turned), so busy-time accounting covers the
-                // whole failure path.
-                let max_attempts = options.retry.max_attempts.max(1);
-                let mut attempt: u32 = 1;
-                let service_clock = span_clock(spans.as_mut().map(|s| &mut s.service));
-                let outcome = loop {
-                    let o = service.service_checked(&req, now);
-                    now += o.breakdown.total_us();
-                    if in_window {
-                        metrics.seek_us += o.breakdown.seek_us;
-                        metrics.rotation_us += o.breakdown.rotation_us;
-                        metrics.transfer_us += o.breakdown.transfer_us;
-                    }
-                    let Some(fault) = o.fault else {
-                        break Some(o);
-                    };
-                    if S::ENABLED {
-                        sink.emit(&TraceEvent::MediaError {
-                            now_us: now,
-                            req: req.id,
-                            attempt,
-                            transient: fault == ServiceFault::Transient,
-                        });
-                    }
-                    if in_window {
-                        metrics.media_errors += 1;
-                    }
-                    // Never retry past the deadline: a retry that cannot
-                    // complete in time only steals bandwidth from
-                    // requests that still can.
-                    let retryable = fault == ServiceFault::Transient
-                        && attempt < max_attempts
-                        && !req.is_late(now);
-                    if !retryable {
-                        break None;
-                    }
-                    attempt += 1;
-                    if in_window {
-                        metrics.retries += 1;
-                    }
-                    if S::ENABLED {
-                        let slack = (req.deadline_us as i128 - now as i128)
-                            .clamp(i64::MIN as i128, i64::MAX as i128)
-                            as i64;
-                        sink.emit(&TraceEvent::Retry {
-                            now_us: now,
-                            req: req.id,
-                            attempt,
-                            slack_us: slack,
-                        });
-                    }
-                };
-                if let Some(t0) = service_clock {
-                    sink.emit(&TraceEvent::StageSpan {
-                        now_us: now,
-                        stage: obs::Stage::Service,
-                        elapsed_ns: t0.elapsed().as_nanos() as u64,
-                    });
-                }
-                match outcome {
-                    Some(o) => {
-                        if o.remap_penalty_us > 0 {
-                            if S::ENABLED {
-                                sink.emit(&TraceEvent::SectorRemap {
-                                    now_us: now,
-                                    req: req.id,
-                                    penalty_us: o.remap_penalty_us,
-                                });
-                            }
-                            if in_window {
-                                metrics.sector_remaps += 1;
-                            }
-                        }
-                        if let Some(member) = o.degraded {
-                            if S::ENABLED {
-                                sink.emit(&TraceEvent::DegradedRead {
-                                    now_us: now,
-                                    req: req.id,
-                                    failed_member: member,
-                                });
-                            }
-                            if in_window {
-                                metrics.degraded_reads += 1;
-                            }
-                        }
-                        let late = req.is_late(now);
-                        if S::ENABLED {
-                            sink.emit(&TraceEvent::ServiceComplete {
-                                now_us: now,
-                                req: req.id,
-                                response_us: now - req.arrival_us,
-                                late,
-                            });
-                        }
-                        if in_window {
-                            metrics.served += 1;
-                            let response = now - req.arrival_us;
-                            metrics.response_total_us += response as u128;
-                            metrics.max_response_us = metrics.max_response_us.max(response);
-                            metrics.makespan_us = now;
-                            if late {
-                                metrics.late += 1;
-                                metrics.record_loss(&req);
-                            }
-                        }
-                        if let Some(log) = log.as_mut() {
-                            log.push(RequestRecord {
-                                id: req.id,
-                                arrival_us: req.arrival_us,
-                                completion_us: Some(now),
-                                lost: late,
-                            });
-                        }
-                        // A background rebuild I/O towed behind this
-                        // request occupies the member after the
-                        // foreground completion.
-                        if let Some((stripe, service_us)) = o.rebuild {
-                            now += service_us;
-                            if S::ENABLED {
-                                sink.emit(&TraceEvent::RebuildIo {
-                                    now_us: now,
-                                    stripe,
-                                    service_us,
-                                });
-                            }
-                            if in_window {
-                                metrics.rebuild_ios += 1;
-                                metrics.rebuild_us += service_us;
-                            }
-                        }
-                    }
-                    None => {
-                        // Retry budget exhausted (or the error was not
-                        // recoverable): the request is abandoned — a
-                        // loss, never a hang.
-                        if S::ENABLED {
-                            sink.emit(&TraceEvent::RequestFailed {
-                                now_us: now,
-                                req: req.id,
-                                attempts: attempt,
-                            });
-                        }
-                        if in_window {
-                            metrics.failed += 1;
-                            metrics.record_loss(&req);
-                        }
-                        if let Some(log) = log.as_mut() {
-                            log.push(RequestRecord {
-                                id: req.id,
-                                arrival_us: req.arrival_us,
-                                completion_us: None,
-                                lost: true,
-                            });
-                        }
-                    }
-                }
-            }
-            None => {
-                // Idle: jump to the next arrival, or finish.
-                if next_arrival < trace.len() {
-                    now = now.max(trace[next_arrival].arrival_us);
-                } else if scheduler.is_empty() {
-                    break;
-                } else {
-                    unreachable!("scheduler returned None while non-empty");
-                }
+        if !core.step(scheduler, service, log.as_deref_mut(), sink) {
+            // Idle: jump to the next arrival, or finish.
+            if next_arrival < trace.len() {
+                core.now = core.now.max(trace[next_arrival].arrival_us);
+            } else if scheduler.is_empty() {
+                break;
+            } else {
+                unreachable!("scheduler returned None while non-empty");
             }
         }
     }
-    metrics
+    core.metrics
 }
 
 /// §5.1: serving `served` adds, per dimension, the number of waiting

@@ -1,0 +1,298 @@
+//! Incremental driver for the simulation engine.
+//!
+//! [`EngineStepper`] exposes the batch engine ([`crate::simulate`]) as a
+//! push/pump state machine: a caller **submits** arrivals as it learns
+//! about them and **pumps** the engine up to a time horizon, interleaving
+//! control actions (membership churn, quarantine, migration) between
+//! pumps. The farm daemon builds on this to run one stepper per shard.
+//!
+//! ## Bit-identity with the batch engine
+//!
+//! Both drivers funnel through the same [`EngineCore`] delivery/serve
+//! code, and the stepper only dequeues once every arrival at or before
+//! the current clock has been submitted (callers must pump to an event's
+//! time *before* applying the event). Arrival chunks therefore break at
+//! exactly the same points as the batch loop's, and the stepper attempts
+//! a dispatch even on an apparently empty queue exactly where the batch
+//! loop would (an empty dequeue resets dispatcher-internal state such as
+//! the conditional preemption anchor), so a stepper fed a whole trace
+//! produces bit-identical metrics, events and completion times to
+//! [`crate::simulate`] over that trace — the property the oracle's
+//! daemon replay gate enforces. Stage spans are a batch-driver feature
+//! and are never sampled here.
+
+use std::collections::VecDeque;
+
+use obs::TraceSink;
+use sched::{DiskScheduler, Micros, Request};
+
+use crate::engine::EngineCore;
+use crate::metrics::Metrics;
+use crate::service::ServiceProvider;
+use crate::SimOptions;
+
+/// The incremental engine driver: owns the engine state and the not yet
+/// delivered arrival backlog; the caller owns the scheduler, the service
+/// model and the sink, passing them to every pump so the same stepper
+/// can outlive any one of them.
+pub struct EngineStepper {
+    core: EngineCore,
+    pending: VecDeque<Request>,
+    last_arrival_us: Micros,
+}
+
+impl EngineStepper {
+    /// A fresh stepper at time 0.
+    pub fn new(options: SimOptions, cylinders: u32) -> Self {
+        EngineStepper {
+            core: EngineCore::new(options, cylinders, false),
+            pending: VecDeque::new(),
+            last_arrival_us: 0,
+        }
+    }
+
+    /// The engine clock: everything dispatched so far started at or
+    /// before this time.
+    pub fn now(&self) -> Micros {
+        self.core.now
+    }
+
+    /// Accumulated metrics (submitted-and-delivered requests only).
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Consume the stepper, yielding its metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.core.metrics
+    }
+
+    /// Arrivals submitted but not yet delivered to the scheduler.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submit one arrival. Arrivals must come in non-decreasing
+    /// `arrival_us` order (the streaming contract; violating it would
+    /// desynchronize the stepper from the batch engine).
+    ///
+    /// # Panics
+    /// If `r.arrival_us` precedes an earlier submission's.
+    pub fn submit(&mut self, r: Request) {
+        assert!(
+            r.arrival_us >= self.last_arrival_us,
+            "arrivals must be submitted in order: {} after {}",
+            r.arrival_us,
+            self.last_arrival_us
+        );
+        self.last_arrival_us = r.arrival_us;
+        self.pending.push_back(r);
+    }
+
+    /// Remove and return every submitted-but-undelivered arrival, in
+    /// submission order — the migration hook: a draining shard hands
+    /// these off without them ever touching its scheduler or metrics.
+    pub fn take_pending(&mut self) -> Vec<Request> {
+        self.pending.drain(..).collect()
+    }
+
+    /// Pump the engine until the clock reaches `horizon_us`: every
+    /// dispatch decided strictly *before* the horizon is served (service
+    /// is non-preemptive, so a served request may complete past it).
+    /// The horizon itself is excluded so a caller can pump to an event's
+    /// timestamp, apply the event (submit the arrival, drain the shard),
+    /// and resume — without the engine ever dequeuing at an instant
+    /// whose arrivals it has not seen yet.
+    ///
+    /// Streaming contract: every arrival with `arrival_us < horizon_us`
+    /// must have been submitted before the pump.
+    pub fn run_until<S: TraceSink>(
+        &mut self,
+        horizon_us: Micros,
+        scheduler: &mut dyn DiskScheduler,
+        service: &mut dyn ServiceProvider,
+        sink: &mut S,
+    ) {
+        self.core.cylinders = service.cylinders();
+        loop {
+            if self.core.now >= horizon_us {
+                return;
+            }
+            // Deliver every submitted arrival up to `now` as one chunk —
+            // the same chunk boundaries the batch loop produces, because
+            // callers pump to an event's time before acting on it, so no
+            // later-submitted arrival could have joined this chunk.
+            let mut n = 0;
+            while n < self.pending.len() && self.pending[n].arrival_us <= self.core.now {
+                n += 1;
+            }
+            if n > 0 {
+                let chunk: Vec<Request> = self.pending.drain(..n).collect();
+                for r in &chunk {
+                    if self.core.measured(r) {
+                        self.core.metrics.record_request(r);
+                    }
+                }
+                self.core.enqueue_chunk(&chunk, scheduler, &*service, sink);
+            }
+            // Attempt a dispatch even when the queue looks empty — the
+            // batch loop does, and an empty dequeue is a real scheduler
+            // interaction (the conditional dispatcher resets its
+            // preemption anchor on one). Skipping it here would let the
+            // two drivers diverge after any idle period.
+            if !self.core.step(scheduler, service, None, sink) {
+                // Idle: jump to the next submitted arrival inside the
+                // horizon, or yield back to the caller.
+                match self.pending.front() {
+                    Some(r) if r.arrival_us <= horizon_us => {
+                        self.core.now = self.core.now.max(r.arrival_us);
+                    }
+                    _ => return,
+                }
+            }
+        }
+    }
+
+    /// Pump until both the queue and the submitted backlog are empty —
+    /// the stepper equivalent of letting the batch engine run out.
+    pub fn finish<S: TraceSink>(
+        &mut self,
+        scheduler: &mut dyn DiskScheduler,
+        service: &mut dyn ServiceProvider,
+        sink: &mut S,
+    ) {
+        self.run_until(Micros::MAX, scheduler, service, sink);
+        debug_assert!(self.pending.is_empty() && scheduler.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, simulate_traced, TransferDominated};
+    use obs::{NullSink, RingSink};
+    use sched::{Fcfs, QosVector, ScanEdf, Sstf};
+
+    fn trace(n: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::read(
+                    i,
+                    i * 700,
+                    i * 700 + 90_000,
+                    ((i * 911) % 3832) as u32,
+                    64 * 1024,
+                    QosVector::new(&[(i % 5) as u8]),
+                )
+            })
+            .collect()
+    }
+
+    fn schedulers() -> Vec<Box<dyn DiskScheduler>> {
+        vec![
+            Box::new(Fcfs::new()),
+            Box::new(Sstf::new()),
+            Box::new(ScanEdf::new(5_000)),
+        ]
+    }
+
+    #[test]
+    fn full_submission_matches_batch_engine() {
+        let t = trace(300);
+        let options = SimOptions::with_shape(1, 8).dropping();
+        for (mut batch_s, mut step_s) in schedulers().into_iter().zip(schedulers()) {
+            let batch = {
+                let mut service = TransferDominated::uniform(5_000, 3832);
+                simulate(batch_s.as_mut(), &t, &mut service, options)
+            };
+            let mut service = TransferDominated::uniform(5_000, 3832);
+            let mut stepper = EngineStepper::new(options, service.cylinders());
+            for r in &t {
+                stepper.submit(r.clone());
+            }
+            stepper.finish(step_s.as_mut(), &mut service, &mut NullSink);
+            assert_eq!(stepper.into_metrics(), batch, "policy {}", batch_s.name());
+        }
+    }
+
+    #[test]
+    fn incremental_pumping_matches_batch_engine() {
+        // Submit arrivals in dribbles and pump to staggered horizons —
+        // the chunk boundaries must still match the batch run exactly,
+        // including the emitted event stream.
+        let t = trace(200);
+        let options = SimOptions::with_shape(1, 8).dropping();
+        let mut batch_ring = RingSink::new(1 << 14);
+        let batch = {
+            let mut service = TransferDominated::scaled(1_500, 40, 3832);
+            simulate_traced(
+                &mut ScanEdf::new(5_000),
+                &t,
+                &mut service,
+                options,
+                &mut batch_ring,
+            )
+        };
+
+        let mut step_ring = RingSink::new(1 << 14);
+        let mut service = TransferDominated::scaled(1_500, 40, 3832);
+        let mut scheduler = ScanEdf::new(5_000);
+        let mut stepper = EngineStepper::new(options, service.cylinders());
+        for (i, r) in t.iter().enumerate() {
+            // Pump to each arrival's time before submitting it — the
+            // streaming contract — with ragged extra horizons thrown in.
+            stepper.run_until(r.arrival_us, &mut scheduler, &mut service, &mut step_ring);
+            stepper.submit(r.clone());
+            if i % 7 == 3 {
+                // An extra pump, capped at the next arrival's time so the
+                // streaming contract (all arrivals before the horizon are
+                // submitted) still holds.
+                let cap = t.get(i + 1).map_or(Micros::MAX, |n| n.arrival_us);
+                stepper.run_until(
+                    cap.min(r.arrival_us + 11_000),
+                    &mut scheduler,
+                    &mut service,
+                    &mut step_ring,
+                );
+            }
+        }
+        stepper.finish(&mut scheduler, &mut service, &mut step_ring);
+        assert_eq!(stepper.metrics(), &batch);
+        let batch_events: Vec<String> = batch_ring.events().map(|e| format!("{e:?}")).collect();
+        let step_events: Vec<String> = step_ring.events().map(|e| format!("{e:?}")).collect();
+        assert_eq!(step_events, batch_events);
+    }
+
+    #[test]
+    fn take_pending_withholds_undelivered_arrivals() {
+        let options = SimOptions::with_shape(1, 2);
+        let mut service = TransferDominated::uniform(2_000, 3832);
+        let mut scheduler = Fcfs::new();
+        let mut stepper = EngineStepper::new(options, service.cylinders());
+        let t = trace(10);
+        for r in &t {
+            stepper.submit(r.clone());
+        }
+        // Pump only past the first few arrivals.
+        stepper.run_until(1_500, &mut scheduler, &mut service, &mut NullSink);
+        let left = stepper.take_pending();
+        assert!(!left.is_empty(), "some arrivals must still be pending");
+        stepper.finish(&mut scheduler, &mut service, &mut NullSink);
+        let m = stepper.into_metrics();
+        // Only delivered requests count anywhere in the ledger.
+        assert_eq!(
+            (m.served + m.dropped + m.failed) as usize + left.len(),
+            t.len()
+        );
+        assert_eq!(m.requests_total() as usize + left.len(), t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrivals must be submitted in order")]
+    fn out_of_order_submission_panics() {
+        let mut stepper = EngineStepper::new(SimOptions::with_shape(1, 2), 3832);
+        let t = trace(2);
+        stepper.submit(t[1].clone());
+        stepper.submit(t[0].clone());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the opt-in retry backoff.
+//!
+//! The guarantee the farm daemon (and every existing caller) leans on:
+//! a zero-base backoff configuration is *bit-for-bit* the engine's
+//! historical immediate-retry behavior, for any jitter/seed setting —
+//! backoff only exists once `backoff_base_us > 0`. A second property
+//! pins seeded determinism: the same configuration replays to identical
+//! metrics every time.
+
+use proptest::prelude::*;
+use sched::{QosVector, Request, ScanEdf};
+use sim::{simulate, DiskService, SimOptions};
+
+fn trace(n: u64, spacing_us: u64, slack_us: u64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            Request::read(
+                i,
+                i * spacing_us,
+                i * spacing_us + slack_us,
+                ((i * 733) % 3832) as u32,
+                32 * 1024,
+                QosVector::new(&[(i % 4) as u8]),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Zero-base backoff reproduces the immediate-retry engine exactly,
+    /// whatever the jitter permille and seed say.
+    #[test]
+    fn zero_base_backoff_is_bit_identical(
+        fault_seed in any::<u64>(),
+        transient_ppm in 0u32..250_000,
+        retries in 1u32..6,
+        jitter_permille in 0u32..=1000,
+        seed in any::<u64>(),
+        slack_us in 20_000u64..200_000,
+    ) {
+        let t = trace(120, 900, slack_us);
+        let plan = diskmodel::FaultPlan::media(fault_seed, transient_ppm, 0);
+        let base = {
+            let mut service = DiskService::with_faults(diskmodel::Disk::table1(), plan.clone());
+            simulate(
+                &mut ScanEdf::new(5_000),
+                &t,
+                &mut service,
+                SimOptions::with_shape(1, 4).dropping().with_retries(retries),
+            )
+        };
+        let with_zero_backoff = {
+            let mut service = DiskService::with_faults(diskmodel::Disk::table1(), plan);
+            simulate(
+                &mut ScanEdf::new(5_000),
+                &t,
+                &mut service,
+                SimOptions::with_shape(1, 4)
+                    .dropping()
+                    .with_retries(retries)
+                    .with_retry_backoff(0, jitter_permille, seed),
+            )
+        };
+        prop_assert_eq!(base, with_zero_backoff);
+    }
+
+    /// A jittered backoff run is seeded-deterministic, and every delay
+    /// respects the deadline budget: no retry ever produces a late
+    /// completion the engine would have had to invent time for.
+    #[test]
+    fn jittered_backoff_is_deterministic(
+        fault_seed in any::<u64>(),
+        transient_ppm in 50_000u32..250_000,
+        base_us in 1u64..5_000,
+        jitter_permille in 0u32..=1000,
+        seed in any::<u64>(),
+    ) {
+        let t = trace(120, 900, 150_000);
+        let run = || {
+            let plan = diskmodel::FaultPlan::media(fault_seed, transient_ppm, 0);
+            let mut service = DiskService::with_faults(diskmodel::Disk::table1(), plan);
+            simulate(
+                &mut ScanEdf::new(5_000),
+                &t,
+                &mut service,
+                SimOptions::with_shape(1, 4)
+                    .with_retries(4)
+                    .with_retry_backoff(base_us, jitter_permille, seed),
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.served + a.failed, 120);
+    }
+}
