@@ -42,6 +42,21 @@ echo "==> daemon smoke run"
 # (exits 1 on violation).
 cargo run -q -p bench --release --bin daemon -- --mode smoke
 
+echo "==> ctrl smoke run"
+# Overloaded farm started from a detuned static configuration, run with
+# and without the live controller: the controlled run must beat the
+# static deadline-miss rate, hold p99 response within the survivorship
+# slack, and two controlled runs must be bit-identical down to the
+# decision log (exits 1 on violation).
+cargo run -q -p bench --release --bin ctrl -- --mode smoke
+
+echo "==> ctrl convergence sweep"
+# Exhaustive (f, R, w) grid scores vs the guided search on the same
+# seeded overloaded trace: the search must land within 10% of the
+# exhaustive optimum in at most 5% of the grid's evaluations,
+# deterministically (exits 1 on violation).
+cargo run -q -p bench --release --bin ctrl -- --mode sweep
+
 echo "==> oracle smoke gate"
 # Differential + metamorphic battery: optimized cascade, baselines and
 # farm routing vs naive references on seeded workloads, one fuzz case

@@ -115,6 +115,34 @@ impl Args {
         self.values.contains_key(name)
     }
 
+    /// Fetch a comma-separated list flag parsed element-wise as `T`, or
+    /// the default — `--f 0.0,0.5,1.0` for sweep grids. Empty elements
+    /// (`1.0,,2.0` or a trailing comma) and unparsable elements exit 2
+    /// with the offending element named, so a malformed grid never
+    /// silently shrinks a sweep.
+    pub fn list<T: std::str::FromStr + Clone>(&self, name: &str, default: &[T]) -> Vec<T> {
+        debug_assert!(self.allowed.contains(&name), "undeclared flag {name}");
+        let Some(v) = self.values.get(name) else {
+            return default.to_vec();
+        };
+        v.split(',')
+            .map(|elem| {
+                let elem = elem.trim();
+                if elem.is_empty() {
+                    eprintln!("{}: empty element in --{name} list {v:?}", self.binary);
+                    std::process::exit(2);
+                }
+                elem.parse().unwrap_or_else(|_| {
+                    eprintln!(
+                        "{}: cannot parse --{name} list element {elem:?} in {v:?}",
+                        self.binary
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    }
+
     /// Fetch an enumerated flag: the value must be one of `options`, the
     /// first of which is the default. Anything else lists the choices
     /// and exits 2 — shared by `--format`, `--mode`, `--policy`, … so
@@ -188,6 +216,19 @@ mod tests {
         let a = Args::parse_from("t", argv(&["--mode", "smoke"]), &["mode", "format"]).unwrap();
         assert_eq!(a.one_of("mode", &["sweep", "smoke"]), "smoke");
         assert_eq!(a.one_of("format", &["jsonl", "csv"]), "jsonl"); // default
+    }
+
+    #[test]
+    fn float_lists_parse_with_defaults_and_whitespace() {
+        let a = Args::parse_from(
+            "t",
+            argv(&["--f", "0.0,0.5, 1.0", "--r", "3"]),
+            &["f", "r", "w"],
+        )
+        .unwrap();
+        assert_eq!(a.list("f", &[9.0f64]), vec![0.0, 0.5, 1.0]);
+        assert_eq!(a.list("r", &[1u32, 2]), vec![3]); // single element
+        assert_eq!(a.list("w", &[0.1f64, 0.2]), vec![0.1, 0.2]); // default
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Control-plane runner: the convergence sweep and the `ctrl` CI smoke
+//! gate.
+//!
+//! ```text
+//! cargo run -p bench --release --bin ctrl -- --mode smoke|sweep
+//!     [--seed N] [--streams N] [--duration-ms N] [--max-queue N]
+//!     [--shards N] [--cadence N] [--csv true]
+//!     [--f 0.0,0.5,1.0] [--r 1,3,6] [--w 0.0,0.1,0.4]
+//! ```
+//!
+//! `smoke` runs an overloaded farm from a detuned static configuration
+//! with and without the live controller: the controlled run must beat
+//! the static deadline-miss rate without worsening p99 response, and two
+//! controlled runs must be bit-identical. `sweep` exhaustively scores
+//! every `(f, R, w)` grid point by re-simulation and requires the guided
+//! search to land within 10% of the optimum in at most 5% of the grid's
+//! evaluations; `--f/--r/--w` take comma-separated lists overriding the
+//! grid axes, and `--csv true` prints the full exhaustive table. Both
+//! modes exit 1 on any violation.
+
+use bench::args::Args;
+use bench::ctrl::{self, Config};
+
+fn main() {
+    let args = Args::parse(&[
+        "mode",
+        "seed",
+        "streams",
+        "duration-ms",
+        "max-queue",
+        "shards",
+        "cadence",
+        "csv",
+        "f",
+        "r",
+        "w",
+    ]);
+    let defaults = Config::default();
+    let cfg = Config {
+        seed: args.get("seed", bench::DEFAULT_SEED),
+        streams: args.get("streams", defaults.streams),
+        duration_us: args.get("duration-ms", defaults.duration_us / 1_000) * 1_000,
+        max_queue: args.get("max-queue", defaults.max_queue),
+        shards: args.get("shards", defaults.shards),
+        cadence: args.get("cadence", defaults.cadence),
+        f_axis: args.list("f", &defaults.f_axis),
+        r_axis: args.list("r", &defaults.r_axis),
+        w_axis: args.list("w", &defaults.w_axis),
+        ..defaults
+    };
+
+    match args.one_of("mode", &["smoke", "sweep"]) {
+        "smoke" => match ctrl::smoke(&cfg) {
+            Ok(s) => {
+                eprintln!(
+                    "# ctrl smoke OK: miss rate {:.4} -> {:.4}, p99 {} µs -> {} µs \
+                     under {} scored windows and {} live retunes; two controlled \
+                     runs bit-identical (fingerprint {:016x})",
+                    s.static_miss_rate,
+                    s.tuned_miss_rate,
+                    s.static_p99_us,
+                    s.tuned_p99_us,
+                    s.decisions,
+                    s.retunes,
+                    s.fingerprint
+                );
+            }
+            Err(e) => {
+                eprintln!("# ctrl smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        },
+        "sweep" => match ctrl::sweep(&cfg) {
+            Ok(c) => {
+                if args.get("csv", false) {
+                    ctrl::print_csv(&c);
+                }
+                eprintln!(
+                    "# ctrl sweep OK: guided best (f={}, R={}, w={}) score {:.6} \
+                     in {}/{} evals vs exhaustive best (f={}, R={}, w={}) score \
+                     {:.6} over {} points; two guided runs bit-identical \
+                     (fingerprint {:016x})",
+                    c.guided_best.f,
+                    c.guided_best.r,
+                    c.guided_best.w,
+                    c.guided_best.score,
+                    c.guided_evals,
+                    c.budget,
+                    c.exhaustive_best.f,
+                    c.exhaustive_best.r,
+                    c.exhaustive_best.w,
+                    c.exhaustive_best.score,
+                    c.rows.len(),
+                    c.guided_fingerprint
+                );
+            }
+            Err(e) => {
+                eprintln!("# ctrl sweep FAILED: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => unreachable!("one_of limits the choices"),
+    }
+}

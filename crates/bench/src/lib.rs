@@ -27,7 +27,10 @@
 //! [`farm`]), and `daemon` (the continuous-operation smoke gate:
 //! quiescent-prefix parity with the batch farm, drain/quarantine churn
 //! with a closed ledger, and run-to-run bit-identity — see [`daemon`]),
-//! and `perf` (the CI perf-regression gate against the
+//! and `ctrl` (the self-tuning control plane's gates: the offline
+//! `(f, R, w)` convergence sweep against exhaustive grid search and the
+//! live-improvement smoke gate — see [`ctrl`]), and `perf` (the CI
+//! perf-regression gate against the
 //! committed `BENCH_sched.json` plus the telemetry overhead gate — see
 //! [`perf`]), and `obsreport` (the live telemetry plane's exposition:
 //! streaming per-window JSONL, Prometheus text format, and the
@@ -41,6 +44,7 @@
 
 pub mod ablation;
 pub mod args;
+pub mod ctrl;
 pub mod daemon;
 pub mod farm;
 pub mod fault;

@@ -1,8 +1,8 @@
-//! Perf-regression gate: five microbenchmark workloads measured
+//! Perf-regression gate: six microbenchmark workloads measured
 //! best-of-N, reported as `BENCH_sched.json`, and checked against the
 //! committed baseline in CI.
 //!
-//! The five numbers cover the stack's hot paths:
+//! The six numbers cover the stack's hot paths:
 //!
 //! * **dispatch throughput** — enqueue/dequeue interleave through the
 //!   optimized [`CascadedSfc`] on the Figure-8 Poisson workload
@@ -16,6 +16,9 @@
 //!   (online routing, admission, per-member steppers, supervision
 //!   bookkeeping) fed an arrivals-only VoD event stream end to end
 //!   (requests/s; higher is better),
+//! * **controller decision rate** — the self-tuning control plane's
+//!   steady-state observe→score→propose loop over the default search
+//!   grid (windows scored/s; higher is better),
 //! * **SFC mapping latency** — `Hilbert(3 dims, 2^7 side)` index
 //!   mapping (ns/op; lower is better).
 //!
@@ -52,6 +55,8 @@ pub struct PerfReport {
     pub routing_reqs_per_s: f64,
     /// Continuous-operation daemon throughput in requests per second.
     pub daemon_reqs_per_s: f64,
+    /// Controller decision throughput (windows scored per second).
+    pub ctrl_decisions_per_s: f64,
     /// Hilbert index mapping latency in nanoseconds per op.
     pub sfc_ns_per_op: f64,
 }
@@ -69,11 +74,13 @@ impl PerfReport {
              \"engine_reqs_per_s\": {:.1},\n  \
              \"routing_reqs_per_s\": {:.1},\n  \
              \"daemon_reqs_per_s\": {:.1},\n  \
+             \"ctrl_decisions_per_s\": {:.1},\n  \
              \"sfc_ns_per_op\": {:.3}\n}}\n",
             self.dispatch_ops_per_s,
             self.engine_reqs_per_s,
             self.routing_reqs_per_s,
             self.daemon_reqs_per_s,
+            self.ctrl_decisions_per_s,
             self.sfc_ns_per_op
         )
     }
@@ -102,6 +109,7 @@ impl PerfReport {
             engine_reqs_per_s: field("engine_reqs_per_s"),
             routing_reqs_per_s: field("routing_reqs_per_s"),
             daemon_reqs_per_s: field("daemon_reqs_per_s"),
+            ctrl_decisions_per_s: field("ctrl_decisions_per_s"),
             sfc_ns_per_op: field("sfc_ns_per_op"),
         };
         Ok((report, warnings))
@@ -213,6 +221,57 @@ fn bench_daemon(seed: u64) -> f64 {
     trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
 }
 
+/// Controller decision rate: a 4-shard [`ctrl::Controller`] over the
+/// default 336-point grid fed one painful pre-built telemetry window
+/// per shard per round, scoring and searching on every round (the
+/// steady-state observe→score→propose loop, including the farm-wide
+/// policy table). Returns windows scored per second.
+fn bench_ctrl(seed: u64) -> f64 {
+    use obs::{ShardDelta, Snapshot, TraceEvent, TraceSink, WindowDelta};
+    let mut snapshot = Snapshot::new();
+    for id in 0..24u64 {
+        snapshot.emit(&TraceEvent::ServiceComplete {
+            now_us: id * 1_000,
+            req: id,
+            response_us: 40_000,
+            late: id % 3 == 0,
+        });
+    }
+    let shards = 4usize;
+    let deltas: Vec<ShardDelta> = (0..shards)
+        .map(|shard| ShardDelta {
+            shard,
+            delta: WindowDelta {
+                epoch: 0,
+                start_us: 0,
+                window_us: 1 << 19,
+                partial: false,
+                snapshot: snapshot.clone(),
+            },
+        })
+        .collect();
+    let mut controller = ctrl::Controller::new(
+        shards,
+        ctrl::ControllerConfig {
+            search: ctrl::SearchConfig {
+                seed,
+                ..Default::default()
+            },
+            policies: vec![RoutePolicy::HashStream, RoutePolicy::LeastLoaded],
+            ..Default::default()
+        },
+    );
+    let rounds = 4_000u64;
+    let start = Instant::now();
+    for round in 0..rounds {
+        for delta in &deltas {
+            controller.observe(delta);
+        }
+        black_box(controller.decide((round + 1) << 19).len());
+    }
+    controller.decisions() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
 /// SFC mapping latency: Hilbert index over 3 dims with side 128, on
 /// pseudo-random pre-generated points. Returns ns/op.
 fn bench_sfc(seed: u64) -> f64 {
@@ -257,6 +316,7 @@ pub fn measure(seed: u64, samples: u32) -> PerfReport {
         engine_reqs_per_s: best(&|| bench_engine(seed), true),
         routing_reqs_per_s: best(&|| bench_routing(seed), true),
         daemon_reqs_per_s: best(&|| bench_daemon(seed), true),
+        ctrl_decisions_per_s: best(&|| bench_ctrl(seed), true),
         sfc_ns_per_op: best(&|| bench_sfc(seed), false),
     }
 }
@@ -474,6 +534,12 @@ pub fn check(
         true,
     );
     gauge(
+        "ctrl_decisions_per_s",
+        current.ctrl_decisions_per_s,
+        baseline.ctrl_decisions_per_s,
+        true,
+    );
+    gauge(
         "sfc_ns_per_op",
         current.sfc_ns_per_op,
         baseline.sfc_ns_per_op,
@@ -497,6 +563,7 @@ mod tests {
             engine_reqs_per_s: 456_789.1,
             routing_reqs_per_s: 98_765.4,
             daemon_reqs_per_s: 54_321.9,
+            ctrl_decisions_per_s: 24_680.2,
             sfc_ns_per_op: 41.125,
         };
         let (back, warnings) = PerfReport::from_json(&report.to_json()).expect("roundtrip");
@@ -505,6 +572,7 @@ mod tests {
         assert!((back.engine_reqs_per_s - report.engine_reqs_per_s).abs() < 0.1);
         assert!((back.routing_reqs_per_s - report.routing_reqs_per_s).abs() < 0.1);
         assert!((back.daemon_reqs_per_s - report.daemon_reqs_per_s).abs() < 0.1);
+        assert!((back.ctrl_decisions_per_s - report.ctrl_decisions_per_s).abs() < 0.1);
         assert!((back.sfc_ns_per_op - report.sfc_ns_per_op).abs() < 0.001);
     }
 
@@ -524,6 +592,7 @@ mod tests {
              \"engine_reqs_per_s\": 20.0,\n  \
              \"routing_reqs_per_s\": 30.0,\n  \
              \"daemon_reqs_per_s\": 35.0,\n  \
+             \"ctrl_decisions_per_s\": 38.0,\n  \
              \"sfc_ns_per_op\": 40.0,\n  \
              \"future_metric_per_s\": 50.0\n}}\n"
         );
@@ -537,6 +606,7 @@ mod tests {
              \"dispatch_ops_per_s\": 1000.0,\n  \
              \"routing_reqs_per_s\": 1000.0,\n  \
              \"daemon_reqs_per_s\": 1000.0,\n  \
+             \"ctrl_decisions_per_s\": 1000.0,\n  \
              \"sfc_ns_per_op\": 100.0\n}}\n"
         );
         let (base, warnings) = PerfReport::from_json(&older).expect("missing key is a warning");
@@ -548,6 +618,7 @@ mod tests {
             engine_reqs_per_s: 123.0, // would regress against any number
             routing_reqs_per_s: 1000.0,
             daemon_reqs_per_s: 1000.0,
+            ctrl_decisions_per_s: 1000.0,
             sfc_ns_per_op: 100.0,
         };
         let lines = check(&current, &base, 0.2).expect("NaN baseline is skipped");
@@ -561,6 +632,7 @@ mod tests {
             engine_reqs_per_s: 1000.0,
             routing_reqs_per_s: 1000.0,
             daemon_reqs_per_s: 1000.0,
+            ctrl_decisions_per_s: 1000.0,
             sfc_ns_per_op: 100.0,
         };
         // Improvements and in-tolerance dips pass.
@@ -569,6 +641,7 @@ mod tests {
             engine_reqs_per_s: 1000.0,
             routing_reqs_per_s: 2000.0,
             daemon_reqs_per_s: 900.0,
+            ctrl_decisions_per_s: 1100.0,
             sfc_ns_per_op: 115.0,
         };
         assert!(check(&fine, &base, 0.2).is_ok());
@@ -579,7 +652,7 @@ mod tests {
             ..fine
         };
         let lines = check(&slow, &base, 0.2).unwrap_err();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 6);
         assert_eq!(lines.iter().filter(|l| l.contains("REGRESSED")).count(), 1);
         let bad = lines.iter().find(|l| l.contains("REGRESSED")).unwrap();
         assert!(bad.contains("dispatch_ops_per_s"));
@@ -640,6 +713,7 @@ mod tests {
         assert!(report.engine_reqs_per_s > 0.0);
         assert!(report.routing_reqs_per_s > 0.0);
         assert!(report.daemon_reqs_per_s > 0.0);
+        assert!(report.ctrl_decisions_per_s > 0.0);
         assert!(report.sfc_ns_per_op > 0.0);
     }
 }

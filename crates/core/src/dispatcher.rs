@@ -217,6 +217,17 @@ impl Dispatcher {
         (self.preemptions, self.promotions, self.swaps)
     }
 
+    /// Inherit another dispatcher's lifetime counters. A runtime retune
+    /// rebuilds the dispatcher from scratch; carrying the counters over
+    /// keeps shed/preemption ledgers (and the event-vs-counter
+    /// reconciliation built on them) continuous across the swap.
+    pub(crate) fn carry_counters_from(&mut self, old: &Dispatcher) {
+        self.preemptions = old.preemptions;
+        self.promotions = old.promotions;
+        self.swaps = old.swaps;
+        self.sheds = old.sheds;
+    }
+
     /// Requests shed by the bounded queue since construction.
     pub fn sheds(&self) -> u64 {
         self.sheds

@@ -1,11 +1,11 @@
 //! The Cascaded-SFC scheduler: encapsulator + dispatcher behind the
 //! workspace-wide [`DiskScheduler`] trait.
 
-use crate::config::CascadeConfig;
+use crate::config::{CascadeConfig, PreemptionMode, Stage2Combiner};
 use crate::dispatcher::Dispatcher;
 use crate::encapsulator::Encapsulator;
 use obs::{NullSink, Stage, StageSampler, TraceEvent, TraceSink};
-use sched::{DiskScheduler, HeadState, Request};
+use sched::{DiskScheduler, HeadState, Request, Retune};
 use sfc::SfcError;
 
 /// The Cascaded-SFC multimedia disk scheduler (see the crate docs for the
@@ -101,6 +101,100 @@ impl<S: TraceSink> CascadedSfc<S> {
         self.dispatcher.queue_depths()
     }
 
+    /// Rebuild the encapsulator and dispatcher around a mutated
+    /// configuration, re-inserting the pending backlog in `(arrival, id)`
+    /// order anchored at the current head position. Because the rebuilt
+    /// dispatcher starts idle (`current == None`), every re-insert joins
+    /// the active queue directly — exactly the state a *fresh* scheduler
+    /// reaches when fed the same backlog, which is what makes a retune
+    /// equivalent to restarting with the new values. Lifetime counters
+    /// (preemptions/promotions/swaps/sheds) carry over so ledgers stay
+    /// continuous. Returns `false` (leaving the scheduler untouched) when
+    /// the mutated configuration is invalid.
+    fn retune_with(&mut self, head: &HeadState, mutate: impl FnOnce(&mut CascadeConfig)) -> bool {
+        let mut config = self.encapsulator.config().clone();
+        mutate(&mut config);
+        let Ok(encapsulator) = Encapsulator::new(config) else {
+            return false;
+        };
+        let mut dispatcher = Dispatcher::new(
+            encapsulator.config().dispatch,
+            encapsulator.max_value().max(1),
+        );
+        dispatcher.carry_counters_from(&self.dispatcher);
+        let mut backlog = Vec::with_capacity(self.dispatcher.len());
+        self.dispatcher
+            .for_each_pending(&mut |r| backlog.push(r.clone()));
+        backlog.sort_by_key(|r| (r.arrival_us, r.id));
+        self.encapsulator = encapsulator;
+        self.dispatcher = dispatcher;
+        for r in backlog {
+            let h = HeadState::new(head.cylinder, r.arrival_us, head.cylinders);
+            let v = self.encapsulator.characterize(&r, &h);
+            self.dispatcher
+                .insert_traced(r, v, head.now_us, &mut self.sink);
+        }
+        true
+    }
+
+    /// Retune SFC2's balance factor `f` at a safe epoch boundary.
+    /// Returns `false` (no change) unless the configuration uses the
+    /// weighted stage-2 combiner and `f` is finite and non-negative.
+    /// Setting the current value is a no-op that still returns `true`.
+    pub fn set_balance_factor(&mut self, f: f64, head: &HeadState) -> bool {
+        if !f.is_finite() || f < 0.0 {
+            return false;
+        }
+        match self.encapsulator.config().stage2.map(|s| s.combiner) {
+            Some(Stage2Combiner::Weighted { f: cur }) => {
+                cur == f
+                    || self.retune_with(head, |c| {
+                        c.stage2.as_mut().expect("stage2 present").combiner =
+                            Stage2Combiner::Weighted { f };
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    /// Retune SFC3's scan-partition count `R` at a safe epoch boundary.
+    /// Returns `false` (no change) unless stage 3 is configured and
+    /// `r >= 1`. Setting the current value is a no-op that returns `true`.
+    pub fn set_scan_partitions(&mut self, r: u32, head: &HeadState) -> bool {
+        if r == 0 {
+            return false;
+        }
+        match self.encapsulator.config().stage3 {
+            Some(s3) => {
+                s3.partitions == r
+                    || self.retune_with(head, |c| {
+                        c.stage3.as_mut().expect("stage3 present").partitions = r;
+                    })
+            }
+            None => false,
+        }
+    }
+
+    /// Retune the conditional dispatcher's blocking window `w` (a
+    /// fraction of the value space, `0.0..=1.0`) at a safe epoch
+    /// boundary. Returns `false` (no change) unless the dispatcher runs
+    /// in conditional mode and `w` is in range. Setting the current
+    /// value is a no-op that returns `true`.
+    pub fn set_window(&mut self, w: f64, head: &HeadState) -> bool {
+        if !w.is_finite() || !(0.0..=1.0).contains(&w) {
+            return false;
+        }
+        match self.encapsulator.config().dispatch.mode {
+            PreemptionMode::Conditional { window } => {
+                window == w
+                    || self.retune_with(head, |c| {
+                        c.dispatch.mode = PreemptionMode::Conditional { window: w };
+                    })
+            }
+            _ => false,
+        }
+    }
+
     /// The attached trace sink.
     pub fn sink(&self) -> &S {
         &self.sink
@@ -193,6 +287,14 @@ impl<S: TraceSink> DiskScheduler for CascadedSfc<S> {
 
     fn queue_capacity(&self) -> Option<usize> {
         self.encapsulator.config().dispatch.max_queue
+    }
+
+    fn retune(&mut self, knob: &Retune, head: &HeadState) -> bool {
+        match *knob {
+            Retune::BalanceFactor(f) => self.set_balance_factor(f, head),
+            Retune::ScanPartitions(r) => self.set_scan_partitions(r, head),
+            Retune::Window(w) => self.set_window(w, head),
+        }
     }
 }
 
@@ -435,6 +537,133 @@ mod tests {
         let s = CascadedSfc::new(CascadeConfig::paper_default(2, 100)).unwrap();
         assert_eq!(s.name(), "cascaded-sfc");
         assert_eq!(s.dispatch_counters(), (0, 0, 0));
+    }
+
+    /// Satellite: a mid-trace retune of all three knobs must behave
+    /// exactly like a fresh scheduler constructed with the new values and
+    /// fed the same queue state — and lifetime counters must survive the
+    /// rebuild.
+    #[test]
+    fn mid_trace_retune_matches_fresh_scheduler() {
+        let mut live = CascadedSfc::new(CascadeConfig::paper_default(3, 3832)).unwrap();
+        // Drive the scheduler partway through a trace: 60 arrivals with a
+        // wandering head, 20 interleaved dispatches, so both queues and
+        // the ER window hold real state at the retune point.
+        let mut hd = head();
+        for i in 0..60u64 {
+            let h = HeadState::new(hd.cylinder, i * 1_500, 3832);
+            live.enqueue(
+                req(
+                    i,
+                    &[(i % 16) as u8, ((i * 7) % 16) as u8, ((i * 3) % 16) as u8],
+                    200_000 + i * 9_000,
+                    (i * 173 % 3832) as u32,
+                ),
+                &h,
+            );
+            if i % 3 == 2 {
+                if let Some(r) = live.dequeue(&HeadState::new(hd.cylinder, i * 1_500 + 700, 3832)) {
+                    hd.cylinder = r.cylinder;
+                }
+            }
+        }
+        let at = HeadState::new(hd.cylinder, 120_000, 3832);
+        let before = live.dispatch_counters();
+
+        // Capture the queue state a fresh scheduler would be fed.
+        let mut backlog = Vec::new();
+        live.for_each_pending(&mut |r| backlog.push(r.clone()));
+        backlog.sort_by_key(|r| (r.arrival_us, r.id));
+        assert!(!backlog.is_empty(), "retune point must have a backlog");
+
+        assert!(live.set_balance_factor(2.5, &at));
+        assert!(live.set_scan_partitions(5, &at));
+        assert!(live.set_window(0.25, &at));
+        // Re-inserting an idle dispatcher cannot preempt or shed, so the
+        // carried counters are exactly the pre-retune ones.
+        assert_eq!(live.dispatch_counters(), before);
+
+        let mut cfg = CascadeConfig::paper_default(3, 3832);
+        cfg.stage2.as_mut().unwrap().combiner = Stage2Combiner::Weighted { f: 2.5 };
+        cfg.stage3.as_mut().unwrap().partitions = 5;
+        cfg.dispatch.mode = PreemptionMode::Conditional { window: 0.25 };
+        let mut fresh = CascadedSfc::new(cfg).unwrap();
+        for r in &backlog {
+            fresh.enqueue(
+                r.clone(),
+                &HeadState::new(at.cylinder, r.arrival_us, at.cylinders),
+            );
+        }
+
+        assert_eq!(live.len(), fresh.len());
+        assert_eq!(live.queue_depths(), fresh.queue_depths());
+        // Identical dequeue order down the same head walk.
+        let mut h = at;
+        loop {
+            let a = live.dequeue(&h);
+            let b = fresh.dequeue(&h);
+            assert_eq!(a.as_ref().map(|r| r.id), b.as_ref().map(|r| r.id));
+            match a {
+                Some(r) => h.cylinder = r.cylinder,
+                None => break,
+            }
+        }
+    }
+
+    /// Retuning a knob to its current value is a no-op: no rebuild, so
+    /// the `(q, q')` split is untouched (a rebuild would collapse the
+    /// waiting queue into the active one).
+    #[test]
+    fn retune_to_same_value_is_a_no_op() {
+        let mut s = CascadedSfc::new(CascadeConfig::paper_default(2, 3832)).unwrap();
+        for i in 0..24u64 {
+            let h = HeadState::new((i * 53 % 3832) as u32, i * 1_000, 3832);
+            s.enqueue(
+                req(
+                    i,
+                    &[(i % 16) as u8, 3],
+                    300_000 + i * 4_000,
+                    (i * 211 % 3832) as u32,
+                ),
+                &h,
+            );
+            if i % 4 == 3 {
+                let _ = s.dequeue(&h);
+            }
+        }
+        let depths = s.queue_depths();
+        assert!(depths.1 > 0, "need a waiting queue to observe the no-op");
+        let at = HeadState::new(900, 30_000, 3832);
+        // Paper defaults: f = 1.0, R = 3, w = 0.10.
+        assert!(s.set_balance_factor(1.0, &at));
+        assert!(s.set_scan_partitions(3, &at));
+        assert!(s.set_window(0.10, &at));
+        assert_eq!(s.queue_depths(), depths);
+    }
+
+    /// Knobs absent from the configuration (or invalid values) are
+    /// refused and leave the scheduler untouched.
+    #[test]
+    fn retune_refuses_missing_knobs_and_bad_values() {
+        let at = head();
+        // Priority-only: no stage2, no stage3, fully-preemptive.
+        let mut s =
+            CascadedSfc::new(CascadeConfig::priority_only(CurveKind::Diagonal, 2, 4)).unwrap();
+        assert!(!s.set_balance_factor(2.0, &at));
+        assert!(!s.set_scan_partitions(4, &at));
+        assert!(!s.set_window(0.5, &at));
+        // Full cascade, but out-of-range values.
+        let mut s = CascadedSfc::new(CascadeConfig::paper_default(2, 3832)).unwrap();
+        assert!(!s.set_balance_factor(-1.0, &at));
+        assert!(!s.set_balance_factor(f64::NAN, &at));
+        assert!(!s.set_scan_partitions(0, &at));
+        assert!(!s.set_window(1.5, &at));
+        assert!(!s.set_window(f64::NAN, &at));
+        // The trait hook routes to the same setters.
+        assert!(s.retune(&Retune::BalanceFactor(2.0), &at));
+        assert!(s.retune(&Retune::ScanPartitions(4), &at));
+        assert!(s.retune(&Retune::Window(0.5), &at));
+        assert!(!s.retune(&Retune::ScanPartitions(0), &at));
     }
 
     #[test]

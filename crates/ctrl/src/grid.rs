@@ -1,0 +1,203 @@
+//! The discrete `(f, R, w)` search space.
+//!
+//! The paper's three cascade knobs — SFC2 balance factor `f`, SFC3 scan
+//! partitions `R`, and the conditional blocking window `w` — are each
+//! quantized onto a small axis; a [`Grid`] is their cross product. The
+//! search walks grid *indices*, so neighborhood structure (±1 step on
+//! one axis) and determinism come for free; only the harness that
+//! evaluates a point ever sees the real values.
+
+/// One concrete configuration: a point of the grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// SFC2 balance factor.
+    pub f: f64,
+    /// SFC3 scan partitions.
+    pub r: u32,
+    /// Conditional blocking window (fraction of the value span).
+    pub w: f64,
+}
+
+/// The cross product of three quantized knob axes. Axes must be
+/// non-empty and sorted ascending (nearest-value snapping relies on
+/// order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    f_axis: Vec<f64>,
+    r_axis: Vec<u32>,
+    w_axis: Vec<f64>,
+}
+
+impl Default for Grid {
+    /// The paper-flavored sweep: 8 balance factors around the §5
+    /// default `f = 1`, 6 partition counts around `R = 3`, and 7
+    /// blocking windows around `w = 0.1` — 336 points, so a 5% budget
+    /// is ~16 evaluations.
+    fn default() -> Self {
+        Grid::new(
+            vec![0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0],
+            vec![1, 2, 3, 4, 5, 6],
+            vec![0.0, 0.05, 0.10, 0.15, 0.25, 0.40, 0.60],
+        )
+    }
+}
+
+impl Grid {
+    /// A grid from three explicit axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty or unsorted.
+    pub fn new(f_axis: Vec<f64>, r_axis: Vec<u32>, w_axis: Vec<f64>) -> Self {
+        assert!(
+            !f_axis.is_empty() && !r_axis.is_empty() && !w_axis.is_empty(),
+            "grid axes must be non-empty"
+        );
+        assert!(
+            f_axis.windows(2).all(|p| p[0] < p[1])
+                && r_axis.windows(2).all(|p| p[0] < p[1])
+                && w_axis.windows(2).all(|p| p[0] < p[1]),
+            "grid axes must be strictly ascending"
+        );
+        Grid {
+            f_axis,
+            r_axis,
+            w_axis,
+        }
+    }
+
+    /// A degenerate one-point grid holding exactly `point` — pins a
+    /// controller to a fixed configuration (it can never propose a
+    /// move), which the oracle uses for its bit-identity check.
+    pub fn pinned(point: GridPoint) -> Self {
+        Grid::new(vec![point.f], vec![point.r], vec![point.w])
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.f_axis.len() * self.r_axis.len() * self.w_axis.len()
+    }
+
+    /// `true` for the degenerate single-point grid and smaller.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The point at a flat index (row-major over `(f, r, w)`).
+    pub fn point(&self, idx: usize) -> GridPoint {
+        let (nf, nr, nw) = (self.f_axis.len(), self.r_axis.len(), self.w_axis.len());
+        assert!(idx < nf * nr * nw, "grid index out of range");
+        GridPoint {
+            f: self.f_axis[idx / (nr * nw)],
+            r: self.r_axis[(idx / nw) % nr],
+            w: self.w_axis[idx % nw],
+        }
+    }
+
+    /// The flat index of the grid point nearest to `(f, r, w)` — how a
+    /// live configuration is snapped onto the grid to seed the search.
+    pub fn snap(&self, f: f64, r: u32, w: f64) -> usize {
+        let fi = nearest_f(&self.f_axis, f);
+        let ri = self
+            .r_axis
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| v.abs_diff(r))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let wi = nearest_f(&self.w_axis, w);
+        (fi * self.r_axis.len() + ri) * self.w_axis.len() + wi
+    }
+
+    /// The ≤6 indices one axis step away from `idx`, in a fixed order
+    /// (f−, f+, r−, r+, w−, w+) so the search is deterministic.
+    pub fn neighbors(&self, idx: usize) -> Vec<usize> {
+        let (nr, nw) = (self.r_axis.len(), self.w_axis.len());
+        let (fi, ri, wi) = (idx / (nr * nw), (idx / nw) % nr, idx % nw);
+        let flat = |fi: usize, ri: usize, wi: usize| (fi * nr + ri) * nw + wi;
+        let mut out = Vec::with_capacity(6);
+        if fi > 0 {
+            out.push(flat(fi - 1, ri, wi));
+        }
+        if fi + 1 < self.f_axis.len() {
+            out.push(flat(fi + 1, ri, wi));
+        }
+        if ri > 0 {
+            out.push(flat(fi, ri - 1, wi));
+        }
+        if ri + 1 < nr {
+            out.push(flat(fi, ri + 1, wi));
+        }
+        if wi > 0 {
+            out.push(flat(fi, ri, wi - 1));
+        }
+        if wi + 1 < nw {
+            out.push(flat(fi, ri, wi + 1));
+        }
+        out
+    }
+}
+
+fn nearest_f(axis: &[f64], v: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &a) in axis.iter().enumerate() {
+        let d = (a - v).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        let g = Grid::default();
+        for idx in 0..g.len() {
+            let p = g.point(idx);
+            assert_eq!(g.snap(p.f, p.r, p.w), idx, "snap(point({idx}))");
+        }
+    }
+
+    #[test]
+    fn snap_picks_the_nearest_axis_value() {
+        let g = Grid::default();
+        let p = g.point(g.snap(0.9, 3, 0.12));
+        assert_eq!((p.f, p.r, p.w), (1.0, 3, 0.10));
+    }
+
+    #[test]
+    fn neighbors_are_one_step_away_and_symmetric() {
+        let g = Grid::default();
+        for idx in 0..g.len() {
+            for &n in &g.neighbors(idx) {
+                assert_ne!(n, idx);
+                let (a, b) = (g.point(idx), g.point(n));
+                let moved =
+                    usize::from(a.f != b.f) + usize::from(a.r != b.r) + usize::from(a.w != b.w);
+                assert_eq!(moved, 1, "neighbor {n} of {idx} moved on one axis");
+                assert!(
+                    g.neighbors(n).contains(&idx),
+                    "neighborhood must be symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_grid_has_one_point_and_no_neighbors() {
+        let g = Grid::pinned(GridPoint {
+            f: 1.0,
+            r: 3,
+            w: 0.1,
+        });
+        assert_eq!(g.len(), 1);
+        assert!(g.neighbors(0).is_empty());
+        assert_eq!(g.snap(7.0, 99, 0.9), 0);
+    }
+}

@@ -49,11 +49,11 @@
 use obs::{
     Anomaly, FlightRecorder, SharedSink, TelemetryConfig, TraceEvent, TraceSink, TriggerConfig,
 };
-use sched::{DiskScheduler, HeadState, Request};
+use sched::{DiskScheduler, HeadState, Request, Retune};
 use sim::admission::StreamGate;
 use sim::{jittered_backoff_us, DiskService, EngineStepper, Metrics, ServiceProvider, SimOptions};
 
-use crate::{FarmConfig, OnlineRouter};
+use crate::{FarmConfig, OnlineRouter, RoutePolicy};
 
 /// Builds a shard's scheduler. The [`SharedSink`] handle is a clone of
 /// the member's flight-recorder sink: pass it to sink-carrying
@@ -100,6 +100,45 @@ pub enum DaemonEvent {
         /// The shard to quarantine.
         shard: usize,
     },
+    /// A control-plane retune: change a live scheduler knob on `shard`
+    /// or swap the farm-wide routing policy. Applied at the safe epoch
+    /// boundary every event enjoys — all members are pumped to `at_us`
+    /// before the action runs, so no dispatch straddles the change.
+    Retune {
+        /// Event time (µs).
+        at_us: u64,
+        /// Target shard (for policy swaps: the shard whose recorder
+        /// logs the farm-wide change).
+        shard: usize,
+        /// What to change.
+        action: RetuneAction,
+    },
+}
+
+/// The payload of a [`DaemonEvent::Retune`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetuneAction {
+    /// Retune one scheduler knob on the target shard (refused when the
+    /// shard's policy does not expose the knob — see
+    /// [`DiskScheduler::retune`]).
+    Knob(Retune),
+    /// Swap the farm-wide routing policy; the load model, eligibility
+    /// mask and redirect counters survive the swap.
+    Policy(RoutePolicy),
+}
+
+impl RetuneAction {
+    /// Stable knob index carried by [`TraceEvent::Retune`]: 0 = balance
+    /// factor `f`, 1 = scan partitions `R`, 2 = blocking window `w`,
+    /// 3 = routing policy.
+    pub fn knob_index(&self) -> u32 {
+        match self {
+            RetuneAction::Knob(Retune::BalanceFactor(_)) => 0,
+            RetuneAction::Knob(Retune::ScanPartitions(_)) => 1,
+            RetuneAction::Knob(Retune::Window(_)) => 2,
+            RetuneAction::Policy(_) => 3,
+        }
+    }
 }
 
 impl DaemonEvent {
@@ -109,7 +148,8 @@ impl DaemonEvent {
             DaemonEvent::Arrival(r) => r.arrival_us,
             DaemonEvent::AddShard { at_us }
             | DaemonEvent::DrainShard { at_us, .. }
-            | DaemonEvent::Quarantine { at_us, .. } => *at_us,
+            | DaemonEvent::Quarantine { at_us, .. }
+            | DaemonEvent::Retune { at_us, .. } => *at_us,
         }
     }
 }
@@ -258,6 +298,7 @@ pub struct FarmDaemon {
     migrated: u64,
     migrated_undelivered: u64,
     quarantines: u64,
+    retunes: u64,
     refused_events: u64,
     now_us: u64,
 }
@@ -309,6 +350,7 @@ impl FarmDaemon {
             migrated: 0,
             migrated_undelivered: 0,
             quarantines: 0,
+            retunes: 0,
             refused_events: 0,
             now_us: 0,
         }
@@ -362,6 +404,20 @@ impl FarmDaemon {
     /// Arrivals seen so far (admitted or not).
     pub fn arrivals(&self) -> u64 {
         self.arrivals
+    }
+
+    /// Drain every member's completed telemetry windows, tagged with the
+    /// shard index — the control plane's subscription point. Draining at
+    /// any cadence yields the same totals (the delta-sum invariant of
+    /// [`obs::WindowedSnapshot`]); windows still open stay put.
+    pub fn take_shard_deltas(&mut self) -> Vec<obs::ShardDelta> {
+        let mut out = Vec::new();
+        for (shard, m) in self.members.iter_mut().enumerate() {
+            for delta in m.recorder.with(|r| r.windows_mut().take_deltas()) {
+                out.push(obs::ShardDelta { shard, delta });
+            }
+        }
+        out
     }
 
     /// Pump every live member's engine to `t`, closing any drain whose
@@ -480,6 +536,42 @@ impl FarmDaemon {
         true
     }
 
+    /// Apply a control-plane retune at the current (post-pump) epoch
+    /// boundary. Knob retunes target one member's scheduler, anchored at
+    /// its *actual* head position; policy swaps rebuild the router's
+    /// placement rule in place. Refused — counting a refused event and
+    /// returning `false` — when the target shard is unknown or retired,
+    /// or the scheduler rejects the knob.
+    fn apply_retune(&mut self, shard: usize, action: RetuneAction, t: u64) -> bool {
+        let retired =
+            |s: MemberStatus| matches!(s, MemberStatus::Drained | MemberStatus::Draining { .. });
+        if shard >= self.members.len() || retired(self.members[shard].status) {
+            self.refused_events += 1;
+            return false;
+        }
+        match action {
+            RetuneAction::Knob(knob) => {
+                let cylinders = self.cfg.farm.cylinders;
+                let m = &mut self.members[shard];
+                let head = HeadState::new(m.service.head(), t, cylinders);
+                if !m.scheduler.retune(&knob, &head) {
+                    self.refused_events += 1;
+                    return false;
+                }
+            }
+            RetuneAction::Policy(policy) => {
+                self.router.set_policy(policy, self.cfg.farm.cylinders);
+            }
+        }
+        self.members[shard].recorder.emit(&TraceEvent::Retune {
+            now_us: t,
+            shard: shard as u32,
+            knob: action.knob_index(),
+        });
+        self.retunes += 1;
+        true
+    }
+
     /// Apply one event: pump every member to the event's time, run the
     /// supervisor, then act.
     ///
@@ -547,6 +639,13 @@ impl FarmDaemon {
                 }
                 self.quarantine_member(shard, at_us);
             }
+            DaemonEvent::Retune {
+                at_us,
+                shard,
+                action,
+            } => {
+                self.apply_retune(shard, action, at_us);
+            }
         }
     }
 
@@ -612,6 +711,7 @@ impl FarmDaemon {
             redirects: self.router.redirects(),
             reroutes: self.router.reroutes(),
             quarantines: self.quarantines,
+            retunes: self.retunes,
             refused_events: self.refused_events,
             makespan_us,
         }
@@ -647,8 +747,10 @@ pub struct DaemonReport {
     pub reroutes: u64,
     /// Quarantines imposed (supervisor or operator).
     pub quarantines: u64,
-    /// Membership/quarantine events refused (unknown shard, wrong
-    /// state, or last shard in rotation).
+    /// Control-plane retunes applied (knob changes + policy swaps).
+    pub retunes: u64,
+    /// Membership/quarantine/retune events refused (unknown shard,
+    /// wrong state, unsupported knob, or last shard in rotation).
     pub refused_events: u64,
     /// Slowest member's makespan (µs).
     pub makespan_us: u64,
@@ -699,8 +801,8 @@ impl DaemonReport {
     }
 
     /// Event-vs-counter reconciliation across every member's telemetry:
-    /// traced Arrival/Shed/Redirect/Migrate/Quarantine events must match
-    /// the daemon's own counters exactly. (Requires scheduler factories
+    /// traced Arrival/Shed/Redirect/Migrate/Quarantine/Retune events
+    /// must match the daemon's own counters exactly. (Requires scheduler factories
     /// to wire the provided sink, so shed events are traced.)
     pub fn reconcile_events(&self) -> Result<(), String> {
         let mut c = obs::Snapshot::new();
@@ -715,6 +817,7 @@ impl DaemonReport {
             ("redirect", counters.redirects, self.redirects),
             ("migrate", counters.migrations, self.migrated),
             ("quarantine", counters.quarantines, self.quarantines),
+            ("retune", counters.retunes, self.retunes),
         ];
         for (name, events, counter) in checks {
             if events != counter {
@@ -997,6 +1100,83 @@ mod tests {
             .any(|d| d.anomaly == Anomaly::ShedBurst));
         report.ledger().expect("ledger closes under supervision");
         report.reconcile_events().expect("shed events reconcile");
+    }
+
+    #[test]
+    fn retune_events_apply_live_and_reconcile() {
+        use cascade::{CascadeConfig, CascadedSfc, DispatchConfig};
+        let trace = vod(8, 300);
+        let options = SimOptions::with_shape(1, 5);
+        let quiet = TriggerConfig {
+            shed_burst: 0,
+            redirect_storm: 0,
+            degraded_storm: 0,
+            p99_spike_factor: 0.0,
+            p99_min_completes: 0,
+            cooldown_windows: 1,
+        };
+        let cfg = DaemonConfig::new(
+            FarmConfig::new(2).with_policy(RoutePolicy::HashStream),
+            options,
+        )
+        .with_telemetry(TelemetryConfig::exact(), quiet);
+        let mut daemon = FarmDaemon::new(
+            cfg,
+            |_, sink| {
+                let cascade = CascadeConfig::paper_default(1, 3832)
+                    .with_dispatch(DispatchConfig::paper_default().with_max_queue(64));
+                Box::new(CascadedSfc::with_sink(cascade, sink).expect("valid cascade config"))
+            },
+            table1_services(),
+        );
+        for r in &trace[..150] {
+            daemon.handle(DaemonEvent::Arrival(r.clone()));
+        }
+        let t = trace[149].arrival_us;
+        // Three knob retunes on shard 0, one policy swap, plus three
+        // refusals: unknown shard, a knob the value space rejects, and a
+        // retired target.
+        for (i, action) in [
+            RetuneAction::Knob(Retune::BalanceFactor(2.0)),
+            RetuneAction::Knob(Retune::ScanPartitions(5)),
+            RetuneAction::Knob(Retune::Window(0.3)),
+            RetuneAction::Policy(RoutePolicy::LeastLoaded),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            daemon.handle(DaemonEvent::Retune {
+                at_us: t + i as u64,
+                shard: 0,
+                action,
+            });
+        }
+        daemon.handle(DaemonEvent::Retune {
+            at_us: t + 10,
+            shard: 9, // unknown shard
+            action: RetuneAction::Knob(Retune::Window(0.5)),
+        });
+        daemon.handle(DaemonEvent::Retune {
+            at_us: t + 11,
+            shard: 1,
+            action: RetuneAction::Knob(Retune::ScanPartitions(0)), // invalid R
+        });
+        for r in &trace[150..] {
+            daemon.handle(DaemonEvent::Arrival(r.clone()));
+        }
+        assert_eq!(daemon.router().policy_name(), "least-loaded");
+        let report = daemon.shutdown();
+        assert_eq!(report.retunes, 4);
+        assert_eq!(report.refused_events, 2);
+        report.ledger().expect("ledger closes across retunes");
+        report.reconcile_events().expect("retune events reconcile");
+        // The retune events live in the targeted members' recorders.
+        let traced: u64 = report
+            .recorders
+            .iter()
+            .map(|r| r.windows().cumulative().counters.retunes)
+            .sum();
+        assert_eq!(traced, 4);
     }
 
     #[test]

@@ -53,7 +53,8 @@ mod online;
 mod router;
 
 pub use daemon::{
-    DaemonConfig, DaemonEvent, DaemonReport, FarmDaemon, MemberStatus, SupervisorConfig,
+    DaemonConfig, DaemonEvent, DaemonReport, FarmDaemon, MemberStatus, RetuneAction,
+    SupervisorConfig,
 };
 pub use online::{OnlineRouter, RouteDecision};
 pub use router::{least_loaded, least_loaded_among, HashRouter, LeastLoadedRouter, RangeRouter};

@@ -36,9 +36,11 @@ use std::fmt::Write as _;
 /// * the **farm router** emits [`Redirect`](TraceEvent::Redirect) and,
 ///   once per shard timeline, [`ShardReport`](TraceEvent::ShardReport);
 /// * the **farm daemon** emits [`Migrate`](TraceEvent::Migrate) when a
-///   drained shard hands off a resident request and
+///   drained shard hands off a resident request,
 ///   [`Quarantine`](TraceEvent::Quarantine) when the health supervisor
-///   (or an operator) pulls a shard out of the routing pool.
+///   (or an operator) pulls a shard out of the routing pool, and
+///   [`Retune`](TraceEvent::Retune) when the control plane applies a
+///   live knob or policy change at a safe epoch boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A request reached the scheduler queue.
@@ -269,6 +271,18 @@ pub enum TraceEvent {
         /// strike-scaled, jittered cooldown.
         until_us: u64,
     },
+    /// The control plane retuned a shard at a safe epoch boundary: a
+    /// scheduler knob changed live, or the farm swapped routing policy.
+    Retune {
+        /// Retune application time (µs).
+        now_us: u64,
+        /// The retuned shard (for policy swaps: the shard whose recorder
+        /// logs the farm-wide change).
+        shard: u32,
+        /// Which knob changed: 0 = balance factor `f`, 1 = scan
+        /// partitions `R`, 2 = blocking window `w`, 3 = routing policy.
+        knob: u32,
+    },
     /// A sampled wall-clock timing of one pipeline stage (opt-in; see
     /// [`crate::Stage`]). Span values come from the host clock, so they
     /// are nondeterministic and never emitted unless explicitly enabled.
@@ -309,6 +323,7 @@ impl TraceEvent {
             TraceEvent::ShardReport { .. } => "shard_report",
             TraceEvent::Migrate { .. } => "migrate",
             TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::Retune { .. } => "retune",
             TraceEvent::StageSpan { .. } => "stage_span",
         }
     }
@@ -339,6 +354,7 @@ impl TraceEvent {
             | TraceEvent::ShardReport { now_us, .. }
             | TraceEvent::Migrate { now_us, .. }
             | TraceEvent::Quarantine { now_us, .. }
+            | TraceEvent::Retune { now_us, .. }
             | TraceEvent::StageSpan { now_us, .. } => now_us,
         }
     }
@@ -589,6 +605,17 @@ impl TraceEvent {
                      \"until_us\":{until_us}}}"
                 );
             }
+            TraceEvent::Retune {
+                now_us,
+                shard,
+                knob,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"{name}\",\"now_us\":{now_us},\"shard\":{shard},\
+                     \"knob\":{knob}}}"
+                );
+            }
             TraceEvent::StageSpan {
                 now_us,
                 stage,
@@ -623,7 +650,8 @@ impl TraceEvent {
     /// `cylinder` column), `served`/`sheds` (shard_report, with the shard
     /// index in the `cylinder` column), `to_shard` (migrate, with
     /// `from_shard` in the `cylinder` column), `until_us` (quarantine,
-    /// with the shard index in the `cylinder` column), the stage's
+    /// with the shard index in the `cylinder` column), the knob index
+    /// (retune, with the shard index in the `cylinder` column), the stage's
     /// pipeline index/`elapsed_ns` (stage_span). Unused cells are empty.
     pub fn write_csv(&self, out: &mut String) {
         let name = self.name();
@@ -757,6 +785,9 @@ impl TraceEvent {
             } => {
                 let _ = write!(out, "{name},{now},,{shard},{until_us},");
             }
+            TraceEvent::Retune { shard, knob, .. } => {
+                let _ = write!(out, "{name},{now},,{shard},{knob},");
+            }
             TraceEvent::StageSpan {
                 stage, elapsed_ns, ..
             } => {
@@ -874,6 +905,11 @@ mod tests {
                 now_us: 10,
                 shard: 2,
                 until_us: 90,
+            },
+            TraceEvent::Retune {
+                now_us: 11,
+                shard: 1,
+                knob: 0,
             },
             TraceEvent::StageSpan {
                 now_us: 9,

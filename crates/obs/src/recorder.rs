@@ -185,6 +185,13 @@ impl FlightRecorder {
         &self.windows
     }
 
+    /// Mutable access to the windowed aggregate, so a control plane can
+    /// drain completed-window deltas ([`WindowedSnapshot::take_deltas`])
+    /// without disturbing the ring or the dump machinery.
+    pub fn windows_mut(&mut self) -> &mut WindowedSnapshot {
+        &mut self.windows
+    }
+
     /// Dumps captured so far, oldest first.
     pub fn dumps(&self) -> &[DumpRecord] {
         &self.dumps

@@ -57,6 +57,8 @@ pub struct Counters {
     pub migrations: u64,
     /// `Quarantine` events (supervisor pulled a shard from routing).
     pub quarantines: u64,
+    /// `Retune` events (control plane applied a live knob/policy change).
+    pub retunes: u64,
     /// `StageSpan` events (sampled pipeline-stage timings).
     pub stage_spans: u64,
 }
@@ -87,13 +89,14 @@ impl Counters {
         self.shard_reports += other.shard_reports;
         self.migrations += other.migrations;
         self.quarantines += other.quarantines;
+        self.retunes += other.retunes;
         self.stage_spans += other.stage_spans;
     }
 
     /// Every counter as a `(stable_name, value)` pair, in declaration
     /// order — the iteration base for exposition encoders and dump
     /// renderers.
-    pub fn items(&self) -> [(&'static str, u64); 24] {
+    pub fn items(&self) -> [(&'static str, u64); 25] {
         [
             ("arrivals", self.arrivals),
             ("dispatches", self.dispatches),
@@ -118,6 +121,7 @@ impl Counters {
             ("shard_reports", self.shard_reports),
             ("migrations", self.migrations),
             ("quarantines", self.quarantines),
+            ("retunes", self.retunes),
             ("stage_spans", self.stage_spans),
         ]
     }
@@ -251,6 +255,7 @@ impl Snapshot {
             TraceEvent::ShardReport { .. } => c.shard_reports += 1,
             TraceEvent::Migrate { .. } => c.migrations += 1,
             TraceEvent::Quarantine { .. } => c.quarantines += 1,
+            TraceEvent::Retune { .. } => c.retunes += 1,
             TraceEvent::StageSpan {
                 stage, elapsed_ns, ..
             } => {
@@ -309,11 +314,11 @@ impl Snapshot {
                 c.sheds
             );
         }
-        if c.redirects + c.shard_reports + c.migrations + c.quarantines > 0 {
+        if c.redirects + c.shard_reports + c.migrations + c.quarantines + c.retunes > 0 {
             let _ = writeln!(
                 out,
-                "  redirects {}  shard-reports {}  migrations {}  quarantines {}",
-                c.redirects, c.shard_reports, c.migrations, c.quarantines
+                "  redirects {}  shard-reports {}  migrations {}  quarantines {}  retunes {}",
+                c.redirects, c.shard_reports, c.migrations, c.quarantines, c.retunes
             );
         }
         let hist =
@@ -474,6 +479,11 @@ mod tests {
             shard: 2,
             until_us: 187,
         });
+        s.emit(&TraceEvent::Retune {
+            now_us: 88,
+            shard: 1,
+            knob: 2,
+        });
         s.emit(&TraceEvent::StageSpan {
             now_us: 87,
             stage: crate::Stage::Dispatch,
@@ -507,9 +517,9 @@ mod tests {
             (1, 1, 1, 1)
         );
         assert_eq!((c.redirects, c.shard_reports), (1, 1));
-        assert_eq!((c.migrations, c.quarantines), (1, 1));
+        assert_eq!((c.migrations, c.quarantines, c.retunes), (1, 1, 1));
         assert_eq!(c.stage_spans, 1);
-        assert_eq!(c.total_events(), 23);
+        assert_eq!(c.total_events(), 24);
         assert_eq!(s.stage_ns[crate::Stage::Dispatch.index()].max(), Some(250));
         assert_eq!(s.response_us.count(), 1);
         assert_eq!(s.seek_cylinders.max(), Some(40));

@@ -28,7 +28,7 @@ use sim::{DiskService, SimOptions};
 /// Every trigger disabled: the supervisor must never fire during a
 /// parity run, or reroutes would (correctly) diverge from the batch
 /// pass, which has no supervisor.
-const QUIET: obs::TriggerConfig = obs::TriggerConfig {
+pub(crate) const QUIET: obs::TriggerConfig = obs::TriggerConfig {
     shed_burst: 0,
     redirect_storm: 0,
     degraded_storm: 0,
@@ -51,16 +51,34 @@ fn batch_scheduler(cylinders: u32, bounded: Option<usize>) -> Box<dyn DiskSchedu
     }
 }
 
-fn daemon_for(
+pub(crate) fn daemon_for(
     cfg: &FarmConfig,
     options: SimOptions,
     bounded: Option<usize>,
     triggers: obs::TriggerConfig,
 ) -> FarmDaemon {
+    daemon_shaped(
+        cfg,
+        options,
+        bounded,
+        triggers,
+        obs::TelemetryConfig::exact(),
+    )
+}
+
+/// [`daemon_for`] with an explicit telemetry shape — the control-plane
+/// gates need windows short enough to complete within a few-second
+/// trace, or the controller starves.
+pub(crate) fn daemon_shaped(
+    cfg: &FarmConfig,
+    options: SimOptions,
+    bounded: Option<usize>,
+    triggers: obs::TriggerConfig,
+    telemetry: obs::TelemetryConfig,
+) -> FarmDaemon {
     let cylinders = cfg.cylinders;
     FarmDaemon::new(
-        DaemonConfig::new(cfg.clone(), options)
-            .with_telemetry(obs::TelemetryConfig::exact(), triggers),
+        DaemonConfig::new(cfg.clone(), options).with_telemetry(telemetry, triggers),
         move |_, sink| match bounded {
             None => Box::new(Fcfs::new()),
             Some(cap) => Box::new(
@@ -134,20 +152,21 @@ pub fn diff_daemon(
 /// stream. The sort is stable and arrivals are pushed first, so
 /// same-instant ties resolve arrivals-before-membership,
 /// deterministically.
-fn merge_events(trace: &[Request], churn: Vec<DaemonEvent>) -> Vec<DaemonEvent> {
+pub(crate) fn merge_events(trace: &[Request], churn: Vec<DaemonEvent>) -> Vec<DaemonEvent> {
     let mut events: Vec<DaemonEvent> = trace.iter().cloned().map(DaemonEvent::Arrival).collect();
     events.extend(churn);
     events.sort_by_key(DaemonEvent::at_us);
     events
 }
 
-fn fingerprint(r: &DaemonReport) -> impl PartialEq + std::fmt::Debug {
+pub(crate) fn fingerprint(r: &DaemonReport) -> impl PartialEq + std::fmt::Debug {
     (
         r.per_shard.clone(),
         r.routed_per_shard.clone(),
         r.sheds_per_shard.clone(),
         (r.arrivals, r.migrated, r.migrated_undelivered),
         (r.redirects, r.reroutes, r.quarantines, r.refused_events),
+        r.retunes,
     )
 }
 

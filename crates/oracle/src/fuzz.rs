@@ -41,15 +41,22 @@ pub enum Archetype {
     /// ledger, event reconciliation, determinism, and its quiescent
     /// parity with the batch farm.
     MembershipChurn,
+    /// Overload waves interleaved with a seed-derived storm of operator
+    /// retunes (valid and invalid) plus a drain, under a live
+    /// self-tuning controller — stresses retune-under-churn: the
+    /// ledger, Retune event reconciliation, and determinism down to the
+    /// controller's decision log.
+    ControllerStorm,
 }
 
 /// Every archetype, in the order the fuzz loop cycles through them.
-pub const ARCHETYPES: [Archetype; 5] = [
+pub const ARCHETYPES: [Archetype; 6] = [
     Archetype::DeadlineClusters,
     Archetype::CylinderSweeps,
     Archetype::ShedBursts,
     Archetype::FaultPlans,
     Archetype::MembershipChurn,
+    Archetype::ControllerStorm,
 ];
 
 impl Archetype {
@@ -61,6 +68,7 @@ impl Archetype {
             Archetype::ShedBursts => "shed-bursts",
             Archetype::FaultPlans => "fault-plans",
             Archetype::MembershipChurn => "membership-churn",
+            Archetype::ControllerStorm => "controller-storm",
         }
     }
 
@@ -218,6 +226,34 @@ impl Scenario {
                     }
                 }
             }
+            Archetype::ControllerStorm => {
+                // Overload waves (dense bursts that swamp the bounded
+                // queues) alternating with calm stretches, spanning the
+                // seed-derived retune storm's 0.1–1.6 s event times so
+                // retunes land on loaded, draining and idle shards
+                // alike.
+                let mut now = 0u64;
+                for wave in 0..14u64 {
+                    now += rng.gen_range(20_000..80_000u64);
+                    let heavy = wave % 2 == 0;
+                    let burst = if heavy {
+                        rng.gen_range(24..48usize)
+                    } else {
+                        rng.gen_range(3..8usize)
+                    };
+                    for _ in 0..burst {
+                        let arrival = now + rng.gen_range(0..15_000u64);
+                        requests.push(Request::read(
+                            0,
+                            arrival,
+                            arrival + rng.gen_range(60_000..350_000u64),
+                            rng.gen_range(0..3832u32),
+                            65_536,
+                            QosVector::single(rng.gen_range(0..16u8)),
+                        ));
+                    }
+                }
+            }
         }
         finish(requests)
     }
@@ -269,6 +305,7 @@ impl Scenario {
                 .map(|_| ())
             }
             Archetype::MembershipChurn => crate::daemon::check_churn(self.seed, trace),
+            Archetype::ControllerStorm => crate::ctrl::check_controller_storm(self.seed, trace),
         }
     }
 
@@ -486,6 +523,8 @@ mod tests {
 
     #[test]
     fn short_fuzz_run_is_clean() {
-        fuzz(20040330, 4, None).expect("a short fuzz run finds no divergence");
+        // One case per archetype, so every oracle (including the
+        // controller-storm gate) gets a fuzz-shaped workout.
+        fuzz(20040330, 6, None).expect("a short fuzz run finds no divergence");
     }
 }

@@ -14,7 +14,11 @@
 //!   extends it again to continuous operation: the farm daemon fed only
 //!   arrivals must match the batch farm bit-for-bit, and under a
 //!   membership-churn script it must stay deterministic with a closed
-//!   request ledger and reconciled events.
+//!   request ledger and reconciled events. [`ctrl`] extends it to the
+//!   control plane: a self-tuning controller pinned to the seed
+//!   configuration must leave the daemon bit-identical to an
+//!   uncontrolled run, and a seed-derived retune storm under churn must
+//!   stay deterministic down to the decision log.
 //! * [`metamorphic`] — **metamorphic properties**: relations between
 //!   runs that need no reference — arrival-permutation invariance,
 //!   deadline monotonicity under SFC2's `f` scaling, CSV replay
@@ -24,7 +28,8 @@
 //!   cadence invariance.
 //! * [`fuzz`] — a **seeded fuzz driver**: adversarial workload
 //!   archetypes (deadline clusters, cylinder sweeps, shed-pressure
-//!   bursts, fault plans, membership churn) generated from a seed,
+//!   bursts, fault plans, membership churn, controller storms)
+//!   generated from a seed,
 //!   checked against the oracles, with greedy trace minimization and a
 //!   replayable `.case` corpus format under `tests/corpus/`.
 //!
@@ -36,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ctrl;
 pub mod daemon;
 pub mod fuzz;
 pub mod metamorphic;
@@ -44,6 +50,7 @@ pub mod routing;
 pub mod smoke;
 pub mod telemetry;
 
+pub use ctrl::{check_controller_storm, diff_ctrl};
 pub use daemon::{check_churn, diff_daemon};
 pub use fuzz::{fuzz, minimize, replay_dir, replay_file, Archetype, Scenario};
 pub use reference::{

@@ -6,6 +6,7 @@ use farm::{FarmConfig, RoutePolicy};
 use sim::{DiskService, SimOptions};
 use workload::{PoissonConfig, VodConfig};
 
+use crate::ctrl::diff_ctrl;
 use crate::daemon::diff_daemon;
 use crate::fuzz::{Archetype, Scenario, ARCHETYPES};
 use crate::metamorphic;
@@ -26,7 +27,9 @@ pub struct SmokeReport {
 /// brute-force baseline oracles, the farm routing replay under every
 /// policy (with and without redirects), the daemon replay gate (the
 /// online daemon bit-identical to the batch farm on churn-free
-/// streams), one fuzz case per archetype, the live-telemetry
+/// streams), the control-plane neutrality gate (a controller pinned to
+/// the seed knobs leaves the daemon bit-identical to an uncontrolled
+/// run), one fuzz case per archetype, the live-telemetry
 /// relations, and the metamorphic quick pass. Any divergence is the
 /// error.
 pub fn run(seed: u64) -> Result<SmokeReport, String> {
@@ -108,6 +111,18 @@ pub fn run(seed: u64) -> Result<SmokeReport, String> {
     report.differential_runs += 1;
     report.requests_checked += vod.len() as u64;
 
+    // Control-plane neutrality: a controller pinned to the seed knobs
+    // must leave the daemon bit-identical to an uncontrolled run — and
+    // must actually have scored windows, or the gate is vacuous.
+    let cfg = FarmConfig::new(3).with_redirects();
+    let decisions = diff_ctrl(&vod, &cfg, SimOptions::with_shape(1, 8).dropping(), 8, 16)
+        .map_err(|e| format!("[ctrl/pinned] {e}"))?;
+    if decisions == 0 {
+        return Err("[ctrl/pinned] vacuous: the controller never scored a window".into());
+    }
+    report.differential_runs += 1;
+    report.requests_checked += vod.len() as u64;
+
     // One fuzz case per archetype at the smoke seed.
     for archetype in ARCHETYPES {
         let scenario = Scenario {
@@ -163,7 +178,10 @@ pub fn perf_parity(corpus: &std::path::Path) -> Result<SmokeReport, String> {
             crate::fuzz::parse_case(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         let dims = match scenario.archetype {
             Archetype::DeadlineClusters | Archetype::ShedBursts => 2u32,
-            Archetype::CylinderSweeps | Archetype::FaultPlans | Archetype::MembershipChurn => 1,
+            Archetype::CylinderSweeps
+            | Archetype::FaultPlans
+            | Archetype::MembershipChurn
+            | Archetype::ControllerStorm => 1,
         };
         let options = SimOptions::with_shape(dims as usize, 16).dropping();
         for (regime, dispatch) in [
@@ -201,8 +219,8 @@ mod tests {
         let corpus =
             std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus"));
         let report = perf_parity(corpus).expect("perf-parity gate");
-        // 5 corpus cases: 5 replays + 4 regimes each.
-        assert!(report.differential_runs >= 25);
+        // 6 corpus cases: 6 replays + 4 regimes each.
+        assert!(report.differential_runs >= 30);
         assert!(report.requests_checked > 0);
     }
 }

@@ -56,7 +56,7 @@ pub use baselines::ssedo::{Ssedo, Ssedv};
 pub use baselines::sstf::Sstf;
 pub use cost::CostModel;
 pub use request::{OpKind, QosVector, Request, MAX_QOS_DIMS};
-pub use scheduler::{DiskScheduler, HeadState, SweepDirection};
+pub use scheduler::{DiskScheduler, HeadState, Retune, SweepDirection};
 
 /// Microseconds — the integer time unit shared with the simulator.
 pub type Micros = u64;

@@ -48,6 +48,25 @@ impl HeadState {
     }
 }
 
+/// A runtime-retunable scheduler knob, applied through
+/// [`DiskScheduler::retune`] at a safe epoch boundary.
+///
+/// The variants mirror the three knobs the paper leaves static: SFC2's
+/// balance factor `f`, SFC3's scan-partition count `R`, and the
+/// conditional dispatcher's blocking window `w`. Policies that do not
+/// expose a given knob simply refuse it (the default hook refuses
+/// everything).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Retune {
+    /// SFC2 balance factor `f` (deadline weight; `0.0` = priority-only).
+    BalanceFactor(f64),
+    /// SFC3 scan-partition count `R` (the paper's default is 3).
+    ScanPartitions(u32),
+    /// Conditional-preemption blocking window `w` as a fraction of the
+    /// SFC value space, in `0.0..=1.0`.
+    Window(f64),
+}
+
 /// A disk scheduler: accepts arriving requests, and when the disk becomes
 /// idle hands back the next request to serve.
 ///
@@ -97,6 +116,15 @@ pub trait DiskScheduler {
     /// Routers use this to know when a shard is about to shed.
     fn queue_capacity(&self) -> Option<usize> {
         None
+    }
+
+    /// Apply a runtime knob change at a safe epoch boundary. Returns
+    /// `true` when the knob was recognized and applied; `false` when the
+    /// policy does not expose it (or the value is invalid), in which
+    /// case the scheduler is unchanged. The default refuses every knob,
+    /// so statically-configured baselines need no code.
+    fn retune(&mut self, _knob: &Retune, _head: &HeadState) -> bool {
+        false
     }
 
     /// Remove and return every pending request, emptying the queue — the
@@ -159,6 +187,10 @@ mod tests {
         let mut s = Bare(Vec::new());
         assert_eq!(s.sheds(), 0);
         assert_eq!(s.queue_capacity(), None);
+        // The default retune hook refuses every knob.
+        assert!(!s.retune(&Retune::BalanceFactor(2.0), &head));
+        assert!(!s.retune(&Retune::ScanPartitions(5), &head));
+        assert!(!s.retune(&Retune::Window(0.25), &head));
         assert!(s.is_empty());
         s.enqueue(
             crate::Request::read(1, 0, 1_000, 10, 4_096, crate::QosVector::none()),
