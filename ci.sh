@@ -42,6 +42,15 @@ echo "==> daemon smoke run"
 # (exits 1 on violation).
 cargo run -q -p bench --release --bin daemon -- --mode smoke
 
+echo "==> scenario smoke run"
+# Million-session closed-loop population (diurnal base + flash crowd,
+# mixed VoD/NewsByte tenants) streamed through the farm daemon in
+# bounded memory: exact ledger closure, the admission gate and bounded
+# queues both exercised by the surge, reduced-scale bit-identity, and
+# the cascade's measured batch seek converging monotonically onto the
+# analytic closed form (exits 1 on violation).
+cargo run -q -p bench --release --bin scenario -- --mode smoke
+
 echo "==> ctrl smoke run"
 # Overloaded farm started from a detuned static configuration, run with
 # and without the live controller: the controlled run must beat the
@@ -73,8 +82,9 @@ cargo run -q -p oracle --release --bin oracle -- --mode perf-parity --corpus tes
 
 echo "==> perf regression gate"
 # Fresh measurement against the committed BENCH_sched.json; exits 1
-# when dispatch throughput, engine rate, routing rate or SFC mapping
-# latency regresses past 20%.
+# when any gauge (dispatch, engine, routing, daemon, controller,
+# closed-loop scenario session rate, SFC mapping latency) regresses
+# past 20%.
 cargo run -q -p bench --release --bin perf -- --mode check --baseline BENCH_sched.json --tolerance 0.2
 
 echo "==> telemetry smoke gate"

@@ -34,7 +34,10 @@
 //! committed `BENCH_sched.json` plus the telemetry overhead gate — see
 //! [`perf`]), and `obsreport` (the live telemetry plane's exposition:
 //! streaming per-window JSONL, Prometheus text format, and the
-//! telemetry smoke gate — see [`obsreport`]).
+//! telemetry smoke gate — see [`obsreport`]), and `scenario` (the
+//! million-stream closed-loop gate: a bounded-memory session population
+//! streamed through the farm daemon with an exact ledger, plus the
+//! analytic seek-distance convergence check — see [`scenario`]).
 //!
 //! All experiments are deterministic given a seed; run any binary with
 //! `--seed N` to change it.
@@ -57,6 +60,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod obsreport;
 pub mod perf;
+pub mod scenario;
 pub mod table1;
 pub mod trace;
 

@@ -1,8 +1,8 @@
-//! Perf-regression gate: six microbenchmark workloads measured
+//! Perf-regression gate: seven microbenchmark workloads measured
 //! best-of-N, reported as `BENCH_sched.json`, and checked against the
 //! committed baseline in CI.
 //!
-//! The six numbers cover the stack's hot paths:
+//! The seven numbers cover the stack's hot paths:
 //!
 //! * **dispatch throughput** — enqueue/dequeue interleave through the
 //!   optimized [`CascadedSfc`] on the Figure-8 Poisson workload
@@ -19,6 +19,10 @@
 //! * **controller decision rate** — the self-tuning control plane's
 //!   steady-state observe→score→propose loop over the default search
 //!   grid (windows scored/s; higher is better),
+//! * **scenario session rate** — the closed-loop scenario harness
+//!   ([`crate::scenario`]: session population, think times, admission
+//!   gate, farm daemon) driven end to end at a reduced population
+//!   (sessions/s; higher is better),
 //! * **SFC mapping latency** — `Hilbert(3 dims, 2^7 side)` index
 //!   mapping (ns/op; lower is better).
 //!
@@ -57,6 +61,8 @@ pub struct PerfReport {
     pub daemon_reqs_per_s: f64,
     /// Controller decision throughput (windows scored per second).
     pub ctrl_decisions_per_s: f64,
+    /// Closed-loop scenario throughput (sessions driven per second).
+    pub scenario_sessions_per_s: f64,
     /// Hilbert index mapping latency in nanoseconds per op.
     pub sfc_ns_per_op: f64,
 }
@@ -75,12 +81,14 @@ impl PerfReport {
              \"routing_reqs_per_s\": {:.1},\n  \
              \"daemon_reqs_per_s\": {:.1},\n  \
              \"ctrl_decisions_per_s\": {:.1},\n  \
+             \"scenario_sessions_per_s\": {:.1},\n  \
              \"sfc_ns_per_op\": {:.3}\n}}\n",
             self.dispatch_ops_per_s,
             self.engine_reqs_per_s,
             self.routing_reqs_per_s,
             self.daemon_reqs_per_s,
             self.ctrl_decisions_per_s,
+            self.scenario_sessions_per_s,
             self.sfc_ns_per_op
         )
     }
@@ -110,6 +118,7 @@ impl PerfReport {
             routing_reqs_per_s: field("routing_reqs_per_s"),
             daemon_reqs_per_s: field("daemon_reqs_per_s"),
             ctrl_decisions_per_s: field("ctrl_decisions_per_s"),
+            scenario_sessions_per_s: field("scenario_sessions_per_s"),
             sfc_ns_per_op: field("sfc_ns_per_op"),
         };
         Ok((report, warnings))
@@ -272,6 +281,23 @@ fn bench_ctrl(seed: u64) -> f64 {
     controller.decisions() as f64 / start.elapsed().as_secs_f64().max(1e-9)
 }
 
+/// Scenario session rate: the whole closed-loop stack — the session
+/// population with think times and backpressure, the admission gate,
+/// routing, per-member steppers — at a 20k-session population (the
+/// scenario smoke gate's own test scale). Returns sessions/s.
+fn bench_scenario(seed: u64) -> f64 {
+    let cfg = crate::scenario::Config {
+        seed,
+        sessions: 20_000,
+        horizon_us: 432_000_000,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let (report, started, ..) = crate::scenario::closed_loop(&cfg);
+    black_box(report.served());
+    started as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
 /// SFC mapping latency: Hilbert index over 3 dims with side 128, on
 /// pseudo-random pre-generated points. Returns ns/op.
 fn bench_sfc(seed: u64) -> f64 {
@@ -317,6 +343,7 @@ pub fn measure(seed: u64, samples: u32) -> PerfReport {
         routing_reqs_per_s: best(&|| bench_routing(seed), true),
         daemon_reqs_per_s: best(&|| bench_daemon(seed), true),
         ctrl_decisions_per_s: best(&|| bench_ctrl(seed), true),
+        scenario_sessions_per_s: best(&|| bench_scenario(seed), true),
         sfc_ns_per_op: best(&|| bench_sfc(seed), false),
     }
 }
@@ -540,6 +567,12 @@ pub fn check(
         true,
     );
     gauge(
+        "scenario_sessions_per_s",
+        current.scenario_sessions_per_s,
+        baseline.scenario_sessions_per_s,
+        true,
+    );
+    gauge(
         "sfc_ns_per_op",
         current.sfc_ns_per_op,
         baseline.sfc_ns_per_op,
@@ -564,6 +597,7 @@ mod tests {
             routing_reqs_per_s: 98_765.4,
             daemon_reqs_per_s: 54_321.9,
             ctrl_decisions_per_s: 24_680.2,
+            scenario_sessions_per_s: 13_579.5,
             sfc_ns_per_op: 41.125,
         };
         let (back, warnings) = PerfReport::from_json(&report.to_json()).expect("roundtrip");
@@ -573,6 +607,7 @@ mod tests {
         assert!((back.routing_reqs_per_s - report.routing_reqs_per_s).abs() < 0.1);
         assert!((back.daemon_reqs_per_s - report.daemon_reqs_per_s).abs() < 0.1);
         assert!((back.ctrl_decisions_per_s - report.ctrl_decisions_per_s).abs() < 0.1);
+        assert!((back.scenario_sessions_per_s - report.scenario_sessions_per_s).abs() < 0.1);
         assert!((back.sfc_ns_per_op - report.sfc_ns_per_op).abs() < 0.001);
     }
 
@@ -593,6 +628,7 @@ mod tests {
              \"routing_reqs_per_s\": 30.0,\n  \
              \"daemon_reqs_per_s\": 35.0,\n  \
              \"ctrl_decisions_per_s\": 38.0,\n  \
+             \"scenario_sessions_per_s\": 39.0,\n  \
              \"sfc_ns_per_op\": 40.0,\n  \
              \"future_metric_per_s\": 50.0\n}}\n"
         );
@@ -607,6 +643,7 @@ mod tests {
              \"routing_reqs_per_s\": 1000.0,\n  \
              \"daemon_reqs_per_s\": 1000.0,\n  \
              \"ctrl_decisions_per_s\": 1000.0,\n  \
+             \"scenario_sessions_per_s\": 1000.0,\n  \
              \"sfc_ns_per_op\": 100.0\n}}\n"
         );
         let (base, warnings) = PerfReport::from_json(&older).expect("missing key is a warning");
@@ -619,6 +656,7 @@ mod tests {
             routing_reqs_per_s: 1000.0,
             daemon_reqs_per_s: 1000.0,
             ctrl_decisions_per_s: 1000.0,
+            scenario_sessions_per_s: 1000.0,
             sfc_ns_per_op: 100.0,
         };
         let lines = check(&current, &base, 0.2).expect("NaN baseline is skipped");
@@ -633,6 +671,7 @@ mod tests {
             routing_reqs_per_s: 1000.0,
             daemon_reqs_per_s: 1000.0,
             ctrl_decisions_per_s: 1000.0,
+            scenario_sessions_per_s: 1000.0,
             sfc_ns_per_op: 100.0,
         };
         // Improvements and in-tolerance dips pass.
@@ -642,6 +681,7 @@ mod tests {
             routing_reqs_per_s: 2000.0,
             daemon_reqs_per_s: 900.0,
             ctrl_decisions_per_s: 1100.0,
+            scenario_sessions_per_s: 950.0,
             sfc_ns_per_op: 115.0,
         };
         assert!(check(&fine, &base, 0.2).is_ok());
@@ -652,7 +692,7 @@ mod tests {
             ..fine
         };
         let lines = check(&slow, &base, 0.2).unwrap_err();
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 7);
         assert_eq!(lines.iter().filter(|l| l.contains("REGRESSED")).count(), 1);
         let bad = lines.iter().find(|l| l.contains("REGRESSED")).unwrap();
         assert!(bad.contains("dispatch_ops_per_s"));
@@ -714,6 +754,7 @@ mod tests {
         assert!(report.routing_reqs_per_s > 0.0);
         assert!(report.daemon_reqs_per_s > 0.0);
         assert!(report.ctrl_decisions_per_s > 0.0);
+        assert!(report.scenario_sessions_per_s > 0.0);
         assert!(report.sfc_ns_per_op > 0.0);
     }
 }

@@ -406,6 +406,42 @@ impl FarmDaemon {
         self.arrivals
     }
 
+    /// Stream admissions refused by the gate so far.
+    pub fn admission_rejections(&self) -> u64 {
+        self.gate.rejections()
+    }
+
+    /// The farm's live backlog: submitted-but-undelivered arrivals plus
+    /// every member scheduler's pending queue, summed over the farm.
+    /// This is the backpressure signal a closed-loop source watches —
+    /// and the quantity that must stay bounded for a multi-hour run to
+    /// fit in memory.
+    pub fn backlog(&self) -> usize {
+        self.members
+            .iter()
+            .map(|m| m.stepper.pending_len() + m.scheduler.len())
+            .sum()
+    }
+
+    /// Drain a pull-based [`workload::stream::TraceSource`] through the
+    /// daemon: each request becomes a [`DaemonEvent::Arrival`], and
+    /// after every arrival the source's `observe` hook is fed the
+    /// farm-wide [`FarmDaemon::backlog`], closing the loop — a swamped
+    /// farm slows its clients down instead of accumulating an unbounded
+    /// trace. Membership events can be interleaved between `ingest`
+    /// calls (the source yields time-ordered arrivals, so the usual
+    /// [`FarmDaemon::handle`] ordering contract applies). Returns the
+    /// number of requests ingested.
+    pub fn ingest<T: workload::TraceSource>(&mut self, source: &mut T) -> u64 {
+        let mut pulled = 0;
+        while let Some(r) = source.next() {
+            self.handle(DaemonEvent::Arrival(r));
+            pulled += 1;
+            source.observe(self.backlog());
+        }
+        pulled
+    }
+
     /// Drain every member's completed telemetry windows, tagged with the
     /// shard index — the control plane's subscription point. Draining at
     /// any cadence yields the same totals (the delta-sum invariant of
@@ -964,6 +1000,37 @@ mod tests {
         );
         report.ledger().expect("ledger must close across the add");
         report.reconcile_events().expect("events reconcile");
+    }
+
+    #[test]
+    fn ingest_matches_run_and_reports_backlog() {
+        // Streaming ingest of a materialized trace must be
+        // indistinguishable from feeding the same arrivals through run(),
+        // and the backlog accessor must return to zero after shutdown.
+        let trace = vod(16, 400);
+        let options = SimOptions::with_shape(1, 5).dropping();
+        let farm_cfg = FarmConfig::new(3).with_policy(RoutePolicy::LeastLoaded);
+        let daemon = FarmDaemon::new(
+            DaemonConfig::new(farm_cfg.clone(), options),
+            fcfs_factory(),
+            table1_services(),
+        );
+        let by_run = daemon.run(trace.iter().cloned().map(DaemonEvent::Arrival));
+
+        let mut daemon = FarmDaemon::new(
+            DaemonConfig::new(farm_cfg, options),
+            fcfs_factory(),
+            table1_services(),
+        );
+        let mut source = workload::VecSource::new(trace.clone());
+        let pulled = daemon.ingest(&mut source);
+        assert_eq!(pulled as usize, trace.len());
+        assert_eq!(daemon.arrivals(), trace.len() as u64);
+        assert_eq!(daemon.admission_rejections(), 0, "the gate defaults open");
+        let by_ingest = daemon.shutdown();
+        assert_eq!(by_ingest.per_shard, by_run.per_shard);
+        assert_eq!(by_ingest.routed_per_shard, by_run.routed_per_shard);
+        by_ingest.ledger().expect("ledger closes");
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! Daemon replay gate: the continuous-operation farm daemon checked
 //! against the batch farm and against its own ledger.
 //!
-//! Two oracles:
+//! Three oracles:
 //!
 //! * [`diff_daemon`] — **offline/online parity**: a [`FarmDaemon`] fed
 //!   nothing but arrivals must make placements, per-shard metrics and
 //!   redirect counts bit-identical to [`farm::simulate_farm`] on the
 //!   same trace. The daemon routes through the same [`farm::OnlineRouter`]
 //!   core the batch pass wraps, so this gate pins the "by construction"
-//!   claim down to observed equality.
+//!   claim down to observed equality. [`diff_daemon_streamed`] repeats
+//!   the comparison through the pull-based [`FarmDaemon::ingest`] path
+//!   (the trace wrapped in a lazy `workload` source), so the streaming
+//!   ingest the scenario suite scales on is held to the same bit-level
+//!   standard.
 //! * [`check_churn`] — **churn robustness**: a seed-derived membership
 //!   script (drain, add, operator quarantine) interleaved with the
 //!   trace. The run must be deterministic, its request ledger must
@@ -104,11 +108,48 @@ pub fn diff_daemon(
     options: SimOptions,
     bounded: Option<usize>,
 ) -> Result<(), String> {
+    let daemon = daemon_for(cfg, options, bounded, QUIET);
+    let report = daemon.run(trace.iter().cloned().map(DaemonEvent::Arrival));
+    check_against_batch(&report, trace, cfg, options, bounded)
+}
+
+/// [`diff_daemon`] through the streaming ingest path: the daemon pulls
+/// the same trace from a [`workload::VecSource`] via
+/// [`FarmDaemon::ingest`] instead of being pushed
+/// [`DaemonEvent::Arrival`]s, and must still match the batch farm bit
+/// for bit — the lazy-iterator ingest cannot be distinguishable from
+/// the event loop.
+pub fn diff_daemon_streamed(
+    trace: &[Request],
+    cfg: &FarmConfig,
+    options: SimOptions,
+    bounded: Option<usize>,
+) -> Result<(), String> {
+    let mut daemon = daemon_for(cfg, options, bounded, QUIET);
+    let mut source = workload::VecSource::new(trace.to_vec());
+    let pulled = daemon.ingest(&mut source);
+    if pulled as usize != trace.len() {
+        return Err(format!(
+            "daemon (streamed): ingested {pulled} of {} arrivals",
+            trace.len()
+        ));
+    }
+    let report = daemon.shutdown();
+    check_against_batch(&report, trace, cfg, options, bounded).map_err(|e| format!("streamed: {e}"))
+}
+
+/// The shared comparison body: a quiet daemon's report against the
+/// batch farm on the same trace.
+fn check_against_batch(
+    report: &DaemonReport,
+    trace: &[Request],
+    cfg: &FarmConfig,
+    options: SimOptions,
+    bounded: Option<usize>,
+) -> Result<(), String> {
     let cylinders = cfg.cylinders;
     let (batch, _) =
         farm::simulate_farm(trace, cfg, |_| batch_scheduler(cylinders, bounded), options);
-    let daemon = daemon_for(cfg, options, bounded, QUIET);
-    let report = daemon.run(trace.iter().cloned().map(DaemonEvent::Arrival));
     let policy = cfg.policy.name();
     if report.per_shard != batch.per_shard {
         return Err(format!(
@@ -281,6 +322,30 @@ mod tests {
             Some(8),
         )
         .expect("parity under overload");
+    }
+
+    #[test]
+    fn streamed_ingest_matches_the_batch_farm() {
+        let trace = vod(24, 5);
+        for policy in [
+            RoutePolicy::HashStream,
+            RoutePolicy::CylinderRange,
+            RoutePolicy::LeastLoaded,
+        ] {
+            let cfg = FarmConfig::new(4).with_policy(policy);
+            diff_daemon_streamed(&trace, &cfg, SimOptions::with_shape(1, 8).dropping(), None)
+                .expect("streamed parity");
+        }
+        // And under bounded queues with redirect-on-overload.
+        let trace = vod(48, 6);
+        let cfg = FarmConfig::new(3).with_redirects();
+        diff_daemon_streamed(
+            &trace,
+            &cfg,
+            SimOptions::with_shape(1, 8).dropping(),
+            Some(8),
+        )
+        .expect("streamed parity under overload");
     }
 
     #[test]

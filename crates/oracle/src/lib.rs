@@ -26,6 +26,12 @@
 //!   adds the live-plane relations: windowed cumulative equivalence with
 //!   a plain snapshot, window-width invariance, and delta-polling
 //!   cadence invariance.
+//! * [`analytic`] — **theory-backed verification**: differential and
+//!   metamorphic checks only prove implementations agree with each
+//!   other; the analytic oracle pins the seek-optimizing schedulers to
+//!   Bachmat-style closed-form expected seek distances (the
+//!   max-of-uniforms sweep law, the linear FCFS law) with no
+//!   implementation on the other side of the comparison at all.
 //! * [`fuzz`] — a **seeded fuzz driver**: adversarial workload
 //!   archetypes (deadline clusters, cylinder sweeps, shed-pressure
 //!   bursts, fault plans, membership churn, controller storms)
@@ -41,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod ctrl;
 pub mod daemon;
 pub mod fuzz;
@@ -50,8 +57,9 @@ pub mod routing;
 pub mod smoke;
 pub mod telemetry;
 
+pub use analytic::check_seek_law;
 pub use ctrl::{check_controller_storm, diff_ctrl};
-pub use daemon::{check_churn, diff_daemon};
+pub use daemon::{check_churn, diff_daemon, diff_daemon_streamed};
 pub use fuzz::{fuzz, minimize, replay_dir, replay_file, Archetype, Scenario};
 pub use reference::{
     diff_baselines, diff_cascade, diff_pair, ReferenceCascade, ReferenceEdf, ReferenceScan,

@@ -7,7 +7,7 @@ use sim::{DiskService, SimOptions};
 use workload::{PoissonConfig, VodConfig};
 
 use crate::ctrl::diff_ctrl;
-use crate::daemon::diff_daemon;
+use crate::daemon::{diff_daemon, diff_daemon_streamed};
 use crate::fuzz::{Archetype, Scenario, ARCHETYPES};
 use crate::metamorphic;
 use crate::reference::{diff_baselines, diff_cascade};
@@ -27,7 +27,10 @@ pub struct SmokeReport {
 /// brute-force baseline oracles, the farm routing replay under every
 /// policy (with and without redirects), the daemon replay gate (the
 /// online daemon bit-identical to the batch farm on churn-free
-/// streams), the control-plane neutrality gate (a controller pinned to
+/// streams, through both the event loop and the streaming ingest
+/// path), the analytic seek-law battery (measured sweep totals against
+/// closed-form expectations), the control-plane neutrality gate (a
+/// controller pinned to
 /// the seed knobs leaves the daemon bit-identical to an uncontrolled
 /// run), one fuzz case per archetype, the live-telemetry
 /// relations, and the metamorphic quick pass. Any divergence is the
@@ -110,6 +113,22 @@ pub fn run(seed: u64) -> Result<SmokeReport, String> {
         .map_err(|e| format!("[daemon/redirects] {e}"))?;
     report.differential_runs += 1;
     report.requests_checked += vod.len() as u64;
+
+    // The streaming ingest path (lazy iterator source) must be held to
+    // the same bit-level standard as the event loop — open and bounded.
+    for bounded in [None, Some(8)] {
+        let cfg = FarmConfig::new(3).with_redirects();
+        diff_daemon_streamed(&vod, &cfg, SimOptions::with_shape(1, 8).dropping(), bounded)
+            .map_err(|e| format!("[daemon/streamed] {e}"))?;
+        report.differential_runs += 1;
+        report.requests_checked += vod.len() as u64;
+    }
+
+    // The analytic seek-law battery: measured seek totals against
+    // Bachmat-style closed forms — no implementation on the far side.
+    let analytic_runs =
+        crate::analytic::check_seek_law(seed).map_err(|e| format!("[analytic] {e}"))?;
+    report.differential_runs += analytic_runs;
 
     // Control-plane neutrality: a controller pinned to the seed knobs
     // must leave the daemon bit-identical to an uncontrolled run — and

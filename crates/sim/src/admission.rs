@@ -334,6 +334,43 @@ mod tests {
     }
 
     #[test]
+    fn zero_stream_gate_rejects_everything() {
+        // max_streams = 0 is a valid configuration (a quarantined
+        // member): every request bounces, nothing ever holds a slot,
+        // and the rejection ledger counts each one.
+        let mut g = StreamGate::new(0, 1_000);
+        for (i, (s, t)) in [(1u64, 0u64), (1, 500), (2, 2_000), (3, 9_999)]
+            .into_iter()
+            .enumerate()
+        {
+            assert!(!g.admit(s, t), "request {i} slipped through a 0-slot gate");
+            assert_eq!(g.active_streams(), 0);
+        }
+        assert_eq!(g.rejections(), 4);
+    }
+
+    #[test]
+    fn single_stream_slot_cycles_through_reclamation() {
+        // One slot, many claimants: the slot must pass cleanly from
+        // stream to stream across idle reclamations, with refreshes in
+        // between leaving no stale expiry behind to evict the new
+        // holder early.
+        let mut g = StreamGate::new(1, 1_000);
+        assert!(g.admit(1, 0));
+        assert!(g.admit(1, 400)); // refresh leaves a stale expiry at 1_000
+        assert!(!g.admit(2, 1_000)); // stale entry must not free the slot
+        assert!(g.admit(2, 1_400)); // true expiry: slot reclaimed, handed over
+        assert_eq!(g.active_streams(), 1);
+        // The slot's new holder is subject to the same clock: stream 1
+        // cannot barge back in before 2 idles out…
+        assert!(!g.admit(1, 2_000));
+        // …but reclaims its old slot once 2 has idled a full timeout.
+        assert!(g.admit(1, 2_400));
+        assert_eq!(g.active_streams(), 1);
+        assert_eq!(g.rejections(), 2);
+    }
+
+    #[test]
     fn open_gate_admits_everything_statelessly() {
         let mut g = StreamGate::open();
         for s in 0..10_000u64 {

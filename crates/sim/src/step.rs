@@ -153,6 +153,35 @@ impl EngineStepper {
         }
     }
 
+    /// Drain a pull-based [`workload::stream::TraceSource`] through the
+    /// engine to completion — the streaming analogue of handing
+    /// [`crate::simulate`] a whole trace, in memory proportional to the
+    /// in-flight backlog instead of the trace length. Each arrival is
+    /// pumped-to and submitted exactly where the batch loop would chunk
+    /// it, so a churn-free source yields bit-identical metrics and
+    /// events to the batch engine on the materialized trace. After each
+    /// absorbed arrival the source's `observe` hook is fed the engine's
+    /// current backlog (undelivered submissions plus the scheduler's
+    /// queue), closing the loop for adaptive sources. Returns the
+    /// number of requests pulled.
+    pub fn run_source<T: workload::TraceSource, S: TraceSink>(
+        &mut self,
+        source: &mut T,
+        scheduler: &mut dyn DiskScheduler,
+        service: &mut dyn ServiceProvider,
+        sink: &mut S,
+    ) -> u64 {
+        let mut pulled = 0;
+        while let Some(r) = source.next() {
+            self.run_until(r.arrival_us, scheduler, service, sink);
+            self.submit(r);
+            pulled += 1;
+            source.observe(self.pending.len() + scheduler.len());
+        }
+        self.finish(scheduler, service, sink);
+        pulled
+    }
+
     /// Pump until both the queue and the submitted backlog are empty —
     /// the stepper equivalent of letting the batch engine run out.
     pub fn finish<S: TraceSink>(
@@ -261,6 +290,56 @@ mod tests {
         let batch_events: Vec<String> = batch_ring.events().map(|e| format!("{e:?}")).collect();
         let step_events: Vec<String> = step_ring.events().map(|e| format!("{e:?}")).collect();
         assert_eq!(step_events, batch_events);
+    }
+
+    #[test]
+    fn lazy_source_matches_batch_engine_bit_for_bit() {
+        // The streaming ingest pumped from a lazy iterator must be
+        // indistinguishable from the batch engine on the materialized
+        // trace: metrics AND the emitted event stream.
+        let t = trace(250);
+        let options = SimOptions::with_shape(1, 8).dropping();
+        let mut batch_ring = RingSink::new(1 << 14);
+        let batch = {
+            let mut service = TransferDominated::scaled(1_500, 40, 3832);
+            simulate_traced(
+                &mut ScanEdf::new(5_000),
+                &t,
+                &mut service,
+                options,
+                &mut batch_ring,
+            )
+        };
+
+        let mut step_ring = RingSink::new(1 << 14);
+        let mut service = TransferDominated::scaled(1_500, 40, 3832);
+        let mut scheduler = ScanEdf::new(5_000);
+        let mut stepper = EngineStepper::new(options, service.cylinders());
+        let mut source = workload::VecSource::new(t.clone());
+        let pulled = stepper.run_source(&mut source, &mut scheduler, &mut service, &mut step_ring);
+        assert_eq!(pulled as usize, t.len());
+        assert_eq!(stepper.metrics(), &batch);
+        let batch_events: Vec<String> = batch_ring.events().map(|e| format!("{e:?}")).collect();
+        let step_events: Vec<String> = step_ring.events().map(|e| format!("{e:?}")).collect();
+        assert_eq!(step_events, batch_events);
+    }
+
+    #[test]
+    fn closed_loop_source_drains_in_bounded_memory() {
+        // A live closed-loop population pumped straight into the engine:
+        // everything the source emits is accounted for, and the source
+        // felt backpressure (its observe hook ran).
+        let cfg = workload::SessionConfig::mixed(300, 300_000_000);
+        let mut source = workload::SessionSource::new(cfg, 17);
+        let options = SimOptions::with_shape(1, 8).dropping();
+        let mut service = TransferDominated::uniform(5_000, 3832);
+        let mut scheduler = Sstf::new();
+        let mut stepper = EngineStepper::new(options, service.cylinders());
+        let pulled = stepper.run_source(&mut source, &mut scheduler, &mut service, &mut NullSink);
+        assert_eq!(pulled, source.emitted());
+        assert_eq!(source.sessions_started(), 300);
+        let m = stepper.into_metrics();
+        assert_eq!(m.served + m.dropped + m.failed, pulled);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   requests (striped over a 4-data-disk RAID-5, so one simulated disk
 //!   sees a quarter of the blocks), 8 priority levels with a normal
 //!   distribution, deadlines uniform in 75–150 ms, and a read/write mix.
+//! * [`stream`] — pull-based sources for horizons too long to
+//!   materialize: [`SessionSource`] grows a closed-loop population of
+//!   mixed VoD/NewsByte sessions (diurnal and flash-crowd arrival
+//!   curves, think times, consumer backpressure) in memory proportional
+//!   to the *live* session count, and [`VecSource`] adapts any batch
+//!   trace to the same [`TraceSource`] iterator interface.
 //!
 //! All generators are fully deterministic given a seed. The distribution
 //! primitives in [`dist`] are derived from `rand`'s uniform source, so no
@@ -35,10 +41,12 @@ pub mod dist;
 pub mod io;
 mod newsbyte;
 mod poisson;
+pub mod stream;
 mod vod;
 
 pub use newsbyte::NewsByteConfig;
 pub use poisson::{DeadlineDist, LevelDist, PoissonConfig, Sizing};
+pub use stream::{uniform_batch, RateCurve, SessionConfig, SessionSource, TraceSource, VecSource};
 pub use vod::VodConfig;
 
 use sched::Request;

@@ -1,0 +1,140 @@
+//! Property tests for the `workload::dist` samplers: empirical moments
+//! inside a seeded tolerance for *any* seed and parameterization, and
+//! bit-identical determinism across two same-seed runs. The unit tests
+//! in `dist.rs` pin one seed; these sweep the input space.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::dist::{exp_us, normal, normal_level, std_normal, uniform_level};
+
+/// Samples per property case — enough that a 5-sigma band on the
+/// empirical mean is a few percent, small enough to keep the suite
+/// quick at 16 cases per property.
+const N: usize = 4_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn exp_mean_and_variance_within_tolerance(
+        seed in any::<u64>(),
+        mean_us in 1_000u64..100_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<u64> = (0..N).map(|_| exp_us(&mut rng, mean_us)).collect();
+        let m = mean_us as f64;
+        let emp_mean = xs.iter().sum::<u64>() as f64 / N as f64;
+        // sem = m/sqrt(N) ≈ 0.016 m; a 6-sigma band passes every seed.
+        prop_assert!(
+            (emp_mean - m).abs() < 0.1 * m,
+            "mean {emp_mean} vs {m}"
+        );
+        // Var[exp] = m²; the variance estimator's own relative sd is
+        // sqrt(8/N) ≈ 0.045, so 0.3 is a comfortable band.
+        let emp_var = xs
+            .iter()
+            .map(|&x| (x as f64 - emp_mean).powi(2))
+            .sum::<f64>()
+            / N as f64;
+        prop_assert!(
+            (emp_var - m * m).abs() < 0.3 * m * m,
+            "var {emp_var} vs {}",
+            m * m
+        );
+    }
+
+    #[test]
+    fn exp_is_deterministic_across_same_seed_runs(
+        seed in any::<u64>(),
+        mean_us in 1u64..1_000_000,
+    ) {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let run_a: Vec<u64> = (0..64).map(|_| exp_us(&mut a, mean_us)).collect();
+        let run_b: Vec<u64> = (0..64).map(|_| exp_us(&mut b, mean_us)).collect();
+        prop_assert_eq!(run_a, run_b);
+    }
+
+    #[test]
+    fn normal_moments_within_tolerance(
+        seed in any::<u64>(),
+        mu in -50.0f64..50.0,
+        sigma in 0.5f64..20.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..N).map(|_| normal(&mut rng, mu, sigma)).collect();
+        let emp_mean = xs.iter().sum::<f64>() / N as f64;
+        let emp_var =
+            xs.iter().map(|x| (x - emp_mean).powi(2)).sum::<f64>() / N as f64;
+        // sem = sigma/sqrt(N) ≈ 0.016 sigma.
+        prop_assert!((emp_mean - mu).abs() < 0.15 * sigma, "mean {emp_mean} vs {mu}");
+        prop_assert!(
+            (emp_var.sqrt() - sigma).abs() < 0.1 * sigma,
+            "sd {} vs {sigma}",
+            emp_var.sqrt()
+        );
+    }
+
+    #[test]
+    fn std_normal_is_deterministic_and_standard(seed in any::<u64>()) {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let run_a: Vec<f64> = (0..N).map(|_| std_normal(&mut a)).collect();
+        let run_b: Vec<f64> = (0..N).map(|_| std_normal(&mut b)).collect();
+        prop_assert_eq!(&run_a, &run_b);
+        let mean = run_a.iter().sum::<f64>() / N as f64;
+        prop_assert!(mean.abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_levels_bounded_centred_and_deterministic(
+        seed in any::<u64>(),
+        levels in 2u8..=16,
+    ) {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let run_a: Vec<u8> = (0..N).map(|_| normal_level(&mut a, levels)).collect();
+        let run_b: Vec<u8> = (0..N).map(|_| normal_level(&mut b, levels)).collect();
+        prop_assert_eq!(&run_a, &run_b);
+        prop_assert!(run_a.iter().all(|&l| l < levels));
+        // The truncated normal is centred: the empirical mean sits near
+        // the middle level, well inside half a level either way.
+        let mid = (levels as f64 - 1.0) / 2.0;
+        let mean = run_a.iter().map(|&l| l as f64).sum::<f64>() / N as f64;
+        prop_assert!((mean - mid).abs() < 0.5, "mean {mean} vs mid {mid}");
+    }
+
+    #[test]
+    fn uniform_levels_bounded_flat_and_deterministic(
+        seed in any::<u64>(),
+        levels in 2u8..=16,
+    ) {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let run_a: Vec<u8> = (0..N).map(|_| uniform_level(&mut a, levels)).collect();
+        let run_b: Vec<u8> = (0..N).map(|_| uniform_level(&mut b, levels)).collect();
+        prop_assert_eq!(&run_a, &run_b);
+        prop_assert!(run_a.iter().all(|&l| l < levels));
+        // Uniform mean is (levels−1)/2 with sd ≈ 0.29·levels; the band
+        // below is ~7 sems at the widest `levels`.
+        let mid = (levels as f64 - 1.0) / 2.0;
+        let mean = run_a.iter().map(|&l| l as f64).sum::<f64>() / N as f64;
+        prop_assert!(
+            (mean - mid).abs() < 0.1 * levels as f64 + 0.05,
+            "mean {mean} vs mid {mid}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_decorrelate(seed in any::<u64>()) {
+        // Not a moment property but the flip side of determinism: a
+        // different seed must change the stream (collision odds over 64
+        // draws are negligible).
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let run_a: Vec<u64> = (0..64).map(|_| exp_us(&mut a, 10_000)).collect();
+        let run_b: Vec<u64> = (0..64).map(|_| exp_us(&mut b, 10_000)).collect();
+        prop_assert_ne!(run_a, run_b);
+    }
+}
