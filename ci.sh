@@ -80,11 +80,25 @@ echo "==> oracle perf-parity gate"
 # divergence).
 cargo run -q -p oracle --release --bin oracle -- --mode perf-parity --corpus tests/corpus
 
+echo "==> oracle diff-batch gate"
+# The vectorized fast paths diffed against their scalar references on
+# every committed corpus trace: batched characterization elementwise
+# against per-point, and batched/4-producer-concurrent enqueue against
+# the serial loop under all four dispatcher regimes (exits 1 on any
+# divergence).
+cargo run -q -p oracle --release --bin oracle -- --mode diff-batch --corpus tests/corpus
+
+echo "==> concurrency stress gate"
+# The multi-producer ingest determinism suite in release mode: optimized
+# codegen widens the thread-interleaving window the debug-mode workspace
+# test run cannot reach.
+cargo test --release -q -p sim --test concurrent_ingest
+
 echo "==> perf regression gate"
 # Fresh measurement against the committed BENCH_sched.json; exits 1
 # when any gauge (dispatch, engine, routing, daemon, controller,
-# closed-loop scenario session rate, SFC mapping latency) regresses
-# past 20%.
+# closed-loop scenario session rate, batched characterization, 4-producer
+# concurrent ingest, SFC mapping latency) regresses past 20%.
 cargo run -q -p bench --release --bin perf -- --mode check --baseline BENCH_sched.json --tolerance 0.2
 
 echo "==> telemetry smoke gate"

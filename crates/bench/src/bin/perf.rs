@@ -5,7 +5,9 @@
 //!     [--seed N] [--samples N] [--baseline PATH] [--tolerance F]
 //! ```
 //!
-//! * `measure` (default) prints a fresh `BENCH_sched.json` to stdout.
+//! * `measure` (default) prints a fresh `BENCH_sched.json` to stdout,
+//!   plus the batch-vs-scalar characterization and concurrent-vs-serial
+//!   ingest speedup ratios on stderr.
 //! * `baseline` measures and writes it to `--baseline` (the file CI
 //!   compares against — commit it after deliberate perf changes).
 //! * `check` measures, loads `--baseline`, and exits 1 when any metric
@@ -18,7 +20,7 @@
 //!   file involved.
 
 use bench::args::Args;
-use bench::perf::{check, check_overhead, measure, measure_overhead, PerfReport};
+use bench::perf::{check, check_overhead, measure, measure_overhead, measure_speedups, PerfReport};
 
 fn main() {
     let args = Args::parse(&["mode", "seed", "samples", "baseline", "tolerance", "budget"]);
@@ -29,7 +31,12 @@ fn main() {
     let budget: f64 = args.get("budget", 0.05f64);
 
     match args.one_of("mode", &["measure", "baseline", "check", "overhead"]) {
-        "measure" => print!("{}", measure(seed, samples).to_json()),
+        "measure" => {
+            print!("{}", measure(seed, samples).to_json());
+            for line in measure_speedups(seed, samples) {
+                eprintln!("# {line}");
+            }
+        }
         "overhead" => {
             let report = measure_overhead(seed, samples.max(9));
             match check_overhead(&report, budget) {
@@ -61,6 +68,9 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("# wrote baseline {baseline_path}");
+            for line in measure_speedups(seed, samples) {
+                eprintln!("# {line}");
+            }
             print!("{}", report.to_json());
         }
         "check" => {

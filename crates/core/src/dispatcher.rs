@@ -301,6 +301,92 @@ impl Dispatcher {
         }
     }
 
+    /// Insert a characterized arrival chunk in one pass, each request
+    /// timestamped at its own arrival.
+    ///
+    /// Routing replays exactly the serial [`Dispatcher::insert_traced`]
+    /// sequence — the Conditional preemption decision, ER window
+    /// expansion, counters, and trace events all observe the same state
+    /// per entry, so the result is bit-identical to inserting the chunk
+    /// one request at a time (pop order, counters, and the event stream;
+    /// pinned by the `bulk_insert_*` tests and the oracle `diff_batch`
+    /// gate). Only the heap pushes are deferred: each queue's entries are
+    /// collected and merged with one O(n) heapify-append instead of n
+    /// sift-ups, which is what makes draining a whole ingest ring cheaper
+    /// than the serial enqueue loop. A bounded queue (`max_queue`) makes
+    /// the shed decision depend on the live length at every arrival, so
+    /// that configuration keeps the serial loop.
+    pub fn insert_bulk_traced<S: TraceSink>(
+        &mut self,
+        items: impl Iterator<Item = (Request, u128)>,
+        sink: &mut S,
+    ) {
+        if self.config.max_queue.is_some() {
+            for (req, v) in items {
+                let now = req.arrival_us;
+                self.insert_traced(req, v, now, sink);
+            }
+            return;
+        }
+        let (lo, hi) = items.size_hint();
+        let n = hi.unwrap_or(lo);
+        // Grow the slot arena once for every entry the free list cannot
+        // absorb: per-push geometric growth re-copies the arena log(n)
+        // times, a cost the serial path cannot avoid but a sized bulk
+        // insert can.
+        self.slots.reserve(n.saturating_sub(self.free.len()));
+        let mut to_q: Vec<Entry> = Vec::new();
+        let mut to_qw: Vec<Entry> = Vec::new();
+        match self.config.mode {
+            PreemptionMode::NonPreemptive => to_qw.reserve(n),
+            // Conditional arrivals land in the active queue while the
+            // disk idles, which is the bulk-ingest common case.
+            PreemptionMode::Fully | PreemptionMode::Conditional { .. } => to_q.reserve(n),
+        }
+        for (req, v) in items {
+            let now_us = req.arrival_us;
+            let id = req.id;
+            let (slot, gen) = self.alloc(req);
+            let entry = Entry { v, id, slot, gen };
+            match self.config.mode {
+                PreemptionMode::Fully => to_q.push(entry),
+                PreemptionMode::NonPreemptive => to_qw.push(entry),
+                PreemptionMode::Conditional { .. } => {
+                    let significantly_higher = match self.current {
+                        None => true,
+                        Some(cur) => v < cur.saturating_sub(self.window),
+                    };
+                    if significantly_higher {
+                        if let Some(cur) = self.current {
+                            self.preemptions += 1;
+                            if S::ENABLED {
+                                sink.emit(&TraceEvent::Preempt {
+                                    now_us,
+                                    preempted_v: cur,
+                                    by_v: v,
+                                });
+                            }
+                            self.expand_window(now_us, sink);
+                        }
+                        to_q.push(entry);
+                    } else {
+                        to_qw.push(entry);
+                    }
+                }
+            }
+        }
+        self.q_live += to_q.len();
+        self.qw_live += to_qw.len();
+        if !to_q.is_empty() {
+            let mut add = BinaryHeap::from(to_q);
+            self.q.append(&mut add);
+        }
+        if !to_qw.is_empty() {
+            let mut add = BinaryHeap::from(to_qw);
+            self.q_wait.append(&mut add);
+        }
+    }
+
     /// Dispatch the next request (the disk became idle).
     ///
     /// `refresh` (when configured via

@@ -59,6 +59,7 @@ mod dispatcher;
 mod encapsulator;
 pub mod extend;
 pub mod presets;
+mod ring;
 mod scheduler;
 pub mod spec;
 
@@ -68,4 +69,5 @@ pub use config::{
 };
 pub use dispatcher::Dispatcher;
 pub use encapsulator::Encapsulator;
+pub use ring::IngestRing;
 pub use scheduler::CascadedSfc;

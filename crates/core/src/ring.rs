@@ -1,0 +1,400 @@
+//! Sharded multi-producer ingest ring for the dispatcher.
+//!
+//! The slot-arena [`crate::Dispatcher`] is single-threaded by design — its
+//! preemption/SP/ER machinery is a serial state machine. What *can* run
+//! concurrently is everything upstream of the heap: characterizing
+//! arrivals is pure (`&Encapsulator`), so router threads can map their
+//! slices of a chunk in parallel and only the final heap insertion needs
+//! the scheduler. [`IngestRing`] is the hand-off point:
+//!
+//! * **Sharded lanes** — one lane per producer, each behind its own
+//!   mutex, so producers never contend with each other (a producer only
+//!   ever locks its own lane; the drain takes each lock once).
+//! * **Per-producer sequence numbers** — every pushed entry is assigned
+//!   the lane's next sequence number, and the drain verifies the stamps
+//!   form exactly `0..n` per lane. A lost, duplicated, or reordered
+//!   entry is a panic, not a silent reorder. Stamps are kept
+//!   run-length-encoded — one `(start, len)` run per push call, merged
+//!   when contiguous — so verification costs one comparison per push
+//!   instead of one per entry, and the payload vector can be handed to
+//!   the drain without a strip-the-stamps copy.
+//! * **Deterministic drain order** — producer index first, sequence
+//!   number second. Concurrency can change *when* entries land in a lane,
+//!   never *where* they end up in the drained sequence. When producer `p`
+//!   pushes the `p`-th contiguous slice of an arrival chunk in order, the
+//!   drained sequence is exactly the original chunk order — which is what
+//!   makes concurrent ingest provably bit-identical to serial insertion
+//!   (see `sim::ingest_concurrent`).
+//!
+//! The payload is generic. Routed ingest (requests landing on arbitrary
+//! shards) ships owned `(Request, v_c)` pairs — the default payload.
+//! Chunked ingest, where each producer characterizes a *borrowed*
+//! contiguous slice of one arrival chunk, ships only the `u128`
+//! characterization values: the requests are zipped back from the
+//! caller's chunk at drain time
+//! ([`crate::CascadedSfc::drain_value_ring`]), so the hot hand-off moves
+//! 16 bytes per request instead of a cloned 80-byte request tuple. The
+//! sequencing and drain-order guarantees are payload-independent.
+
+use sched::Request;
+use std::sync::Mutex;
+
+/// One producer's lane: payload items in push order, plus the sequence
+/// stamps as `(start, len)` runs (one per non-contiguous push call) and
+/// the next stamp to assign.
+#[derive(Debug)]
+struct Lane<T> {
+    items: Vec<T>,
+    runs: Vec<(u64, u64)>,
+    next_seq: u64,
+}
+
+impl<T> Default for Lane<T> {
+    fn default() -> Self {
+        Lane {
+            items: Vec::new(),
+            runs: Vec::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> Lane<T> {
+    /// Record `len` new entries stamped `next_seq..next_seq + len`.
+    fn stamp(&mut self, len: u64) {
+        match self.runs.last_mut() {
+            Some((start, run_len)) if *start + *run_len == self.next_seq => *run_len += len,
+            _ => self.runs.push((self.next_seq, len)),
+        }
+        self.next_seq += len;
+    }
+
+    /// Verify the stamps cover exactly `0..items.len()` and reset the
+    /// lane's sequencing for reuse, leaving `items` in place.
+    fn verify_and_reset(&mut self, producer: usize) {
+        let mut expect = 0u64;
+        for &(start, len) in &self.runs {
+            assert_eq!(
+                start, expect,
+                "ingest lane {producer}: sequence run starts at {start}, expected {expect}"
+            );
+            expect = start + len;
+        }
+        assert_eq!(
+            expect,
+            self.items.len() as u64,
+            "ingest lane {producer}: stamps cover {expect} entries but {} are buffered",
+            self.items.len()
+        );
+        self.runs.clear();
+        self.next_seq = 0;
+    }
+}
+
+/// A sharded MPSC hand-off ring with a fixed producer count and a
+/// deterministic (producer-index, sequence) drain order. See the module
+/// docs for the determinism argument and the choice of payload type.
+#[derive(Debug)]
+pub struct IngestRing<T = (Request, u128)> {
+    lanes: Vec<Mutex<Lane<T>>>,
+}
+
+impl<T> IngestRing<T> {
+    /// A ring with `producers` lanes (at least one).
+    pub fn new(producers: usize) -> IngestRing<T> {
+        IngestRing {
+            lanes: (0..producers.max(1)).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    /// Number of producer lanes.
+    pub fn producers(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Push one payload item onto `producer`'s lane. Callable through a
+    /// shared reference from any thread; for a deterministic drain each
+    /// lane should have a single pushing thread (its sequence stamps then
+    /// record program order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer >= producers()`.
+    pub fn push_item(&self, producer: usize, item: T) {
+        let mut lane = self.lanes[producer].lock().expect("ingest lane poisoned");
+        lane.items.push(item);
+        lane.stamp(1);
+    }
+
+    /// Push a slice of payload items onto `producer`'s lane under one
+    /// lock acquisition, preserving slice order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer >= producers()`.
+    pub fn push_items(&self, producer: usize, items: &[T])
+    where
+        T: Clone,
+    {
+        let mut lane = self.lanes[producer].lock().expect("ingest lane poisoned");
+        lane.items.extend_from_slice(items);
+        lane.stamp(items.len() as u64);
+    }
+
+    /// Append items produced by `fill` directly into `producer`'s lane
+    /// buffer, under its lock. Everything `fill` appends is stamped as
+    /// one contiguous sequence run. Because lanes are single-producer,
+    /// holding the lane lock for the duration of `fill` contends with
+    /// nobody — this lets a producer run a whole batched
+    /// characterization pass straight into the hand-off buffer without
+    /// an intermediate copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer >= producers()` or `fill` shrinks the buffer.
+    pub fn push_with(&self, producer: usize, fill: impl FnOnce(&mut Vec<T>)) {
+        let mut lane = self.lanes[producer].lock().expect("ingest lane poisoned");
+        let before = lane.items.len();
+        fill(&mut lane.items);
+        let added = lane
+            .items
+            .len()
+            .checked_sub(before)
+            .expect("push_with fill must only append");
+        lane.stamp(added as u64);
+    }
+
+    /// Entries currently buffered across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.lock().expect("ingest lane poisoned").items.len())
+            .sum()
+    }
+
+    /// Whether every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take every lane's payload vector in producer-index order,
+    /// verifying the sequence stamps and resetting the ring for reuse.
+    /// This is the zero-copy drain: each vector comes back exactly as
+    /// the producer pushed it (sequence order), with no per-entry work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane's stamps do not form exactly `0..n`.
+    pub fn drain_lanes(&mut self) -> Vec<Vec<T>> {
+        self.lanes
+            .iter_mut()
+            .enumerate()
+            .map(|(p, slot)| {
+                let lane = slot.get_mut().expect("ingest lane poisoned");
+                lane.verify_and_reset(p);
+                std::mem::take(&mut lane.items)
+            })
+            .collect()
+    }
+
+    /// Drain every lane in (producer-index, sequence) order, resetting
+    /// the ring for reuse. The sequence stamps of each lane are verified
+    /// to be exactly `0..n` — any gap or reorder panics. Carries an exact
+    /// `size_hint` so the dispatcher's bulk path can reserve its arena
+    /// and heap buffers in one shot instead of growing them
+    /// geometrically.
+    pub fn drain_items(&mut self) -> impl Iterator<Item = T> {
+        let total = self.len();
+        ExactHint {
+            remaining: total,
+            inner: self.drain_lanes().into_iter().flatten(),
+        }
+    }
+}
+
+impl IngestRing<(Request, u128)> {
+    /// Push one characterized request onto `producer`'s lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer >= producers()`.
+    pub fn push(&self, producer: usize, req: Request, v: u128) {
+        self.push_item(producer, (req, v));
+    }
+
+    /// Push a characterized chunk onto `producer`'s lane under one lock
+    /// acquisition, preserving slice order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producer >= producers()` or the slice lengths differ.
+    pub fn push_chunk(&self, producer: usize, reqs: &[Request], vs: &[u128]) {
+        assert_eq!(
+            reqs.len(),
+            vs.len(),
+            "push_chunk: {} requests but {} values",
+            reqs.len(),
+            vs.len()
+        );
+        let mut lane = self.lanes[producer].lock().expect("ingest lane poisoned");
+        lane.items.reserve(reqs.len());
+        for (req, &v) in reqs.iter().zip(vs) {
+            lane.items.push((req.clone(), v));
+        }
+        lane.stamp(reqs.len() as u64);
+    }
+
+    /// Drain every lane in (producer-index, sequence) order, resetting
+    /// the ring for reuse. See [`IngestRing::drain_items`].
+    pub fn drain(&mut self, mut f: impl FnMut(Request, u128)) {
+        for (req, v) in self.drain_items() {
+            f(req, v);
+        }
+    }
+}
+
+/// Wraps an iterator whose element count is known up front but whose
+/// combinators (here `flatten`) erase it from `size_hint`.
+struct ExactHint<I> {
+    remaining: usize,
+    inner: I,
+}
+
+impl<I: Iterator> Iterator for ExactHint<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.remaining -= 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::QosVector;
+
+    fn req(id: u64) -> Request {
+        Request::read(
+            id,
+            id * 10,
+            500_000,
+            (id % 100) as u32,
+            65536,
+            QosVector::new(&[1]),
+        )
+    }
+
+    #[test]
+    fn drains_in_producer_then_sequence_order() {
+        let ring = IngestRing::new(3);
+        // Interleave pushes across lanes in a scrambled order.
+        ring.push(2, req(20), 20);
+        ring.push(0, req(0), 0);
+        ring.push(1, req(10), 10);
+        ring.push(0, req(1), 1);
+        ring.push(2, req(21), 21);
+        assert_eq!(ring.len(), 5);
+        let mut ring = ring;
+        let mut seen = Vec::new();
+        ring.drain(|r, v| seen.push((r.id, v)));
+        assert_eq!(seen, vec![(0, 0), (1, 1), (10, 10), (20, 20), (21, 21)]);
+        assert!(ring.is_empty());
+        // Reusable after a drain: sequences restart at zero.
+        ring.push(1, req(99), 99);
+        let mut seen = Vec::new();
+        ring.drain(|r, v| seen.push((r.id, v)));
+        assert_eq!(seen, vec![(99, 99)]);
+    }
+
+    #[test]
+    fn chunk_push_matches_singles() {
+        let a = IngestRing::new(2);
+        let b = IngestRing::new(2);
+        let reqs: Vec<Request> = (0..5).map(req).collect();
+        let vs: Vec<u128> = (0..5).collect();
+        b.push_chunk(1, &reqs[..3], &vs[..3]);
+        b.push_chunk(1, &reqs[3..], &vs[3..]);
+        for (r, &v) in reqs.iter().zip(&vs) {
+            a.push(1, r.clone(), v);
+        }
+        let (mut a, mut b) = (a, b);
+        let mut sa = Vec::new();
+        let mut sb = Vec::new();
+        a.drain(|r, v| sa.push((r.id, v)));
+        b.drain(|r, v| sb.push((r.id, v)));
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn concurrent_producers_preserve_lane_order() {
+        let ring = IngestRing::new(4);
+        std::thread::scope(|scope| {
+            for p in 0..4usize {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        ring.push(p, req(p as u64 * 1000 + i), i as u128);
+                    }
+                });
+            }
+        });
+        let mut ring = ring;
+        let mut seen = Vec::new();
+        ring.drain(|r, v| seen.push((r.id, v)));
+        let want: Vec<(u64, u128)> = (0..4u64)
+            .flat_map(|p| (0..50u64).map(move |i| (p * 1000 + i, i as u128)))
+            .collect();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn value_lanes_drain_in_chunk_order() {
+        // A value-only ring: producers push slices of 0..20 and the drain
+        // reassembles the original order with exact size information.
+        let ring = IngestRing::<u128>::new(3);
+        let vs: Vec<u128> = (0..20).collect();
+        std::thread::scope(|scope| {
+            let ring = &ring;
+            let (a, b, c) = (&vs[..7], &vs[7..13], &vs[13..]);
+            scope.spawn(move || ring.push_items(0, a));
+            scope.spawn(move || ring.push_items(1, b));
+            scope.spawn(move || ring.push_items(2, c));
+        });
+        assert_eq!(ring.len(), 20);
+        let mut ring = ring;
+        let it = ring.drain_items();
+        assert_eq!(it.size_hint(), (20, Some(20)));
+        assert_eq!(it.collect::<Vec<_>>(), (0..20).collect::<Vec<u128>>());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn lanes_come_back_whole_and_in_producer_order() {
+        let ring = IngestRing::<u128>::new(2);
+        ring.push_items(1, &[30, 31]);
+        ring.push_items(0, &[10]);
+        ring.push_item(0, 11);
+        let mut ring = ring;
+        assert_eq!(ring.drain_lanes(), vec![vec![10, 11], vec![30, 31]]);
+        // Sequencing restarts after the drain.
+        ring.push_item(1, 77);
+        assert_eq!(ring.drain_lanes(), vec![vec![], vec![77]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "5 requests but 4 values")]
+    fn chunk_length_mismatch_panics() {
+        let ring = IngestRing::new(1);
+        let reqs: Vec<Request> = (0..5).map(req).collect();
+        let vs = [0u128; 4];
+        ring.push_chunk(0, &reqs, &vs);
+    }
+}

@@ -2,7 +2,7 @@
 //! driver, and corpus replay/regeneration.
 //!
 //! ```text
-//! cargo run -p oracle --release --bin oracle -- --mode smoke|fuzz|replay|corpus|perf-parity
+//! cargo run -p oracle --release --bin oracle -- --mode smoke|fuzz|replay|corpus|perf-parity|diff-batch
 //!     [--seed N] [--cases N] [--corpus DIR]
 //! ```
 //!
@@ -18,6 +18,10 @@
 //! * `perf-parity` diffs the optimized engine against the naive
 //!   reference on every corpus trace under all four dispatcher regimes —
 //!   the quick semantic gate to run after a hot-path optimization.
+//! * `diff-batch` diffs the vectorized fast paths against their scalar
+//!   references on every corpus trace: batched characterization
+//!   elementwise against per-point, and batched/4-producer-concurrent
+//!   enqueue against the serial loop under all four dispatcher regimes.
 
 use bench::args::Args;
 use oracle::fuzz::{self, Scenario, ARCHETYPES};
@@ -31,7 +35,14 @@ fn main() {
 
     match args.one_of(
         "mode",
-        &["smoke", "fuzz", "replay", "corpus", "perf-parity"],
+        &[
+            "smoke",
+            "fuzz",
+            "replay",
+            "corpus",
+            "perf-parity",
+            "diff-batch",
+        ],
     ) {
         "smoke" => match oracle::smoke::run(seed) {
             Ok(report) => {
@@ -70,6 +81,19 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("# oracle perf-parity FAILED: {e}");
+                std::process::exit(1);
+            }
+        },
+        "diff-batch" => match oracle::diff_batch(&corpus) {
+            Ok(report) => {
+                eprintln!(
+                    "# oracle diff-batch OK: {} batch/concurrent runs bit-identical to \
+                     the scalar/serial reference across {} requests",
+                    report.differential_runs, report.requests_checked
+                );
+            }
+            Err(e) => {
+                eprintln!("# oracle diff-batch FAILED: {e}");
                 std::process::exit(1);
             }
         },

@@ -40,14 +40,19 @@
 //!   replayable `.case` corpus format under `tests/corpus/`.
 //!
 //! [`smoke::run`] bundles a fixed battery of all three into the CI gate
-//! wired through `ci.sh` (`oracle --mode smoke`). The perf-regression
-//! half of the gate lives in `bench` (`perf --mode check` against the
-//! committed `BENCH_sched.json`).
+//! wired through `ci.sh` (`oracle --mode smoke`). [`batch::diff_batch`]
+//! (`oracle --mode diff-batch`) holds the vectorized characterization
+//! pipeline and the multi-producer ingest path to the scalar/serial
+//! reference on the committed corpus — the semantic counterpart of the
+//! `bench perf` speedup claims. The perf-regression half of the gate
+//! lives in `bench` (`perf --mode check` against the committed
+//! `BENCH_sched.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod batch;
 pub mod ctrl;
 pub mod daemon;
 pub mod fuzz;
@@ -58,6 +63,7 @@ pub mod smoke;
 pub mod telemetry;
 
 pub use analytic::check_seek_law;
+pub use batch::diff_batch;
 pub use ctrl::{check_controller_storm, diff_ctrl};
 pub use daemon::{check_churn, diff_daemon, diff_daemon_streamed};
 pub use fuzz::{fuzz, minimize, replay_dir, replay_file, Archetype, Scenario};

@@ -27,11 +27,11 @@
 
 /// Byte spread for 2-D Morton interleave: bit `j` of the byte moves to bit
 /// `2j` of the result.
-const SPREAD2: [u16; 256] = build_spread2();
+pub(crate) const SPREAD2: [u16; 256] = build_spread2();
 
 /// Byte spread for 3-D Morton interleave: bit `j` of the byte moves to bit
 /// `3j` of the result (22 bits used).
-const SPREAD3: [u32; 256] = build_spread3();
+pub(crate) const SPREAD3: [u32; 256] = build_spread3();
 
 const fn build_spread2() -> [u16; 256] {
     let mut table = [0u16; 256];
@@ -102,13 +102,13 @@ pub(crate) fn morton3(x: u64, y: u64, z: u64, bits: u32) -> u128 {
 }
 
 /// 2-D Hilbert digit automaton (4 states). Digit `d = (x_bit << 1) | y_bit`.
-const H2_OUT: [[u8; 4]; 4] = [[0, 1, 3, 2], [0, 3, 1, 2], [2, 1, 3, 0], [2, 3, 1, 0]];
-const H2_NXT: [[u8; 4]; 4] = [[1, 0, 2, 0], [0, 3, 1, 1], [2, 2, 0, 3], [3, 1, 3, 2]];
+pub(crate) const H2_OUT: [[u8; 4]; 4] = [[0, 1, 3, 2], [0, 3, 1, 2], [2, 1, 3, 0], [2, 3, 1, 0]];
+pub(crate) const H2_NXT: [[u8; 4]; 4] = [[1, 0, 2, 0], [0, 3, 1, 1], [2, 2, 0, 3], [3, 1, 3, 2]];
 
 /// 3-D Hilbert digit automaton (24 states = orientation group of the cube).
 /// Digit `d = (x0_bit << 2) | (x1_bit << 1) | x2_bit`.
 #[rustfmt::skip]
-const H3_OUT: [[u8; 8]; 24] = [
+pub(crate) const H3_OUT: [[u8; 8]; 24] = [
     [0, 1, 3, 2, 7, 6, 4, 5], [0, 7, 1, 6, 3, 4, 2, 5], [0, 1, 7, 6, 3, 2, 4, 5],
     [6, 1, 5, 2, 7, 0, 4, 3], [4, 3, 5, 2, 7, 0, 6, 1], [4, 5, 3, 2, 7, 6, 0, 1],
     [0, 7, 3, 4, 1, 6, 2, 5], [0, 3, 7, 4, 1, 2, 6, 5], [4, 7, 3, 0, 5, 6, 2, 1],
@@ -119,7 +119,7 @@ const H3_OUT: [[u8; 8]; 24] = [
     [6, 5, 7, 4, 1, 2, 0, 3], [2, 1, 3, 0, 5, 6, 4, 7], [2, 3, 1, 0, 5, 4, 6, 7],
 ];
 #[rustfmt::skip]
-const H3_NXT: [[u8; 8]; 24] = [
+pub(crate) const H3_NXT: [[u8; 8]; 24] = [
     [1, 2, 3, 0, 4, 5, 6, 0], [7, 8, 9, 10, 11, 2, 1, 1], [6, 0, 12, 13, 14, 2, 1, 2],
     [15, 16, 3, 3, 9, 10, 17, 0], [18, 5, 4, 4, 15, 16, 9, 10], [19, 5, 4, 5, 3, 0, 20, 13],
     [9, 10, 17, 0, 7, 8, 6, 6], [0, 21, 13, 9, 6, 7, 12, 7], [22, 17, 10, 23, 8, 6, 8, 12],
@@ -132,7 +132,7 @@ const H3_NXT: [[u8; 8]; 24] = [
 
 /// Widened 2-D step table: one lookup advances the automaton through a whole
 /// Morton byte (4 digits). Entry packs `(next_state << 8) | output_byte`.
-static H2_STEP: [[u16; 256]; 4] = build_h2_step();
+pub(crate) static H2_STEP: [[u16; 256]; 4] = build_h2_step();
 
 const fn build_h2_step() -> [[u16; 256]; 4] {
     let mut table = [[0u16; 256]; 4];
@@ -159,7 +159,7 @@ const fn build_h2_step() -> [[u16; 256]; 4] {
 
 /// Widened 3-D step table: one lookup advances the automaton through two
 /// Morton digits (6 bits). Entry packs `(next_state << 8) | output_bits`.
-static H3_STEP: [[u16; 64]; 24] = build_h3_step();
+pub(crate) static H3_STEP: [[u16; 64]; 24] = build_h3_step();
 
 const fn build_h3_step() -> [[u16; 64]; 24] {
     let mut table = [[0u16; 64]; 24];
@@ -177,6 +177,31 @@ const fn build_h3_step() -> [[u16; 64]; 24] {
                 state = H3_NXT[state][d] as usize;
             }
             table[s][b] = ((state as u16) << 8) | out;
+            b += 1;
+        }
+        s += 1;
+    }
+    table
+}
+
+/// [`H3_STEP`] flattened for the lane kernels in [`crate::simd`]: row
+/// `s` lives at offset `s * 64`, and each entry packs
+/// `(next_state * 64) << 6 | output_bits`, so the automaton chain is one
+/// add and one masked load per step — the next-state row offset comes out
+/// of the entry pre-scaled, with no bounds check (the table is padded to
+/// the power-of-two 2048 slots; offsets 24·64.. are zero and unreachable
+/// because every `next_state` the automaton emits is `< 24`).
+pub(crate) static H3_STEP_FLAT: [u32; 2048] = build_h3_step_flat();
+
+const fn build_h3_step_flat() -> [u32; 2048] {
+    let base = build_h3_step();
+    let mut table = [0u32; 2048];
+    let mut s = 0usize;
+    while s < 24 {
+        let mut b = 0usize;
+        while b < 64 {
+            let e = base[s][b] as u32;
+            table[s * 64 + b] = ((e >> 8) * 64) << 6 | (e & 0x3f);
             b += 1;
         }
         s += 1;

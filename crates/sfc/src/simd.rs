@@ -1,0 +1,400 @@
+//! 8-wide lane-stepped variants of the [`crate::kernels`] fast paths.
+//!
+//! The scalar kernels are latency-bound: each table lookup of the Hilbert
+//! automaton depends on the state produced by the previous one, so a single
+//! point can never go faster than the chain of L1 loads. These variants
+//! run **eight independent points side by side** — the per-level loop body
+//! touches all eight lanes before advancing, so the eight dependency
+//! chains interleave and the loads pipeline. Everything is written as
+//! fixed-size-array lane code over the same `SPREAD2`/`SPREAD3`/
+//! `H2_STEP`/`H3_STEP` tables the scalar kernels use: no intrinsics, no
+//! new dependencies, and the bit-spread loops are plain enough for the
+//! autovectorizer while the state-table gathers win on instruction-level
+//! parallelism alone.
+//!
+//! Two further batch-only tricks make the lane loops dense:
+//!
+//! * **64-bit accumulators.** Whenever the Morton word and the output
+//!   index fit in 64 bits (`dims * bits <= 64` — every realistic shape:
+//!   3-D up to order 21, 2-D up to order 32), the whole lane pipeline
+//!   runs on `u64` instead of the scalar kernels' `u128`, halving the
+//!   shift/or work per level and letting eight lanes fit the vector
+//!   units. Indices widen to `u128` only on the way out.
+//! * **Bounds-check-free gathers.** The 3-D lane state travels as a
+//!   pre-scaled row offset into [`kernels::H3_STEP_FLAT`] (the step table
+//!   flattened and padded to a power-of-two 2048 slots) masked with
+//!   `& 2047`, and the 2-D state indexes `H2_STEP`'s four rows masked
+//!   with `& 3`, so the compiler drops the per-gather bounds check; the
+//!   masks are semantic no-ops because the automata never emit a state
+//!   outside the table.
+//!
+//! Every function here is bit-identical, lane for lane, to its scalar
+//! counterpart (pinned by the tests below and by `tests/props.rs` through
+//! [`crate::CurveKernel::index_batch`]). Callers are responsible for range
+//! checks (`coord < 2^bits` per lane); like the scalar kernels, the
+//! Hilbert automata require `bits >= 2`.
+
+use crate::kernels::{
+    H2_NXT, H2_OUT, H2_STEP, H3_NXT, H3_OUT, H3_STEP, H3_STEP_FLAT, SPREAD2, SPREAD3,
+};
+
+/// Number of points processed side by side by the batch kernels.
+pub(crate) const LANES: usize = 8;
+
+/// Widen a lane vector of `u64` indices to the public `u128` shape.
+#[inline]
+fn widen(w: [u64; LANES]) -> [u128; LANES] {
+    let mut out = [0u128; LANES];
+    for lane in 0..LANES {
+        out[lane] = w[lane] as u128;
+    }
+    out
+}
+
+/// Spread a ≤32-bit value so its bits land in the even positions — the
+/// shift-mask ladder equivalent of [`SPREAD2`], with no table loads so
+/// eight lanes vectorize cleanly.
+#[inline]
+fn spread2_u64(v: u64) -> u64 {
+    let v = (v | v << 16) & 0x0000_FFFF_0000_FFFF;
+    let v = (v | v << 8) & 0x00FF_00FF_00FF_00FF;
+    let v = (v | v << 4) & 0x0F0F_0F0F_0F0F_0F0F;
+    let v = (v | v << 2) & 0x3333_3333_3333_3333;
+    (v | v << 1) & 0x5555_5555_5555_5555
+}
+
+/// Spread a ≤21-bit value so its bits land in every third position — the
+/// shift-mask ladder equivalent of [`SPREAD3`].
+#[inline]
+fn spread3_u64(v: u64) -> u64 {
+    let v = (v | v << 32) & 0x001F_0000_0000_FFFF;
+    let v = (v | v << 16) & 0x001F_0000_FF00_00FF;
+    let v = (v | v << 8) & 0x100F_00F0_0F00_F00F;
+    let v = (v | v << 4) & 0x10C3_0C30_C30C_30C3;
+    (v | v << 2) & 0x1249_2492_4924_9249
+}
+
+/// `u64` 2-D Morton lanes (`2 * bits <= 64`, coordinates `< 2^bits`).
+#[inline]
+fn morton2_lanes64(xs: &[u64; LANES], ys: &[u64; LANES]) -> [u64; LANES] {
+    let mut out = [0u64; LANES];
+    for lane in 0..LANES {
+        out[lane] = (spread2_u64(xs[lane]) << 1) | spread2_u64(ys[lane]);
+    }
+    out
+}
+
+/// `u64` 3-D Morton lanes (`3 * bits <= 64`, coordinates `< 2^bits`).
+#[inline]
+fn morton3_lanes64(xs: &[u64; LANES], ys: &[u64; LANES], zs: &[u64; LANES]) -> [u64; LANES] {
+    let mut out = [0u64; LANES];
+    for lane in 0..LANES {
+        out[lane] =
+            (spread3_u64(xs[lane]) << 2) | (spread3_u64(ys[lane]) << 1) | spread3_u64(zs[lane]);
+    }
+    out
+}
+
+/// Lane-parallel 2-D Morton interleave: `out[l] = morton2(xs[l], ys[l])`.
+#[inline]
+pub(crate) fn morton2_batch8(xs: &[u64; LANES], ys: &[u64; LANES], bits: u32) -> [u128; LANES] {
+    if 2 * bits <= 64 {
+        return widen(morton2_lanes64(xs, ys));
+    }
+    let nbytes = bits.div_ceil(8);
+    let mut out = [0u128; LANES];
+    let mut k = 0;
+    while k < nbytes {
+        let shift = 8 * k;
+        for lane in 0..LANES {
+            let wx = SPREAD2[((xs[lane] >> shift) & 0xff) as usize] as u128;
+            let wy = SPREAD2[((ys[lane] >> shift) & 0xff) as usize] as u128;
+            out[lane] |= ((wx << 1) | wy) << (2 * shift);
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Lane-parallel 3-D Morton interleave.
+#[inline]
+pub(crate) fn morton3_batch8(
+    xs: &[u64; LANES],
+    ys: &[u64; LANES],
+    zs: &[u64; LANES],
+    bits: u32,
+) -> [u128; LANES] {
+    if 3 * bits <= 64 {
+        return widen(morton3_lanes64(xs, ys, zs));
+    }
+    let nbytes = bits.div_ceil(8);
+    let mut out = [0u128; LANES];
+    let mut k = 0;
+    while k < nbytes {
+        let shift = 8 * k;
+        for lane in 0..LANES {
+            let wx = SPREAD3[((xs[lane] >> shift) & 0xff) as usize] as u128;
+            let wy = SPREAD3[((ys[lane] >> shift) & 0xff) as usize] as u128;
+            let wz = SPREAD3[((zs[lane] >> shift) & 0xff) as usize] as u128;
+            out[lane] |= ((wx << 2) | (wy << 1) | wz) << (3 * shift);
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Eight 2-D Hilbert automata stepped in lockstep (`bits >= 2`).
+#[inline]
+pub(crate) fn hilbert2_batch8(xs: &[u64; LANES], ys: &[u64; LANES], bits: u32) -> [u128; LANES] {
+    if 2 * bits <= 64 {
+        let w = morton2_lanes64(xs, ys);
+        let mut state = [0usize; LANES];
+        let mut h = [0u64; LANES];
+        let mut level = bits;
+        // Peel leading digits until the remaining depth is byte-aligned.
+        while !level.is_multiple_of(4) {
+            level -= 1;
+            for lane in 0..LANES {
+                let d = ((w[lane] >> (2 * level)) & 3) as usize;
+                h[lane] = (h[lane] << 2) | H2_OUT[state[lane] & 3][d] as u64;
+                state[lane] = H2_NXT[state[lane] & 3][d] as usize;
+            }
+        }
+        while level > 0 {
+            level -= 4;
+            for lane in 0..LANES {
+                let entry = H2_STEP[state[lane] & 3][((w[lane] >> (2 * level)) & 0xff) as usize];
+                h[lane] = (h[lane] << 8) | (entry & 0xff) as u64;
+                state[lane] = (entry >> 8) as usize;
+            }
+        }
+        return widen(h);
+    }
+    let w = morton2_batch8(xs, ys, bits);
+    let mut state = [0usize; LANES];
+    let mut h = [0u128; LANES];
+    let mut level = bits;
+    while !level.is_multiple_of(4) {
+        level -= 1;
+        for lane in 0..LANES {
+            let d = ((w[lane] >> (2 * level)) & 3) as usize;
+            h[lane] = (h[lane] << 2) | H2_OUT[state[lane] & 3][d] as u128;
+            state[lane] = H2_NXT[state[lane] & 3][d] as usize;
+        }
+    }
+    while level > 0 {
+        level -= 4;
+        for lane in 0..LANES {
+            let entry = H2_STEP[state[lane] & 3][((w[lane] >> (2 * level)) & 0xff) as usize];
+            h[lane] = (h[lane] << 8) | (entry & 0xff) as u128;
+            state[lane] = (entry >> 8) as usize;
+        }
+    }
+    h
+}
+
+/// Eight 3-D Hilbert automata stepped in lockstep (`bits >= 2`).
+#[inline]
+pub(crate) fn hilbert3_batch8(
+    xs: &[u64; LANES],
+    ys: &[u64; LANES],
+    zs: &[u64; LANES],
+    bits: u32,
+) -> [u128; LANES] {
+    if 3 * bits <= 64 {
+        let w = morton3_lanes64(xs, ys, zs);
+        // The automaton is gather code, not vector code: splitting the
+        // eight chains into two four-lane halves keeps each half's
+        // (word, state, index) live set inside the integer register file,
+        // which measures noticeably faster than one spilling 8-lane loop.
+        let lo = hilbert3_automaton4([w[0], w[1], w[2], w[3]], bits);
+        let hi = hilbert3_automaton4([w[4], w[5], w[6], w[7]], bits);
+        let mut out = [0u128; LANES];
+        for lane in 0..4 {
+            out[lane] = lo[lane] as u128;
+            out[lane + 4] = hi[lane] as u128;
+        }
+        return out;
+    }
+    let w = morton3_batch8(xs, ys, zs, bits);
+    let mut state = [0usize; LANES];
+    let mut h = [0u128; LANES];
+    let mut level = bits;
+    if !level.is_multiple_of(2) {
+        level -= 1;
+        for lane in 0..LANES {
+            let d = ((w[lane] >> (3 * level)) & 7) as usize;
+            h[lane] = H3_OUT[0][d] as u128;
+            state[lane] = H3_NXT[0][d] as usize;
+        }
+    }
+    while level > 0 {
+        level -= 2;
+        for lane in 0..LANES {
+            let entry = H3_STEP[state[lane]][((w[lane] >> (3 * level)) & 0x3f) as usize];
+            h[lane] = (h[lane] << 6) | (entry & 0x3f) as u128;
+            state[lane] = (entry >> 8) as usize;
+        }
+    }
+    h
+}
+
+/// Four 3-D Hilbert automata over pre-interleaved `u64` Morton words
+/// (`3 * bits <= 64`, `bits >= 2`). States travel as pre-scaled row
+/// offsets into [`H3_STEP_FLAT`], so each step is one add and one masked
+/// load per lane.
+#[inline]
+fn hilbert3_automaton4(w: [u64; 4], bits: u32) -> [u64; 4] {
+    let mut off = [0usize; 4];
+    let mut h = [0u64; 4];
+    let mut level = bits;
+    if !level.is_multiple_of(2) {
+        // The odd leading digit is consumed from the automaton's start
+        // state, which is 0 in every lane.
+        level -= 1;
+        for lane in 0..4 {
+            let d = ((w[lane] >> (3 * level)) & 7) as usize;
+            h[lane] = H3_OUT[0][d] as u64;
+            off[lane] = H3_NXT[0][d] as usize * 64;
+        }
+    }
+    while level > 0 {
+        level -= 2;
+        for lane in 0..4 {
+            let d = ((w[lane] >> (3 * level)) & 0x3f) as usize;
+            let entry = H3_STEP_FLAT[(off[lane] + d) & 2047];
+            h[lane] = (h[lane] << 6) | (entry & 0x3f) as u64;
+            off[lane] = (entry >> 6) as usize;
+        }
+    }
+    h
+}
+
+/// Lane-parallel 2-D Gray rank: Morton interleave, then the Gray inverse
+/// prefix-XOR per lane.
+#[inline]
+pub(crate) fn gray2_batch8(xs: &[u64; LANES], ys: &[u64; LANES], bits: u32) -> [u128; LANES] {
+    if 2 * bits <= 64 {
+        let mut w = morton2_lanes64(xs, ys);
+        for lane in w.iter_mut() {
+            *lane = gray_inverse64(*lane);
+        }
+        return widen(w);
+    }
+    let mut w = morton2_batch8(xs, ys, bits);
+    for lane in w.iter_mut() {
+        *lane = crate::gray::gray_inverse(*lane);
+    }
+    w
+}
+
+/// Lane-parallel 3-D Gray rank.
+#[inline]
+pub(crate) fn gray3_batch8(
+    xs: &[u64; LANES],
+    ys: &[u64; LANES],
+    zs: &[u64; LANES],
+    bits: u32,
+) -> [u128; LANES] {
+    if 3 * bits <= 64 {
+        let mut w = morton3_lanes64(xs, ys, zs);
+        for lane in w.iter_mut() {
+            *lane = gray_inverse64(*lane);
+        }
+        return widen(w);
+    }
+    let mut w = morton3_batch8(xs, ys, zs, bits);
+    for lane in w.iter_mut() {
+        *lane = crate::gray::gray_inverse(*lane);
+    }
+    w
+}
+
+/// [`crate::gray::gray_inverse`] restricted to 64 bits: one fewer
+/// doubling step, and the whole prefix-XOR ladder runs on vector-friendly
+/// `u64` lanes.
+#[inline]
+fn gray_inverse64(mut g: u64) -> u64 {
+    let mut shift = 1u32;
+    while shift < 64 {
+        g ^= g >> shift;
+        shift <<= 1;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    fn lanes(seed: u64, side: u64) -> ([u64; LANES], [u64; LANES], [u64; LANES]) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) % side
+        };
+        let mut xs = [0u64; LANES];
+        let mut ys = [0u64; LANES];
+        let mut zs = [0u64; LANES];
+        for l in 0..LANES {
+            xs[l] = next();
+            ys[l] = next();
+            zs[l] = next();
+        }
+        // Exercise the corner in a fixed lane.
+        xs[3] = side - 1;
+        ys[3] = side - 1;
+        zs[3] = side - 1;
+        (xs, ys, zs)
+    }
+
+    #[test]
+    fn batch_kernels_match_scalar_lane_for_lane() {
+        // 2..=16 walks the peel shapes; 21/22 straddle the 3-D u64/u128
+        // boundary, 32/33 the 2-D one.
+        for bits in (2..=16u32).chain([21, 22, 32, 33]) {
+            let side = 1u64 << bits.min(40);
+            for seed in 0..8u64 {
+                let (xs, ys, zs) = lanes(seed.wrapping_mul(0x9e3779b9) + bits as u64, side);
+                let m2 = morton2_batch8(&xs, &ys, bits);
+                let m3 = morton3_batch8(&xs, &ys, &zs, bits);
+                let h2 = hilbert2_batch8(&xs, &ys, bits);
+                let h3 = hilbert3_batch8(&xs, &ys, &zs, bits);
+                let g2 = gray2_batch8(&xs, &ys, bits);
+                let g3 = gray3_batch8(&xs, &ys, &zs, bits);
+                for l in 0..LANES {
+                    assert_eq!(m2[l], kernels::morton2(xs[l], ys[l], bits));
+                    assert_eq!(m3[l], kernels::morton3(xs[l], ys[l], zs[l], bits));
+                    assert_eq!(h2[l], kernels::hilbert2(xs[l], ys[l], bits));
+                    assert_eq!(h3[l], kernels::hilbert3(xs[l], ys[l], zs[l], bits));
+                    assert_eq!(
+                        g2[l],
+                        crate::gray::gray_inverse(kernels::morton2(xs[l], ys[l], bits))
+                    );
+                    assert_eq!(
+                        g3[l],
+                        crate::gray::gray_inverse(kernels::morton3(xs[l], ys[l], zs[l], bits))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_step_table_matches_the_base_rows() {
+        for s in 0..24usize {
+            for b in 0..64usize {
+                let e = kernels::H3_STEP[s][b];
+                let flat = H3_STEP_FLAT[s * 64 + b];
+                assert_eq!(flat & 0x3f, (e & 0x3f) as u32, "output at [{s}][{b}]");
+                assert_eq!(flat >> 6, (e >> 8) as u32 * 64, "offset at [{s}][{b}]");
+            }
+        }
+        for (slot, &pad) in H3_STEP_FLAT.iter().enumerate().skip(24 * 64) {
+            assert_eq!(pad, 0, "padding at {slot}");
+        }
+    }
+}
